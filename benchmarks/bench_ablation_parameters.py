@@ -1,0 +1,145 @@
+"""Table II parameter ablations — k, rep, ε, μ sensitivity.
+
+The paper sweeps k ∈ {2,4,8,16}, rep ∈ {0..9}, ε ∈ {0.2..0.7} and
+μ ∈ {2..9} (Table II), deferring the sensitivity plots to its technical
+report.  This bench runs the sweeps on the CO stand-in and records
+quality and cost for each setting, asserting the design-choice claims of
+DESIGN.md:
+
+* more pyramids (k) never hurt quality much — the voting stabilizes
+  (paper: k=4 default suffices);
+* quality at rep >= 5 is at least as good as rep = 0 (reinforcement
+  propagates structure);
+* μ shifts the role mix monotonically: larger μ, fewer cores.
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench.harness import anc_static_clusters
+from repro.bench.reporting import format_table, save_result
+from repro.core.anc import ANCF, ANCParams
+from repro.core.similarity import NodeRole
+from repro.evalm import score_clustering
+from repro.workloads.datasets import load_dataset
+
+DATASET = "CO"
+
+
+@pytest.fixture(scope="module")
+def data():
+    return load_dataset(DATASET)
+
+
+def quality_for(data, **overrides):
+    base = dict(rep=2, k=4, seed=0, eps=0.25, mu=2)
+    base.update(overrides)
+    rep = base.pop("rep")
+    params = ANCParams(rep=rep, **base)
+    clusters = anc_static_clusters(data, rep, params)
+    return score_clustering(clusters, data.truth())
+
+
+def test_ablation_k(benchmark, data):
+    rows = []
+
+    def sweep():
+        for k in (2, 4, 8, 16):
+            scores = quality_for(data, k=k)
+            rows.append({"k": k, **scores})
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Ablation: pyramids k on CO"))
+    save_result("ablation_k", {"rows": rows})
+    nmis = [r["nmi"] for r in rows]
+    # Voting stabilizes: quality at k>=4 within a band of the best.
+    assert max(nmis[1:]) >= 0.7 * max(nmis)
+
+
+def test_ablation_rep(benchmark, data):
+    rows = []
+
+    def sweep():
+        for rep in (0, 1, 3, 5, 7):
+            scores = quality_for(data, rep=rep)
+            rows.append({"rep": rep, **scores})
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Ablation: reinforcement repetitions on CO"))
+    save_result("ablation_rep", {"rows": rows})
+    by = {r["rep"]: r["nmi"] for r in rows}
+    assert max(by[5], by[7]) >= by[0] - 0.05, by
+
+
+def test_ablation_eps(benchmark, data):
+    rows = []
+
+    def sweep():
+        for eps in (0.2, 0.3, 0.4, 0.5, 0.6, 0.7):
+            scores = quality_for(data, eps=eps)
+            rows.append({"eps": eps, **scores})
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Ablation: active-neighbor threshold ε on CO"))
+    save_result("ablation_eps", {"rows": rows})
+    assert all(0.0 <= r["nmi"] <= 1.0 for r in rows)
+
+
+def test_ablation_mu_role_mix(benchmark, data):
+    """Larger μ strictly shrinks the core set (and grows periphery)."""
+    from repro.core.metric import SimilarityFunction
+
+    rows = []
+
+    def sweep():
+        for mu in (2, 3, 4, 5, 6, 7, 8, 9):
+            sf = SimilarityFunction(data.graph, rep=0, eps=0.25, mu=mu)
+            counts = sf.sigma.role_counts()
+            rows.append(
+                {
+                    "mu": mu,
+                    "cores": counts[NodeRole.CORE],
+                    "p_cores": counts[NodeRole.P_CORE],
+                    "periphery": counts[NodeRole.PERIPHERY],
+                }
+            )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Ablation: core threshold μ role mix on CO"))
+    save_result("ablation_mu", {"rows": rows})
+    cores = [r["cores"] for r in rows]
+    periphery = [r["periphery"] for r in rows]
+    assert cores == sorted(cores, reverse=True)
+    assert periphery == sorted(periphery)
+
+
+def test_ablation_support_threshold(benchmark, data):
+    """θ sweep (design-choice ablation): higher support demands more
+    pyramid agreement, so clusters fragment monotonically-ish."""
+    rows = []
+
+    def sweep():
+        for support in (0.3, 0.5, 0.7, 0.9):
+            params = ANCParams(rep=1, k=4, seed=0, eps=0.25, mu=2, support=support)
+            engine = ANCF(data.graph, params)
+            level = engine.queries.sqrt_n_level()
+            clusters = engine.clusters(level)
+            rows.append(
+                {
+                    "support": support,
+                    "clusters": len(clusters),
+                    "singletons": sum(1 for c in clusters if len(c) == 1),
+                }
+            )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Ablation: voting support θ on CO"))
+    save_result("ablation_support", {"rows": rows})
+    counts = [r["clusters"] for r in rows]
+    assert counts[-1] >= counts[0]

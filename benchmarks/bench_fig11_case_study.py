@@ -1,0 +1,90 @@
+"""Figure 11 / Section VI-C — case study on a DB2 collaboration subgraph.
+
+Replays the paper's 29-author, 735-activation, 30-year scenario through
+the online engine and reports, for the monitored author v8 and its five
+neighbors, cluster co-membership at t10 / t20 / t30 on granularity
+levels l2 and l3 — the exact panel structure of Figure 11.
+
+Qualitative claims asserted (the paper's narrative):
+
+* t10: v8 clusters with v7 (live collaboration) at l3;
+* t20: v8 has left v7's cluster and joined v0's at l3;
+* t30: v8 clusters with v26 at l3;
+* l2 is coarser than l3 (the l2 cluster of v8 always contains the l3
+  one), showing the zoom semantics of the paper's level comparison.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table, save_result
+from repro.core.anc import ANCOR, ANCParams
+from repro.workloads.case_study import FOCAL, TRACKED, build_case_study
+
+CHECKPOINTS = (10, 20, 30)
+LEVELS = (2, 3)
+
+
+@pytest.fixture(scope="module")
+def panel():
+    cs = build_case_study()
+    params = ANCParams(lam=0.1, rep=3, k=4, seed=2, eps=0.12, mu=2)
+    engine = ANCOR(cs.graph, params, reinforce_interval=5.0)
+    batches = dict(cs.stream.batches_by_timestamp())
+    snapshots = {}
+    for year in range(1, 31):
+        engine.process_batch(batches.get(float(year), []))
+        if year in CHECKPOINTS:
+            snapshots[year] = {
+                level: tuple(engine.cluster_of(FOCAL, level)) for level in LEVELS
+            }
+    return cs, snapshots
+
+
+def test_fig11_case_study_panel(benchmark, panel):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cs, snapshots = panel
+    rows = []
+    for year in CHECKPOINTS:
+        for level in LEVELS:
+            cluster = snapshots[year][level]
+            rows.append(
+                {
+                    "year": f"t{year}",
+                    "level": f"l{level}",
+                    "cluster_size": len(cluster),
+                    **{f"with_v{v}": v in cluster for v in TRACKED},
+                }
+            )
+    columns = ["year", "level", "cluster_size"] + [f"with_v{v}" for v in TRACKED]
+    print()
+    print(format_table(rows, columns, title="Figure 11: case study — v8's cluster"))
+    save_result("fig11_case_study", {"rows": rows})
+
+    # The collaboration narrative at the finer granularity l3.
+    assert 7 in snapshots[10][3]          # v8-v7 live at t10
+    assert 7 not in snapshots[20][3]      # decayed by t20
+    assert 0 in snapshots[20][3]          # v8-v0 live at t20
+    assert 26 in snapshots[30][3]         # v8-v26 live at t30
+
+
+def test_l2_coarser_than_l3(benchmark, panel):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _, snapshots = panel
+    for year in CHECKPOINTS:
+        l2 = set(snapshots[year][2])
+        l3 = set(snapshots[year][3])
+        assert l3 <= l2, (year, sorted(l3 - l2))
+
+
+def test_benchmark_case_study_replay(benchmark):
+    """pytest-benchmark target: the full 30-year replay."""
+
+    def replay():
+        cs = build_case_study()
+        params = ANCParams(lam=0.1, rep=1, k=2, seed=1, eps=0.2, mu=2)
+        engine = ANCOR(cs.graph, params, reinforce_interval=5.0)
+        engine.process_stream(cs.stream)
+        return engine
+
+    engine = benchmark.pedantic(replay, rounds=1, iterations=1)
+    assert engine.activations_processed == 735

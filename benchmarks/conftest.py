@@ -1,0 +1,31 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper's
+evaluation section at stand-in scale: it prints the same rows/series the
+paper reports (run with ``-s`` to see them), persists the data as JSON
+under ``bench_results/``, asserts the paper's *qualitative* claims, and
+exposes at least one pytest-benchmark target for the timing-shaped
+experiments.
+
+Scale knobs are deliberately small so the full suite finishes in minutes
+of pure Python; the claims under test are relative (who wins, how things
+scale), never absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.anc import ANCParams
+
+
+@pytest.fixture(scope="session")
+def quick_params() -> ANCParams:
+    """Cheap, shared ANC parameters for the timing benchmarks."""
+    return ANCParams(rep=1, k=2, seed=0, rescale_every=512, eps=0.25, mu=2)
+
+
+@pytest.fixture(scope="session")
+def paper_params() -> ANCParams:
+    """Defaults matching the paper's Table II (k=4, rep=7)."""
+    return ANCParams(rep=7, k=4, seed=0, rescale_every=1024, eps=0.25, mu=2)

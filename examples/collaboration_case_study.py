@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The paper's Section VI-C case study: 30 years of collaborations.
+
+Replays the 29-author DB2 collaboration subgraph (735 activations over
+30 yearly time steps) through the online engine and prints, for the
+monitored author v8, the evolving cluster membership at granularity
+levels l2 and l3 — the textual version of the paper's Figure 11 panels.
+
+The narrative to watch:
+  * years 5-11 : v8 collaborates with v7   -> same cluster at t10
+  * years 11-30: v8 collaborates with v0   -> same cluster at t20, t30
+  * years 11-22: v8 collaborates with v11
+  * years 17-26: v8 collaborates with v5
+  * years 23-30: v8 collaborates with v26  -> same cluster at t30
+
+Run:  python examples/collaboration_case_study.py
+"""
+
+from repro import ANCOR, ANCParams
+from repro.workloads.case_study import FOCAL, PHASES, TRACKED, build_case_study
+
+
+def membership_line(cluster, year: int) -> str:
+    flags = []
+    for v in TRACKED:
+        live = PHASES[v][0] <= year <= PHASES[v][1]
+        marker = "*" if live else " "
+        flags.append(f"v{v}{marker}:{'Y' if v in cluster else '.'}")
+    return "  ".join(flags)
+
+
+def main() -> None:
+    case = build_case_study()
+    print(
+        f"Collaboration subgraph: {case.graph.n} authors, "
+        f"{case.graph.m} collaborations, {len(case.stream)} activations "
+        f"over 30 years"
+    )
+    print(f"Monitoring v{FOCAL} against neighbors {list(TRACKED)}")
+    print("('*' marks a live collaboration phase that year; Y = same cluster)\n")
+
+    params = ANCParams(lam=0.1, rep=3, k=4, seed=2, eps=0.12, mu=2)
+    engine = ANCOR(case.graph, params, reinforce_interval=5.0)
+
+    batches = dict(case.stream.batches_by_timestamp())
+    header = f"{'year':>4} | {'level':>5} | {'size':>4} | membership"
+    print(header)
+    print("-" * len(header))
+    for year in range(1, 31):
+        engine.process_batch(batches.get(float(year), []))
+        if year % 5 == 0:
+            for level in (2, 3):
+                cluster = engine.cluster_of(FOCAL, level)
+                print(
+                    f"{year:>4} | l{level:<4} | {len(cluster):>4} | "
+                    f"{membership_line(cluster, year)}"
+                )
+            print()
+
+    print("Similarity of v8's edges at the end (anchored S_t):")
+    for v in TRACKED:
+        s = engine.metric.anchored_value(FOCAL, v)
+        start, end = PHASES[v]
+        print(f"  v8-v{v:<2} (collab years {start}-{end}): S* = {s:.4f}")
+
+
+if __name__ == "__main__":
+    main()

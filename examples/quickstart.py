@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: cluster an activation network online with ANC.
+
+Builds a small social-network stand-in with planted friend groups, feeds
+it a community-biased activation stream (friends chat with friends), and
+runs the three query types of the paper's Problem 1:
+
+1. report all clusters at the Θ(√n) granularity;
+2. zoom in / zoom out;
+3. local cluster queries for one user.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ANCO, ANCParams
+from repro.evalm import score_clustering
+from repro.graph.generators import planted_partition
+from repro.workloads.streams import community_biased_stream
+
+
+def main() -> None:
+    # --- the relation network: 300 users in friend groups ---------------
+    graph, groups = planted_partition(
+        300, 12, p_in=0.35, p_out=0.01, seed=7
+    )
+    print(f"Relation network: {graph.n} users, {graph.m} friendships")
+
+    # --- the activation stream: 30 timestamps of chats ------------------
+    stream = community_biased_stream(
+        graph, groups, timestamps=30, fraction=0.1, intra_bias=0.9, seed=1
+    )
+    print(f"Activation stream: {len(stream)} chats over 30 timestamps")
+
+    # --- the online engine ----------------------------------------------
+    params = ANCParams(lam=0.1, rep=3, k=4, seed=0, eps=0.25, mu=2)
+    engine = ANCO(graph, params)
+    engine.process_stream(stream)
+    print(
+        f"Processed {engine.activations_processed} activations "
+        f"({engine.metric.clock.rescale_count} batched rescales)"
+    )
+
+    # --- Problem 1, query 1: report all clusters -------------------------
+    clusters = engine.clusters()  # Θ(√n) granularity by default
+    sizes = sorted((len(c) for c in clusters), reverse=True)
+    print(f"\nClusters at the sqrt-n granularity: {len(clusters)}")
+    print(f"Largest cluster sizes: {sizes[:8]}")
+
+    truth = {v: groups[v] for v in graph.nodes()}
+    scores = score_clustering(clusters, truth)
+    print(
+        f"Against the planted groups: NMI={scores['nmi']:.3f} "
+        f"purity={scores['purity']:.3f} F1={scores['f1']:.3f}"
+    )
+
+    # --- zoom in and out ---------------------------------------------------
+    level = engine.queries.sqrt_n_level()
+    finer = engine.zoom_in(level)
+    coarser = engine.zoom_out(level)
+    print(
+        f"\nGranularity levels: 1..{engine.queries.num_levels} "
+        f"(sqrt-n level = {level})"
+    )
+    print(f"  zoom out -> level {coarser}: {len(engine.clusters(coarser))} clusters")
+    print(f"  current  -> level {level}: {len(clusters)} clusters")
+    print(f"  zoom in  -> level {finer}: {len(engine.clusters(finer))} clusters")
+
+    # --- Problem 1, query 2: local clusters ---------------------------------
+    user = 0
+    level_s, smallest = engine.queries.smallest_cluster_of(user)
+    community = engine.cluster_of(user)
+    print(f"\nUser {user}:")
+    print(f"  smallest cluster (level {level_s}): {smallest}")
+    print(f"  active community at sqrt-n level ({len(community)} users): "
+          f"{community[:12]}{'...' if len(community) > 12 else ''}")
+    same_group = [v for v in community if groups[v] == groups[user]]
+    print(f"  {len(same_group)}/{len(community)} of them are true group-mates")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Clustering a static graph: ANC's S_0 versus the classic baselines.
+
+The paper's similarity initialization (S_0 with `rep` reinforcement
+sweeps) doubles as a static-graph clustering method (ANCF on a graph with
+no activations).  This example compares it against Louvain, SCAN,
+Attractor and spectral clustering on a planted-partition benchmark and
+prints the Table III measure set for each.
+
+Run:  python examples/static_graph_clustering.py
+"""
+
+import time
+
+from repro.baselines import attractor, louvain, scan, spectral_clustering
+from repro.bench.harness import anc_static_clusters
+from repro.core.anc import ANCParams
+from repro.evalm import score_clustering, structural_scores
+from repro.workloads.datasets import load_dataset
+
+
+def evaluate(name, clusters, graph, truth, seconds):
+    q = score_clustering(clusters, truth, min_size=3)
+    s = structural_scores(graph, clusters, min_size=3)
+    print(
+        f"{name:<8} Q={s['modularity']:.3f}  cond={s['conductance']:.3f}  "
+        f"NMI={q['nmi']:.3f}  purity={q['purity']:.3f}  F1={q['f1']:.3f}  "
+        f"clusters={int(q['clusters'])}  ({seconds:.2f}s)"
+    )
+
+
+def main() -> None:
+    data = load_dataset("LA")  # one of the paper's ground-truth datasets
+    graph, truth = data.graph, data.truth()
+    print(
+        f"Dataset LA stand-in: {graph.n} nodes, {graph.m} edges, "
+        f"{len(data.truth_clusters())} ground-truth communities\n"
+    )
+
+    runners = [
+        ("LOUV", lambda: louvain(graph)),
+        ("SCAN", lambda: scan(graph, eps=0.5, mu=3).clusters),
+        ("ATTR", lambda: attractor(graph, max_iterations=25)),
+        ("SPEC", lambda: spectral_clustering(graph, len(data.truth_clusters()), seed=0)),
+    ]
+    for rep in (1, 5, 9):
+        runners.append(
+            (
+                f"ANCF{rep}",
+                lambda r=rep: anc_static_clusters(
+                    data, r, ANCParams(k=4, seed=0, eps=0.25, mu=2)
+                ),
+            )
+        )
+
+    for name, runner in runners:
+        start = time.perf_counter()
+        clusters = runner()
+        evaluate(name, clusters, graph, truth, time.perf_counter() - start)
+
+    print(
+        "\nNote: on planted partitions the structure-only baselines are "
+        "near-ceiling; the paper's real graphs are noisier, which is where "
+        "the reinforcement propagation pays off (see EXPERIMENTS.md)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs (offline environments without `wheel`).
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works on
+machines where the PEP 660 editable path (which needs the `wheel`
+package) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""repro — reproduction of "Clustering Activation Networks" (ICDE 2022).
+
+A pure-Python library for clustering *activation networks*: graphs whose
+edges are repeatedly re-activated by a timestamped stream, with edge
+activeness decaying exponentially between activations.  The package
+implements the paper's full pipeline —
+
+* the **global decay factor** that makes the time-decay scheme
+  maintainable at O(1) per activation (:mod:`repro.core.decay`);
+* the **local-reinforcement similarity** ``S_t`` combining structural
+  cohesiveness with activeness (:mod:`repro.core.reinforcement`,
+  :mod:`repro.core.metric`);
+* the **pyramid index** of Voronoi partitions with bounded incremental
+  updates (:mod:`repro.index`);
+* the **ANC engines** — offline ANCF, online ANCO, hybrid ANCOR
+  (:mod:`repro.core.anc`);
+* five baseline clustering algorithms, quality metrics, synthetic dataset
+  and stream generators, and a benchmark harness reproducing every table
+  and figure of the paper's evaluation (:mod:`repro.baselines`,
+  :mod:`repro.evalm`, :mod:`repro.workloads`, :mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import ANCO, ANCParams, Activation
+    from repro.workloads.datasets import load_dataset
+
+    data = load_dataset("CO")                    # synthetic stand-in
+    engine = ANCO(data.graph, ANCParams(lam=0.1, k=4))
+    for act in data.default_stream():
+        engine.process(act)
+    clusters = engine.clusters()                 # Θ(√n) granularity
+    mine = engine.cluster_of(v=0)                # local query
+"""
+
+from .core import (
+    ANCF,
+    ANCO,
+    ANCOR,
+    ANCParams,
+    Activation,
+    ActivationStream,
+    ActiveSimilarity,
+    Activeness,
+    DecayClock,
+    NodeRole,
+    SimilarityFunction,
+    ValueKind,
+    make_engine,
+)
+from .graph import Graph, GraphBuilder, edge_key
+from .index import ClusterQueryEngine, PyramidIndex, VoronoiPartition
+from .monitor import ClusterChange, ClusterWatcher
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANCF",
+    "ANCO",
+    "ANCOR",
+    "ANCParams",
+    "Activation",
+    "ActivationStream",
+    "ActiveSimilarity",
+    "Activeness",
+    "DecayClock",
+    "NodeRole",
+    "SimilarityFunction",
+    "ValueKind",
+    "make_engine",
+    "Graph",
+    "GraphBuilder",
+    "edge_key",
+    "ClusterQueryEngine",
+    "PyramidIndex",
+    "VoronoiPartition",
+    "ClusterChange",
+    "ClusterWatcher",
+    "__version__",
+]

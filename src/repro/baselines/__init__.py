@@ -1,0 +1,24 @@
+"""Baseline clustering algorithms the paper compares against (Section VI):
+LOUV (Louvain), SCAN, ATTR (Attractor), DYNA (incremental modularity),
+LWEP (weighted graph streams), plus the spectral-clustering ground-truth
+generator."""
+
+from .attractor import Attractor, attractor, jaccard_similarity
+from .dyna import Dyna
+from .louvain import louvain
+from .lwep import Lwep
+from .scan import ScanResult, scan, structural_similarity
+from .spectral import spectral_clustering
+
+__all__ = [
+    "Attractor",
+    "attractor",
+    "jaccard_similarity",
+    "Dyna",
+    "louvain",
+    "Lwep",
+    "ScanResult",
+    "scan",
+    "structural_similarity",
+    "spectral_clustering",
+]

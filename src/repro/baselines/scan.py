@@ -1,0 +1,140 @@
+"""SCAN — Structural Clustering Algorithm for Networks [39].
+
+SCAN clusters by structural similarity of closed neighborhoods:
+
+    σ(u, v) = |Γ(u) ∩ Γ(v)| / √(|Γ(u)| · |Γ(v)|),  Γ(v) = N(v) ∪ {v}
+
+A node is a *core* if at least μ neighbors are ε-similar to it.  Clusters
+are grown from cores through ε-similar edges (structure-connected
+components); non-member nodes become *hubs* (bridging ≥ 2 clusters) or
+*outliers*.
+
+The weighted variant replaces the set cosine with its weighted
+counterpart, so the same code scores activeness-weighted snapshots in the
+activation-network experiments:
+
+    σ_w(u, v) = Σ_{x∈Γ(u)∩Γ(v)} w(u,x)·w(v,x) / √(Σ w(u,·)² · Σ w(v,·)²)
+
+with ``w(v, v) = 1`` for the closed-neighborhood self term.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..graph.graph import Edge, Graph, edge_key
+
+Weights = Optional[Mapping[Edge, float]]
+
+
+@dataclass
+class ScanResult:
+    """Clusters plus the node dispositions SCAN distinguishes."""
+
+    clusters: List[List[int]]
+    hubs: List[int]
+    outliers: List[int]
+    cores: List[int] = field(default_factory=list)
+
+    def all_clusters_with_noise(self) -> List[List[int]]:
+        """Clusters plus singleton clusters for hubs/outliers.
+
+        Convenient for metrics that require a full partition.
+        """
+        out = [list(c) for c in self.clusters]
+        out.extend([v] for v in self.hubs)
+        out.extend([v] for v in self.outliers)
+        return out
+
+
+def structural_similarity(
+    graph: Graph, u: int, v: int, weights: Weights = None
+) -> float:
+    """σ(u, v) over closed neighborhoods, optionally weighted."""
+    if weights is None:
+        shared = len(graph.common_neighbors(u, v))
+        # Closed neighborhoods: u and v are each other's neighbors, so the
+        # intersection gains both endpoints.
+        inter = shared + 2 if graph.has_edge(u, v) else shared
+        gu = graph.degree(u) + 1
+        gv = graph.degree(v) + 1
+        return inter / math.sqrt(gu * gv)
+    # Weighted cosine over closed neighborhoods with w(x, x) = 1.
+    def w(a: int, b: int) -> float:
+        return weights.get(edge_key(a, b), 0.0)
+
+    num = 0.0
+    for x in graph.common_neighbors(u, v):
+        num += w(u, x) * w(v, x)
+    if graph.has_edge(u, v):
+        # x = v term (w(u,v)·w(v,v)) and x = u term (w(u,u)·w(v,u)).
+        num += w(u, v) * 1.0 + 1.0 * w(v, u)
+    norm_u = 1.0 + sum(w(u, x) ** 2 for x in graph.neighbors(u))
+    norm_v = 1.0 + sum(w(v, x) ** 2 for x in graph.neighbors(v))
+    return num / math.sqrt(norm_u * norm_v)
+
+
+def scan(
+    graph: Graph,
+    *,
+    eps: float = 0.5,
+    mu: int = 2,
+    weights: Weights = None,
+) -> ScanResult:
+    """Run SCAN with thresholds ``eps`` (ε) and ``mu`` (μ).
+
+    Returns the clusters (each sorted), hub nodes and outlier nodes.
+    Complexity is O(m · d̄) for the similarity computations plus a linear
+    expansion, matching the paper's reported O(m) behaviour on sparse
+    graphs.
+    """
+    if not 0.0 < eps <= 1.0:
+        raise ValueError(f"eps must be in (0, 1], got {eps}")
+    if mu < 1:
+        raise ValueError(f"mu must be >= 1, got {mu}")
+    n = graph.n
+    # ε-neighborhoods (similarity computed once per edge).
+    eps_neighbors: List[List[int]] = [[] for _ in range(n)]
+    for u, v in graph.edges():
+        if structural_similarity(graph, u, v, weights) >= eps:
+            eps_neighbors[u].append(v)
+            eps_neighbors[v].append(u)
+    # Closed ε-neighborhood includes the node itself.
+    is_core = [len(eps_neighbors[v]) + 1 >= mu for v in range(n)]
+
+    cluster_id = [-1] * n
+    clusters: List[List[int]] = []
+    for v in range(n):
+        if not is_core[v] or cluster_id[v] >= 0:
+            continue
+        cid = len(clusters)
+        members = [v]
+        cluster_id[v] = cid
+        queue = [v]
+        while queue:
+            x = queue.pop()
+            if not is_core[x]:
+                continue  # border nodes join but do not expand
+            for y in eps_neighbors[x]:
+                if cluster_id[y] < 0:
+                    cluster_id[y] = cid
+                    members.append(y)
+                    queue.append(y)
+        clusters.append(sorted(members))
+
+    hubs: List[int] = []
+    outliers: List[int] = []
+    for v in range(n):
+        if cluster_id[v] >= 0:
+            continue
+        neighbor_clusters: Set[int] = {
+            cluster_id[u] for u in graph.neighbors(v) if cluster_id[u] >= 0
+        }
+        if len(neighbor_clusters) >= 2:
+            hubs.append(v)
+        else:
+            outliers.append(v)
+    cores = [v for v in range(n) if is_core[v]]
+    return ScanResult(clusters=clusters, hubs=hubs, outliers=outliers, cores=cores)

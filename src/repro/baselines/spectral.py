@@ -1,0 +1,136 @@
+"""Spectral clustering [22] — the paper's ground-truth generator for
+activation-network snapshots (Section VI-A).
+
+Normalized spectral clustering (Ng–Jordan–Weiss):
+
+1. build the (weighted) adjacency matrix ``W`` and the symmetric
+   normalized operator ``D^{-1/2} W D^{-1/2}``;
+2. take its ``k`` leading eigenvectors;
+3. row-normalize the embedding and run seeded k-means.
+
+Isolated nodes (zero weighted degree) carry no spectral information; they
+are removed from the eigenproblem and appended as singleton clusters,
+which keeps the output a full partition of ``V``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..graph.graph import Edge, Graph, edge_key
+
+Weights = Optional[Mapping[Edge, float]]
+
+
+def _adjacency_matrix(graph: Graph, weights: Weights, nodes: Sequence[int]) -> sp.csr_matrix:
+    index = {v: i for i, v in enumerate(nodes)}
+    rows, cols, data = [], [], []
+    for u, v in graph.edges():
+        if u not in index or v not in index:
+            continue
+        w = 1.0 if weights is None else weights.get((u, v), 0.0)
+        if w <= 0:
+            continue
+        i, j = index[u], index[v]
+        rows.extend((i, j))
+        cols.extend((j, i))
+        data.extend((w, w))
+    n = len(nodes)
+    return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+def _kmeans(embedding: np.ndarray, k: int, seed: int, iterations: int = 50) -> np.ndarray:
+    """Seeded k-means++ on the embedding rows; returns labels.
+
+    Self-contained (no scipy.cluster dependency quirks) and fully
+    deterministic for a given seed.
+    """
+    rng = np.random.default_rng(seed)
+    n = embedding.shape[0]
+    k = min(k, n)
+    # k-means++ initialization.
+    centers = np.empty((k, embedding.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = embedding[first]
+    dist_sq = np.sum((embedding - centers[0]) ** 2, axis=1)
+    for c in range(1, k):
+        total = dist_sq.sum()
+        if total <= 0:
+            centers[c:] = embedding[rng.integers(n, size=k - c)]
+            break
+        probs = dist_sq / total
+        choice = int(rng.choice(n, p=probs))
+        centers[c] = embedding[choice]
+        dist_sq = np.minimum(dist_sq, np.sum((embedding - centers[c]) ** 2, axis=1))
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(iterations):
+        # Assign.
+        dists = ((embedding[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = dists.argmin(axis=1)
+        if np.array_equal(new_labels, labels):
+            labels = new_labels
+            break
+        labels = new_labels
+        # Update; re-seed empty clusters from the farthest points.
+        for c in range(k):
+            mask = labels == c
+            if mask.any():
+                centers[c] = embedding[mask].mean(axis=0)
+            else:
+                farthest = int(dists.min(axis=1).argmax())
+                centers[c] = embedding[farthest]
+    return labels
+
+
+def spectral_clustering(
+    graph: Graph,
+    k: int,
+    weights: Weights = None,
+    *,
+    seed: int = 0,
+) -> List[List[int]]:
+    """Cluster ``graph`` into (up to) ``k`` groups; returns sorted clusters.
+
+    ``weights`` carries the activeness snapshot for activation-network
+    ground truth; ``None`` means the unweighted graph.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    degree = [0.0] * graph.n
+    for u, v in graph.edges():
+        w = 1.0 if weights is None else weights.get((u, v), 0.0)
+        degree[u] += w
+        degree[v] += w
+    active = [v for v in graph.nodes() if degree[v] > 0]
+    isolated = [v for v in graph.nodes() if degree[v] <= 0]
+    clusters: List[List[int]] = [[v] for v in isolated]
+    if not active:
+        return sorted(clusters, key=lambda c: c[0])
+    k_eff = min(k, len(active))
+    adjacency = _adjacency_matrix(graph, weights, active)
+    deg = np.asarray(adjacency.sum(axis=1)).ravel()
+    inv_sqrt = 1.0 / np.sqrt(deg)
+    d_half = sp.diags(inv_sqrt)
+    operator = d_half @ adjacency @ d_half
+    if k_eff >= len(active) - 1 or len(active) < 32:
+        # Dense fallback: eigsh cannot return nearly-all eigenpairs.
+        dense = operator.toarray()
+        vals, vecs = np.linalg.eigh(dense)
+        embedding = vecs[:, -k_eff:]
+    else:
+        vals, vecs = spla.eigsh(operator, k=k_eff, which="LA")
+        embedding = vecs
+    norms = np.linalg.norm(embedding, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    embedding = embedding / norms
+    labels = _kmeans(embedding, k_eff, seed)
+    groups: Dict[int, List[int]] = {}
+    for node, lab in zip(active, labels):
+        groups.setdefault(int(lab), []).append(node)
+    clusters.extend(sorted(g) for g in groups.values())
+    clusters.sort(key=lambda c: c[0])
+    return clusters

@@ -1,0 +1,27 @@
+"""Benchmark harness: experiment runners and result reporting."""
+
+from .harness import (
+    ActivationRun,
+    anc_static_clusters,
+    run_activation_experiment,
+    run_mixed_workload,
+    static_quality_rows,
+    timed,
+    update_vs_reconstruct,
+)
+from .reporting import format_series, format_table, results_dir, save_result, speedup
+
+__all__ = [
+    "ActivationRun",
+    "anc_static_clusters",
+    "run_activation_experiment",
+    "run_mixed_workload",
+    "static_quality_rows",
+    "timed",
+    "update_vs_reconstruct",
+    "format_series",
+    "format_table",
+    "results_dir",
+    "save_result",
+    "speedup",
+]

@@ -1,0 +1,135 @@
+"""Result formatting and persistence for the benchmark harness.
+
+Every bench target prints the same rows/series the paper's table or
+figure reports, via these helpers, and drops a JSON record under
+``bench_results/`` so EXPERIMENTS.md can be cross-checked against actual
+runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    title: str = "",
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Render rows of dicts as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        line = []
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                line.append(float_fmt.format(value))
+            else:
+                line.append(str(value))
+        rendered.append(line)
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(columns))]
+    out_lines = []
+    if title:
+        out_lines.append(title)
+    header = " | ".join(cell.ljust(w) for cell, w in zip(rendered[0], widths))
+    out_lines.append(header)
+    out_lines.append("-+-".join("-" * w for w in widths))
+    for line in rendered[1:]:
+        out_lines.append(" | ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(out_lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[Number]],
+    *,
+    x_values: Optional[Sequence[Any]] = None,
+    title: str = "",
+    x_label: str = "x",
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Render named series (figure data) as a column-per-series table."""
+    names = list(series)
+    length = max((len(s) for s in series.values()), default=0)
+    if x_values is None:
+        x_values = list(range(length))
+    rows = []
+    for i in range(length):
+        row: Dict[str, Any] = {x_label: x_values[i] if i < len(x_values) else i}
+        for name in names:
+            values = series[name]
+            row[name] = values[i] if i < len(values) else ""
+        rows.append(row)
+    return format_table(rows, [x_label] + names, title=title, float_fmt=float_fmt)
+
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[Number], *, lo: Optional[float] = None, hi: Optional[float] = None) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Scales into ``[lo, hi]`` (defaults: the series' own min/max).  Used
+    by the figure benches to show series shape inline in terminal output.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo = min(vals) if lo is None else lo
+    hi = max(vals) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[max(0, min(len(_SPARK_LEVELS) - 1, idx))])
+    return "".join(out)
+
+
+def sparkline_block(series: Mapping[str, Sequence[Number]], *, title: str = "") -> str:
+    """One labelled sparkline per named series, on a shared scale."""
+    all_values = [float(v) for vs in series.values() for v in vs]
+    if not all_values:
+        return title
+    lo, hi = min(all_values), max(all_values)
+    width = max((len(name) for name in series), default=0)
+    lines = [title] if title else []
+    for name, values in series.items():
+        lines.append(
+            f"{name.ljust(width)} {sparkline(values, lo=lo, hi=hi)} "
+            f"[{min(map(float, values)):.3g}..{max(map(float, values)):.3g}]"
+        )
+    return "\n".join(lines)
+
+
+def results_dir() -> Path:
+    """``bench_results/`` next to the repository root (created on demand)."""
+    root = Path(os.environ.get("REPRO_RESULTS_DIR", Path.cwd() / "bench_results"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def save_result(experiment: str, payload: Mapping[str, Any]) -> Path:
+    """Persist one experiment's data as JSON; returns the file path."""
+    path = results_dir() / f"{experiment}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+    return path
+
+
+def speedup(slow: float, fast: float) -> float:
+    """``slow / fast`` guarded against zero (returns inf)."""
+    if fast <= 0:
+        return float("inf")
+    return slow / fast

@@ -1,0 +1,223 @@
+"""Command-line interface: cluster graphs and replay activation streams.
+
+Installed as the ``repro-anc`` console script (also runnable as
+``python -m repro.cli``).  Subcommands:
+
+* ``info <edgelist>`` — graph statistics (nodes, edges, degrees,
+  components);
+* ``cluster <edgelist>`` — cluster a static graph with ANC or a baseline
+  and print the clusters (optionally at a chosen granularity level);
+* ``stream <temporal-edgelist>`` — replay a ``u v t`` activation stream
+  through an online engine, printing cluster snapshots at checkpoints
+  and answering local queries;
+* ``datasets`` — the Table I stand-in catalogue.
+
+Edge lists are whitespace-separated ``u v`` (or ``u v t``) lines; node
+labels may be arbitrary strings and are reported back verbatim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .baselines import attractor, louvain, scan
+from .core.anc import ANCF, ANCO, ANCOR, ANCParams, make_engine
+from .graph.io import read_edge_list, read_temporal_edge_list
+from .graph.traversal import connected_components
+
+
+def _add_anc_params(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--lam", type=float, default=0.1, help="decay factor λ")
+    parser.add_argument("--eps", type=float, default=0.25, help="active-neighbor threshold ε")
+    parser.add_argument("--mu", type=int, default=2, help="core threshold μ")
+    parser.add_argument("--rep", type=int, default=3, help="reinforcement repetitions")
+    parser.add_argument("--pyramids", type=int, default=4, help="number of pyramids k")
+    parser.add_argument("--support", type=float, default=0.7, help="voting threshold θ")
+    parser.add_argument("--seed", type=int, default=0, help="index RNG seed")
+
+
+def _params_from(args: argparse.Namespace) -> ANCParams:
+    return ANCParams(
+        lam=args.lam,
+        eps=args.eps,
+        mu=args.mu,
+        rep=args.rep,
+        k=args.pyramids,
+        support=args.support,
+        seed=args.seed,
+    )
+
+
+def _print_clusters(clusters, names, *, min_size: int, out) -> None:
+    kept = [c for c in clusters if len(c) >= min_size]
+    kept.sort(key=len, reverse=True)
+    print(f"{len(kept)} clusters (>= {min_size} nodes):", file=out)
+    for i, cluster in enumerate(kept):
+        labels = [str(names[v]) for v in cluster]
+        preview = " ".join(labels[:12]) + (" ..." if len(labels) > 12 else "")
+        print(f"  [{i}] size={len(cluster)}: {preview}", file=out)
+
+
+def cmd_info(args: argparse.Namespace, out) -> int:
+    graph, names = read_edge_list(args.edgelist)
+    comps = connected_components(graph)
+    degrees = sorted((graph.degree(v) for v in graph.nodes()), reverse=True)
+    print(f"nodes:      {graph.n}", file=out)
+    print(f"edges:      {graph.m}", file=out)
+    print(f"components: {len(comps)} (largest {len(comps[0]) if comps else 0})", file=out)
+    if degrees:
+        print(f"degree:     max={degrees[0]} "
+              f"median={degrees[len(degrees) // 2]} "
+              f"mean={2 * graph.m / graph.n:.2f}", file=out)
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace, out) -> int:
+    graph, names = read_edge_list(args.edgelist)
+    if args.method == "anc":
+        engine = ANCF(graph, _params_from(args))
+        level = args.level if args.level is not None else engine.queries.sqrt_n_level()
+        clusters = engine.clusters(level)
+        print(f"ANC clustering at level {level} "
+              f"(of 1..{engine.queries.num_levels})", file=out)
+    elif args.method == "louvain":
+        clusters = louvain(graph, seed=args.seed)
+    elif args.method == "scan":
+        clusters = scan(graph, eps=args.eps, mu=max(2, args.mu)).clusters
+    elif args.method == "attractor":
+        clusters = attractor(graph)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.method)
+    _print_clusters(clusters, names, min_size=args.min_size, out=out)
+    return 0
+
+
+def cmd_stream(args: argparse.Namespace, out) -> int:
+    graph, stream, names = read_temporal_edge_list(args.edgelist)
+    if not stream:
+        print("no activations in input", file=out)
+        return 1
+    engine = make_engine(args.engine, graph, _params_from(args))
+    watcher = None
+    if args.watch:
+        from .monitor import ClusterWatcher
+
+        level = args.level or None
+        watcher = ClusterWatcher(
+            engine, levels=None if level is None else [level]
+        )
+        for label in args.watch:
+            if label not in names:
+                print(f"unknown watch node {label!r}", file=out)
+                return 1
+            watcher.watch(names.index(label))
+    first, last = stream[0].t, stream[-1].t
+    checkpoints = args.at or [last]
+    checkpoints = sorted(set(checkpoints))
+    print(f"replaying {len(stream)} activations over t=[{first}, {last}] "
+          f"with {args.engine.upper()}", file=out)
+    ck = 0
+    batch: List = []
+    from .core.activation import ActivationStream
+
+    validated = ActivationStream(graph, stream)
+    for t, batch in validated.batches_by_timestamp():
+        if watcher is not None:
+            for change in watcher.process_batch(batch):
+                joined = " ".join(str(names[x]) for x in sorted(change.joined))
+                left = " ".join(str(names[x]) for x in sorted(change.left))
+                print(
+                    f"[t={t:g}] {names[change.node]} cluster changed: "
+                    f"+[{joined}] -[{left}]",
+                    file=out,
+                )
+        else:
+            engine.process_batch(batch)
+        while ck < len(checkpoints) and checkpoints[ck] <= t:
+            print(f"\n--- snapshot at t={t} ---", file=out)
+            if args.query is not None:
+                v = names.index(args.query) if args.query in names else None
+                if v is None:
+                    print(f"unknown node {args.query!r}", file=out)
+                else:
+                    cluster = engine.cluster_of(v, args.level)
+                    labels = [str(names[x]) for x in cluster]
+                    print(f"cluster of {args.query}: {' '.join(labels)}", file=out)
+            else:
+                _print_clusters(
+                    engine.clusters(args.level), names,
+                    min_size=args.min_size, out=out,
+                )
+            ck += 1
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace, out) -> int:
+    from .bench.reporting import format_table
+    from .workloads.datasets import table1_rows
+
+    print(format_table(table1_rows(), title="Table I stand-ins"), file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-anc",
+        description="Clustering Activation Networks (ICDE 2022) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="graph statistics")
+    p_info.add_argument("edgelist")
+    p_info.set_defaults(func=cmd_info)
+
+    p_cluster = sub.add_parser("cluster", help="cluster a static graph")
+    p_cluster.add_argument("edgelist")
+    p_cluster.add_argument(
+        "--method",
+        choices=("anc", "louvain", "scan", "attractor"),
+        default="anc",
+    )
+    p_cluster.add_argument("--level", type=int, default=None,
+                           help="granularity level (ANC only; default √n)")
+    p_cluster.add_argument("--min-size", type=int, default=1,
+                           help="hide clusters smaller than this")
+    _add_anc_params(p_cluster)
+    p_cluster.set_defaults(func=cmd_cluster)
+
+    p_stream = sub.add_parser("stream", help="replay an activation stream")
+    p_stream.add_argument("edgelist", help="temporal edge list: u v t lines")
+    p_stream.add_argument(
+        "--engine", choices=("anco", "ancor", "ancf"), default="anco"
+    )
+    p_stream.add_argument("--at", type=float, action="append",
+                          help="snapshot timestamp(s); default: end of stream")
+    p_stream.add_argument("--query", default=None,
+                          help="report only this node's local cluster")
+    p_stream.add_argument("--watch", action="append", default=None,
+                          help="print live cluster-change events for this "
+                               "node (repeatable)")
+    p_stream.add_argument("--level", type=int, default=None,
+                          help="granularity level (default √n)")
+    p_stream.add_argument("--min-size", type=int, default=1)
+    _add_anc_params(p_stream)
+    p_stream.set_defaults(func=cmd_stream)
+
+    p_data = sub.add_parser("datasets", help="list the Table I stand-ins")
+    p_data.set_defaults(func=cmd_datasets)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""The paper's primary contribution: decay, similarity, metric, ANC engines."""
+
+from .activation import Activation, ActivationStream, naive_activeness
+from .anc import ANCF, ANCO, ANCOR, ANCEngineBase, ANCParams, make_engine
+from .decay import Activeness, AnchoredEdgeValues, DecayClock, ValueKind
+from .metric import SimilarityFunction
+from .reinforcement import LocalReinforcement
+from .similarity import ActiveSimilarity, NodeRole
+from .windows import IntervalEdgeModel, SlidingWindowActiveness
+
+__all__ = [
+    "Activation",
+    "ActivationStream",
+    "naive_activeness",
+    "ANCF",
+    "ANCO",
+    "ANCOR",
+    "ANCEngineBase",
+    "ANCParams",
+    "make_engine",
+    "Activeness",
+    "AnchoredEdgeValues",
+    "DecayClock",
+    "ValueKind",
+    "SimilarityFunction",
+    "LocalReinforcement",
+    "ActiveSimilarity",
+    "NodeRole",
+    "IntervalEdgeModel",
+    "SlidingWindowActiveness",
+]

@@ -1,0 +1,145 @@
+"""Activation stream model (Section III).
+
+An *activation* is a pair ``(e, t)`` of a relation-network edge and a
+timestamp; an *activation stream* is an unbounded, time-ordered sequence of
+activations.  :class:`Activation` is the immutable record;
+:class:`ActivationStream` is a thin validated container with the batching
+and slicing helpers the engines and benchmarks need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..graph.graph import Edge, Graph, edge_key
+
+
+@dataclass(frozen=True, order=True)
+class Activation:
+    """One activation of the undirected edge ``{u, v}`` at time ``t``.
+
+    The edge is stored canonically (``u < v``).  Ordering is by the field
+    order ``(u, v, t)`` only for deterministic container behaviour; streams
+    are ordered by time explicitly.
+    """
+
+    u: int
+    v: int
+    t: float
+
+    def __post_init__(self) -> None:
+        if self.u >= self.v:
+            raise ValueError(
+                f"activation edge must be canonical (u < v), got ({self.u}, {self.v})"
+            )
+        if self.t < 0:
+            raise ValueError(f"negative timestamp: {self.t}")
+
+    @property
+    def edge(self) -> Edge:
+        """Canonical edge key."""
+        return (self.u, self.v)
+
+    @staticmethod
+    def of(u: int, v: int, t: float) -> "Activation":
+        """Build an activation from an arbitrary-order endpoint pair."""
+        a, b = edge_key(u, v)
+        return Activation(a, b, t)
+
+
+class ActivationStream:
+    """A time-ordered sequence of activations over a fixed relation graph.
+
+    Validates on construction that every activation refers to an existing
+    relation edge and that timestamps are non-decreasing (the arrival
+    order of Section III).
+    """
+
+    def __init__(self, graph: Graph, activations: Iterable[Activation] = ()) -> None:
+        self._graph = graph
+        self._items: List[Activation] = []
+        for act in activations:
+            self.append(act)
+
+    @property
+    def graph(self) -> Graph:
+        """The relation network the stream activates."""
+        return self._graph
+
+    def append(self, act: Activation) -> None:
+        """Append one activation, enforcing edge existence and time order."""
+        if not self._graph.has_edge(act.u, act.v):
+            raise ValueError(f"activation on non-edge ({act.u}, {act.v})")
+        if self._items and act.t < self._items[-1].t:
+            raise ValueError(
+                f"activations must be time-ordered: {act.t} < {self._items[-1].t}"
+            )
+        self._items.append(act)
+
+    def extend(self, acts: Iterable[Activation]) -> None:
+        """Append many activations in order."""
+        for act in acts:
+            self.append(act)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Activation]:
+        return iter(self._items)
+
+    def __getitem__(self, idx):
+        return self._items[idx]
+
+    @property
+    def span(self) -> Tuple[float, float]:
+        """(first, last) timestamps; ``(0.0, 0.0)`` when empty."""
+        if not self._items:
+            return (0.0, 0.0)
+        return (self._items[0].t, self._items[-1].t)
+
+    def until(self, t: float) -> List[Activation]:
+        """All activations with timestamp <= t (binary search on time)."""
+        lo, hi = 0, len(self._items)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._items[mid].t <= t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._items[:lo]
+
+    def batches_by_timestamp(self) -> Iterator[Tuple[float, List[Activation]]]:
+        """Group consecutive activations sharing a timestamp.
+
+        Yields ``(t, batch)`` in time order — the per-snapshot batches the
+        activation-network experiments (Exp 2) consume.
+        """
+        i, n = 0, len(self._items)
+        while i < n:
+            t = self._items[i].t
+            j = i
+            while j < n and self._items[j].t == t:
+                j += 1
+            yield t, self._items[i:j]
+            i = j
+
+    def batches_of_size(self, size: int) -> Iterator[List[Activation]]:
+        """Fixed-size batches in arrival order (Fig 8's batch sweep)."""
+        if size < 1:
+            raise ValueError(f"batch size must be >= 1, got {size}")
+        for i in range(0, len(self._items), size):
+            yield self._items[i : i + size]
+
+
+def naive_activeness(stream: Sequence[Activation], edge: Edge, t: float, lam: float) -> float:
+    """Reference implementation of Equation 1: ``Σ exp(-λ (t - t_i))``.
+
+    Quadratic over the stream; exists purely as the ground truth that the
+    incremental :mod:`repro.core.decay` machinery is tested against.
+    """
+    total = 0.0
+    for act in stream:
+        if act.edge == edge and act.t <= t:
+            total += pow(2.718281828459045, -lam * (t - act.t))
+    return total

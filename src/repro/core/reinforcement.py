@@ -1,0 +1,181 @@
+"""Local reinforcement (Section IV-B, Equations 2–4).
+
+Upon an activation with trigger edge ``e(u, v)``, three "local" processes
+combine the structural coherence and activeness into the similarity
+function ``F_t`` (all defined per trigger node; ``u`` shown, ``v``
+symmetric):
+
+* **Direct consolidation** — ``AF(e) = F_t(e) · σ(u,v) / deg(u)``;
+* **Triadic consolidation** —
+  ``TF(e) = Σ_{w ∈ N(u)∩N(v)} √(F_t(u,w)·F_t(v,w)) · σ(w,u) / deg(u)``;
+* **Wedge stretch** —
+  ``WSF(e) = Σ_{w ∈ N(u)\\N(v)} F_t(w,u) · σ(w,u) / deg(u)``.
+
+How the processes apply depends on the trigger node's role:
+
+* core       → ``F ← F + AF + TF``         (Equation 2)
+* periphery  → ``F ← F − WSF``             (Equation 3)
+* p-core     → ``F ← F + AF + TF − WSF``   (Equation 4)
+
+All reads and writes are on the **anchored** similarity values: each term
+is a linear combination (no constant) of PosM quantities scaled by the
+NeuM σ, so the update preserves PosM (Lemma 4) and the global decay factor
+never appears here.  The touched set is ``N(u) ∪ N(v)``, giving the
+``O(|N(u)| + |N(v)|)`` per-activation cost of Lemma 5.
+
+The updated similarity is floored at a small positive value so the
+reciprocal edge weight ``S_t^{-1}`` stays finite — the paper's distance
+metric requires strictly positive similarities (Attractor solves the same
+problem by truncating weights to [0, 1]).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from ..graph.graph import Edge, Graph, edge_key
+from .decay import AnchoredEdgeValues
+from .similarity import ActiveSimilarity, NodeRole
+
+#: Default floor for the anchored similarity after reinforcement.  The
+#: floor bounds how "severed" an edge can get: reviving a dormant
+#: relationship goes through triadic consolidation (additive in the
+#: *neighbor* edges' similarity), so the floor sets the depth of the hole
+#: a fresh activation must climb out of.  A floored edge has reciprocal
+#: weight 100 — two orders of magnitude beyond a unit edge, effectively
+#: severed for the Voronoi partitions, yet recoverable within a few
+#: activations once its triangles are active again.
+SIMILARITY_FLOOR = 1e-2
+
+#: Default cap, mirroring Attractor's truncation of weights to [0, 1]:
+#: direct and triadic consolidation are (super-)multiplicative in F, so a
+#: frequently activated clique compounds geometrically; without a modest
+#: cap one hot edge monopolizes every shortest path and the wedge stretch
+#: it feeds annihilates its node's other edges (winner-take-all).  The
+#: [floor, cap] band of 1e4 matches the similarity dynamic range the
+#: paper's case study reports (dis-similarities moving between 0.4 and
+#: 20.0 on a unit-initialized graph).
+SIMILARITY_CAP = 1e2
+
+
+class LocalReinforcement:
+    """Applies Equations 2–4 to a PosM similarity store.
+
+    Parameters
+    ----------
+    graph:
+        Relation network.
+    sigma:
+        Active similarity provider (NeuM, reads anchored activeness).
+    similarity:
+        The PosM anchored store holding ``F_t`` (``S_t`` in the engine).
+    floor / cap:
+        Clamps applied to the anchored similarity after each update.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        sigma: ActiveSimilarity,
+        similarity: AnchoredEdgeValues,
+        *,
+        floor: float = SIMILARITY_FLOOR,
+        cap: float = SIMILARITY_CAP,
+    ) -> None:
+        if floor <= 0:
+            raise ValueError(f"floor must be positive, got {floor}")
+        if cap <= floor:
+            raise ValueError(f"cap must exceed floor, got cap={cap}, floor={floor}")
+        self.graph = graph
+        self.sigma = sigma
+        self.similarity = similarity
+        self.floor = floor
+        self.cap = cap
+
+    # ------------------------------------------------------------------
+    # The three local processes, for one trigger node.
+    # ------------------------------------------------------------------
+    def direct_consolidation(self, u: int, v: int) -> float:
+        """``AF(e) = F_t(e) · σ(u,v) / deg(u)`` for trigger node ``u``."""
+        deg = self.graph.degree(u)
+        if deg == 0:
+            return 0.0
+        return self.similarity.anchored(u, v) * self.sigma.sigma(u, v) / deg
+
+    def triadic_consolidation(self, u: int, v: int) -> float:
+        """``TF(e)`` over common neighbors of ``u`` and ``v`` (trigger ``u``)."""
+        deg = self.graph.degree(u)
+        if deg == 0:
+            return 0.0
+        total = 0.0
+        sim = self.similarity
+        for w in self.graph.common_neighbors(u, v):
+            fu = sim.anchored(u, w)
+            fv = sim.anchored(v, w)
+            if fu <= 0.0 or fv <= 0.0:
+                continue
+            total += math.sqrt(fu * fv) * self.sigma.sigma(w, u)
+        return total / deg
+
+    def wedge_stretch(self, u: int, v: int) -> float:
+        """``WSF(e)`` over u's neighbors exclusive of v (trigger ``u``)."""
+        deg = self.graph.degree(u)
+        if deg == 0:
+            return 0.0
+        total = 0.0
+        sim = self.similarity
+        for w in self.graph.exclusive_neighbors(u, v):
+            total += sim.anchored(w, u) * self.sigma.sigma(w, u)
+        return total / deg
+
+    # ------------------------------------------------------------------
+    def delta_for_trigger(self, u: int, v: int, role: Optional[NodeRole] = None) -> float:
+        """Signed anchored-space delta contributed by trigger node ``u``.
+
+        Dispatches on ``role`` (computed if not given) per Equations 2–4.
+        """
+        if role is None:
+            role = self.sigma.role(u)
+        if role is NodeRole.CORE:
+            return self.direct_consolidation(u, v) + self.triadic_consolidation(u, v)
+        if role is NodeRole.PERIPHERY:
+            return -self.wedge_stretch(u, v)
+        return (
+            self.direct_consolidation(u, v)
+            + self.triadic_consolidation(u, v)
+            - self.wedge_stretch(u, v)
+        )
+
+    def apply(self, u: int, v: int) -> float:
+        """Run the full local reinforcement for trigger edge ``{u, v}``.
+
+        Both trigger nodes contribute (symmetrically), the deltas are
+        applied together, and the result is clamped so that the *actual*
+        (decayed) similarity lies in ``[floor, cap]``.  Clamping in actual
+        space matters: an edge saturated at the cap decays away from it
+        between activations, so a currently-active edge always
+        out-similarities a dormant one — clamping the anchored value
+        instead would freeze both at the cap forever.  Returns the new
+        anchored similarity of the edge.
+        """
+        key = edge_key(u, v)
+        delta = self.delta_for_trigger(u, v) + self.delta_for_trigger(v, u)
+        new = self.similarity.anchored(u, v) + delta
+        lo = self.similarity.to_anchored(self.floor)
+        hi = self.similarity.to_anchored(self.cap)
+        new = min(max(new, lo), hi)
+        self.similarity.set_anchored(key[0], key[1], new)
+        return new
+
+    def sweep(self) -> None:
+        """One repetition: apply reinforcement over every edge of ``E``.
+
+        This is step (iii) of the ``S_0`` initialization (Section IV-C) and
+        the periodic refresh of ANCOR.  Edges are processed in the graph's
+        canonical edge order; updates within a sweep see earlier updates,
+        matching the sequential "stream of activations over all edges"
+        formulation in the paper.
+        """
+        for u, v in self.graph.edges():
+            self.apply(u, v)

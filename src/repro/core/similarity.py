@@ -1,0 +1,177 @@
+"""Active similarity, active neighbor sets and node roles (Section IV-B).
+
+The *active similarity* of an edge ``(u, v)`` is the activeness-weighted
+Jaccard coefficient
+
+    σ(u, v) = Σ_{x ∈ N(u)∩N(v)} (a_t(u,x) + a_t(v,x))
+              ──────────────────────────────────────────
+              Σ_{x ∈ N(u)} a_t(u,x) + Σ_{x ∈ N(v)} a_t(v,x)
+
+Because σ is a ratio of PosM quantities it is **NeuM** — the global decay
+factor cancels (Lemma 3: ``N*_ε(v) = N_ε(v)``) — so everything here reads
+the *anchored* activeness directly and never touches ``g(t, t*)``.
+
+The per-node denominators ("strengths") are maintained incrementally so
+that evaluating σ for one edge costs ``O(|N(u)| + |N(v)|)`` for the common
+-neighbor scan, matching the update budget of Lemma 5.
+
+Node roles partition ``V`` (Section IV-B):
+
+* **core** — at least μ active neighbors (``|N_ε(v)| ≥ μ``);
+* **p-core** — not a core but ``deg(v) ≥ μ`` (could become one);
+* **periphery** — ``deg(v) < μ`` (can never be a core).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.graph import Edge, Graph, edge_key
+from .decay import Activeness, AnchoredEdgeValues, DecayClock
+
+
+class NodeRole(enum.Enum):
+    """Disjoint node types of Section IV-B."""
+
+    CORE = "core"
+    P_CORE = "p-core"
+    PERIPHERY = "periphery"
+
+
+class ActiveSimilarity:
+    """σ, active neighbor sets and roles over an :class:`Activeness`.
+
+    Parameters
+    ----------
+    graph:
+        The relation network.
+    activeness:
+        Incrementally maintained activeness; σ reads its anchored store.
+    eps:
+        Active-neighbor threshold ε.
+    mu:
+        Core threshold μ.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        activeness: Activeness,
+        *,
+        eps: float = 0.3,
+        mu: int = 3,
+    ) -> None:
+        if not 0.0 <= eps <= 1.0:
+            raise ValueError(f"eps must be in [0, 1], got {eps}")
+        if mu < 1:
+            raise ValueError(f"mu must be >= 1, got {mu}")
+        self.graph = graph
+        self.activeness = activeness
+        self.eps = eps
+        self.mu = mu
+        # strength[v] = Σ_{x ∈ N(v)} a*_t(v, x), maintained incrementally.
+        self._strength: List[float] = [0.0] * graph.n
+        self._rebuild_strengths()
+
+    # ------------------------------------------------------------------
+    def _rebuild_strengths(self) -> None:
+        store = self.activeness.store
+        self._strength = [0.0] * self.graph.n
+        for (u, v), value in store.items_anchored():
+            self._strength[u] += value
+            self._strength[v] += value
+
+    def on_activation_delta(self, u: int, v: int, anchored_delta: float) -> None:
+        """Account an anchored activeness increase of edge ``{u, v}``.
+
+        Must be called whenever ``activeness`` absorbs an activation so the
+        cached node strengths stay exact.
+        """
+        self._strength[u] += anchored_delta
+        self._strength[v] += anchored_delta
+
+    def on_rescale(self, g: float) -> None:
+        """Absorb a batched rescale (strengths are PosM sums)."""
+        self._strength = [s * g for s in self._strength]
+
+    def strength(self, v: int) -> float:
+        """Anchored strength ``Σ_{x∈N(v)} a*_t(v, x)``."""
+        return self._strength[v]
+
+    # ------------------------------------------------------------------
+    def sigma(self, u: int, v: int) -> float:
+        """Active similarity σ(u, v) for an existing edge or node pair.
+
+        Returns 0.0 when both endpoints have zero strength (no activated
+        incident edges at all).
+        """
+        store = self.activeness.store
+        denom = self._strength[u] + self._strength[v]
+        if denom <= 0.0:
+            return 0.0
+        num = 0.0
+        for x in self.graph.common_neighbors(u, v):
+            num += store.anchored(u, x) + store.anchored(v, x)
+        return num / denom
+
+    def active_neighbors(self, v: int) -> List[int]:
+        """``N_ε(v) = {u ∈ N(v) | σ(u, v) ≥ ε}``."""
+        return [u for u in self.graph.neighbors(v) if self.sigma(u, v) >= self.eps]
+
+    def active_neighbor_count(self, v: int) -> int:
+        """``|N_ε(v)|`` without materializing the list."""
+        count = 0
+        for u in self.graph.neighbors(v):
+            if self.sigma(u, v) >= self.eps:
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def role(self, v: int) -> NodeRole:
+        """Role of ``v``: core, p-core, or periphery.
+
+        Periphery is decided from the degree alone (cheap); the active
+        neighbor count is only scanned for nodes with ``deg ≥ μ``, and the
+        scan exits early once μ active neighbors are found.
+        """
+        if self.graph.degree(v) < self.mu:
+            return NodeRole.PERIPHERY
+        count = 0
+        for u in self.graph.neighbors(v):
+            if self.sigma(u, v) >= self.eps:
+                count += 1
+                if count >= self.mu:
+                    return NodeRole.CORE
+        return NodeRole.P_CORE
+
+    def roles(self) -> List[NodeRole]:
+        """Roles for all nodes (used by tests and diagnostics)."""
+        return [self.role(v) for v in self.graph.nodes()]
+
+    def role_counts(self) -> Dict[NodeRole, int]:
+        """Histogram of roles over ``V``."""
+        counts = {role: 0 for role in NodeRole}
+        for v in self.graph.nodes():
+            counts[self.role(v)] += 1
+        return counts
+
+
+def naive_sigma(graph: Graph, activeness_actual: Dict[Edge, float], u: int, v: int) -> float:
+    """Reference σ computed from a plain dict of *actual* activeness values.
+
+    Used by tests to check both the incremental strengths and the NeuM
+    property (computing from actual values must agree with anchored ones).
+    """
+    num = 0.0
+    for x in graph.common_neighbors(u, v):
+        num += activeness_actual.get(edge_key(u, x), 0.0)
+        num += activeness_actual.get(edge_key(v, x), 0.0)
+    denom = 0.0
+    for x in graph.neighbors(u):
+        denom += activeness_actual.get(edge_key(u, x), 0.0)
+    for x in graph.neighbors(v):
+        denom += activeness_actual.get(edge_key(v, x), 0.0)
+    if denom <= 0.0:
+        return 0.0
+    return num / denom

@@ -1,0 +1,171 @@
+"""Alternative temporal-weight models from the related work (Section II).
+
+The paper positions the time-decay scheme against the two other ways the
+literature models temporal edge relevance:
+
+* **sliding window** — only activations within the last ``W`` time units
+  count (each either uniformly, or not at all);
+* **interval edges** — each edge is explicitly active during given
+  ``[start, end]`` intervals.
+
+Both are implemented here so the comparison the paper argues from can be
+run: time-decay yields smooth, maintainable activeness (O(1) per
+activation with the global decay factor), while the window model forgets
+abruptly at the window edge and the interval model needs ground-truth
+interval annotations.  ``benchmarks/bench_temporal_models.py`` and the
+examples use these as drop-in weight providers for snapshot clustering.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..graph.graph import Edge, Graph, edge_key
+from .activation import Activation
+
+
+class SlidingWindowActiveness:
+    """Activeness = number of activations within the trailing window.
+
+    Maintains, per edge, a deque of in-window activation timestamps.
+    Appending is O(1); expiry is amortized O(1) per activation (each
+    timestamp enters and leaves its deque exactly once).  Unlike the
+    time-decay scheme, *reading* a value at a later time requires expiry
+    work — the maintenance burden the paper's global decay factor avoids.
+    """
+
+    def __init__(self, graph: Graph, window: float) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.graph = graph
+        self.window = window
+        self._events: Dict[Edge, Deque[float]] = {e: deque() for e in graph.edges()}
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Latest time observed."""
+        return self._now
+
+    def on_activation(self, u: int, v: int, t: float) -> int:
+        """Record an activation; returns the edge's in-window count."""
+        if t < self._now:
+            raise ValueError(f"time cannot go backwards: {t} < {self._now}")
+        self._now = t
+        key = edge_key(u, v)
+        try:
+            events = self._events[key]
+        except KeyError:
+            raise ValueError(f"activation on non-edge {key}") from None
+        events.append(t)
+        self._expire(events, t)
+        return len(events)
+
+    def advance(self, t: float) -> None:
+        """Move time forward without an activation (windows still expire)."""
+        if t < self._now:
+            raise ValueError(f"time cannot go backwards: {t} < {self._now}")
+        self._now = t
+
+    def _expire(self, events: Deque[float], t: float) -> None:
+        cutoff = t - self.window
+        while events and events[0] <= cutoff:
+            events.popleft()
+
+    def value(self, u: int, v: int) -> int:
+        """In-window activation count of the edge at the current time."""
+        events = self._events[edge_key(u, v)]
+        self._expire(events, self._now)
+        return len(events)
+
+    def snapshot_weights(self, *, smoothing: float = 0.01) -> Dict[Edge, float]:
+        """All edges' window counts as clustering weights.
+
+        ``smoothing`` keeps never-active edges at a small positive weight
+        so distance-based methods stay well-defined (mirrors the decay
+        model's initial activeness of 1).
+        """
+        return {
+            e: max(float(self.value(*e)), smoothing) for e in self.graph.edges()
+        }
+
+    def total_expiry_scan_cost(self) -> int:
+        """Edges whose deque must be checked to read a full snapshot —
+        the per-read maintenance the paper's scheme does not pay."""
+        return len(self._events)
+
+
+class IntervalEdgeModel:
+    """Edges active during explicit [start, end] intervals.
+
+    The model of temporal-network analyses that annotate each edge with
+    validity intervals.  ``active_at(t)`` selects the live edge set, and
+    ``snapshot_weights`` maps liveness to weights for snapshot
+    clustering.  Intervals may overlap; membership is their union.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._intervals: Dict[Edge, List[Tuple[float, float]]] = {
+            e: [] for e in graph.edges()
+        }
+
+    def add_interval(self, u: int, v: int, start: float, end: float) -> None:
+        """Declare the edge active during [start, end]."""
+        if end < start:
+            raise ValueError(f"interval end {end} before start {start}")
+        key = edge_key(u, v)
+        if key not in self._intervals:
+            raise ValueError(f"({u}, {v}) is not a relation edge")
+        self._intervals[key].append((start, end))
+
+    def intervals_of(self, u: int, v: int) -> List[Tuple[float, float]]:
+        """All intervals declared for the edge (unsorted, as given)."""
+        return list(self._intervals[edge_key(u, v)])
+
+    def is_active(self, u: int, v: int, t: float) -> bool:
+        """Whether the edge is live at time ``t``."""
+        return any(s <= t <= e for s, e in self._intervals[edge_key(u, v)])
+
+    def active_at(self, t: float) -> List[Edge]:
+        """All edges live at time ``t``."""
+        return [e for e in self.graph.edges() if self.is_active(*e, t)]
+
+    def snapshot_weights(self, t: float, *, smoothing: float = 0.01) -> Dict[Edge, float]:
+        """Liveness indicator weights at time ``t`` (1 live / smoothing not)."""
+        return {
+            e: 1.0 if self.is_active(*e, t) else smoothing
+            for e in self.graph.edges()
+        }
+
+    @staticmethod
+    def from_activations(
+        graph: Graph,
+        activations: Iterable[Activation],
+        *,
+        session_gap: float,
+    ) -> "IntervalEdgeModel":
+        """Infer intervals from an activation stream by sessionization.
+
+        Consecutive activations of an edge closer than ``session_gap``
+        extend one interval; a larger gap starts a new one.  This is the
+        standard construction used to compare interval models against
+        stream models on the same data.
+        """
+        if session_gap <= 0:
+            raise ValueError(f"session_gap must be positive, got {session_gap}")
+        model = IntervalEdgeModel(graph)
+        open_intervals: Dict[Edge, Tuple[float, float]] = {}
+        for act in activations:
+            key = act.edge
+            if key in open_intervals:
+                start, end = open_intervals[key]
+                if act.t - end <= session_gap:
+                    open_intervals[key] = (start, act.t)
+                    continue
+                model.add_interval(*key, start, end)
+            open_intervals[key] = (act.t, act.t)
+        for key, (start, end) in open_intervals.items():
+            model.add_interval(*key, start, end)
+        return model

@@ -1,0 +1,38 @@
+"""Clustering quality metrics: ground-truth (NMI/Purity/F1) and structural
+(modularity/conductance), plus contingency plumbing."""
+
+from .contingency import (
+    clusters_to_labeling,
+    filter_noise,
+    labeling_to_clusters,
+    restrict_to_common,
+)
+from .partition_metrics import (
+    adjusted_rand_index,
+    f1_score,
+    nmi,
+    purity,
+    score_clustering,
+)
+from .structural import (
+    average_conductance,
+    cluster_conductance,
+    modularity,
+    structural_scores,
+)
+
+__all__ = [
+    "clusters_to_labeling",
+    "filter_noise",
+    "labeling_to_clusters",
+    "restrict_to_common",
+    "adjusted_rand_index",
+    "f1_score",
+    "nmi",
+    "purity",
+    "score_clustering",
+    "average_conductance",
+    "cluster_conductance",
+    "modularity",
+    "structural_scores",
+]

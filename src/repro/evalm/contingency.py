@@ -1,0 +1,82 @@
+"""Contingency-table plumbing shared by the partition-quality metrics.
+
+A *clustering* here is a list of clusters (each a list of node ids); a
+*labeling* is a mapping node → label.  The metrics of Section VI-A compare
+a predicted clustering against ground truth over the nodes both sides
+cover, after the paper's noise rule (clusters of fewer than 3 nodes are
+dropped) has been applied by the caller.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+Clustering = Sequence[Sequence[int]]
+Labeling = Mapping[int, Hashable]
+
+
+def clusters_to_labeling(clusters: Clustering) -> Dict[int, int]:
+    """Turn a list of clusters into ``{node: cluster_index}``.
+
+    Raises if a node appears in more than one cluster — every metric here
+    assumes a partition.
+    """
+    labeling: Dict[int, int] = {}
+    for idx, cluster in enumerate(clusters):
+        for v in cluster:
+            if v in labeling:
+                raise ValueError(f"node {v} appears in clusters {labeling[v]} and {idx}")
+            labeling[v] = idx
+    return labeling
+
+
+def labeling_to_clusters(labeling: Labeling) -> List[List[int]]:
+    """Group a labeling into sorted clusters ordered by min node."""
+    groups: Dict[Hashable, List[int]] = {}
+    for v, lab in labeling.items():
+        groups.setdefault(lab, []).append(v)
+    clusters = [sorted(g) for g in groups.values()]
+    clusters.sort(key=lambda c: c[0])
+    return clusters
+
+
+def filter_noise(clusters: Clustering, min_size: int = 3) -> List[List[int]]:
+    """Drop clusters smaller than ``min_size`` (the paper's noise rule)."""
+    return [list(c) for c in clusters if len(c) >= min_size]
+
+
+def restrict_to_common(
+    predicted: Labeling, truth: Labeling
+) -> Tuple[Dict[int, Hashable], Dict[int, Hashable]]:
+    """Restrict both labelings to the nodes they share.
+
+    After noise removal the predicted labeling may not cover every node;
+    metrics are computed on the covered intersection, which is how the
+    paper's "removed" clusters behave.
+    """
+    common = set(predicted) & set(truth)
+    return (
+        {v: predicted[v] for v in common},
+        {v: truth[v] for v in common},
+    )
+
+
+def contingency(
+    predicted: Labeling, truth: Labeling
+) -> Tuple[Counter, Counter, Counter, int]:
+    """Joint and marginal counts over the common nodes.
+
+    Returns ``(joint, pred_sizes, truth_sizes, n)`` where ``joint`` counts
+    ``(pred_label, truth_label)`` pairs.
+    """
+    pred, tru = restrict_to_common(predicted, truth)
+    joint: Counter = Counter()
+    pred_sizes: Counter = Counter()
+    truth_sizes: Counter = Counter()
+    for v, p in pred.items():
+        t = tru[v]
+        joint[(p, t)] += 1
+        pred_sizes[p] += 1
+        truth_sizes[t] += 1
+    return joint, pred_sizes, truth_sizes, len(pred)

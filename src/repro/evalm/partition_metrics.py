@@ -1,0 +1,169 @@
+"""Ground-truth clustering quality metrics (Section VI-A).
+
+The paper evaluates against ground truth with three widely used measures:
+
+* **NMI** — normalized mutual information with the Strehl–Ghosh
+  normalization ``I(X;Y) / √(H(X)·H(Y))`` [34];
+* **Purity** — each predicted cluster votes for its majority truth label;
+* **F1-Measure** — average best-match F1, symmetrized over the two
+  directions (the Yang–Leskovec convention for community F1).
+
+All metrics operate on labelings restricted to the nodes both sides
+cover, so the paper's noise rule (drop predicted clusters of size < 3)
+composes naturally: filter first, then score.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Mapping, Sequence
+
+from .contingency import (
+    Clustering,
+    Labeling,
+    clusters_to_labeling,
+    contingency,
+    restrict_to_common,
+)
+
+
+def nmi(predicted: Labeling, truth: Labeling) -> float:
+    """Normalized mutual information, ``I / √(H_p · H_t)``.
+
+    Returns 0.0 when either side is constant (zero entropy) and the other
+    is not; 1.0 when both are constant (identical trivial partitions) or
+    the partitions match exactly.
+    """
+    joint, pred_sizes, truth_sizes, n = contingency(predicted, truth)
+    if n == 0:
+        return 0.0
+    h_pred = _entropy(pred_sizes.values(), n)
+    h_truth = _entropy(truth_sizes.values(), n)
+    if h_pred == 0.0 and h_truth == 0.0:
+        return 1.0
+    if h_pred == 0.0 or h_truth == 0.0:
+        return 0.0
+    mutual = 0.0
+    for (p, t), count in joint.items():
+        p_joint = count / n
+        mutual += p_joint * math.log(p_joint * n * n / (pred_sizes[p] * truth_sizes[t]))
+    return max(0.0, mutual / math.sqrt(h_pred * h_truth))
+
+
+def _entropy(counts, n: int) -> float:
+    h = 0.0
+    for c in counts:
+        if c > 0:
+            p = c / n
+            h -= p * math.log(p)
+    return h
+
+
+def purity(predicted: Labeling, truth: Labeling) -> float:
+    """Fraction of nodes matching their predicted cluster's majority label."""
+    joint, pred_sizes, _, n = contingency(predicted, truth)
+    if n == 0:
+        return 0.0
+    best: Dict[Hashable, int] = {}
+    for (p, _t), count in joint.items():
+        if count > best.get(p, 0):
+            best[p] = count
+    return sum(best.values()) / n
+
+
+def f1_score(predicted: Labeling, truth: Labeling) -> float:
+    """Average best-match F1, symmetrized over both directions.
+
+    For each truth cluster take the best F1 against any predicted cluster
+    (size-weighted average), and vice versa; return the mean of the two
+    directions.
+    """
+    pred, tru = restrict_to_common(predicted, truth)
+    if not pred:
+        return 0.0
+    pred_clusters = _group(pred)
+    truth_clusters = _group(tru)
+    return 0.5 * (
+        _avg_best_f1(truth_clusters, pred_clusters)
+        + _avg_best_f1(pred_clusters, truth_clusters)
+    )
+
+
+def _group(labeling: Mapping[int, Hashable]) -> List[frozenset]:
+    groups: Dict[Hashable, set] = {}
+    for v, lab in labeling.items():
+        groups.setdefault(lab, set()).add(v)
+    return [frozenset(g) for g in groups.values()]
+
+
+def _avg_best_f1(reference: List[frozenset], candidates: List[frozenset]) -> float:
+    """Size-weighted average, over reference sets, of the best-match F1."""
+    if not reference or not candidates:
+        return 0.0
+    # Index candidates by member for sparse overlap computation.
+    member_of: Dict[int, List[int]] = {}
+    for idx, cand in enumerate(candidates):
+        for v in cand:
+            member_of.setdefault(v, []).append(idx)
+    total_nodes = sum(len(r) for r in reference)
+    weighted = 0.0
+    for ref in reference:
+        overlaps: Dict[int, int] = {}
+        for v in ref:
+            for idx in member_of.get(v, ()):
+                overlaps[idx] = overlaps.get(idx, 0) + 1
+        best = 0.0
+        for idx, inter in overlaps.items():
+            prec = inter / len(candidates[idx])
+            rec = inter / len(ref)
+            best = max(best, 2 * prec * rec / (prec + rec))
+        weighted += best * len(ref)
+    return weighted / total_nodes
+
+
+def adjusted_rand_index(predicted: Labeling, truth: Labeling) -> float:
+    """Adjusted Rand Index over the common nodes.
+
+    ``(RI - E[RI]) / (max RI - E[RI])``: 1.0 for identical partitions,
+    ~0.0 for independent ones, can be negative for worse-than-chance
+    agreement.  A standard companion to NMI that, unlike NMI, is not
+    biased toward many small clusters.
+    """
+    joint, pred_sizes, truth_sizes, n = contingency(predicted, truth)
+    if n < 2:
+        return 1.0 if n == 1 else 0.0
+
+    def comb2(x: int) -> float:
+        return x * (x - 1) / 2.0
+
+    sum_joint = sum(comb2(c) for c in joint.values())
+    sum_pred = sum(comb2(c) for c in pred_sizes.values())
+    sum_truth = sum(comb2(c) for c in truth_sizes.values())
+    total = comb2(n)
+    expected = sum_pred * sum_truth / total
+    max_index = 0.5 * (sum_pred + sum_truth)
+    if max_index == expected:
+        return 1.0 if sum_joint == expected else 0.0
+    return (sum_joint - expected) / (max_index - expected)
+
+
+def score_clustering(
+    clusters: Clustering,
+    truth: Labeling,
+    *,
+    min_size: int = 3,
+) -> Dict[str, float]:
+    """NMI / Purity / F1 for a clustering after the paper's noise rule.
+
+    ``min_size`` filters small predicted clusters before scoring
+    (the paper removes clusters under 3 nodes).
+    """
+    kept = [c for c in clusters if len(c) >= min_size]
+    predicted = clusters_to_labeling(kept)
+    return {
+        "nmi": nmi(predicted, truth),
+        "purity": purity(predicted, truth),
+        "f1": f1_score(predicted, truth),
+        "ari": adjusted_rand_index(predicted, truth),
+        "clusters": float(len(kept)),
+    }

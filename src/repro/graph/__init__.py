@@ -1,0 +1,26 @@
+"""Graph substrate: adjacency structure, traversal, generators, I/O."""
+
+from .graph import Edge, Graph, GraphBuilder, edge_key
+from .traversal import (
+    INF,
+    bfs_order,
+    connected_components,
+    dijkstra,
+    edge_weight_map,
+    multi_source_dijkstra,
+    shortest_path,
+)
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "GraphBuilder",
+    "edge_key",
+    "INF",
+    "bfs_order",
+    "connected_components",
+    "dijkstra",
+    "edge_weight_map",
+    "multi_source_dijkstra",
+    "shortest_path",
+]

@@ -1,0 +1,244 @@
+"""Undirected graph substrate for activation networks.
+
+The paper's relation network is an undirected, unweighted graph
+``G(V, E)``.  This module provides :class:`Graph`, the adjacency structure
+every other subsystem builds on.  Node identifiers are dense integers
+``0..n-1`` so that index structures can use flat arrays; :class:`GraphBuilder`
+relabels arbitrary hashable node names onto that dense range.
+
+Edges are stored once in a canonical orientation ``(u, v)`` with ``u < v``
+and exposed through :func:`edge_key`.  Per-edge payloads (activeness,
+similarity) are kept in separate edge-keyed mappings owned by the modules
+that maintain them; :class:`Graph` itself is deliberately payload-free so a
+single graph instance can back many concurrent indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+def edge_key(u: int, v: int) -> Edge:
+    """Return the canonical (sorted) key for the undirected edge ``{u, v}``."""
+    if u == v:
+        raise ValueError(f"self-loops are not allowed: ({u}, {v})")
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """An undirected, simple graph over dense integer nodes ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.  Nodes are implicitly ``range(n)``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Duplicates and reversed duplicates
+        collapse to a single undirected edge; self-loops raise.
+
+    Notes
+    -----
+    The adjacency is a list of sorted lists, giving deterministic iteration
+    order (required for reproducible Dijkstra tie-breaking) and cache-friendly
+    scans.  Mutation after construction is limited to :meth:`add_edge`,
+    which keeps neighbor lists sorted.
+    """
+
+    __slots__ = ("_n", "_adj", "_edges", "_edge_set")
+
+    def __init__(self, n: int, edges: Iterable[Edge] = ()) -> None:
+        if n < 0:
+            raise ValueError(f"node count must be non-negative, got {n}")
+        self._n = n
+        self._adj: List[List[int]] = [[] for _ in range(n)]
+        self._edges: List[Edge] = []
+        self._edge_set: Set[Edge] = set()
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert the undirected edge ``{u, v}``.
+
+        Returns ``True`` if the edge was new, ``False`` if it already
+        existed (the graph is simple; duplicates are ignored).
+        """
+        key = edge_key(u, v)
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise ValueError(f"edge ({u}, {v}) out of range for n={self._n}")
+        if key in self._edge_set:
+            return False
+        self._edge_set.add(key)
+        self._edges.append(key)
+        self._insort(self._adj[u], v)
+        self._insort(self._adj[v], u)
+        return True
+
+    @staticmethod
+    def _insort(lst: List[int], x: int) -> None:
+        # bisect.insort without the import cost in the hot path; neighbor
+        # lists are short for the graphs we target.
+        lo, hi = 0, len(lst)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if lst[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        lst.insert(lo, x)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of (undirected) edges."""
+        return len(self._edges)
+
+    def nodes(self) -> range:
+        """All node ids as a range."""
+        return range(self._n)
+
+    def edges(self) -> Sequence[Edge]:
+        """All edges in canonical ``(min, max)`` orientation, insertion order."""
+        return self._edges
+
+    def neighbors(self, v: int) -> Sequence[int]:
+        """Sorted neighbor list ``N(v)``."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """``deg(v) = |N(v)|``."""
+        return len(self._adj[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        if u == v:
+            return False
+        return edge_key(u, v) in self._edge_set
+
+    def has_node(self, v: int) -> bool:
+        """Whether ``v`` is a valid node id."""
+        return 0 <= v < self._n
+
+    def common_neighbors(self, u: int, v: int) -> List[int]:
+        """Sorted intersection ``N(u) ∩ N(v)`` via a linear merge."""
+        a, b = self._adj[u], self._adj[v]
+        if len(a) > len(b):
+            a, b = b, a
+        if len(b) > 8 * len(a):
+            # Highly skewed degrees: binary-search the long side.
+            out = []
+            for x in a:
+                lo, hi = 0, len(b)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if b[mid] < x:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                if lo < len(b) and b[lo] == x:
+                    out.append(x)
+            return out
+        out = []
+        i = j = 0
+        la, lb = len(a), len(b)
+        while i < la and j < lb:
+            x, y = a[i], b[j]
+            if x == y:
+                out.append(x)
+                i += 1
+                j += 1
+            elif x < y:
+                i += 1
+            else:
+                j += 1
+        return out
+
+    def exclusive_neighbors(self, u: int, v: int) -> List[int]:
+        """``N(u) \\ (N(v) ∪ {v})`` — u's neighbors exclusive of v's."""
+        other = set(self._adj[v])
+        other.add(v)
+        return [w for w in self._adj[u] if w not in other]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self._n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._edge_set == other._edge_set
+
+    def __hash__(self) -> int:  # Graphs are mutable; identity hash.
+        return id(self)
+
+    def copy(self) -> "Graph":
+        """Deep copy (fresh adjacency and edge containers)."""
+        g = Graph(self._n)
+        g._edges = list(self._edges)
+        g._edge_set = set(self._edge_set)
+        g._adj = [list(nbrs) for nbrs in self._adj]
+        return g
+
+    def subgraph(self, nodes: Iterable[int]) -> Tuple["Graph", Dict[int, int]]:
+        """Induced subgraph on ``nodes``.
+
+        Returns ``(subgraph, mapping)`` where ``mapping`` maps original node
+        ids to the subgraph's dense ids.
+        """
+        keep = sorted(set(nodes))
+        mapping = {orig: new for new, orig in enumerate(keep)}
+        sg = Graph(len(keep))
+        for orig in keep:
+            for nbr in self._adj[orig]:
+                if nbr > orig and nbr in mapping:
+                    sg.add_edge(mapping[orig], mapping[nbr])
+        return sg, mapping
+
+
+class GraphBuilder:
+    """Incrementally assemble a :class:`Graph` from arbitrary node names.
+
+    Node names may be any hashable value; they are assigned dense integer
+    ids in first-seen order.  Useful when reading edge lists whose node
+    labels are strings or sparse integers.
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[Hashable, int] = {}
+        self._names: List[Hashable] = []
+        self._edges: List[Edge] = []
+
+    def node_id(self, name: Hashable) -> int:
+        """Id for ``name``, assigning the next dense id on first sight."""
+        nid = self._ids.get(name)
+        if nid is None:
+            nid = len(self._names)
+            self._ids[name] = nid
+            self._names.append(name)
+        return nid
+
+    def add_edge(self, a: Hashable, b: Hashable) -> None:
+        """Record the undirected edge between names ``a`` and ``b``."""
+        u, v = self.node_id(a), self.node_id(b)
+        if u == v:
+            raise ValueError(f"self-loop on node {a!r}")
+        self._edges.append(edge_key(u, v))
+
+    @property
+    def names(self) -> List[Hashable]:
+        """Node names indexed by dense id."""
+        return self._names
+
+    def build(self) -> Tuple[Graph, List[Hashable]]:
+        """Materialize the graph.  Returns ``(graph, names)``."""
+        return Graph(len(self._names), self._edges), list(self._names)

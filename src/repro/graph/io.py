@@ -1,0 +1,126 @@
+"""Edge-list I/O.
+
+Supports the two file shapes the paper's datasets come in:
+
+* plain edge lists — ``u v`` per line (relation network only);
+* temporal edge lists — ``u v t`` per line (CollegeMsg-style), which split
+  into a relation network plus an activation stream.
+
+Node labels may be arbitrary strings; they are densified in first-seen
+order and the mapping is returned so results can be reported in the
+original labels.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Hashable, List, Tuple, Union
+
+from ..core.activation import Activation
+from .graph import Graph, GraphBuilder
+
+PathLike = Union[str, Path]
+
+
+def _open_lines(source: Union[PathLike, io.TextIOBase]):
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8")
+    return source
+
+
+def read_edge_list(source: Union[PathLike, io.TextIOBase]) -> Tuple[Graph, List[Hashable]]:
+    """Read ``u v`` lines into a graph.
+
+    Lines starting with ``#`` or ``%`` and blank lines are skipped.
+    Returns ``(graph, names)`` with ``names[i]`` the original label of
+    dense node ``i``.
+    """
+    builder = GraphBuilder()
+    fh = _open_lines(source)
+    try:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"line {lineno}: expected 'u v', got {line!r}")
+            if parts[0] == parts[1]:
+                continue  # drop self-loops silently, as SNAP loaders do
+            builder.add_edge(parts[0], parts[1])
+    finally:
+        if isinstance(source, (str, Path)):
+            fh.close()
+    return builder.build()
+
+
+def read_temporal_edge_list(
+    source: Union[PathLike, io.TextIOBase],
+) -> Tuple[Graph, List[Activation], List[Hashable]]:
+    """Read ``u v t`` lines into a relation graph plus activation stream.
+
+    Every distinct ``{u, v}`` pair becomes one relation edge; every line
+    becomes one activation of that edge at its timestamp.  Activations are
+    returned sorted by timestamp (stable on input order), as required by
+    the stream model of Section III.
+    """
+    builder = GraphBuilder()
+    raw: List[Tuple[int, int, float]] = []
+    fh = _open_lines(source)
+    try:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) < 3:
+                raise ValueError(f"line {lineno}: expected 'u v t', got {line!r}")
+            if parts[0] == parts[1]:
+                continue
+            u = builder.node_id(parts[0])
+            v = builder.node_id(parts[1])
+            t = float(parts[2])
+            if t < 0:
+                raise ValueError(f"line {lineno}: negative timestamp {t}")
+            raw.append((u, v, t))
+            builder.add_edge(parts[0], parts[1])
+    finally:
+        if isinstance(source, (str, Path)):
+            fh.close()
+    graph, names = builder.build()
+    raw.sort(key=lambda r: r[2])
+    stream = [Activation(min(u, v), max(u, v), t) for u, v, t in raw]
+    return graph, stream, names
+
+
+def write_edge_list(graph: Graph, target: Union[PathLike, io.TextIOBase]) -> None:
+    """Write the graph as canonical ``u v`` lines (dense integer ids)."""
+    fh = target if isinstance(target, io.TextIOBase) else open(target, "w", encoding="utf-8")
+    try:
+        fh.write(f"# n={graph.n} m={graph.m}\n")
+        for u, v in graph.edges():
+            fh.write(f"{u} {v}\n")
+    finally:
+        if isinstance(target, (str, Path)):
+            fh.close()
+
+
+def write_temporal_edge_list(
+    graph: Graph,
+    stream: List[Activation],
+    target: Union[PathLike, io.TextIOBase],
+) -> None:
+    """Write relation edges with no activations plus one line per activation."""
+    fh = target if isinstance(target, io.TextIOBase) else open(target, "w", encoding="utf-8")
+    try:
+        fh.write(f"# n={graph.n} m={graph.m} activations={len(stream)}\n")
+        activated = {(a.u, a.v) for a in stream}
+        for u, v in graph.edges():
+            if (u, v) not in activated:
+                fh.write(f"{u} {v} 0\n")
+        for act in stream:
+            fh.write(f"{act.u} {act.v} {act.t}\n")
+    finally:
+        if isinstance(target, (str, Path)):
+            fh.close()

@@ -1,0 +1,204 @@
+"""Graph traversal primitives: BFS, connected components, Dijkstra.
+
+These are the reference algorithms the index structures are validated
+against.  ``multi_source_dijkstra`` is the ground truth for a Voronoi
+partition (Section V-A of the paper): one Dijkstra run from a super-source
+attached to every seed yields, for each node, its closest seed, the
+distance to it, and the shortest-path-tree parent.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .graph import Edge, Graph, edge_key
+
+INF = float("inf")
+
+WeightFn = Callable[[int, int], float]
+
+
+def bfs_order(graph: Graph, source: int) -> List[int]:
+    """Nodes reachable from ``source`` in BFS order."""
+    seen = [False] * graph.n
+    seen[source] = True
+    order = [source]
+    head = 0
+    while head < len(order):
+        u = order[head]
+        head += 1
+        for v in graph.neighbors(u):
+            if not seen[v]:
+                seen[v] = True
+                order.append(v)
+    return order
+
+
+def connected_components(graph: Graph, nodes: Optional[Iterable[int]] = None) -> List[List[int]]:
+    """Connected components, each a sorted node list, ordered by min node.
+
+    If ``nodes`` is given, components are computed in the subgraph induced
+    by that node set (edges with both endpoints inside it).
+    """
+    if nodes is None:
+        allowed = None
+        candidates: Iterable[int] = graph.nodes()
+    else:
+        allowed = set(nodes)
+        candidates = sorted(allowed)
+    seen: set = set()
+    components: List[List[int]] = []
+    for start in candidates:
+        if start in seen:
+            continue
+        seen.add(start)
+        comp = [start]
+        head = 0
+        while head < len(comp):
+            u = comp[head]
+            head += 1
+            for v in graph.neighbors(u):
+                if v in seen:
+                    continue
+                if allowed is not None and v not in allowed:
+                    continue
+                seen.add(v)
+                comp.append(v)
+        comp.sort()
+        components.append(comp)
+    components.sort(key=lambda c: c[0])
+    return components
+
+
+def dijkstra(
+    graph: Graph,
+    source: int,
+    weight: WeightFn,
+) -> Tuple[List[float], List[int]]:
+    """Single-source Dijkstra.
+
+    Parameters
+    ----------
+    weight:
+        ``weight(u, v)`` must return the non-negative length of edge
+        ``{u, v}``; it is called with ``u < v`` not guaranteed, so symmetric
+        weight functions are required (use :func:`edge_weight_map` to wrap a
+        canonical-key dict).
+
+    Returns
+    -------
+    (dist, parent):
+        ``dist[v]`` is the shortest distance from ``source`` (``inf`` if
+        unreachable); ``parent[v]`` the predecessor on a shortest path
+        (``-1`` for the source and unreachable nodes).
+    """
+    n = graph.n
+    dist = [INF] * n
+    parent = [-1] * n
+    dist[source] = 0.0
+    pq: List[Tuple[float, int]] = [(0.0, source)]
+    while pq:
+        d, u = heapq.heappop(pq)
+        if d > dist[u]:
+            continue
+        for v in graph.neighbors(u):
+            nd = d + weight(u, v)
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(pq, (nd, v))
+    return dist, parent
+
+
+def multi_source_dijkstra(
+    graph: Graph,
+    sources: Sequence[int],
+    weight: WeightFn,
+) -> Tuple[List[float], List[int], List[int]]:
+    """Dijkstra from a super-source attached to every node in ``sources``.
+
+    This is the Voronoi-partition primitive of the paper (Section V-A):
+    grouping nodes by ``seed[v]`` yields the partition, and ``parent``
+    encodes the shortest-path forest rooted at the seeds.
+
+    Tie-breaking is deterministic: when two seeds are equidistant from a
+    node, the seed with the smaller id (and, transitively, the smaller
+    parent id) wins because the priority queue orders by
+    ``(distance, seed, node)``.
+
+    Returns
+    -------
+    (dist, seed, parent):
+        ``seed[v]`` is the closest source (``-1`` if unreachable),
+        ``parent[v]`` the predecessor toward that seed (``-1`` for the
+        seeds themselves and unreachable nodes).
+    """
+    n = graph.n
+    dist = [INF] * n
+    seed = [-1] * n
+    parent = [-1] * n
+    pq: List[Tuple[float, int, int]] = []
+    for s in sources:
+        dist[s] = 0.0
+        seed[s] = s
+        heapq.heappush(pq, (0.0, s, s))
+    while pq:
+        d, sd, u = heapq.heappop(pq)
+        if d > dist[u] or (d == dist[u] and sd > seed[u]):
+            continue
+        for v in graph.neighbors(u):
+            nd = d + weight(u, v)
+            if nd < dist[v] or (nd == dist[v] and sd < seed[v]):
+                dist[v] = nd
+                seed[v] = sd
+                parent[v] = u
+                heapq.heappush(pq, (nd, sd, v))
+    return dist, seed, parent
+
+
+def edge_weight_map(weights: Dict[Edge, float]) -> WeightFn:
+    """Wrap a canonical-edge-key dict as a symmetric weight function."""
+
+    def weight(u: int, v: int) -> float:
+        return weights[edge_key(u, v)]
+
+    return weight
+
+
+def shortest_path(
+    graph: Graph,
+    source: int,
+    target: int,
+    weight: WeightFn,
+) -> Tuple[float, List[int]]:
+    """Shortest distance and one shortest path from source to target.
+
+    Returns ``(inf, [])`` if ``target`` is unreachable.
+    """
+    dist, parent = dijkstra(graph, source, weight)
+    if dist[target] == INF:
+        return INF, []
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return dist[target], path
+
+
+def eccentricity_upper_bound(graph: Graph, source: int) -> int:
+    """Hop eccentricity of ``source`` in its component (BFS depth)."""
+    depth = [-1] * graph.n
+    depth[source] = 0
+    frontier = [source]
+    max_depth = 0
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if depth[v] < 0:
+                    depth[v] = depth[u] + 1
+                    max_depth = depth[v]
+                    nxt.append(v)
+        frontier = nxt
+    return max_depth

@@ -1,0 +1,122 @@
+"""Index persistence: save and load a pyramid index.
+
+A production deployment builds the index once (Lemma 7 cost) and then
+maintains it incrementally forever; losing it to a process restart would
+mean paying the build again.  This module serializes a
+:class:`PyramidIndex` — seeds, per-partition ``dist``/``seed``/``parent``
+arrays, the weight table and the construction parameters — to a compact
+JSON document, and restores it without re-running a single Dijkstra.
+
+The graph itself is *not* stored (the index is meaningless without the
+exact relation network anyway, and the paper's Fig 6 accounting also
+excludes it); the loader verifies the supplied graph matches the stored
+fingerprint (n, m, and an order-independent edge checksum).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..graph.graph import Graph
+from ..graph.traversal import INF
+from .pyramid import Pyramid, PyramidIndex
+from .voronoi import VoronoiPartition
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+def graph_fingerprint(graph: Graph) -> Dict[str, int]:
+    """Cheap, order-independent identity of the relation network."""
+    checksum = 0
+    for u, v in graph.edges():
+        checksum ^= zlib.crc32(f"{u},{v}".encode())
+    return {"n": graph.n, "m": graph.m, "edge_checksum": checksum}
+
+
+def _encode_dist(dist: List[float]) -> List[object]:
+    return [None if d == INF else d for d in dist]
+
+
+def _decode_dist(raw: List[object]) -> List[float]:
+    return [INF if d is None else float(d) for d in raw]
+
+
+def save_index(index: PyramidIndex, path: PathLike) -> None:
+    """Write the index to ``path`` as JSON."""
+    doc = {
+        "format": FORMAT_VERSION,
+        "graph": graph_fingerprint(index.graph),
+        "k": index.k,
+        "support": index.support,
+        "weights": [[u, v, w] for (u, v), w in index._weights.items()],
+        "pyramids": [
+            {
+                str(level): {
+                    "seeds": list(partition.seeds),
+                    "dist": _encode_dist(partition.dist),
+                    "seed": partition.seed,
+                    "parent": partition.parent,
+                }
+                for level, partition in pyramid.levels.items()
+            }
+            for pyramid in index.pyramids
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+
+
+def load_index(graph: Graph, path: PathLike) -> PyramidIndex:
+    """Restore an index previously written by :func:`save_index`.
+
+    ``graph`` must be the same relation network the index was built on
+    (verified by fingerprint).  No shortest-path computation is run; the
+    restored partitions are validated structurally instead.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported index format {doc.get('format')!r}")
+    if doc["graph"] != graph_fingerprint(graph):
+        raise ValueError(
+            "graph does not match the one the index was built on "
+            f"(stored {doc['graph']}, supplied {graph_fingerprint(graph)})"
+        )
+    weights = {(int(u), int(v)): float(w) for u, v, w in doc["weights"]}
+    index = PyramidIndex.__new__(PyramidIndex)
+    index.graph = graph
+    index.k = int(doc["k"])
+    index.support = float(doc["support"])
+    index._weights = weights
+    index._weight_fn = index._make_weight_fn()
+    index.total_touched = 0
+    index.update_count = 0
+    index.affected_since_drain = set()
+    index.pyramids = []
+    for pyramid_doc in doc["pyramids"]:
+        pyramid = Pyramid.__new__(Pyramid)
+        pyramid.graph = graph
+        pyramid.levels = {}
+        for level_str, part_doc in pyramid_doc.items():
+            partition = VoronoiPartition.__new__(VoronoiPartition)
+            partition.graph = graph
+            partition.weight = index._weight_fn
+            partition.seeds = tuple(part_doc["seeds"])
+            partition.dist = _decode_dist(part_doc["dist"])
+            partition.seed = [int(s) for s in part_doc["seed"]]
+            partition.parent = [int(p) for p in part_doc["parent"]]
+            partition.last_touched = 0
+            partition.last_affected = set()
+            partition._children = [set() for _ in range(graph.n)]
+            for v, p in enumerate(partition.parent):
+                if p >= 0:
+                    partition._children[p].add(v)
+            pyramid.levels[int(level_str)] = partition
+        index.pyramids.append(pyramid)
+    index.check_consistency()
+    return index

@@ -1,0 +1,105 @@
+"""Voting over pyramids (Section V-B) and the maintained vote table.
+
+The basic voting function ``H_l(u, v)`` lives on
+:meth:`repro.index.pyramid.PyramidIndex.same_cluster_vote`.  This module
+adds:
+
+* :func:`voted_edges` — materialize, for one granularity level, the edges
+  of ``G`` that survive the vote (the input to even/power clustering);
+* :class:`VoteTable` — the "Remarks" extension of Section V-C: a per-level,
+  per-edge vote count maintained in real time, so that changes around
+  user-specified nodes can be reported at a cost equal to the reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..graph.graph import Edge, Graph, edge_key
+from .pyramid import PyramidIndex
+
+
+def voted_edges(index: PyramidIndex, level: int) -> List[Edge]:
+    """Edges of ``G`` whose voting result ``H_l`` is 1 at ``level``."""
+    return [
+        (u, v)
+        for u, v in index.graph.edges()
+        if index.same_cluster_vote(u, v, level)
+    ]
+
+
+def voted_adjacency(index: PyramidIndex, level: int) -> List[List[int]]:
+    """Adjacency lists of the voted subgraph at ``level``."""
+    adj: List[List[int]] = [[] for _ in range(index.graph.n)]
+    for u, v in voted_edges(index, level):
+        adj[u].append(v)
+        adj[v].append(u)
+    return adj
+
+
+class VoteTable:
+    """Real-time per-edge vote counts for every granularity level.
+
+    After every index update, :meth:`refresh_around` recounts only the
+    edges incident to the touched nodes — the "local feature of the
+    update" the paper's Remarks exploit.  :meth:`changed_edges` drains the
+    set of edges whose vote flipped since last drained, which is exactly
+    what a user-facing change feed would report.
+    """
+
+    def __init__(self, index: PyramidIndex) -> None:
+        self.index = index
+        self.threshold = index.support * index.k
+        # counts[level][edge] = number of agreeing pyramids
+        self.counts: Dict[int, Dict[Edge, int]] = {}
+        self._changed: Dict[int, Set[Edge]] = {}
+        for level in range(1, index.num_levels + 1):
+            table: Dict[Edge, int] = {}
+            for u, v in index.graph.edges():
+                table[(u, v)] = index.vote_count(u, v, level)
+            self.counts[level] = table
+            self._changed[level] = set()
+
+    def vote(self, u: int, v: int, level: int) -> bool:
+        """``H_l(u, v)`` from the maintained table (edges of ``G`` only).
+
+        Edges inserted after construction count as 0 until the first
+        :meth:`refresh_around` that covers them.
+        """
+        return self.counts[level].get(edge_key(u, v), 0) >= self.threshold
+
+    def refresh_around(self, nodes: Iterable[int], level: Optional[int] = None) -> int:
+        """Recount votes for all edges incident to ``nodes``.
+
+        Returns the number of edges whose vote result flipped.  When
+        ``level`` is None all levels refresh.
+        """
+        node_set = set(nodes)
+        levels = range(1, self.index.num_levels + 1) if level is None else (level,)
+        graph = self.index.graph
+        flips = 0
+        edges_to_check: Set[Edge] = set()
+        for x in node_set:
+            for y in graph.neighbors(x):
+                edges_to_check.add(edge_key(x, y))
+        for lvl in levels:
+            table = self.counts[lvl]
+            for key in edges_to_check:
+                # Edges inserted after construction (index growth) enter
+                # the table here with an implicit prior count of 0.
+                old = table.get(key, 0)
+                new = self.index.vote_count(key[0], key[1], lvl)
+                if new != old or key not in table:
+                    table[key] = new
+                    was = old >= self.threshold
+                    now = new >= self.threshold
+                    if was != now:
+                        self._changed[lvl].add(key)
+                        flips += 1
+        return flips
+
+    def changed_edges(self, level: int) -> List[Edge]:
+        """Drain and return the edges whose vote flipped at ``level``."""
+        out = sorted(self._changed[level])
+        self._changed[level].clear()
+        return out

@@ -1,0 +1,38 @@
+"""Workload generation: dataset stand-ins, activation streams, case study."""
+
+from .case_study import CaseStudy, build_case_study
+from .datasets import (
+    ACTIVATION_SETS,
+    GROUND_TRUTH_SETS,
+    SPECS,
+    Dataset,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+    table1_rows,
+)
+from .streams import (
+    QueryEvent,
+    community_biased_stream,
+    day_trace,
+    mixed_workload,
+    uniform_stream,
+)
+
+__all__ = [
+    "CaseStudy",
+    "build_case_study",
+    "ACTIVATION_SETS",
+    "GROUND_TRUTH_SETS",
+    "SPECS",
+    "Dataset",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "table1_rows",
+    "QueryEvent",
+    "community_biased_stream",
+    "day_trace",
+    "mixed_workload",
+    "uniform_stream",
+]

@@ -1,0 +1,175 @@
+"""The Section VI-C case study: a 29-node collaboration subgraph of DB2.
+
+The paper monitors author ``v8`` and five neighbors — ``v0, v5, v7, v11,
+v26`` — over 30 yearly time steps with 735 activations in total, and
+checks that cluster membership at granularity levels l2 and l3 tracks the
+collaboration history:
+
+* ``t5–t11``  — v8 collaborates with v7 (same cluster as v7 at t10);
+* ``t11–t22`` — v8 collaborates with v11;
+* ``t11–t30`` — v8 collaborates with v0 (t11–t35 in the paper, clipped to
+  the 30-year window);
+* ``t17–t26`` — v8 collaborates with v5;
+* ``t23–t30`` — v8 collaborates with v26 (t23–t32 clipped).
+
+The other authors form four stable research groups that collaborate
+internally throughout (v0's group v0–v3, v5's group v4/v5/v6/v9, v7's
+group, v11's group, and v26's group), giving the surrounding cluster
+structure the paper's Figure 11 plots.
+
+:func:`build_case_study` reconstructs the whole scenario
+deterministically: the relation network, the yearly activation stream
+(exactly 735 activations), the node-role annotations, and the expected
+cluster relations at t10 / t20 / t30 used by tests and the
+``collaboration_case_study`` example.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..core.activation import Activation, ActivationStream
+from ..graph.graph import Graph
+
+#: The focal author and the tracked neighbors of Figure 11.
+FOCAL = 8
+TRACKED = (0, 5, 7, 11, 26)
+
+#: Research groups (cluster ground truth of the surrounding authors).
+GROUPS: Tuple[Tuple[int, ...], ...] = (
+    (0, 1, 2, 3),          # v0's group
+    (4, 5, 6, 9),          # v5's group
+    (7, 10, 12, 13),       # v7's group
+    (11, 14, 15, 16),      # v11's group
+    (26, 24, 25, 27, 28),  # v26's group
+    (17, 18, 19, 20),      # background group A
+    (21, 22, 23),          # background group B
+)
+
+#: v8's collaboration phases: neighbor -> (start year, end year) inclusive.
+PHASES: Dict[int, Tuple[int, int]] = {
+    7: (5, 11),
+    11: (11, 22),
+    0: (11, 30),
+    5: (17, 26),
+    26: (23, 30),
+}
+
+YEARS = 30
+TOTAL_ACTIVATIONS = 735
+
+
+@dataclass
+class CaseStudy:
+    """The assembled Figure 11 scenario."""
+
+    graph: Graph
+    stream: ActivationStream
+    groups: Tuple[Tuple[int, ...], ...]
+    phases: Dict[int, Tuple[int, int]]
+
+    #: (year, neighbor) -> True when v8 should share that neighbor's
+    #: cluster at a fine granularity by that year's end.
+    expectations: Dict[Tuple[int, int], bool] = field(default_factory=dict)
+
+
+#: Secondary co-author of v8 inside each tracked neighbor's group.  Real
+#: collaborations come with shared co-authors; without these edges v8
+#: would have no common neighbors with anyone and its active similarity
+#: would be identically zero (σ needs triangles).
+PARTNERS: Dict[int, int] = {0: 1, 5: 4, 7: 10, 11: 14, 26: 24}
+
+
+def _relation_graph() -> Graph:
+    """29 authors; groups are cliques; v8 bridges to the tracked five.
+
+    For each tracked neighbor, v8 also knows one of that neighbor's
+    group-mates (``PARTNERS``), so each v8 edge sits on a triangle and the
+    local reinforcement has structure to work with.
+    """
+    graph = Graph(29)
+    for group in GROUPS:
+        for i, u in enumerate(group):
+            for v in group[i + 1 :]:
+                graph.add_edge(u, v)
+    for neighbor in TRACKED:
+        graph.add_edge(FOCAL, neighbor)
+        graph.add_edge(FOCAL, PARTNERS[neighbor])
+    # A couple of weak cross-group links so the graph is connected and the
+    # clustering has something to separate.
+    graph.add_edge(3, 4)
+    graph.add_edge(13, 14)
+    graph.add_edge(19, 21)
+    graph.add_edge(9, 17)
+    graph.add_edge(16, 24)
+    return graph
+
+
+def build_case_study(seed: int = 42) -> CaseStudy:
+    """Deterministically build the graph, the 735-activation stream and
+    the per-decade expectations of Section VI-C."""
+    rng = random.Random(seed)
+    graph = _relation_graph()
+    # Per-year activations: v8 activates its in-phase edges; each group
+    # activates a rotating subset of its internal edges.
+    group_edges: List[List[Tuple[int, int]]] = []
+    for group in GROUPS:
+        edges = []
+        for i, u in enumerate(group):
+            for v in group[i + 1 :]:
+                edges.append((min(u, v), max(u, v)))
+        group_edges.append(edges)
+    yearly: List[List[Tuple[int, int]]] = []
+    for year in range(1, YEARS + 1):
+        batch: List[Tuple[int, int]] = []
+        for neighbor, (start, end) in PHASES.items():
+            if start <= year <= end:
+                e = (min(FOCAL, neighbor), max(FOCAL, neighbor))
+                batch.append(e)  # one collaboration per active year
+                # The shared co-author joins one paper per active year.
+                partner = PARTNERS[neighbor]
+                batch.append((min(FOCAL, partner), max(FOCAL, partner)))
+        # Background contact: v8 stays loosely in touch with every shared
+        # co-author (one interaction every other year).  Without it, a
+        # dormant edge's whole triangle decays to the similarity floor and
+        # the multiplicative reinforcement could never revive the
+        # collaboration when its phase starts.
+        if year % 2 == 0:
+            for partner in PARTNERS.values():
+                batch.append((min(FOCAL, partner), max(FOCAL, partner)))
+        for edges in group_edges:
+            take = max(2, len(edges) // 2)
+            batch.extend(rng.sample(edges, take))
+        yearly.append(sorted(batch))
+    # Trim or pad to exactly TOTAL_ACTIVATIONS, preserving year structure.
+    count = sum(len(b) for b in yearly)
+    year_idx = 0
+    while count > TOTAL_ACTIVATIONS:
+        if len(yearly[year_idx % YEARS]) > 3:
+            yearly[year_idx % YEARS].pop()
+            count -= 1
+        year_idx += 1
+    pool = [e for edges in group_edges for e in edges]
+    while count < TOTAL_ACTIVATIONS:
+        yearly[year_idx % YEARS].append(rng.choice(pool))
+        yearly[year_idx % YEARS].sort()
+        count += 1
+        year_idx += 1
+    stream = ActivationStream(graph)
+    for year, batch in enumerate(yearly, start=1):
+        for u, v in batch:
+            stream.append(Activation(u, v, float(year)))
+
+    expectations: Dict[Tuple[int, int], bool] = {}
+    for year in (10, 20, 30):
+        for neighbor, (start, end) in PHASES.items():
+            # v8 is expected in neighbor's cluster while the collaboration
+            # is live (and shortly after, before the activeness decays).
+            live = start <= year <= end + 2
+            expectations[(year, neighbor)] = live
+    return CaseStudy(
+        graph=graph, stream=stream, groups=GROUPS, phases=PHASES,
+        expectations=expectations,
+    )

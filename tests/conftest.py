@@ -1,0 +1,87 @@
+"""Shared fixtures: small canonical graphs and pre-built engines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.anc import ANCO, ANCParams
+from repro.graph.generators import (
+    barbell_graph,
+    caveman_relaxed,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    planted_partition,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def square_with_diagonal() -> Graph:
+    """4-cycle plus one diagonal."""
+    return Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+
+
+@pytest.fixture
+def barbell() -> Graph:
+    """Two K5s joined by a single edge — the canonical 2-cluster graph."""
+    return barbell_graph(5, bridge=1)
+
+
+@pytest.fixture
+def small_planted():
+    """60-node planted partition with 4 communities (graph, labels)."""
+    return planted_partition(60, 4, p_in=0.5, p_out=0.02, seed=11)
+
+
+@pytest.fixture
+def medium_planted():
+    """150-node planted partition with 6 communities (graph, labels)."""
+    return planted_partition(150, 6, p_in=0.4, p_out=0.01, seed=5)
+
+
+@pytest.fixture
+def grid_5x5() -> Graph:
+    return grid_graph(5, 5)
+
+
+@pytest.fixture
+def path10() -> Graph:
+    return path_graph(10)
+
+
+@pytest.fixture
+def paper_figure2_graph() -> Graph:
+    """A 13-node graph in the spirit of the paper's Figure 2 example."""
+    edges = [
+        (0, 1), (0, 2), (1, 2),          # v1,v2,v3 triangle
+        (0, 3), (3, 12),                 # v4 and v13 hang off v1
+        (3, 6), (6, 7),                  # v4-v7-v8 chain
+        (4, 5), (5, 8), (5, 9), (4, 8),  # v5,v6,v9,v10 blob
+        (5, 9), (8, 9),
+        (7, 10), (7, 11), (10, 11),      # v8,v11,v12 triangle
+        (2, 4), (9, 10),                 # cross links
+    ]
+    return Graph(13, edges)
+
+
+@pytest.fixture
+def quick_params() -> ANCParams:
+    """Cheap ANC parameters for unit tests."""
+    return ANCParams(rep=1, k=2, seed=0, rescale_every=64)
+
+
+@pytest.fixture
+def small_engine(small_planted, quick_params) -> ANCO:
+    graph, _ = small_planted
+    return ANCO(graph, quick_params)

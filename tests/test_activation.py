@@ -1,0 +1,116 @@
+"""Unit tests for the activation stream model (Section III)."""
+
+import pytest
+
+from repro.core.activation import Activation, ActivationStream, naive_activeness
+from repro.graph.graph import Graph
+
+
+class TestActivation:
+    def test_canonical_edge_required(self):
+        with pytest.raises(ValueError):
+            Activation(2, 1, 0.0)
+
+    def test_of_normalizes(self):
+        a = Activation.of(5, 2, 1.5)
+        assert (a.u, a.v) == (2, 5)
+        assert a.edge == (2, 5)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Activation(0, 1, -1.0)
+
+    def test_frozen(self):
+        a = Activation(0, 1, 1.0)
+        with pytest.raises(AttributeError):
+            a.t = 2.0  # type: ignore[misc]
+
+    def test_ordering_is_deterministic(self):
+        items = [Activation(1, 2, 5.0), Activation(0, 2, 9.0), Activation(0, 1, 7.0)]
+        assert sorted(items)[0] == Activation(0, 1, 7.0)
+
+
+class TestActivationStream:
+    @pytest.fixture
+    def graph(self):
+        return Graph(4, [(0, 1), (1, 2), (2, 3)])
+
+    def test_append_validates_edge_exists(self, graph):
+        stream = ActivationStream(graph)
+        with pytest.raises(ValueError):
+            stream.append(Activation(0, 3, 1.0))
+
+    def test_append_validates_time_order(self, graph):
+        stream = ActivationStream(graph)
+        stream.append(Activation(0, 1, 2.0))
+        with pytest.raises(ValueError):
+            stream.append(Activation(1, 2, 1.0))
+
+    def test_equal_timestamps_allowed(self, graph):
+        stream = ActivationStream(graph)
+        stream.append(Activation(0, 1, 1.0))
+        stream.append(Activation(1, 2, 1.0))
+        assert len(stream) == 2
+
+    def test_span(self, graph):
+        stream = ActivationStream(graph)
+        assert stream.span == (0.0, 0.0)
+        stream.extend([Activation(0, 1, 1.0), Activation(1, 2, 4.0)])
+        assert stream.span == (1.0, 4.0)
+
+    def test_until_binary_search(self, graph):
+        stream = ActivationStream(
+            graph,
+            [Activation(0, 1, 1.0), Activation(1, 2, 2.0), Activation(2, 3, 3.0)],
+        )
+        assert len(stream.until(0.5)) == 0
+        assert len(stream.until(2.0)) == 2
+        assert len(stream.until(99.0)) == 3
+
+    def test_batches_by_timestamp(self, graph):
+        stream = ActivationStream(
+            graph,
+            [
+                Activation(0, 1, 1.0),
+                Activation(1, 2, 1.0),
+                Activation(2, 3, 2.0),
+            ],
+        )
+        batches = list(stream.batches_by_timestamp())
+        assert [t for t, _ in batches] == [1.0, 2.0]
+        assert [len(b) for _, b in batches] == [2, 1]
+
+    def test_batches_of_size(self, graph):
+        stream = ActivationStream(
+            graph, [Activation(0, 1, float(i)) for i in range(5)]
+        )
+        batches = list(stream.batches_of_size(2))
+        assert [len(b) for b in batches] == [2, 2, 1]
+
+    def test_batches_of_size_validates(self, graph):
+        stream = ActivationStream(graph)
+        with pytest.raises(ValueError):
+            list(stream.batches_of_size(0))
+
+    def test_indexing_and_iteration(self, graph):
+        acts = [Activation(0, 1, 1.0), Activation(1, 2, 2.0)]
+        stream = ActivationStream(graph, acts)
+        assert stream[0] == acts[0]
+        assert list(stream) == acts
+
+
+class TestNaiveActiveness:
+    def test_no_activations_is_zero(self):
+        assert naive_activeness([], (0, 1), 5.0, 0.1) == 0.0
+
+    def test_instant_activation_counts_one(self):
+        acts = [Activation(0, 1, 3.0)]
+        assert naive_activeness(acts, (0, 1), 3.0, 0.1) == pytest.approx(1.0)
+
+    def test_future_activations_ignored(self):
+        acts = [Activation(0, 1, 5.0)]
+        assert naive_activeness(acts, (0, 1), 3.0, 0.1) == 0.0
+
+    def test_other_edges_ignored(self):
+        acts = [Activation(0, 1, 1.0), Activation(1, 2, 1.0)]
+        assert naive_activeness(acts, (1, 2), 1.0, 0.1) == pytest.approx(1.0)

@@ -1,0 +1,186 @@
+"""Unit and integration tests for the ANC engines (ANCF / ANCO / ANCOR)."""
+
+import pytest
+
+from repro.core.activation import Activation, ActivationStream
+from repro.core.anc import ANCF, ANCO, ANCOR, ANCParams, make_engine
+from repro.graph.generators import planted_partition
+from repro.index.pyramid import PyramidIndex
+from repro.workloads.streams import uniform_stream
+
+
+@pytest.fixture
+def graph_and_stream():
+    graph, labels = planted_partition(80, 4, p_in=0.5, p_out=0.02, seed=9)
+    stream = uniform_stream(graph, timestamps=8, fraction=0.1, seed=1)
+    return graph, labels, stream
+
+
+QUICK = ANCParams(rep=1, k=2, seed=0, rescale_every=64)
+
+
+class TestFactory:
+    def test_make_engine_by_name(self, graph_and_stream):
+        graph, _, _ = graph_and_stream
+        assert isinstance(make_engine("ANCF", graph, QUICK), ANCF)
+        assert isinstance(make_engine("anco", graph, QUICK), ANCO)
+        assert isinstance(make_engine("ANCOR", graph, QUICK), ANCOR)
+
+    def test_unknown_name_rejected(self, graph_and_stream):
+        graph, _, _ = graph_and_stream
+        with pytest.raises(ValueError):
+            make_engine("XYZ", graph)
+
+
+class TestAgreementAtTimeZero:
+    def test_all_engines_identical_before_stream(self, graph_and_stream):
+        """The paper: 'They have the same performance at time 0'."""
+        graph, _, _ = graph_and_stream
+        engines = [cls(graph, QUICK) for cls in (ANCF, ANCO, ANCOR)]
+        reference = engines[0].clusters()
+        for engine in engines[1:]:
+            assert engine.clusters() == reference
+
+
+class TestANCO:
+    def test_processes_stream_and_stays_consistent(self, graph_and_stream):
+        graph, _, stream = graph_and_stream
+        engine = ANCO(graph, QUICK)
+        engine.process_stream(stream)
+        assert engine.activations_processed == len(stream)
+        engine.index.check_consistency()
+
+    def test_index_matches_weights_after_stream(self, graph_and_stream):
+        """The online index must equal a fresh index built at the final
+        weights (same pyramid seeds)."""
+        graph, _, stream = graph_and_stream
+        engine = ANCO(graph, QUICK)
+        engine.process_stream(stream)
+        fresh = PyramidIndex(
+            graph, engine.index.weights_view(), k=QUICK.k, seed=QUICK.seed
+        )
+        for p_inc, p_ref in zip(engine.index.partitions(), fresh.partitions()):
+            assert p_inc.seeds == p_ref.seeds
+            assert p_inc.seed == p_ref.seed
+            for v in graph.nodes():
+                assert p_inc.dist[v] == pytest.approx(p_ref.dist[v], rel=1e-6)
+
+    def test_cluster_queries_work_mid_stream(self, graph_and_stream):
+        graph, _, stream = graph_and_stream
+        engine = ANCO(graph, QUICK)
+        for i, act in enumerate(stream):
+            engine.process(act)
+            if i == len(stream) // 2:
+                clusters = engine.clusters()
+                assert sum(len(c) for c in clusters) == graph.n
+                assert 0 in engine.cluster_of(0)
+
+    def test_zoom_delegation(self, graph_and_stream):
+        graph, _, _ = graph_and_stream
+        engine = ANCO(graph, QUICK)
+        level = engine.queries.sqrt_n_level()
+        assert engine.zoom_in(level) >= level
+        assert engine.zoom_out(level) <= level
+
+    def test_now_tracks_stream_time(self, graph_and_stream):
+        graph, _, stream = graph_and_stream
+        engine = ANCO(graph, QUICK)
+        engine.process_stream(stream)
+        assert engine.now == stream.span[1]
+
+    def test_stats_snapshot(self, graph_and_stream):
+        graph, _, stream = graph_and_stream
+        engine = ANCO(graph, QUICK)
+        engine.process_stream(stream)
+        stats = engine.stats()
+        assert stats["activations"] == len(stream)
+        assert stats["now"] == stream.span[1]
+        assert stats["index_updates"] > 0
+        assert stats["index_touched"] >= stats["index_updates"]
+        assert stats["pyramids"] == QUICK.k
+        assert sum(stats["roles"].values()) == graph.n
+
+
+class TestANCOR:
+    def test_reinforces_on_interval(self, graph_and_stream):
+        graph, _, stream = graph_and_stream
+        engine = ANCOR(graph, QUICK, reinforce_interval=3.0)
+        engine.process_stream(stream)
+        assert engine._last_reinforce > 0.0
+
+    def test_invalid_interval_rejected(self, graph_and_stream):
+        graph, _, _ = graph_and_stream
+        with pytest.raises(ValueError):
+            ANCOR(graph, QUICK, reinforce_interval=0.0)
+
+    def test_differs_from_anco_after_reinforcement(self, graph_and_stream):
+        graph, _, stream = graph_and_stream
+        anco = ANCO(graph, QUICK)
+        ancor = ANCOR(graph, QUICK, reinforce_interval=2.0)
+        anco.process_stream(stream)
+        ancor.process_stream(stream)
+        w_o = anco.index.weights_view()
+        w_r = ancor.index.weights_view()
+        assert any(w_o[e] != pytest.approx(w_r[e]) for e in graph.edges())
+
+    def test_index_consistent_after_reinforce(self, graph_and_stream):
+        graph, _, stream = graph_and_stream
+        engine = ANCOR(graph, QUICK, reinforce_interval=2.0)
+        engine.process_stream(stream)
+        engine.index.check_consistency()
+
+
+class TestANCF:
+    def test_refresh_rebuilds_index(self, graph_and_stream):
+        graph, _, stream = graph_and_stream
+        engine = ANCF(graph, QUICK)
+        for act in stream:
+            engine.process(act)
+        assert engine._dirty
+        engine.refresh()
+        assert not engine._dirty
+        engine.index.check_consistency()
+
+    def test_query_triggers_refresh(self, graph_and_stream):
+        graph, _, stream = graph_and_stream
+        engine = ANCF(graph, QUICK)
+        for act in stream:
+            engine.process(act)
+        clusters = engine.clusters()  # must auto-refresh
+        assert not engine._dirty
+        assert sum(len(c) for c in clusters) == graph.n
+
+    def test_snapshot_independent_of_activation_order_within_t(self, graph_and_stream):
+        """ANCF only depends on the accumulated activeness, so the order of
+        same-timestamp activations must not matter."""
+        graph, _, _ = graph_and_stream
+        edges = list(graph.edges())[:10]
+        a = ANCF(graph, QUICK)
+        b = ANCF(graph, QUICK)
+        for e in edges:
+            a.process(Activation(e[0], e[1], 1.0))
+        for e in reversed(edges):
+            b.process(Activation(e[0], e[1], 1.0))
+        assert a.clusters() == b.clusters()
+
+
+class TestQualityOnActivationNetwork:
+    def test_engines_track_community_biased_stream(self, graph_and_stream):
+        """When activations follow planted communities, all ANC engines
+        should cluster well at the best granularity."""
+        from repro.evalm import score_clustering
+        from repro.workloads.streams import community_biased_stream
+
+        graph, labels, _ = graph_and_stream
+        truth = {v: labels[v] for v in graph.nodes()}
+        stream = community_biased_stream(
+            graph, labels, timestamps=10, fraction=0.2, intra_bias=0.95, seed=3
+        )
+        params = ANCParams(rep=2, k=4, seed=0, eps=0.25, mu=2)
+        engine = ANCO(graph, params)
+        engine.process_stream(stream)
+        best = 0.0
+        for level in range(1, engine.queries.num_levels + 1):
+            clusters = engine.clusters(level)
+            best = max(best, score_clustering(clusters, truth)["nmi"])
+        assert best > 0.5

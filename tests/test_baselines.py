@@ -1,0 +1,280 @@
+"""Tests for the five baseline algorithms + spectral ground truth."""
+
+import math
+
+import pytest
+
+from repro.baselines.attractor import Attractor, attractor, jaccard_similarity
+from repro.baselines.dyna import Dyna
+from repro.baselines.louvain import louvain
+from repro.baselines.lwep import Lwep
+from repro.baselines.scan import scan, structural_similarity
+from repro.baselines.spectral import spectral_clustering
+from repro.evalm import modularity, score_clustering
+from repro.graph.generators import (
+    barbell_graph,
+    caveman_relaxed,
+    complete_graph,
+    planted_partition,
+)
+from repro.graph.graph import Graph
+
+
+def truth_of(labels):
+    return {v: lab for v, lab in enumerate(labels)}
+
+
+def is_partition(clusters, n):
+    return sorted(v for c in clusters for v in c) == list(range(n))
+
+
+class TestLouvain:
+    def test_returns_partition(self, medium_planted):
+        graph, _ = medium_planted
+        clusters = louvain(graph)
+        assert is_partition(clusters, graph.n)
+
+    def test_splits_barbell(self, barbell):
+        clusters = louvain(barbell)
+        lookup = {v: i for i, c in enumerate(clusters) for v in c}
+        assert lookup[0] != lookup[9]
+        assert lookup[0] == lookup[4]
+
+    def test_recovers_planted(self, medium_planted):
+        graph, labels = medium_planted
+        scores = score_clustering(louvain(graph), truth_of(labels))
+        assert scores["nmi"] > 0.7
+
+    def test_modularity_beats_trivial(self, medium_planted):
+        graph, _ = medium_planted
+        q = modularity(graph, louvain(graph))
+        assert q > modularity(graph, [list(graph.nodes())]) + 0.1
+
+    def test_deterministic_per_seed(self, medium_planted):
+        graph, _ = medium_planted
+        assert louvain(graph, seed=3) == louvain(graph, seed=3)
+
+    def test_weighted_respects_strong_edges(self):
+        # 6-cycle with two heavy triangles embedded.
+        g = Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3), (5, 0)])
+        weights = {e: 10.0 for e in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]}
+        weights[(2, 3)] = 0.1
+        weights[(0, 5)] = 0.1
+        clusters = louvain(g, weights)
+        lookup = {v: i for i, c in enumerate(clusters) for v in c}
+        assert lookup[0] == lookup[1] == lookup[2]
+        assert lookup[3] == lookup[4] == lookup[5]
+        assert lookup[0] != lookup[3]
+
+    def test_tends_to_few_clusters(self, medium_planted):
+        """The paper's critique: LOUV reports far fewer clusters than
+        fine-grained ground truth."""
+        graph, labels = medium_planted
+        assert len(louvain(graph)) <= len(set(labels)) + 2
+
+
+class TestScan:
+    def test_structural_similarity_clique(self):
+        g = complete_graph(4)
+        assert structural_similarity(g, 0, 1) == pytest.approx(1.0)
+
+    def test_structural_similarity_disjoint_neighborhoods(self):
+        g = Graph(6, [(0, 1), (0, 2), (0, 3), (1, 4), (1, 5)])
+        # Γ(0)={0,1,2,3}, Γ(1)={0,1,4,5} -> overlap {0,1}.
+        assert structural_similarity(g, 0, 1) == pytest.approx(2 / 4)
+
+    def test_weighted_similarity_in_range(self, medium_planted):
+        graph, _ = medium_planted
+        weights = {e: 1.5 for e in graph.edges()}
+        for u, v in list(graph.edges())[:20]:
+            s = structural_similarity(graph, u, v, weights)
+            assert 0.0 <= s <= 1.0 + 1e-9
+
+    def test_parameter_validation(self, triangle):
+        with pytest.raises(ValueError):
+            scan(triangle, eps=0.0)
+        with pytest.raises(ValueError):
+            scan(triangle, mu=0)
+
+    def test_clusters_disjoint(self, medium_planted):
+        graph, _ = medium_planted
+        result = scan(graph, eps=0.5, mu=3)
+        seen = set()
+        for cluster in result.clusters:
+            for v in cluster:
+                assert v not in seen
+                seen.add(v)
+
+    def test_hubs_outliers_cover_rest(self, medium_planted):
+        graph, _ = medium_planted
+        result = scan(graph, eps=0.5, mu=3)
+        clustered = {v for c in result.clusters for v in c}
+        rest = set(result.hubs) | set(result.outliers)
+        assert clustered | rest == set(graph.nodes())
+        assert not (clustered & rest)
+
+    def test_recovers_caveman(self):
+        graph, labels = caveman_relaxed(6, 8, rewire_p=0.05, seed=3)
+        result = scan(graph, eps=0.5, mu=3)
+        scores = score_clustering(result.clusters, truth_of(labels))
+        assert scores["purity"] > 0.8
+
+    def test_full_partition_helper(self, medium_planted):
+        graph, _ = medium_planted
+        result = scan(graph, eps=0.5, mu=3)
+        assert is_partition(result.all_clusters_with_noise(), graph.n)
+
+
+class TestAttractor:
+    def test_jaccard_clique(self):
+        g = complete_graph(4)
+        assert jaccard_similarity(g, 0, 1) == pytest.approx(1.0)
+
+    def test_jaccard_disjoint(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 3)])
+        # Γ(0)={0,1,2}, Γ(1)={0,1,3}: inter 2, union 4.
+        assert jaccard_similarity(g, 0, 1) == pytest.approx(0.5)
+
+    def test_distances_stay_in_unit_interval(self, small_planted):
+        graph, _ = small_planted
+        model = Attractor(graph, max_iterations=10)
+        model.run()
+        assert all(0.0 <= d <= 1.0 for d in model.distance.values())
+
+    def test_separates_barbell(self):
+        g = barbell_graph(6, bridge=1)
+        clusters = attractor(g, max_iterations=50)
+        lookup = {v: i for i, c in enumerate(clusters) for v in c}
+        assert lookup[0] != lookup[11]
+
+    def test_recovers_planted(self, medium_planted):
+        graph, labels = medium_planted
+        clusters = attractor(graph, max_iterations=30)
+        scores = score_clustering(clusters, truth_of(labels))
+        assert scores["nmi"] > 0.7
+
+    def test_iteration_count_recorded(self, small_planted):
+        graph, _ = small_planted
+        model = Attractor(graph, max_iterations=5)
+        model.run()
+        assert 1 <= model.iterations_run <= 5
+
+    def test_cohesion_validation(self, triangle):
+        with pytest.raises(ValueError):
+            Attractor(triangle, cohesion=2.0)
+
+
+class TestDyna:
+    def test_initializes_from_louvain(self, medium_planted):
+        graph, _ = medium_planted
+        model = Dyna(graph, lam=0.1, seed=0)
+        assert is_partition(model.clusters(), graph.n)
+
+    def test_step_decays_everything(self, medium_planted):
+        graph, _ = medium_planted
+        model = Dyna(graph, lam=0.5, seed=0)
+        w0 = dict(model.weights)
+        inactive = graph.edges()[5]
+        model.step(2.0, [graph.edges()[0]])
+        assert model.weights[inactive] == pytest.approx(w0[inactive] * math.exp(-1.0))
+        assert model.last_scanned == graph.m  # the O(m) weakness
+
+    def test_activation_boosts_edge(self, medium_planted):
+        graph, _ = medium_planted
+        model = Dyna(graph, lam=0.1, seed=0)
+        e = graph.edges()[0]
+        model.step(1.0, [e])
+        assert model.weights[e] > 1.0
+
+    def test_time_monotonicity_enforced(self, medium_planted):
+        graph, _ = medium_planted
+        model = Dyna(graph, lam=0.1, seed=0)
+        model.step(3.0, [])
+        with pytest.raises(ValueError):
+            model.step(2.0, [])
+
+    def test_activation_on_non_edge_rejected(self, triangle):
+        model = Dyna(triangle, lam=0.1)
+        with pytest.raises(ValueError):
+            model.step(1.0, [(0, 5)])
+
+    def test_repair_keeps_partition(self, medium_planted):
+        graph, _ = medium_planted
+        model = Dyna(graph, lam=0.1, seed=0)
+        for t in range(1, 6):
+            model.step(float(t), graph.edges()[:10])
+            assert is_partition(model.clusters(), graph.n)
+
+
+class TestLwep:
+    def test_clusters_are_partition(self, small_planted):
+        graph, _ = small_planted
+        model = Lwep(graph, lam=0.1, top_k=4)
+        assert is_partition(model.clusters(), graph.n)
+
+    def test_step_updates_clusters(self, small_planted):
+        graph, _ = small_planted
+        model = Lwep(graph, lam=0.1, top_k=4)
+        model.step(1.0, graph.edges()[:5])
+        assert is_partition(model.clusters(), graph.n)
+
+    def test_top_k_validation(self, triangle):
+        with pytest.raises(ValueError):
+            Lwep(triangle, top_k=0)
+
+    def test_time_monotonicity(self, triangle):
+        model = Lwep(triangle, lam=0.1)
+        model.step(2.0, [])
+        with pytest.raises(ValueError):
+            model.step(1.0, [])
+
+    def test_recovers_planted_roughly(self, medium_planted):
+        graph, labels = medium_planted
+        model = Lwep(graph, lam=0.1, top_k=5)
+        scores = score_clustering(model.clusters(), truth_of(labels))
+        assert scores["purity"] > 0.6
+
+
+class TestSpectral:
+    def test_returns_partition(self, medium_planted):
+        graph, _ = medium_planted
+        clusters = spectral_clustering(graph, 6, seed=0)
+        assert is_partition(clusters, graph.n)
+
+    def test_recovers_planted(self, medium_planted):
+        graph, labels = medium_planted
+        clusters = spectral_clustering(graph, len(set(labels)), seed=0)
+        scores = score_clustering(clusters, truth_of(labels))
+        assert scores["nmi"] > 0.8
+
+    def test_weighted_splits_on_weights(self):
+        # A 6-clique whose weights define two triangles.
+        g = complete_graph(6)
+        weights = {}
+        for u, v in g.edges():
+            same = (u < 3) == (v < 3)
+            weights[(u, v)] = 10.0 if same else 0.01
+        clusters = spectral_clustering(g, 2, weights, seed=0)
+        lookup = {v: i for i, c in enumerate(clusters) for v in c}
+        assert lookup[0] == lookup[1] == lookup[2]
+        assert lookup[3] == lookup[4] == lookup[5]
+        assert lookup[0] != lookup[3]
+
+    def test_isolated_nodes_become_singletons(self):
+        g = Graph(5, [(0, 1), (1, 2)])
+        clusters = spectral_clustering(g, 2, seed=0)
+        assert [3] in clusters and [4] in clusters
+
+    def test_deterministic(self, medium_planted):
+        graph, _ = medium_planted
+        a = spectral_clustering(graph, 6, seed=1)
+        b = spectral_clustering(graph, 6, seed=1)
+        assert a == b
+
+    def test_k_validation(self, triangle):
+        with pytest.raises(ValueError):
+            spectral_clustering(triangle, 0)
+
+    def test_k_larger_than_n_clamped(self, triangle):
+        clusters = spectral_clustering(triangle, 10, seed=0)
+        assert is_partition(clusters, 3)

@@ -1,0 +1,182 @@
+"""Tests for the benchmark harness and reporting utilities."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    anc_static_clusters,
+    run_activation_experiment,
+    run_mixed_workload,
+    static_quality_rows,
+    timed,
+    update_vs_reconstruct,
+)
+from repro.bench.reporting import (
+    format_series,
+    format_table,
+    save_result,
+    sparkline,
+    sparkline_block,
+    speedup,
+)
+from repro.core.anc import ANCParams
+from repro.workloads.datasets import load_dataset
+
+QUICK = ANCParams(rep=0, k=2, seed=0, rescale_every=512, eps=0.25, mu=2)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows, ["a", "b"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_format_table_float_formatting(self):
+        text = format_table([{"v": 0.123456789}], ["v"], float_fmt="{:.2f}")
+        assert "0.12" in text
+
+    def test_format_series(self):
+        text = format_series(
+            {"m1": [1.0, 2.0], "m2": [3.0, 4.0]}, x_values=[10, 20], x_label="t"
+        )
+        lines = text.splitlines()
+        assert "t" in lines[0] and "m1" in lines[0]
+        assert len(lines) == 4
+
+    def test_format_series_unequal_lengths(self):
+        text = format_series({"m1": [1.0], "m2": [3.0, 4.0]})
+        assert text  # shorter series padded with blanks, no crash
+
+    def test_save_result_writes_json(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_result("unit_test_exp", {"x": 1})
+        assert path.exists()
+        assert json.loads(path.read_text()) == {"x": 1}
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == float("inf")
+
+    def test_timed_returns_result(self):
+        seconds, value = timed(lambda: 42)
+        assert value == 42
+        assert seconds >= 0.0
+
+    def test_sparkline_shape(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_sparkline_explicit_bounds(self):
+        # With a wide explicit scale, mid values map to mid glyphs.
+        line = sparkline([5.0], lo=0.0, hi=10.0)
+        assert line not in ("▁", "█")
+
+    def test_sparkline_block_shared_scale(self):
+        text = sparkline_block({"a": [0, 1], "big": [0, 10]}, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3
+        # Series 'a' peaks low on the shared scale.
+        assert "█" not in lines[1]
+        assert "█" in lines[2]
+
+
+class TestStaticQualityRows:
+    def test_rows_have_all_measures(self):
+        rows = static_quality_rows(
+            ["CO"], reps=(0,), include_baselines=False
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        for key in ("modularity", "conductance", "nmi", "purity", "f1", "clusters", "seconds"):
+            assert key in row
+        assert row["method"] == "ANCF0"
+
+    def test_anc_static_clusters_partition(self):
+        data = load_dataset("CO")
+        clusters = anc_static_clusters(data, rep=0, params=QUICK)
+        assert sum(len(c) for c in clusters) == data.graph.n
+
+
+class TestActivationExperiment:
+    def test_timing_only_run(self):
+        data = load_dataset("CO")
+        runs = run_activation_experiment(
+            data,
+            timestamps=3,
+            fraction=0.02,
+            params=QUICK,
+            methods=("ANCO", "DYNA"),
+            evaluate_every=10**9,
+        )
+        assert {r.method for r in runs} == {"ANCO", "DYNA"}
+        for run in runs:
+            assert run.amortized_update_seconds > 0
+            assert run.quality_by_time == []
+
+    def test_quality_checkpoints_scored(self):
+        data = load_dataset("CO")
+        runs = run_activation_experiment(
+            data,
+            timestamps=4,
+            fraction=0.05,
+            params=QUICK,
+            methods=("ANCO",),
+            evaluate_every=2,
+        )
+        checkpoints = runs[0].quality_by_time
+        assert len(checkpoints) == 2  # t=2 and t=4
+        for q in checkpoints:
+            assert 0.0 <= q["nmi"] <= 1.0
+
+    def test_unknown_method_rejected(self):
+        data = load_dataset("CO")
+        with pytest.raises(ValueError):
+            run_activation_experiment(
+                data, timestamps=1, params=QUICK, methods=("NOPE",)
+            )
+
+
+class TestUpdateVsReconstruct:
+    def test_rows_shape(self):
+        data = load_dataset("CO")
+        rows = update_vs_reconstruct(data, batch_sizes=(1, 4), params=QUICK)
+        assert [r["batch_size"] for r in rows] == [1, 4]
+        for row in rows:
+            assert row["update_seconds"] > 0
+            assert row["reconstruct_seconds"] > 0
+            assert row["speedup"] == pytest.approx(
+                row["reconstruct_seconds"] / row["update_seconds"]
+            )
+
+
+class TestMixedWorkload:
+    def test_rows_cover_grid(self):
+        data = load_dataset("CO")
+        rows = run_mixed_workload(
+            data,
+            query_fractions=(0.1,),
+            timestamps=2,
+            fraction=0.02,
+            methods=("ANCO", "DYNA"),
+            params=QUICK,
+        )
+        assert {(r["query_fraction"], r["method"]) for r in rows} == {
+            (0.1, "ANCO"),
+            (0.1, "DYNA"),
+        }
+        assert all(r["seconds"] > 0 for r in rows)

@@ -1,0 +1,169 @@
+"""Tests for the repro-anc command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import planted_partition
+from repro.graph.io import write_edge_list, write_temporal_edge_list
+from repro.core.activation import Activation
+
+
+@pytest.fixture
+def edgelist_file(tmp_path, small_planted):
+    graph, _ = small_planted
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return str(path), graph
+
+
+@pytest.fixture
+def temporal_file(tmp_path, small_planted):
+    graph, _ = small_planted
+    edges = list(graph.edges())
+    stream = [
+        Activation(*edges[i % len(edges)], float(1 + i // 5)) for i in range(25)
+    ]
+    path = tmp_path / "temporal.txt"
+    write_temporal_edge_list(graph, stream, path)
+    return str(path), graph
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestInfo:
+    def test_reports_stats(self, edgelist_file):
+        path, graph = edgelist_file
+        code, text = run_cli(["info", path])
+        assert code == 0
+        assert f"nodes:      {graph.n}" in text
+        assert f"edges:      {graph.m}" in text
+        assert "components: 1" in text
+
+
+class TestCluster:
+    def test_anc_default(self, edgelist_file):
+        path, graph = edgelist_file
+        code, text = run_cli(["cluster", path, "--rep", "1", "--pyramids", "2"])
+        assert code == 0
+        assert "ANC clustering at level" in text
+        assert "clusters" in text
+
+    def test_explicit_level(self, edgelist_file):
+        path, _ = edgelist_file
+        code, text = run_cli(
+            ["cluster", path, "--rep", "0", "--pyramids", "2", "--level", "2"]
+        )
+        assert code == 0
+        assert "at level 2" in text
+
+    @pytest.mark.parametrize("method", ["louvain", "scan", "attractor"])
+    def test_baseline_methods(self, edgelist_file, method):
+        path, _ = edgelist_file
+        code, text = run_cli(["cluster", path, "--method", method])
+        assert code == 0
+        assert "clusters" in text
+
+    def test_min_size_filters(self, edgelist_file):
+        path, _ = edgelist_file
+        _, all_text = run_cli(["cluster", path, "--method", "louvain"])
+        _, filtered = run_cli(
+            ["cluster", path, "--method", "louvain", "--min-size", "10"]
+        )
+        count_all = int(all_text.split(" clusters")[0].split()[-1])
+        count_filtered = int(filtered.split(" clusters")[0].split()[-1])
+        assert count_filtered <= count_all
+
+
+class TestStream:
+    def test_replay_to_end(self, temporal_file):
+        path, _ = temporal_file
+        code, text = run_cli(
+            ["stream", path, "--engine", "anco", "--rep", "1", "--pyramids", "2"]
+        )
+        assert code == 0
+        assert "replaying" in text
+        assert "snapshot" in text
+
+    def test_checkpoints(self, temporal_file):
+        path, _ = temporal_file
+        code, text = run_cli(
+            [
+                "stream", path, "--engine", "anco", "--rep", "0",
+                "--pyramids", "2", "--at", "2", "--at", "4",
+            ]
+        )
+        assert code == 0
+        assert text.count("snapshot") == 2
+
+    def test_query_node(self, temporal_file):
+        path, _ = temporal_file
+        code, text = run_cli(
+            [
+                "stream", path, "--engine", "anco", "--rep", "0",
+                "--pyramids", "2", "--query", "0",
+            ]
+        )
+        assert code == 0
+        assert "cluster of 0:" in text
+
+    def test_unknown_query_node(self, temporal_file):
+        path, _ = temporal_file
+        code, text = run_cli(
+            [
+                "stream", path, "--engine", "anco", "--rep", "0",
+                "--pyramids", "2", "--query", "nosuchnode",
+            ]
+        )
+        assert code == 0
+        assert "unknown node" in text
+
+    @pytest.mark.parametrize("engine", ["anco", "ancor", "ancf"])
+    def test_all_engines(self, temporal_file, engine):
+        path, _ = temporal_file
+        code, text = run_cli(
+            ["stream", path, "--engine", engine, "--rep", "0", "--pyramids", "2"]
+        )
+        assert code == 0
+
+    def test_watch_mode_runs(self, temporal_file):
+        path, _ = temporal_file
+        code, text = run_cli(
+            [
+                "stream", path, "--engine", "anco", "--rep", "0",
+                "--pyramids", "2", "--watch", "0",
+            ]
+        )
+        assert code == 0
+        assert "replaying" in text
+
+    def test_watch_unknown_node_errors(self, temporal_file):
+        path, _ = temporal_file
+        code, text = run_cli(
+            [
+                "stream", path, "--engine", "anco", "--rep", "0",
+                "--pyramids", "2", "--watch", "missing",
+            ]
+        )
+        assert code == 1
+        assert "unknown watch node" in text
+
+    def test_empty_stream_errors(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        code, text = run_cli(["stream", str(path)])
+        assert code == 1
+        assert "no activations" in text
+
+
+class TestDatasets:
+    def test_lists_table1(self):
+        code, text = run_cli(["datasets"])
+        assert code == 0
+        assert "CO" in text and "TW" in text
+        assert text.count("\n") >= 18

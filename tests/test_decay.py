@@ -1,0 +1,191 @@
+"""Unit tests for the global decay factor machinery (Section IV-A)."""
+
+import math
+
+import pytest
+
+from repro.core.activation import Activation, naive_activeness
+from repro.core.decay import Activeness, DecayClock, ValueKind
+
+
+class TestDecayClock:
+    def test_initial_state(self):
+        clock = DecayClock(0.1)
+        assert clock.now == 0.0
+        assert clock.anchor == 0.0
+        assert clock.global_factor() == 1.0
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            DecayClock(-0.1)
+
+    def test_advance_updates_factor(self):
+        clock = DecayClock(0.1)
+        clock.advance(2.0)
+        assert clock.global_factor() == pytest.approx(math.exp(-0.2))
+
+    def test_time_cannot_go_backwards(self):
+        clock = DecayClock(0.1)
+        clock.advance(5.0)
+        with pytest.raises(ValueError):
+            clock.advance(4.0)
+
+    def test_advance_same_time_is_noop(self):
+        clock = DecayClock(0.1)
+        clock.advance(1.0)
+        clock.advance(1.0)
+        assert clock.now == 1.0
+
+    def test_zero_lambda_never_decays(self):
+        clock = DecayClock(0.0)
+        clock.advance(1000.0)
+        assert clock.global_factor() == 1.0
+
+    def test_rescale_moves_anchor(self):
+        clock = DecayClock(0.1)
+        clock.advance(3.0)
+        clock.rescale()
+        assert clock.anchor == 3.0
+        assert clock.global_factor() == 1.0
+        assert clock.rescale_count == 1
+
+    def test_periodic_rescale_after_activations(self):
+        clock = DecayClock(0.1, rescale_every=5)
+        clock.advance(1.0)
+        for _ in range(5):
+            clock.note_activation()
+        assert clock.rescale_count == 1
+
+    def test_underflow_forces_rescale(self):
+        clock = DecayClock(1.0, min_factor=1e-10)
+        clock.advance(30.0)  # exp(-30) ~ 1e-13 < 1e-10
+        assert clock.rescale_count == 1
+        assert clock.global_factor() == 1.0
+
+
+class TestAnchoredEdgeValues:
+    def test_positive_round_trip(self):
+        clock = DecayClock(0.1)
+        store = clock.register(ValueKind.POSITIVE)
+        store.set_actual(0, 1, 5.0)
+        clock.advance(4.0)
+        assert store.actual(0, 1) == pytest.approx(5.0 * math.exp(-0.4))
+
+    def test_negative_round_trip(self):
+        clock = DecayClock(0.1)
+        store = clock.register(ValueKind.NEGATIVE)
+        store.set_actual(0, 1, 5.0)
+        clock.advance(4.0)
+        assert store.actual(0, 1) == pytest.approx(5.0 / math.exp(-0.4))
+
+    def test_neutral_is_time_invariant(self):
+        clock = DecayClock(0.1)
+        store = clock.register(ValueKind.NEUTRAL)
+        store.set_actual(0, 1, 5.0)
+        clock.advance(100.0)
+        assert store.actual(0, 1) == 5.0
+
+    def test_rescale_preserves_actual_values(self):
+        clock = DecayClock(0.2)
+        pos = clock.register(ValueKind.POSITIVE)
+        neg = clock.register(ValueKind.NEGATIVE)
+        neu = clock.register(ValueKind.NEUTRAL)
+        pos.set_actual(0, 1, 3.0)
+        neg.set_actual(0, 1, 7.0)
+        neu.set_actual(0, 1, 2.0)
+        clock.advance(5.0)
+        before = (pos.actual(0, 1), neg.actual(0, 1), neu.actual(0, 1))
+        clock.rescale()
+        after = (pos.actual(0, 1), neg.actual(0, 1), neu.actual(0, 1))
+        for b, a in zip(before, after):
+            assert a == pytest.approx(b)
+
+    def test_edge_key_normalization(self):
+        clock = DecayClock(0.1)
+        store = clock.register(ValueKind.POSITIVE)
+        store.set_anchored(3, 1, 2.0)
+        assert store.anchored(1, 3) == 2.0
+        assert (1, 3) in store
+
+    def test_add_anchored_accumulates(self):
+        clock = DecayClock(0.1)
+        store = clock.register(ValueKind.POSITIVE)
+        store.add_anchored(0, 1, 1.0)
+        store.add_anchored(1, 0, 2.0)
+        assert store.anchored(0, 1) == 3.0
+
+    def test_default_value_is_zero(self):
+        clock = DecayClock(0.1)
+        store = clock.register(ValueKind.POSITIVE)
+        assert store.anchored(5, 6) == 0.0
+        assert store.actual(5, 6) == 0.0
+
+    def test_rescale_listener_called_with_factor(self):
+        clock = DecayClock(0.1)
+        seen = []
+        clock.add_rescale_listener(seen.append)
+        clock.advance(2.0)
+        g = clock.global_factor()
+        clock.rescale()
+        assert seen == [pytest.approx(g)]
+
+
+class TestActiveness:
+    def test_matches_naive_equation1(self):
+        """a_t(e) from the anchored machinery == Σ exp(-λ(t-t_i))."""
+        lam = 0.1
+        clock = DecayClock(lam, rescale_every=3)
+        act = Activeness(clock)
+        stream = [
+            Activation(0, 1, 1.0),
+            Activation(0, 1, 2.0),
+            Activation(1, 2, 2.5),
+            Activation(0, 1, 4.0),
+            Activation(1, 2, 6.0),
+        ]
+        for a in stream:
+            act.on_activation(a.u, a.v, a.t)
+            clock.note_activation()
+        clock.advance(8.0)
+        for edge in [(0, 1), (1, 2)]:
+            expected = naive_activeness(stream, edge, 8.0, lam)
+            assert act.value(*edge) == pytest.approx(expected, rel=1e-9)
+
+    def test_example1_from_paper(self):
+        """Paper Example 1: λ=0.1, activations at t=0 and t=2."""
+        clock = DecayClock(0.1)
+        act = Activeness(clock)
+        act.on_activation(8, 11, 0.0)
+        clock.advance(1.0)
+        assert act.value(8, 11) == pytest.approx(math.exp(-0.1), abs=1e-3)  # 0.905
+        act.on_activation(8, 11, 2.0)
+        assert act.value(8, 11) == pytest.approx(1 + math.exp(-0.2), abs=1e-3)  # 1.819
+
+    def test_example2_anchored_bookkeeping(self):
+        """Paper Example 2: anchored value 2.221 at t=2 before rescale."""
+        clock = DecayClock(0.1)
+        act = Activeness(clock)
+        act.on_activation(8, 11, 0.0)
+        clock.advance(2.0)
+        g = clock.global_factor()
+        assert g == pytest.approx(math.exp(-0.2), abs=1e-3)  # 0.819
+        act.on_activation(8, 11, 2.0)
+        assert act.anchored_value(8, 11) == pytest.approx(1 + 1 / g, abs=1e-3)  # 2.221
+        clock.rescale()
+        assert act.anchored_value(8, 11) == pytest.approx(1 + math.exp(-0.2), abs=1e-3)
+
+    def test_initial_values(self):
+        clock = DecayClock(0.1)
+        act = Activeness(clock, initial={(0, 1): 1.0, (1, 2): 1.0})
+        assert act.value(0, 1) == 1.0
+        clock.advance(10.0)
+        assert act.value(0, 1) == pytest.approx(math.exp(-1.0))
+
+    def test_unactivated_edges_decay_at_same_pace(self):
+        """Observation 1: the decay factor is edge independent."""
+        clock = DecayClock(0.3)
+        act = Activeness(clock, initial={(0, 1): 2.0, (2, 3): 5.0})
+        clock.advance(4.0)
+        ratio_a = act.value(0, 1) / 2.0
+        ratio_b = act.value(2, 3) / 5.0
+        assert ratio_a == pytest.approx(ratio_b)

@@ -1,0 +1,120 @@
+"""Tests for approximate distance queries over the pyramid index."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import path_graph, planted_partition
+from repro.graph.traversal import INF, dijkstra
+from repro.index.distances import (
+    common_seed_witness,
+    estimate_distance,
+    estimate_eccentricity,
+    rank_by_estimated_distance,
+)
+from repro.index.pyramid import PyramidIndex
+
+
+@pytest.fixture
+def planted_index(medium_planted):
+    graph, _ = medium_planted
+    weights = {e: 1.0 for e in graph.edges()}
+    return graph, weights, PyramidIndex(graph, weights, k=4, seed=0)
+
+
+class TestEstimateDistance:
+    def test_self_distance_zero(self, planted_index):
+        _, _, index = planted_index
+        assert estimate_distance(index, 5, 5) == 0.0
+
+    def test_upper_bounds_true_distance(self, planted_index):
+        graph, weights, index = planted_index
+        dist, _ = dijkstra(graph, 0, lambda u, v: 1.0)
+        for v in range(1, 40):
+            est = estimate_distance(index, 0, v)
+            assert est >= dist[v] - 1e-9, (v, est, dist[v])
+
+    def test_stretch_is_moderate(self, planted_index):
+        """Sketch estimates stay within a small multiple of the truth
+        (Θ(log n) stretch guarantee; empirically much tighter)."""
+        graph, _, index = planted_index
+        dist, _ = dijkstra(graph, 0, lambda u, v: 1.0)
+        ratios = []
+        for v in range(1, graph.n, 7):
+            if dist[v] == INF or dist[v] == 0:
+                continue
+            ratios.append(estimate_distance(index, 0, v) / dist[v])
+        assert sum(ratios) / len(ratios) < 4.0
+
+    def test_symmetry(self, planted_index):
+        _, _, index = planted_index
+        for u, v in [(0, 10), (3, 77), (20, 99)]:
+            assert estimate_distance(index, u, v) == estimate_distance(index, v, u)
+
+    def test_connected_pairs_always_estimated(self, planted_index):
+        """Level 1 has a single seed, so any connected pair shares it."""
+        graph, _, index = planted_index
+        rng = random.Random(0)
+        for _ in range(20):
+            u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+            assert estimate_distance(index, u, v) < INF
+
+    def test_disconnected_pair_is_inf(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(4, [(0, 1), (2, 3)])
+        index = PyramidIndex(g, {e: 1.0 for e in g.edges()}, k=2, seed=0)
+        assert estimate_distance(index, 0, 2) == INF
+
+    def test_estimates_track_weight_updates(self):
+        graph = path_graph(8)
+        weights = {e: 1.0 for e in graph.edges()}
+        index = PyramidIndex(graph, weights, k=3, seed=1)
+        before = estimate_distance(index, 0, 7)
+        # Make the middle edge much cheaper: bound must not increase.
+        index.update_edge_weight(3, 4, 0.01)
+        after = estimate_distance(index, 0, 7)
+        assert after <= before
+
+
+class TestWitness:
+    def test_witness_matches_estimate(self, planted_index):
+        _, _, index = planted_index
+        witness = common_seed_witness(index, 0, 50)
+        assert witness is not None
+        p_idx, level, seed = witness
+        partition = index.pyramids[p_idx].partition(level)
+        assert partition.seed[0] == seed == partition.seed[50]
+        bound = partition.dist[0] + partition.dist[50]
+        assert bound == pytest.approx(estimate_distance(index, 0, 50))
+
+    def test_no_witness_when_disconnected(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(4, [(0, 1), (2, 3)])
+        index = PyramidIndex(g, {e: 1.0 for e in g.edges()}, k=2, seed=0)
+        assert common_seed_witness(index, 0, 2) is None
+
+
+class TestRanking:
+    def test_rank_orders_by_bound(self, planted_index):
+        _, _, index = planted_index
+        ranked = rank_by_estimated_distance(index, 0, [10, 20, 30, 40])
+        bounds = [b for _, b in ranked]
+        assert bounds == sorted(bounds)
+
+    def test_direct_neighbor_ranks_before_far_node(self):
+        graph = path_graph(10)
+        weights = {e: 1.0 for e in graph.edges()}
+        index = PyramidIndex(graph, weights, k=4, seed=2)
+        ranked = rank_by_estimated_distance(index, 0, [9, 1])
+        assert ranked[0][0] == 1
+
+
+class TestEccentricity:
+    def test_upper_bounds_true_eccentricity(self):
+        graph = path_graph(16)
+        weights = {e: 1.0 for e in graph.edges()}
+        index = PyramidIndex(graph, weights, k=4, seed=0)
+        # True eccentricity of node 0 is 15.
+        assert estimate_eccentricity(index, 0) >= 15.0

@@ -1,0 +1,177 @@
+"""Exhaustive verification on all small graphs.
+
+Property-based tests sample the input space; these tests *enumerate* it.
+Every graph on 4 nodes (all 2^6 edge subsets) and a dense slice of
+5-node graphs go through the core primitives, checked against brute
+force.  Failures here localize bugs precisely — there is no shrinking
+step between "a graph exists that breaks X" and the counterexample.
+"""
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.decay import Activeness, DecayClock
+from repro.core.similarity import ActiveSimilarity, NodeRole, naive_sigma
+from repro.graph.graph import Graph, edge_key
+from repro.graph.traversal import INF, connected_components, multi_source_dijkstra
+from repro.index.pyramid import PyramidIndex
+from repro.index.voronoi import VoronoiPartition
+
+
+def all_graphs(n):
+    """Every labeled simple graph on n nodes."""
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    for bits in range(2 ** len(pairs)):
+        edges = [pairs[k] for k in range(len(pairs)) if bits >> k & 1]
+        yield Graph(n, edges)
+
+
+def brute_force_sssp(graph, sources, weight):
+    """Bellman-Ford-ish reference (no heaps, no tie-break subtleties)."""
+    dist = {v: INF for v in graph.nodes()}
+    for s in sources:
+        dist[s] = 0.0
+    for _ in range(graph.n):
+        for u, v in graph.edges():
+            w = weight(u, v)
+            if dist[u] + w < dist[v]:
+                dist[v] = dist[u] + w
+            if dist[v] + w < dist[u]:
+                dist[u] = dist[v] + w
+    return dist
+
+
+class TestAllFourNodeGraphs:
+    def test_components_match_brute_force(self):
+        for graph in all_graphs(4):
+            comps = connected_components(graph)
+            # Brute force: transitive closure by repeated expansion.
+            reach = {v: {v} for v in graph.nodes()}
+            changed = True
+            while changed:
+                changed = False
+                for u, v in graph.edges():
+                    merged = reach[u] | reach[v]
+                    for x in list(merged):
+                        if reach[x] != merged:
+                            reach[x] = merged
+                            changed = True
+                        merged = reach[x] | merged
+            expected = {frozenset(s) for s in reach.values()}
+            assert {frozenset(c) for c in comps} == expected
+
+    def test_multi_source_dijkstra_distances(self):
+        for graph in all_graphs(4):
+            for k_seeds in (1, 2):
+                seeds = list(range(k_seeds))
+                dist, seed, parent = multi_source_dijkstra(
+                    graph, seeds, lambda u, v: 1.0
+                )
+                reference = brute_force_sssp(graph, seeds, lambda u, v: 1.0)
+                for v in graph.nodes():
+                    assert dist[v] == reference[v], (graph.edges(), v)
+
+    def test_voronoi_update_decrease_everywhere(self):
+        """On every 4-node graph with an edge: halve one edge's weight and
+        demand exact agreement with a rebuild."""
+        for graph in all_graphs(4):
+            if graph.m == 0:
+                continue
+            weights = {e: 1.0 for e in graph.edges()}
+
+            def weight(u, v):
+                return weights[edge_key(u, v)]
+
+            part = VoronoiPartition(graph, [0], weight)
+            target = graph.edges()[0]
+            weights[target] = 0.5
+            part.update_decrease(*target)
+            dist, seed, _ = multi_source_dijkstra(graph, [0], weight)
+            assert part.dist == dist, graph.edges()
+            assert part.seed == seed, graph.edges()
+            part.check_consistency()
+
+    def test_voronoi_update_increase_everywhere(self):
+        for graph in all_graphs(4):
+            if graph.m == 0:
+                continue
+            weights = {e: 1.0 for e in graph.edges()}
+
+            def weight(u, v):
+                return weights[edge_key(u, v)]
+
+            part = VoronoiPartition(graph, [0], weight)
+            target = graph.edges()[0]
+            weights[target] = 3.0
+            part.update_increase(*target)
+            dist, seed, _ = multi_source_dijkstra(graph, [0], weight)
+            assert part.dist == dist, graph.edges()
+            assert part.seed == seed, graph.edges()
+            part.check_consistency()
+
+    def test_sigma_bounds_and_roles_partition(self):
+        for graph in all_graphs(4):
+            clock = DecayClock(0.1)
+            act = Activeness(clock, initial={e: 1.0 for e in graph.edges()})
+            sim = ActiveSimilarity(graph, act, eps=0.3, mu=2)
+            actual = {e: 1.0 for e in graph.edges()}
+            for u, v in graph.edges():
+                s = sim.sigma(u, v)
+                assert 0.0 <= s <= 1.0
+                assert s == pytest.approx(naive_sigma(graph, actual, u, v))
+            counts = sim.role_counts()
+            assert sum(counts.values()) == graph.n
+
+    def test_clusterings_are_partitions_everywhere(self):
+        from repro.index.clustering import even_clustering, power_clustering
+
+        for graph in all_graphs(4):
+            if graph.m == 0:
+                continue
+            weights = {e: 1.0 for e in graph.edges()}
+            index = PyramidIndex(graph, weights, k=2, seed=0)
+            for level in range(1, index.num_levels + 1):
+                for clusters in (
+                    even_clustering(index, level),
+                    power_clustering(index, level),
+                ):
+                    flat = sorted(v for c in clusters for v in c)
+                    assert flat == list(graph.nodes()), graph.edges()
+
+
+class TestFiveNodeSlice:
+    """5-node graphs: every graph containing a fixed spanning path (so
+    the slice stays connected and the checks exercise deeper trees)."""
+
+    def five_node_connected(self):
+        base = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        extras = [(0, 2), (0, 3), (0, 4), (1, 3), (1, 4), (2, 4)]
+        for bits in range(2 ** len(extras)):
+            edges = base + [extras[k] for k in range(len(extras)) if bits >> k & 1]
+            yield Graph(5, edges)
+
+    def test_update_sequence_on_every_graph(self):
+        for graph in self.five_node_connected():
+            weights = {e: 1.0 for e in graph.edges()}
+
+            def weight(u, v):
+                return weights[edge_key(u, v)]
+
+            part = VoronoiPartition(graph, [0, 4], weight)
+            # Three-step deterministic update sequence.
+            seq = [
+                (graph.edges()[0], 0.25),
+                (graph.edges()[-1], 4.0),
+                (graph.edges()[len(graph.edges()) // 2], 0.5),
+            ]
+            for e, w in seq:
+                old = weights[e]
+                weights[e] = w
+                part.apply_weight_change(*e, old, w)
+            dist, seed, _ = multi_source_dijkstra(graph, [0, 4], weight)
+            for v in graph.nodes():
+                assert part.dist[v] == pytest.approx(dist[v], rel=1e-12), graph.edges()
+                assert part.seed[v] == seed[v], graph.edges()
+            part.check_consistency()

@@ -1,0 +1,171 @@
+"""Failure-injection and adversarial-input tests.
+
+A production system meets malformed input, pathological graphs and
+abusive parameter choices.  These tests pin down how every layer fails:
+loudly, early, and with a useful message — never with silent corruption.
+"""
+
+import io
+import math
+
+import pytest
+
+from repro.core.activation import Activation, ActivationStream
+from repro.core.anc import ANCO, ANCF, ANCParams
+from repro.core.decay import DecayClock, ValueKind
+from repro.core.metric import SimilarityFunction
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, read_temporal_edge_list
+from repro.index.pyramid import PyramidIndex
+
+
+class TestPathologicalGraphs:
+    def test_single_node_graph_end_to_end(self):
+        g = Graph(1)
+        engine = ANCO(g, ANCParams(rep=1, k=2, seed=0))
+        assert engine.clusters() == [[0]]
+        assert engine.cluster_of(0) == [0]
+
+    def test_two_node_graph_end_to_end(self):
+        g = Graph(2, [(0, 1)])
+        engine = ANCO(g, ANCParams(rep=1, k=2, seed=0, mu=1))
+        engine.process(Activation(0, 1, 1.0))
+        clusters = engine.clusters()
+        assert sorted(v for c in clusters for v in c) == [0, 1]
+        engine.index.check_consistency()
+
+    def test_edgeless_graph(self):
+        g = Graph(5)
+        engine = ANCO(g, ANCParams(rep=1, k=2, seed=0))
+        clusters = engine.clusters()
+        assert sorted(v for c in clusters for v in c) == list(range(5))
+        assert all(len(c) == 1 for c in clusters)
+
+    def test_disconnected_graph_streams_fine(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        engine = ANCO(g, ANCParams(rep=1, k=2, seed=0, mu=2))
+        for t, e in enumerate([(0, 1), (3, 4), (1, 2)], start=1):
+            engine.process(Activation(*e, float(t)))
+        engine.index.check_consistency()
+        # Components never merge across the cut.
+        for level in range(1, engine.queries.num_levels + 1):
+            cluster = engine.cluster_of(0, level)
+            assert not set(cluster) & {3, 4, 5}
+
+    def test_star_graph_roles_stable(self):
+        g = Graph(8, [(0, i) for i in range(1, 8)])
+        engine = ANCO(g, ANCParams(rep=2, k=2, seed=0, mu=3))
+        for t in range(1, 6):
+            engine.process(Activation(0, 1 + t % 7, float(t)))
+        engine.index.check_consistency()
+
+
+class TestAbusiveParameters:
+    def test_huge_lambda_underflow_guard(self):
+        """λ so large that g underflows between activations: the
+        min_factor guard must rescale instead of denormalizing."""
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        sf = SimilarityFunction(g, lam=50.0, rep=0, mu=2)
+        for t in range(1, 30):
+            sf.on_activation(Activation(0, 1, float(t * 10)))
+        assert sf.clock.rescale_count > 0
+        value = sf.anchored_value(0, 1)
+        assert math.isfinite(value) and value > 0
+
+    def test_zero_lambda_is_static_weights(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        sf = SimilarityFunction(g, lam=0.0, rep=0, mu=2)
+        before = sf.value(0, 1)
+        sf.clock.advance(1000.0)
+        assert sf.value(0, 1) == before
+
+    def test_k_one_pyramid_still_clusters(self):
+        g = Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+        engine = ANCO(g, ANCParams(rep=1, k=1, seed=0, mu=2))
+        clusters = engine.clusters()
+        assert sorted(v for c in clusters for v in c) == list(range(6))
+
+    def test_support_one_requires_unanimity(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        weights = {e: 1.0 for e in g.edges()}
+        index = PyramidIndex(g, weights, k=3, seed=0, support=1.0)
+        for u, v in g.edges():
+            vote = index.same_cluster_vote(u, v, 1)
+            assert vote == (index.vote_count(u, v, 1) == 3)
+
+
+class TestMalformedStreams:
+    def test_activation_on_missing_edge_raises_everywhere(self):
+        g = Graph(3, [(0, 1)])
+        engine = ANCO(g, ANCParams(rep=0, k=1, seed=0))
+        stream = ActivationStream(g)
+        with pytest.raises(ValueError):
+            stream.append(Activation(1, 2, 1.0))
+
+    def test_backwards_time_raises_in_engine(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        engine = ANCO(g, ANCParams(rep=0, k=1, seed=0))
+        engine.process(Activation(0, 1, 5.0))
+        with pytest.raises(ValueError):
+            engine.process(Activation(1, 2, 4.0))
+
+    def test_nan_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            Activation(0, 1, float("nan") if float("nan") < 0 else -1.0)
+
+    def test_engine_state_consistent_after_rejected_activation(self):
+        """A rejected activation must not half-apply."""
+        g = Graph(3, [(0, 1), (1, 2)])
+        engine = ANCO(g, ANCParams(rep=0, k=1, seed=0, mu=2))
+        engine.process(Activation(0, 1, 5.0))
+        snapshot = engine.metric.snapshot_similarities()
+        with pytest.raises(ValueError):
+            engine.process(Activation(1, 2, 1.0))  # time goes backwards
+        assert engine.metric.snapshot_similarities() == snapshot
+        engine.index.check_consistency()
+
+
+class TestMalformedFiles:
+    def test_edge_list_with_garbage_line(self):
+        with pytest.raises(ValueError, match="line 2"):
+            read_edge_list(io.StringIO("a b\ngarbage\n"))
+
+    def test_temporal_with_non_numeric_time(self):
+        with pytest.raises(ValueError):
+            read_temporal_edge_list(io.StringIO("a b notatime\n"))
+
+    def test_empty_file_yields_empty_graph(self):
+        graph, names = read_edge_list(io.StringIO(""))
+        assert graph.n == 0 and names == []
+
+
+class TestNumericalEdges:
+    def test_tiny_weights_do_not_break_index(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        weights = {e: 1.0 for e in g.edges()}
+        index = PyramidIndex(g, weights, k=2, seed=0)
+        index.update_edge_weight(0, 1, 1e-300)
+        index.check_consistency()
+        index.update_edge_weight(0, 1, 1e300)
+        index.check_consistency()
+
+    def test_anchored_values_finite_after_many_rescales(self):
+        clock = DecayClock(1.0, rescale_every=2, min_factor=1e-6)
+        store = clock.register(ValueKind.POSITIVE)
+        store.set_actual(0, 1, 1.0)
+        t = 0.0
+        for _ in range(200):
+            t += 20.0  # each advance would underflow without the guard
+            clock.advance(t)
+            store.add_anchored(0, 1, 1.0 / clock.global_factor())
+            clock.note_activation()
+        assert math.isfinite(store.anchored(0, 1))
+
+    def test_ancf_refresh_after_long_idle(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        engine = ANCF(g, ANCParams(rep=1, k=1, seed=0, lam=0.5, mu=2))
+        engine.process(Activation(0, 1, 1.0))
+        engine.metric.clock.advance(500.0)  # everything decayed to ~0
+        engine.refresh()
+        clusters = engine.clusters()
+        assert sorted(v for c in clusters for v in c) == list(range(4))

@@ -1,0 +1,219 @@
+"""Tests for the synthetic graph generators."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert,
+    barbell_graph,
+    caveman_relaxed,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    lfr_like,
+    path_graph,
+    planted_partition,
+    powerlaw_community_sizes,
+    star_graph,
+)
+from repro.graph.traversal import connected_components
+
+
+class TestDeterministicShapes:
+    def test_path(self):
+        g = path_graph(5)
+        assert (g.n, g.m) == (5, 4)
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert (g.n, g.m) == (5, 5)
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 1 for v in range(1, 7))
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.m == 10
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_barbell(self):
+        g = barbell_graph(4, bridge=1)
+        assert g.n == 8
+        assert g.m == 2 * 6 + 1
+        assert len(connected_components(g)) == 1
+
+    def test_barbell_long_bridge(self):
+        g = barbell_graph(3, bridge=3)
+        assert g.n == 3 + 3 + 2
+        assert len(connected_components(g)) == 1
+
+
+class TestErdosRenyi:
+    def test_deterministic_per_seed(self):
+        assert erdos_renyi(50, 0.1, seed=1) == erdos_renyi(50, 0.1, seed=1)
+
+    def test_density_close_to_p(self):
+        g = erdos_renyi(200, 0.1, seed=2, connect=False)
+        expected = 0.1 * 200 * 199 / 2
+        assert 0.7 * expected < g.m < 1.3 * expected
+
+    def test_p_zero_gives_empty_unconnected(self):
+        g = erdos_renyi(10, 0.0, seed=0, connect=False)
+        assert g.m == 0
+
+    def test_connect_flag_joins_components(self):
+        g = erdos_renyi(50, 0.02, seed=3, connect=True)
+        assert len(connected_components(g)) == 1
+
+    def test_p_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+    def test_p_one_is_complete(self):
+        g = erdos_renyi(6, 1.0, seed=0, connect=False)
+        assert g.m == 15
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(50, 3, seed=1)
+        # Seed clique C(4,2)=6 edges, then 46 nodes * 3 edges.
+        assert g.m == 6 + 46 * 3
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(300, 2, seed=4)
+        degrees = sorted((g.degree(v) for v in g.nodes()), reverse=True)
+        assert degrees[0] > 4 * (2 * g.m / g.n)  # hub well above mean
+
+    def test_connected(self):
+        g = barabasi_albert(100, 2, seed=5)
+        assert len(connected_components(g)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+
+
+class TestPowerlawSizes:
+    def test_sums_to_n(self):
+        rng = random.Random(0)
+        sizes = powerlaw_community_sizes(500, 20, rng)
+        assert sum(sizes) == 500
+
+    def test_min_size_respected(self):
+        rng = random.Random(1)
+        sizes = powerlaw_community_sizes(300, 10, rng, min_size=5)
+        assert all(s >= 5 for s in sizes)
+
+    def test_skew_present(self):
+        rng = random.Random(2)
+        sizes = powerlaw_community_sizes(1000, 30, rng, exponent=2.0)
+        assert max(sizes) > 3 * min(sizes)
+
+    def test_single_community(self):
+        rng = random.Random(3)
+        assert powerlaw_community_sizes(50, 1, rng) == [50]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            powerlaw_community_sizes(50, 0, random.Random(0))
+
+
+class TestPlantedPartition:
+    def test_labels_cover_all_nodes(self):
+        g, labels = planted_partition(120, 6, seed=1)
+        assert len(labels) == g.n
+        assert set(labels) == set(range(6))
+
+    def test_deterministic(self):
+        g1, l1 = planted_partition(100, 5, seed=7)
+        g2, l2 = planted_partition(100, 5, seed=7)
+        assert g1 == g2 and l1 == l2
+
+    def test_intra_density_exceeds_inter(self):
+        g, labels = planted_partition(200, 5, p_in=0.3, p_out=0.01, seed=2)
+        intra = sum(1 for u, v in g.edges() if labels[u] == labels[v])
+        inter = g.m - intra
+        # Normalize by available pair counts.
+        from collections import Counter
+
+        sizes = Counter(labels)
+        intra_pairs = sum(s * (s - 1) // 2 for s in sizes.values())
+        inter_pairs = g.n * (g.n - 1) // 2 - intra_pairs
+        assert intra / intra_pairs > 5 * (inter / max(1, inter_pairs))
+
+    def test_connected(self):
+        g, _ = planted_partition(150, 8, seed=3)
+        assert len(connected_components(g)) == 1
+
+
+class TestLfrLike:
+    def test_deterministic(self):
+        g1, l1 = lfr_like(200, mixing=0.2, seed=4)
+        g2, l2 = lfr_like(200, mixing=0.2, seed=4)
+        assert g1 == g2 and l1 == l2
+
+    def test_mixing_fraction_tracks_parameter(self):
+        g, labels = lfr_like(400, mixing=0.25, avg_degree=10, seed=1)
+        inter = sum(1 for u, v in g.edges() if labels[u] != labels[v])
+        realized = inter / g.m
+        assert 0.1 < realized < 0.4, realized
+
+    def test_low_mixing_mostly_intra(self):
+        g, labels = lfr_like(300, mixing=0.05, seed=2)
+        inter = sum(1 for u, v in g.edges() if labels[u] != labels[v])
+        assert inter / g.m < 0.15
+
+    def test_degree_heterogeneity(self):
+        g, _ = lfr_like(500, mixing=0.1, avg_degree=8, seed=3)
+        degrees = sorted((g.degree(v) for v in g.nodes()), reverse=True)
+        assert degrees[0] > 2.5 * (2 * g.m / g.n)
+
+    def test_connected(self):
+        g, _ = lfr_like(300, mixing=0.1, seed=5)
+        assert len(connected_components(g)) == 1
+
+    def test_average_degree_near_target(self):
+        g, _ = lfr_like(400, mixing=0.15, avg_degree=10, seed=6)
+        assert 6 < 2 * g.m / g.n < 14
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lfr_like(100, mixing=1.5)
+        with pytest.raises(ValueError):
+            lfr_like(100, avg_degree=1.0)
+
+    def test_labels_cover_nodes(self):
+        g, labels = lfr_like(250, mixing=0.2, seed=7)
+        assert len(labels) == g.n
+
+
+class TestCaveman:
+    def test_labels_by_clique(self):
+        g, labels = caveman_relaxed(4, 5, rewire_p=0.0, seed=0)
+        assert labels == [v // 5 for v in range(20)]
+
+    def test_no_rewire_gives_cliques_plus_connectors(self):
+        g, _ = caveman_relaxed(3, 4, rewire_p=0.0, seed=0)
+        # 3 cliques of C(4,2)=6 edges plus up to 2 connector edges.
+        assert 18 <= g.m <= 20
+
+    def test_connected(self):
+        g, _ = caveman_relaxed(5, 6, rewire_p=0.1, seed=1)
+        assert len(connected_components(g)) == 1

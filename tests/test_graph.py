@@ -1,0 +1,173 @@
+"""Unit tests for the Graph substrate."""
+
+import pytest
+
+from repro.graph.graph import Graph, GraphBuilder, edge_key
+
+
+class TestEdgeKey:
+    def test_orders_endpoints(self):
+        assert edge_key(3, 1) == (1, 3)
+        assert edge_key(1, 3) == (1, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            edge_key(2, 2)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.n == 0
+        assert g.m == 0
+        assert list(g.nodes()) == []
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_nodes_without_edges(self):
+        g = Graph(4)
+        assert g.n == 4
+        assert all(g.degree(v) == 0 for v in g.nodes())
+
+    def test_edges_from_constructor(self):
+        g = Graph(3, [(0, 1), (2, 1)])
+        assert g.m == 2
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(0, 2)
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_add_edge_returns_newness(self):
+        g = Graph(3)
+        assert g.add_edge(0, 1) is True
+        assert g.add_edge(1, 0) is False
+
+    def test_out_of_range_edge_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 3)
+
+    def test_self_loop_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+
+class TestAdjacency:
+    def test_neighbors_sorted(self):
+        g = Graph(5, [(0, 4), (0, 2), (0, 1), (0, 3)])
+        assert list(g.neighbors(0)) == [1, 2, 3, 4]
+
+    def test_degree(self, triangle):
+        assert all(triangle.degree(v) == 2 for v in triangle.nodes())
+
+    def test_edges_are_canonical(self):
+        g = Graph(3, [(2, 0), (1, 0)])
+        assert all(u < v for u, v in g.edges())
+
+    def test_has_node(self):
+        g = Graph(3)
+        assert g.has_node(0) and g.has_node(2)
+        assert not g.has_node(3) and not g.has_node(-1)
+
+    def test_has_edge_self(self, triangle):
+        assert not triangle.has_edge(1, 1)
+
+
+class TestCommonNeighbors:
+    def test_triangle(self, triangle):
+        assert triangle.common_neighbors(0, 1) == [2]
+
+    def test_no_common(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.common_neighbors(0, 2) == []
+
+    def test_skewed_degrees_use_binary_search(self):
+        # Hub with many leaves; two hubs share all leaves.
+        n = 100
+        g = Graph(n + 2)
+        for leaf in range(2, n + 2):
+            g.add_edge(0, leaf)
+            g.add_edge(1, leaf)
+        g.add_edge(0, 1)
+        common = g.common_neighbors(0, 1)
+        assert common == list(range(2, n + 2))
+
+    def test_symmetric(self, square_with_diagonal):
+        g = square_with_diagonal
+        assert g.common_neighbors(1, 3) == g.common_neighbors(3, 1)
+
+
+class TestExclusiveNeighbors:
+    def test_excludes_other_endpoint(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 2), (0, 3)])
+        # N(0) = {1,2,3}; exclusive wrt 1: N(0) \ (N(1) ∪ {1}) = {3}
+        assert g.exclusive_neighbors(0, 1) == [3]
+
+    def test_asymmetric(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 2), (0, 3)])
+        assert g.exclusive_neighbors(1, 0) == []
+
+
+class TestCopySubgraph:
+    def test_copy_is_independent(self, triangle):
+        g2 = triangle.copy()
+        g2.add_edge(0, 1)  # duplicate, no-op
+        g3 = Graph(4, [(0, 1)])
+        assert triangle == triangle.copy()
+        assert triangle != g3
+
+    def test_copy_mutation_isolated(self):
+        g = Graph(4, [(0, 1)])
+        g2 = g.copy()
+        g2.add_edge(2, 3)
+        assert not g.has_edge(2, 3)
+        assert g2.has_edge(2, 3)
+
+    def test_subgraph_induced(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        sub, mapping = g.subgraph([0, 1, 2])
+        assert sub.n == 3
+        assert sub.m == 2  # (0,1) and (1,2) survive
+        assert mapping == {0: 0, 1: 1, 2: 2}
+
+    def test_subgraph_relabels_densely(self):
+        g = Graph(6, [(2, 5), (2, 4)])
+        sub, mapping = g.subgraph([2, 4, 5])
+        assert sub.n == 3
+        assert sub.has_edge(mapping[2], mapping[5])
+        assert sub.has_edge(mapping[2], mapping[4])
+
+
+class TestGraphBuilder:
+    def test_string_labels(self):
+        b = GraphBuilder()
+        b.add_edge("alice", "bob")
+        b.add_edge("bob", "carol")
+        g, names = b.build()
+        assert g.n == 3
+        assert g.m == 2
+        assert names == ["alice", "bob", "carol"]
+
+    def test_ids_first_seen_order(self):
+        b = GraphBuilder()
+        assert b.node_id("x") == 0
+        assert b.node_id("y") == 1
+        assert b.node_id("x") == 0
+
+    def test_self_loop_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(ValueError):
+            b.add_edge("a", "a")
+
+    def test_duplicate_edges_collapse(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b")
+        b.add_edge("b", "a")
+        g, _ = b.build()
+        assert g.m == 1

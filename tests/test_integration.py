@@ -1,0 +1,176 @@
+"""End-to-end integration tests across the full pipeline."""
+
+import math
+
+import pytest
+
+from repro import ANCF, ANCO, ANCOR, ANCParams, Activation
+from repro.baselines import louvain, spectral_clustering
+from repro.evalm import modularity, score_clustering
+from repro.index.pyramid import PyramidIndex
+from repro.workloads import (
+    build_case_study,
+    community_biased_stream,
+    load_dataset,
+    uniform_stream,
+)
+
+
+class TestFullPipelineOnDataset:
+    def test_co_dataset_stream_end_to_end(self):
+        data = load_dataset("CO")
+        params = ANCParams(rep=1, k=2, seed=0, rescale_every=256)
+        engine = ANCO(data.graph, params)
+        stream = data.default_stream(timestamps=10)
+        engine.process_stream(stream)
+        engine.index.check_consistency()
+        clusters = engine.clusters()
+        assert sum(len(c) for c in clusters) == data.graph.n
+        scores = score_clustering(clusters, data.truth())
+        assert 0.0 <= scores["nmi"] <= 1.0
+
+    def test_quality_beats_random_assignment(self):
+        data = load_dataset("CA")
+        params = ANCParams(rep=2, k=4, seed=0, eps=0.25, mu=2)
+        stream = community_biased_stream(
+            data.graph, data.labels, timestamps=8, fraction=0.15,
+            intra_bias=0.95, seed=2,
+        )
+        engine = ANCO(data.graph, params)
+        engine.process_stream(stream)
+        truth = data.truth()
+        _, clusters = engine.queries.clusters_closest_to(
+            len(data.truth_clusters()), min_size=3
+        )
+        anc_nmi = score_clustering(clusters, truth)["nmi"]
+        random_pred = [[v for v in data.graph.nodes() if v % 9 == r] for r in range(9)]
+        random_nmi = score_clustering(random_pred, truth, min_size=1)["nmi"]
+        assert anc_nmi > random_nmi + 0.2
+
+    def test_zoom_in_and_out_chain(self):
+        data = load_dataset("CO")
+        engine = ANCO(data.graph, ANCParams(rep=1, k=2, seed=0))
+        level = engine.queries.sqrt_n_level()
+        finer = engine.zoom_in(level)
+        coarser = engine.zoom_out(level)
+        c_mid = len(engine.clusters(level))
+        c_coarse = len(engine.clusters(coarser))
+        # Coarser granularity has at most as many seeds, typically fewer clusters.
+        assert c_coarse <= c_mid + 2
+        assert finer >= level >= coarser
+
+
+class TestProblemStatementQueries:
+    """The three query types of Problem 1."""
+
+    @pytest.fixture(scope="class")
+    def engine(self):
+        data = load_dataset("CO")
+        engine = ANCO(data.graph, ANCParams(rep=1, k=4, seed=3))
+        engine.process_stream(data.default_stream(timestamps=5))
+        return engine
+
+    def test_report_all_clusters_theta_sqrt_n(self, engine):
+        clusters = engine.clusters()  # default = sqrt-n granularity
+        n = engine.graph.n
+        # Θ(√n) clusters with generous constants.
+        assert math.sqrt(n) / 4 <= len(clusters) <= 6 * math.sqrt(n)
+
+    def test_granularity_count_is_log_n(self, engine):
+        assert engine.queries.num_levels == math.ceil(math.log2(engine.graph.n))
+
+    def test_local_smallest_cluster_then_zoom_out(self, engine):
+        v = 7
+        level, cluster = engine.queries.smallest_cluster_of(v)
+        assert v in cluster
+        sizes = [len(cluster)]
+        while level > 1:
+            level = engine.zoom_out(level)
+            bigger = engine.cluster_of(v, level)
+            assert v in bigger
+            sizes.append(len(bigger))
+            if level == 1:
+                break
+        # Zooming out never shrinks the containing cluster (same index).
+        assert sizes[-1] >= sizes[0]
+
+    def test_local_cluster_at_sqrt_granularity(self, engine):
+        v = 3
+        cluster = engine.cluster_of(v)
+        assert v in cluster
+        # Consistent with the global even clustering at the same level.
+        from repro.index.clustering import even_clustering
+
+        level = engine.queries.sqrt_n_level()
+        globally = even_clustering(engine.index, level)
+        containing = next(c for c in globally if v in c)
+        assert cluster == containing
+
+
+class TestCaseStudyNarrative:
+    """Fig 11 / Section VI-C: cluster membership follows collaborations."""
+
+    #: Granularity level used by the narrative checks (the paper's l3).
+    LEVEL = 3
+
+    @pytest.fixture(scope="class")
+    def timeline(self):
+        cs = build_case_study()
+        params = ANCParams(lam=0.1, rep=3, k=4, seed=2, eps=0.12, mu=2)
+        engine = ANCOR(cs.graph, params, reinforce_interval=5.0)
+        membership = {}
+        batches = dict(cs.stream.batches_by_timestamp())
+        for year in range(1, 31):
+            batch = batches.get(float(year), [])
+            engine.process_batch(batch)
+            if year in (10, 20, 30):
+                membership[year] = tuple(engine.cluster_of(8, self.LEVEL))
+        return cs, membership
+
+    def test_v8_with_v7_at_t10(self, timeline):
+        """v8 collaborates with v7 in years 5-11: same cluster at t10."""
+        _, membership = timeline
+        assert 7 in membership[10]
+
+    def test_v8_leaves_v7_joins_v0_by_t20(self, timeline):
+        """By t20 the v7 collaboration has decayed (ended t11) while the
+        v0 collaboration (t11-t30) is live."""
+        _, membership = timeline
+        cluster = membership[20]
+        assert 0 in cluster
+        assert 7 not in cluster
+
+    def test_v8_with_v26_at_t30(self, timeline):
+        """The v26 collaboration (t23 on) is live at t30."""
+        _, membership = timeline
+        assert 26 in membership[30]
+
+    def test_clusters_are_never_the_whole_graph_at_l3(self, timeline):
+        cs, membership = timeline
+        for year in (10, 20, 30):
+            assert len(membership[year]) < cs.graph.n
+
+
+class TestCrossValidationWithBaselines:
+    def test_anc_and_louvain_agree_on_obvious_structure(self):
+        data = load_dataset("CA")
+        engine = ANCF(data.graph, ANCParams(rep=3, k=4, seed=0, eps=0.25, mu=2))
+        louvain_clusters = louvain(data.graph)
+        louv_q = modularity(data.graph, louvain_clusters)
+        # Best ANC granularity: Louvain optimizes Q directly, so ANC should
+        # be within striking range at its best level (the paper reports
+        # ~18% lower for ANCF9 at the matched granularity).
+        anc_q = max(
+            modularity(
+                data.graph,
+                [c for c in engine.clusters(level) if len(c) >= 3],
+            )
+            for level in range(1, engine.queries.num_levels + 1)
+        )
+        assert anc_q > 0.25 * louv_q
+
+    def test_spectral_truth_is_usable_reference(self):
+        data = load_dataset("CO")
+        k = max(2, int(2 * math.sqrt(data.graph.n)))
+        clusters = spectral_clustering(data.graph, k, seed=0)
+        assert sum(len(c) for c in clusters) == data.graph.n

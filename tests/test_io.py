@@ -1,0 +1,88 @@
+"""Tests for edge-list I/O."""
+
+import io
+
+import pytest
+
+from repro.graph.generators import planted_partition
+from repro.graph.io import (
+    read_edge_list,
+    read_temporal_edge_list,
+    write_edge_list,
+    write_temporal_edge_list,
+)
+from repro.core.activation import Activation, ActivationStream
+
+
+class TestReadEdgeList:
+    def test_basic(self):
+        text = io.StringIO("a b\nb c\n")
+        graph, names = read_edge_list(text)
+        assert graph.n == 3 and graph.m == 2
+        assert names == ["a", "b", "c"]
+
+    def test_comments_and_blanks_skipped(self):
+        text = io.StringIO("# header\n\n% other\n1 2\n")
+        graph, _ = read_edge_list(text)
+        assert graph.m == 1
+
+    def test_self_loops_dropped(self):
+        text = io.StringIO("1 1\n1 2\n")
+        graph, _ = read_edge_list(text)
+        assert graph.m == 1
+
+    def test_duplicates_collapse(self):
+        text = io.StringIO("1 2\n2 1\n1 2\n")
+        graph, _ = read_edge_list(text)
+        assert graph.m == 1
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_edge_list(io.StringIO("only_one_token\n"))
+
+    def test_file_round_trip(self, tmp_path, medium_planted):
+        graph, _ = medium_planted
+        path = tmp_path / "edges.txt"
+        write_edge_list(graph, path)
+        loaded, names = read_edge_list(path)
+        assert loaded.n == graph.n
+        assert loaded.m == graph.m
+        # Names are the stringified dense ids; mapping must be consistent.
+        remap = {int(name): idx for idx, name in enumerate(names)}
+        for u, v in graph.edges():
+            assert loaded.has_edge(remap[u], remap[v])
+
+
+class TestTemporalEdgeList:
+    def test_basic(self):
+        text = io.StringIO("a b 1\nb c 2\na b 3\n")
+        graph, stream, names = read_temporal_edge_list(text)
+        assert graph.m == 2
+        assert len(stream) == 3
+        assert [a.t for a in stream] == [1.0, 2.0, 3.0]
+
+    def test_out_of_order_input_sorted(self):
+        text = io.StringIO("a b 5\nb c 1\n")
+        _, stream, _ = read_temporal_edge_list(text)
+        assert [a.t for a in stream] == [1.0, 5.0]
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            read_temporal_edge_list(io.StringIO("a b -1\n"))
+
+    def test_missing_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            read_temporal_edge_list(io.StringIO("a b\n"))
+
+    def test_round_trip(self, tmp_path, small_planted):
+        graph, _ = small_planted
+        stream = ActivationStream(graph)
+        edges = graph.edges()
+        stream.append(Activation(*edges[0], 1.0))
+        stream.append(Activation(*edges[3], 2.0))
+        path = tmp_path / "temporal.txt"
+        write_temporal_edge_list(graph, list(stream), path)
+        g2, s2, names = read_temporal_edge_list(path)
+        assert g2.m == graph.m
+        # Activations with t > 0 are preserved.
+        assert sum(1 for a in s2 if a.t > 0) == 2

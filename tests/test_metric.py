@@ -1,0 +1,189 @@
+"""Unit tests for the similarity function S_t and distance metric (§IV-C)."""
+
+import math
+
+import pytest
+
+from repro.core.activation import Activation
+from repro.core.metric import SimilarityFunction
+from repro.graph.graph import Graph
+from repro.graph.traversal import INF
+
+
+class TestInitialization:
+    def test_rep0_runs_one_sweep(self, triangle):
+        # mu=2 makes triangle nodes cores, so the single init sweep
+        # applies direct+triadic consolidation to every edge.
+        sf = SimilarityFunction(triangle, rep=0, mu=2)
+        for u, v in triangle.edges():
+            assert sf.anchored_value(u, v) != 1.0
+
+    def test_double_initialize_rejected(self, triangle):
+        sf = SimilarityFunction(triangle, rep=0)
+        with pytest.raises(RuntimeError):
+            sf.initialize()
+
+    def test_deferred_initialize(self, triangle):
+        sf = SimilarityFunction(triangle, rep=0, initialize=False)
+        assert sf.anchored_value(0, 1) == 0.0
+        sf.initialize()
+        assert sf.anchored_value(0, 1) > 0.0
+
+    def test_negative_rep_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            SimilarityFunction(triangle, rep=-1)
+
+    def test_more_reps_separate_barbell_more(self, barbell):
+        """Reinforcement repetitions widen the intra/bridge similarity gap."""
+        bridge = next(e for e in barbell.edges() if (e[0] < 5) != (e[1] < 5))
+
+        def gap(rep: int) -> float:
+            sf = SimilarityFunction(barbell, rep=rep, mu=2, eps=0.2)
+            return sf.anchored_value(0, 1) / sf.anchored_value(*bridge)
+
+        assert gap(5) > gap(0) > 1.0
+
+    def test_initial_activeness_is_uniform_one(self, triangle):
+        sf = SimilarityFunction(triangle, rep=0)
+        for u, v in triangle.edges():
+            assert sf.activeness.value(u, v) == pytest.approx(1.0)
+
+
+class TestStreamUpdates:
+    def test_activation_updates_only_trigger_edge_weight(self, small_planted):
+        graph, _ = small_planted
+        sf = SimilarityFunction(graph, rep=1)
+        before = sf.snapshot_similarities()
+        edge = graph.edges()[0]
+        sf.on_activation(Activation(edge[0], edge[1], 1.0))
+        after = sf.snapshot_similarities()
+        changed = [e for e in graph.edges() if before[e] != after[e]]
+        assert changed == [edge]
+
+    def test_activation_notifies_listener(self, triangle):
+        sf = SimilarityFunction(triangle, rep=0)
+        seen = []
+        sf.add_weight_listener(lambda u, v, w: seen.append((u, v, w)))
+        sf.on_activation(Activation(0, 1, 1.0))
+        assert len(seen) == 1
+        (u, v, w) = seen[0]
+        assert (u, v) == (0, 1)
+        assert w == pytest.approx(1.0 / sf.anchored_value(0, 1))
+
+    def test_repeated_activations_increase_similarity(self, triangle):
+        sf = SimilarityFunction(triangle, rep=0, mu=2)
+        s0 = sf.anchored_value(0, 1)
+        for t in range(1, 6):
+            sf.on_activation(Activation(0, 1, float(t)))
+        assert sf.anchored_value(0, 1) > s0
+
+    def test_decay_lowers_actual_similarity(self, triangle):
+        sf = SimilarityFunction(triangle, rep=0, lam=0.5)
+        s0 = sf.value(0, 1)
+        sf.clock.advance(4.0)
+        assert sf.value(0, 1) == pytest.approx(s0 * math.exp(-2.0))
+
+    def test_posm_across_rescale(self, triangle):
+        """Lemma 4/10: actual S and S^-1 survive a batched rescale."""
+        sf = SimilarityFunction(triangle, rep=0, lam=0.3, rescale_every=2)
+        sf.on_activation(Activation(0, 1, 1.0))
+        sf.clock.advance(2.0)
+        s_before = sf.value(0, 1)
+        w_before = sf.weight(0, 1)
+        sf.clock.rescale()
+        assert sf.value(0, 1) == pytest.approx(s_before)
+        assert sf.weight(0, 1) == pytest.approx(w_before)
+
+    def test_activeness_only_path_matches_activeness(self, triangle):
+        sf = SimilarityFunction(triangle, rep=0)
+        s_before = sf.anchored_value(0, 1)
+        sf.on_activation_activeness_only(Activation(0, 1, 1.0))
+        # Similarity untouched, activeness bumped.
+        assert sf.anchored_value(0, 1) == s_before
+        assert sf.activeness.value(0, 1) > 1.0
+
+    def test_recompute_resets_then_reinforces(self, triangle):
+        sf = SimilarityFunction(triangle, rep=1)
+        sf.on_activation(Activation(0, 1, 1.0))
+        sf.recompute()
+        # After recompute all values derive from S=1 + sweeps, not history.
+        fresh = SimilarityFunction(triangle, rep=1)
+        fresh.on_activation_activeness_only(Activation(0, 1, 1.0))
+        fresh.recompute()
+        for u, v in triangle.edges():
+            assert sf.anchored_value(u, v) == pytest.approx(fresh.anchored_value(u, v))
+
+
+class TestDistanceMetric:
+    def test_weight_is_reciprocal(self, triangle):
+        sf = SimilarityFunction(triangle, rep=0)
+        for u, v in triangle.edges():
+            assert sf.weight(u, v) == pytest.approx(1.0 / sf.value(u, v))
+
+    def test_distance_triangle_inequality_sample(self, small_planted):
+        graph, _ = small_planted
+        sf = SimilarityFunction(graph, rep=1)
+        d01 = sf.distance(0, 1)
+        d12 = sf.distance(1, 2)
+        d02 = sf.distance(0, 2)
+        assert d02 <= d01 + d12 + 1e-9
+
+    def test_attraction_strength_inverse_distance(self, triangle):
+        sf = SimilarityFunction(triangle, rep=0)
+        d = sf.distance(0, 1)
+        assert sf.attraction_strength(0, 1) == pytest.approx(1.0 / d)
+
+    def test_attraction_strength_self_is_inf(self, triangle):
+        sf = SimilarityFunction(triangle, rep=0)
+        assert sf.attraction_strength(0, 0) == INF
+
+    def test_attraction_strength_unreachable_is_zero(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        sf = SimilarityFunction(g, rep=0)
+        assert sf.attraction_strength(0, 3) == 0.0
+
+    def test_strongest_path_matches_distance(self, small_planted):
+        graph, _ = small_planted
+        sf = SimilarityFunction(graph, rep=1)
+        strength, path = sf.strongest_path(0, 5)
+        assert path[0] == 0 and path[-1] == 5
+        # Path length under S^-1 equals 1/strength.
+        total = sum(sf.weight(path[i], path[i + 1]) for i in range(len(path) - 1))
+        assert strength == pytest.approx(1.0 / total)
+
+    def test_negm_distance_scales_inversely(self, triangle):
+        """Lemma 6: M_t is NegM — distances scale by 1/g under decay."""
+        sf = SimilarityFunction(triangle, rep=0, lam=0.2)
+        d0 = sf.distance(0, 1)
+        sf.clock.advance(3.0)
+        g = sf.clock.global_factor()
+        assert sf.distance(0, 1) == pytest.approx(d0 / g)
+
+    def test_harmonic_mean_interpretation(self):
+        """Attraction = (harmonic mean of similarities) / hops on the best path."""
+        g = Graph(3, [(0, 1), (1, 2)])
+        sf = SimilarityFunction(g, rep=0, initialize=False)
+        sf.similarity.set_anchored(0, 1, 2.0)
+        sf.similarity.set_anchored(1, 2, 4.0)
+        for u, v in g.edges():
+            sf.activeness.store.set_anchored(u, v, 1.0)
+        sf._initialized = True
+        hops = 2
+        harmonic = 2 / (1 / 2.0 + 1 / 4.0)
+        assert sf.attraction_strength(0, 2) == pytest.approx(harmonic / hops)
+
+
+class TestSnapshots:
+    def test_snapshot_weights_cover_all_edges(self, small_planted):
+        graph, _ = small_planted
+        sf = SimilarityFunction(graph, rep=0)
+        weights = sf.snapshot_weights()
+        assert set(weights) == set(graph.edges())
+        assert all(w > 0 for w in weights.values())
+
+    def test_weight_fn_matches_snapshot(self, triangle):
+        sf = SimilarityFunction(triangle, rep=0)
+        fn = sf.weight_fn()
+        snap = sf.snapshot_weights()
+        for u, v in triangle.edges():
+            assert fn(u, v) == pytest.approx(snap[(u, v)])

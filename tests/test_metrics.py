@@ -1,0 +1,185 @@
+"""Unit tests for NMI / Purity / F1 and contingency plumbing."""
+
+import math
+
+import pytest
+
+from repro.evalm.contingency import (
+    clusters_to_labeling,
+    filter_noise,
+    labeling_to_clusters,
+    restrict_to_common,
+)
+from repro.evalm.partition_metrics import (
+    adjusted_rand_index,
+    f1_score,
+    nmi,
+    purity,
+    score_clustering,
+)
+
+
+PERFECT = {0: "a", 1: "a", 2: "b", 3: "b"}
+
+
+class TestContingency:
+    def test_clusters_to_labeling(self):
+        lab = clusters_to_labeling([[0, 1], [2]])
+        assert lab == {0: 0, 1: 0, 2: 1}
+
+    def test_overlapping_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            clusters_to_labeling([[0, 1], [1, 2]])
+
+    def test_labeling_round_trip(self):
+        clusters = [[0, 1], [2, 3], [4]]
+        assert labeling_to_clusters(clusters_to_labeling(clusters)) == clusters
+
+    def test_filter_noise(self):
+        clusters = [[0, 1, 2], [3], [4, 5]]
+        assert filter_noise(clusters, min_size=3) == [[0, 1, 2]]
+        assert filter_noise(clusters, min_size=2) == [[0, 1, 2], [4, 5]]
+
+    def test_restrict_to_common(self):
+        pred = {0: 1, 1: 1}
+        truth = {1: "x", 2: "x"}
+        p, t = restrict_to_common(pred, truth)
+        assert set(p) == {1} and set(t) == {1}
+
+
+class TestNmi:
+    def test_identical_partitions(self):
+        assert nmi(PERFECT, PERFECT) == pytest.approx(1.0)
+
+    def test_label_names_irrelevant(self):
+        renamed = {0: 9, 1: 9, 2: 7, 3: 7}
+        assert nmi(renamed, PERFECT) == pytest.approx(1.0)
+
+    def test_independent_partitions_near_zero(self):
+        pred = {0: 0, 1: 1, 2: 0, 3: 1}
+        truth = {0: "a", 1: "a", 2: "b", 3: "b"}
+        assert nmi(pred, truth) == pytest.approx(0.0, abs=1e-12)
+
+    def test_all_in_one_cluster_is_zero(self):
+        pred = {v: 0 for v in range(4)}
+        assert nmi(pred, PERFECT) == 0.0
+
+    def test_both_trivial_is_one(self):
+        pred = {v: 0 for v in range(4)}
+        truth = {v: "x" for v in range(4)}
+        assert nmi(pred, truth) == 1.0
+
+    def test_empty_common_is_zero(self):
+        assert nmi({0: 1}, {5: "x"}) == 0.0
+
+    def test_symmetry(self):
+        pred = {0: 0, 1: 0, 2: 1, 3: 1, 4: 1}
+        truth = {0: "a", 1: "b", 2: "b", 3: "b", 4: "a"}
+        # NMI is symmetric in its arguments (up to label namespaces).
+        truth_as_int = {k: {"a": 0, "b": 1}[v] for k, v in truth.items()}
+        assert nmi(pred, truth) == pytest.approx(nmi(truth_as_int, pred))
+
+    def test_hand_computed_case(self):
+        # pred {0,1},{2}; truth {0},{1,2}; n=3.
+        pred = {0: 0, 1: 0, 2: 1}
+        truth = {0: "x", 1: "y", 2: "y"}
+        # Joint: (0,x)=1 (0,y)=1 (1,y)=1
+        h = -(2 / 3) * math.log(2 / 3) - (1 / 3) * math.log(1 / 3)
+        mutual = (
+            (1 / 3) * math.log((1 / 3) / ((2 / 3) * (1 / 3)))
+            + (1 / 3) * math.log((1 / 3) / ((2 / 3) * (2 / 3)))
+            + (1 / 3) * math.log((1 / 3) / ((1 / 3) * (2 / 3)))
+        )
+        assert nmi(pred, truth) == pytest.approx(mutual / h)
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity(PERFECT, PERFECT) == 1.0
+
+    def test_mixed_cluster(self):
+        pred = {0: 0, 1: 0, 2: 0, 3: 0}
+        truth = {0: "a", 1: "a", 2: "a", 3: "b"}
+        assert purity(pred, truth) == pytest.approx(0.75)
+
+    def test_singletons_are_pure(self):
+        pred = {v: v for v in range(4)}
+        assert purity(pred, PERFECT) == 1.0
+
+    def test_empty_is_zero(self):
+        assert purity({}, {}) == 0.0
+
+
+class TestF1:
+    def test_perfect(self):
+        assert f1_score(PERFECT, PERFECT) == pytest.approx(1.0)
+
+    def test_half_split(self):
+        # Truth one cluster of 4; prediction two clusters of 2.
+        pred = {0: 0, 1: 0, 2: 1, 3: 1}
+        truth = {v: "a" for v in range(4)}
+        # truth->pred best F1 = 2*(0.5*1)/(1.5) = 2/3; pred->truth best = same.
+        assert f1_score(pred, truth) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert f1_score({}, {}) == 0.0
+
+    def test_range(self, medium_planted):
+        graph, labels = medium_planted
+        truth = {v: labels[v] for v in graph.nodes()}
+        pred = {v: v % 7 for v in graph.nodes()}
+        score = f1_score(pred, truth)
+        assert 0.0 <= score <= 1.0
+
+
+class TestScoreClustering:
+    def test_noise_filter_applied(self):
+        clusters = [[0, 1, 2, 3], [4], [5]]
+        truth = {v: 0 if v < 4 else 1 for v in range(6)}
+        scores = score_clustering(clusters, truth, min_size=3)
+        assert scores["clusters"] == 1.0
+        # Only nodes 0-3 scored; they match truth exactly within coverage.
+        assert scores["purity"] == 1.0
+
+    def test_returns_all_keys(self, medium_planted):
+        graph, labels = medium_planted
+        truth = {v: labels[v] for v in graph.nodes()}
+        scores = score_clustering([[v for v in graph.nodes()]], truth)
+        assert set(scores) == {"nmi", "purity", "f1", "ari", "clusters"}
+
+
+class TestAdjustedRandIndex:
+    def test_identical_is_one(self):
+        assert adjusted_rand_index(PERFECT, PERFECT) == pytest.approx(1.0)
+
+    def test_label_names_irrelevant(self):
+        renamed = {0: "x", 1: "x", 2: "y", 3: "y"}
+        assert adjusted_rand_index(renamed, PERFECT) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        pred = {0: 0, 1: 1, 2: 0, 3: 1}
+        assert abs(adjusted_rand_index(pred, PERFECT)) < 0.5
+
+    def test_single_node(self):
+        assert adjusted_rand_index({0: 0}, {0: "a"}) == 1.0
+
+    def test_empty(self):
+        assert adjusted_rand_index({}, {}) == 0.0
+
+    def test_hand_computed(self):
+        # Classic example: pred {0,1},{2,3,4}; truth {0,1,2},{3,4}.
+        pred = {0: 0, 1: 0, 2: 1, 3: 1, 4: 1}
+        truth = {0: "a", 1: "a", 2: "a", 3: "b", 4: "b"}
+        # joint pairs: (0,a)=2 ->1, (1,a)=1 ->0, (1,b)=2 ->1 : sum=2
+        # pred pairs: C(2,2)+C(3,2)=1+3=4 ; truth: C(3,2)+C(2,2)=3+1=4
+        # total C(5,2)=10 ; expected=16/10=1.6 ; max=4
+        expected = (2 - 1.6) / (4 - 1.6)
+        assert adjusted_rand_index(pred, truth) == pytest.approx(expected)
+
+    def test_symmetric(self, medium_planted):
+        graph, labels = medium_planted
+        truth = {v: labels[v] for v in graph.nodes()}
+        pred = {v: v % 5 for v in graph.nodes()}
+        assert adjusted_rand_index(pred, truth) == pytest.approx(
+            adjusted_rand_index(truth, pred)
+        )

@@ -1,0 +1,144 @@
+"""Tests for the cluster watcher (§V-C Remarks application)."""
+
+import pytest
+
+from repro.core.activation import Activation
+from repro.core.anc import ANCO, ANCParams
+from repro.graph.generators import barbell_graph, planted_partition
+from repro.index.clustering import local_cluster
+from repro.monitor import ClusterChange, ClusterWatcher
+from repro.workloads.streams import community_biased_stream
+
+QUICK = ANCParams(rep=1, k=2, seed=0, rescale_every=128, mu=2, eps=0.2)
+
+
+@pytest.fixture
+def engine(small_planted):
+    graph, _ = small_planted
+    return ANCO(graph, QUICK)
+
+
+class TestWatchBasics:
+    def test_watch_returns_current_cluster(self, engine):
+        watcher = ClusterWatcher(engine)
+        cluster = watcher.watch(0)
+        assert 0 in cluster
+        assert watcher.current_cluster(0) == cluster
+
+    def test_unknown_node_rejected(self, engine):
+        watcher = ClusterWatcher(engine)
+        with pytest.raises(ValueError):
+            watcher.watch(10_000)
+
+    def test_unwatched_level_rejected(self, engine):
+        watcher = ClusterWatcher(engine, levels=[2])
+        with pytest.raises(ValueError):
+            watcher.watch(0, level=3)
+
+    def test_invalid_level_rejected(self, engine):
+        with pytest.raises(ValueError):
+            ClusterWatcher(engine, levels=[99])
+
+    def test_unwatch(self, engine):
+        watcher = ClusterWatcher(engine)
+        watcher.watch(0)
+        watcher.unwatch(0)
+        with pytest.raises(KeyError):
+            watcher.current_cluster(0)
+
+
+class TestChangeDetection:
+    def test_tracked_cluster_stays_exact(self, small_planted):
+        """After every batch, the watcher's cached cluster must equal a
+        fresh local query — the whole point of the vote maintenance."""
+        graph, labels = small_planted
+        engine = ANCO(graph, QUICK)
+        watcher = ClusterWatcher(engine)
+        level = watcher.levels[0]
+        watched = [0, 7, 23]
+        for v in watched:
+            watcher.watch(v)
+        stream = community_biased_stream(
+            graph, labels, timestamps=8, fraction=0.2, intra_bias=0.8, seed=4
+        )
+        for _, batch in stream.batches_by_timestamp():
+            watcher.process_batch(batch)
+            for v in watched:
+                fresh = frozenset(local_cluster(engine.index, v, level))
+                assert watcher.current_cluster(v) == fresh
+
+    def test_events_describe_deltas(self, small_planted):
+        graph, labels = small_planted
+        engine = ANCO(graph, QUICK)
+        watcher = ClusterWatcher(engine)
+        watcher.watch(0)
+        stream = community_biased_stream(
+            graph, labels, timestamps=10, fraction=0.25, intra_bias=0.7, seed=9
+        )
+        changes = watcher.process_stream(stream)
+        # Deltas must be internally consistent.
+        for change in changes:
+            assert isinstance(change, ClusterChange)
+            assert not (change.joined & change.left)
+            assert change.node == 0
+            assert "node 0" in change.summary
+
+    def test_no_events_when_nothing_watched(self, small_planted):
+        graph, labels = small_planted
+        engine = ANCO(graph, QUICK)
+        watcher = ClusterWatcher(engine)
+        stream = community_biased_stream(
+            graph, labels, timestamps=3, fraction=0.1, seed=1
+        )
+        assert watcher.process_stream(stream) == []
+
+    def test_drain_events(self, small_planted):
+        graph, labels = small_planted
+        engine = ANCO(graph, QUICK)
+        watcher = ClusterWatcher(engine)
+        watcher.watch(0)
+        stream = community_biased_stream(
+            graph, labels, timestamps=10, fraction=0.25, intra_bias=0.7, seed=9
+        )
+        watcher.process_stream(stream)
+        drained = watcher.drain_events()
+        assert watcher.events == []
+        assert drained == sorted(drained, key=lambda c: c.t)
+
+
+class TestMultiLevel:
+    def test_two_levels_watched_independently(self, small_planted):
+        graph, labels = small_planted
+        engine = ANCO(graph, QUICK)
+        levels = [2, engine.queries.num_levels]
+        watcher = ClusterWatcher(engine, levels=levels)
+        for level in levels:
+            watcher.watch(0, level=level)
+        stream = community_biased_stream(
+            graph, labels, timestamps=6, fraction=0.2, seed=2
+        )
+        watcher.process_stream(stream)
+        for level in levels:
+            fresh = frozenset(local_cluster(engine.index, 0, level))
+            assert watcher.current_cluster(0, level) == fresh
+
+
+class TestAffectedSetPlumbing:
+    def test_index_reports_affected_nodes(self, small_planted):
+        graph, _ = small_planted
+        engine = ANCO(graph, QUICK)
+        engine.index.drain_affected()  # clear build-time state
+        e = graph.edges()[0]
+        engine.index.update_edge_weight(*e, 0.2)
+        affected = engine.index.drain_affected()
+        assert affected  # a real decrease re-seats someone
+        # Drain clears.
+        assert engine.index.drain_affected() == set()
+
+    def test_noop_update_affects_nobody(self, small_planted):
+        graph, _ = small_planted
+        engine = ANCO(graph, QUICK)
+        engine.index.drain_affected()
+        e = graph.edges()[0]
+        engine.index.update_edge_weight(*e, engine.index.weight(*e))
+        assert engine.index.drain_affected() == set()

@@ -1,0 +1,169 @@
+"""Tests for the parallel updater (Lemma 13) and index persistence."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import planted_partition
+from repro.graph.graph import Graph
+from repro.index.parallel import ParallelUpdater, build_index_parallel
+from repro.index.persistence import graph_fingerprint, load_index, save_index
+from repro.index.pyramid import PyramidIndex
+
+
+@pytest.fixture
+def built_index(medium_planted):
+    graph, _ = medium_planted
+    weights = {e: 1.0 for e in graph.edges()}
+    return graph, PyramidIndex(graph, weights, k=3, seed=4)
+
+
+class TestParallelUpdater:
+    def test_matches_sequential_updates(self, built_index):
+        """Lemma 13: partitions are independent — the concurrent repair
+        must produce exactly the sequential result."""
+        graph, parallel_index = built_index
+        sequential_index = PyramidIndex(
+            graph, parallel_index.weights_view(), k=3, seed=4
+        )
+        rng = random.Random(0)
+        edges = list(graph.edges())
+        with ParallelUpdater(parallel_index, workers=4) as updater:
+            for _ in range(40):
+                u, v = rng.choice(edges)
+                w = rng.choice([0.25, 0.5, 2.0, 4.0])
+                updater.update_edge_weight(u, v, w)
+                sequential_index.update_edge_weight(u, v, w)
+        for p_par, p_seq in zip(
+            parallel_index.partitions(), sequential_index.partitions()
+        ):
+            assert p_par.seed == p_seq.seed
+            for v in graph.nodes():
+                assert p_par.dist[v] == pytest.approx(p_seq.dist[v], rel=1e-9)
+        parallel_index.check_consistency()
+
+    def test_noop_on_equal_weight(self, built_index):
+        _, index = built_index
+        with ParallelUpdater(index, workers=2) as updater:
+            e = index.graph.edges()[0]
+            assert updater.update_edge_weight(*e, index.weight(*e)) == 0
+
+    def test_rejects_bad_weight(self, built_index):
+        _, index = built_index
+        with ParallelUpdater(index) as updater:
+            with pytest.raises(ValueError):
+                updater.update_edge_weight(0, 1, 0.0)
+
+    def test_rejects_bad_worker_count(self, built_index):
+        _, index = built_index
+        with pytest.raises(ValueError):
+            ParallelUpdater(index, workers=0)
+
+    def test_counters_maintained(self, built_index):
+        _, index = built_index
+        before = index.update_count
+        with ParallelUpdater(index, workers=2) as updater:
+            updater.update_edge_weight(*index.graph.edges()[3], 0.5)
+        assert index.update_count == before + 1
+        assert index.total_touched > 0
+
+
+class TestParallelBuild:
+    def test_identical_to_sequential_build(self, medium_planted):
+        graph, _ = medium_planted
+        weights = {e: 1.0 for e in graph.edges()}
+        sequential = PyramidIndex(graph, weights, k=3, seed=9)
+        concurrent = build_index_parallel(graph, weights, k=3, seed=9, workers=4)
+        for p_seq, p_par in zip(sequential.partitions(), concurrent.partitions()):
+            assert p_seq.seeds == p_par.seeds
+            assert p_seq.seed == p_par.seed
+            assert p_seq.dist == p_par.dist
+
+    def test_built_index_is_live(self, medium_planted):
+        graph, _ = medium_planted
+        weights = {e: 1.0 for e in graph.edges()}
+        index = build_index_parallel(graph, weights, k=2, seed=1, workers=2)
+        index.update_edge_weight(*graph.edges()[0], 0.5)
+        index.check_consistency()
+
+    def test_validation(self, medium_planted):
+        graph, _ = medium_planted
+        weights = {e: 1.0 for e in graph.edges()}
+        with pytest.raises(ValueError):
+            build_index_parallel(graph, weights, workers=0)
+        with pytest.raises(ValueError):
+            build_index_parallel(graph, {}, workers=1)
+        with pytest.raises(ValueError):
+            build_index_parallel(graph, weights, k=0, workers=1)
+
+
+class TestPersistence:
+    def test_round_trip_identical(self, built_index, tmp_path):
+        graph, index = built_index
+        # Perturb the index so it carries non-trivial state.
+        index.update_edge_weight(*graph.edges()[5], 0.3)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(graph, path)
+        assert loaded.k == index.k
+        assert loaded.support == index.support
+        assert loaded.weights_view() == index.weights_view()
+        for p_orig, p_load in zip(index.partitions(), loaded.partitions()):
+            assert p_orig.seeds == p_load.seeds
+            assert p_orig.seed == p_load.seed
+            assert p_orig.parent == p_load.parent
+            assert p_orig.dist == p_load.dist
+
+    def test_loaded_index_is_live(self, built_index, tmp_path):
+        """A restored index supports updates and queries immediately."""
+        graph, index = built_index
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(graph, path)
+        e = graph.edges()[11]
+        loaded.update_edge_weight(*e, 0.2)
+        fresh = PyramidIndex(graph, loaded.weights_view(), k=3, seed=4)
+        for p_load, p_ref in zip(loaded.partitions(), fresh.partitions()):
+            assert p_load.seed == p_ref.seed
+        from repro.index.clustering import power_clustering
+
+        clusters = power_clustering(loaded, loaded.num_levels)
+        assert sum(len(c) for c in clusters) == graph.n
+
+    def test_wrong_graph_rejected(self, built_index, tmp_path):
+        graph, index = built_index
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        other, _ = planted_partition(graph.n, 4, seed=99)
+        with pytest.raises(ValueError, match="does not match"):
+            load_index(other, path)
+
+    def test_wrong_format_rejected(self, built_index, tmp_path):
+        graph, index = built_index
+        path = tmp_path / "index.json"
+        path.write_text('{"format": 999}')
+        with pytest.raises(ValueError, match="unsupported"):
+            load_index(graph, path)
+
+    def test_fingerprint_order_independent(self):
+        g1 = Graph(4, [(0, 1), (2, 3), (1, 2)])
+        g2 = Graph(4, [(1, 2), (0, 1), (2, 3)])
+        assert graph_fingerprint(g1) == graph_fingerprint(g2)
+
+    def test_fingerprint_detects_edge_change(self):
+        g1 = Graph(4, [(0, 1), (2, 3)])
+        g2 = Graph(4, [(0, 1), (1, 3)])
+        assert graph_fingerprint(g1) != graph_fingerprint(g2)
+
+    def test_inf_distances_survive(self, tmp_path):
+        g = Graph(5, [(0, 1), (2, 3)])  # node 4 isolated
+        index = PyramidIndex(g, {e: 1.0 for e in g.edges()}, k=2, seed=1)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(g, path)
+        from repro.graph.traversal import INF
+
+        for p_orig, p_load in zip(index.partitions(), loaded.partitions()):
+            for v in g.nodes():
+                if p_orig.dist[v] == INF:
+                    assert p_load.dist[v] == INF

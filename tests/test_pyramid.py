@@ -1,0 +1,228 @@
+"""Unit tests for the pyramid index P (Section V-A)."""
+
+import math
+
+import pytest
+
+from repro.graph.generators import planted_partition
+from repro.index.pyramid import PyramidIndex, levels_for, seeds_at_level
+
+
+@pytest.fixture
+def weighted_graph(medium_planted):
+    graph, _ = medium_planted
+    weights = {e: 1.0 for e in graph.edges()}
+    return graph, weights
+
+
+class TestLevelArithmetic:
+    def test_levels_for(self):
+        assert levels_for(1) == 1
+        assert levels_for(2) == 1
+        assert levels_for(13) == 4  # the paper's Figure 2 example
+        assert levels_for(16) == 4
+        assert levels_for(17) == 5
+
+    def test_levels_for_invalid(self):
+        with pytest.raises(ValueError):
+            levels_for(0)
+
+    def test_seeds_at_level(self):
+        # 2^{l-1} seeds per the Figure 2 example (1, 2, 4, 8...).
+        assert seeds_at_level(1, 13) == 1
+        assert seeds_at_level(2, 13) == 2
+        assert seeds_at_level(3, 13) == 4
+        assert seeds_at_level(4, 13) == 8
+
+    def test_seeds_capped_at_n(self):
+        assert seeds_at_level(10, 13) == 13
+
+    def test_level_must_be_positive(self):
+        with pytest.raises(ValueError):
+            seeds_at_level(0, 13)
+
+
+class TestConstruction:
+    def test_builds_k_pyramids_with_log_levels(self, weighted_graph):
+        graph, weights = weighted_graph
+        index = PyramidIndex(graph, weights, k=3, seed=0)
+        assert len(index.pyramids) == 3
+        assert index.num_levels == levels_for(graph.n)
+        for pyramid in index.pyramids:
+            for level, partition in pyramid.levels.items():
+                assert len(partition.seeds) == seeds_at_level(level, graph.n)
+
+    def test_deterministic_for_seed(self, weighted_graph):
+        graph, weights = weighted_graph
+        a = PyramidIndex(graph, weights, k=2, seed=5)
+        b = PyramidIndex(graph, weights, k=2, seed=5)
+        for pa, pb in zip(a.partitions(), b.partitions()):
+            assert pa.seeds == pb.seeds
+            assert pa.seed == pb.seed
+
+    def test_different_seeds_differ(self, weighted_graph):
+        graph, weights = weighted_graph
+        a = PyramidIndex(graph, weights, k=2, seed=1)
+        b = PyramidIndex(graph, weights, k=2, seed=2)
+        assert any(
+            pa.seeds != pb.seeds for pa, pb in zip(a.partitions(), b.partitions())
+        )
+
+    def test_missing_weights_rejected(self, medium_planted):
+        graph, _ = medium_planted
+        with pytest.raises(ValueError):
+            PyramidIndex(graph, {}, k=2)
+
+    def test_nonpositive_weights_rejected(self, weighted_graph):
+        graph, weights = weighted_graph
+        bad = dict(weights)
+        bad[graph.edges()[0]] = 0.0
+        with pytest.raises(ValueError):
+            PyramidIndex(graph, bad, k=2)
+
+    def test_parameter_validation(self, weighted_graph):
+        graph, weights = weighted_graph
+        with pytest.raises(ValueError):
+            PyramidIndex(graph, weights, k=0)
+        with pytest.raises(ValueError):
+            PyramidIndex(graph, weights, k=2, support=0.0)
+
+    def test_weights_copied_not_aliased(self, weighted_graph):
+        graph, weights = weighted_graph
+        index = PyramidIndex(graph, weights, k=1)
+        weights[graph.edges()[0]] = 99.0
+        assert index.weight(*graph.edges()[0]) == 1.0
+
+
+class TestUpdates:
+    def test_update_matches_rebuild(self, weighted_graph):
+        graph, weights = weighted_graph
+        index = PyramidIndex(graph, weights, k=2, seed=3)
+        e = graph.edges()[7]
+        index.update_edge_weight(*e, 0.25)
+        reference = PyramidIndex(graph, index.weights_view(), k=2, seed=3)
+        for p_upd, p_ref in zip(index.partitions(), reference.partitions()):
+            assert p_upd.seed == p_ref.seed
+            for v in graph.nodes():
+                assert p_upd.dist[v] == pytest.approx(p_ref.dist[v], rel=1e-9)
+
+    def test_update_counts_accumulate(self, weighted_graph):
+        graph, weights = weighted_graph
+        index = PyramidIndex(graph, weights, k=2, seed=3)
+        assert index.update_count == 0
+        index.update_edge_weight(*graph.edges()[0], 0.5)
+        assert index.update_count == 1
+        assert index.total_touched > 0
+
+    def test_unchanged_weight_is_noop(self, weighted_graph):
+        graph, weights = weighted_graph
+        index = PyramidIndex(graph, weights, k=2, seed=3)
+        assert index.update_edge_weight(*graph.edges()[0], 1.0) == 0
+        assert index.update_count == 0
+
+    def test_nonpositive_update_rejected(self, weighted_graph):
+        graph, weights = weighted_graph
+        index = PyramidIndex(graph, weights, k=1)
+        with pytest.raises(ValueError):
+            index.update_edge_weight(*graph.edges()[0], -1.0)
+
+    def test_on_rescale_preserves_partitions(self, weighted_graph):
+        graph, weights = weighted_graph
+        index = PyramidIndex(graph, weights, k=2, seed=3)
+        seeds_before = [list(p.seed) for p in index.partitions()]
+        index.on_rescale(0.5)  # weights and dists scale by 2
+        assert [list(p.seed) for p in index.partitions()] == seeds_before
+        index.check_consistency()
+
+    def test_set_all_weights_then_rebuild(self, weighted_graph):
+        graph, weights = weighted_graph
+        index = PyramidIndex(graph, weights, k=2, seed=3)
+        new_weights = {e: 2.0 for e in graph.edges()}
+        index.set_all_weights(new_weights)
+        index.rebuild()
+        index.check_consistency()
+        assert index.weight(*graph.edges()[0]) == 2.0
+
+
+class TestVoting:
+    def test_vote_count_range(self, weighted_graph):
+        graph, weights = weighted_graph
+        index = PyramidIndex(graph, weights, k=4, seed=0)
+        for u, v in list(graph.edges())[:20]:
+            for level in (1, index.num_levels):
+                count = index.vote_count(u, v, level)
+                assert 0 <= count <= 4
+
+    def test_level1_connected_graph_all_agree(self, weighted_graph):
+        """At level 1 there is one seed per pyramid: every reachable pair
+        shares it, so every edge of a connected graph votes 1."""
+        graph, weights = weighted_graph
+        index = PyramidIndex(graph, weights, k=3, seed=0)
+        for u, v in list(graph.edges())[:20]:
+            assert index.vote_count(u, v, 1) == 3
+            assert index.same_cluster_vote(u, v, 1)
+
+    def test_vote_symmetry(self, weighted_graph):
+        graph, weights = weighted_graph
+        index = PyramidIndex(graph, weights, k=4, seed=0)
+        level = index.num_levels
+        for u, v in list(graph.edges())[:20]:
+            assert index.vote_count(u, v, level) == index.vote_count(v, u, level)
+
+    def test_support_threshold_semantics(self, weighted_graph):
+        """Example 4's arithmetic: with k=2, θ=0.7, 2 votes pass, 1 fails."""
+        graph, weights = weighted_graph
+        index = PyramidIndex(graph, weights, k=2, seed=0, support=0.7)
+        threshold = index.support * index.k
+        assert 2 >= threshold
+        assert 1 < threshold
+
+
+class TestPaperExample3:
+    """The paper's Figure 2 / Example 3 structure: a 13-node graph
+    indexed with k=2 pyramids of ⌈log₂ 13⌉ = 4 granularity levels, with
+    1, 2, 4, 8 seeds per level."""
+
+    def test_figure2_index_shape(self, paper_figure2_graph):
+        weights = {e: 1.0 for e in paper_figure2_graph.edges()}
+        index = PyramidIndex(paper_figure2_graph, weights, k=2, seed=0)
+        assert index.num_levels == 4
+        for pyramid in index.pyramids:
+            assert [len(pyramid.partition(l).seeds) for l in range(1, 5)] == [
+                1, 2, 4, 8,
+            ]
+
+    def test_level1_single_tree_spans_component(self, paper_figure2_graph):
+        """Example 3: at level 1 the only seed roots a shortest path tree
+        containing every node of (its component of) the graph."""
+        weights = {e: 1.0 for e in paper_figure2_graph.edges()}
+        index = PyramidIndex(paper_figure2_graph, weights, k=2, seed=0)
+        for pyramid in index.pyramids:
+            part = pyramid.partition(1)
+            root = part.seeds[0]
+            reachable = {v for v in paper_figure2_graph.nodes() if part.seed[v] >= 0}
+            assert set(part.subtree(root)) == reachable
+
+    def test_level2_partitions_cover_disjointly(self, paper_figure2_graph):
+        """Example 3: at level 2 each node exclusively belongs to one of
+        the two seeds' partitions."""
+        weights = {e: 1.0 for e in paper_figure2_graph.edges()}
+        index = PyramidIndex(paper_figure2_graph, weights, k=2, seed=0)
+        for pyramid in index.pyramids:
+            part = pyramid.partition(2)
+            cells = part.cells()
+            covered = sorted(v for cell in cells.values() for v in cell)
+            reachable = sorted(
+                v for v in paper_figure2_graph.nodes() if part.seed[v] >= 0
+            )
+            assert covered == reachable
+
+
+class TestMemory:
+    def test_memory_grows_with_k(self, weighted_graph):
+        graph, weights = weighted_graph
+        m2 = PyramidIndex(graph, weights, k=2, seed=0).memory_cost()
+        m4 = PyramidIndex(graph, weights, k=4, seed=0).memory_cost()
+        assert m4 > m2
+        # Linear in k up to the shared weight table.
+        assert m4 < 2.5 * m2

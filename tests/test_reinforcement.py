@@ -1,0 +1,152 @@
+"""Unit tests for local reinforcement (Equations 2-4)."""
+
+import math
+
+import pytest
+
+from repro.core.decay import Activeness, DecayClock, ValueKind
+from repro.core.reinforcement import LocalReinforcement
+from repro.core.similarity import ActiveSimilarity, NodeRole
+from repro.graph.graph import Graph
+
+
+def make_setup(graph, *, eps=0.3, mu=2, lam=0.1, s0=1.0):
+    clock = DecayClock(lam)
+    act = Activeness(clock, initial={e: 1.0 for e in graph.edges()})
+    sigma = ActiveSimilarity(graph, act, eps=eps, mu=mu)
+    similarity = clock.register(ValueKind.POSITIVE, name="S")
+    for u, v in graph.edges():
+        similarity.set_anchored(u, v, s0)
+    reinf = LocalReinforcement(graph, sigma, similarity)
+    return clock, act, sigma, similarity, reinf
+
+
+class TestProcesses:
+    def test_direct_consolidation_formula(self, triangle):
+        _, _, sigma, similarity, reinf = make_setup(triangle)
+        # AF = F(e) * sigma(u,v) / deg(u) = 1 * 0.5 / 2.
+        assert reinf.direct_consolidation(0, 1) == pytest.approx(0.25)
+
+    def test_triadic_consolidation_formula(self, triangle):
+        _, _, sigma, similarity, reinf = make_setup(triangle)
+        # Common neighbor 2: sqrt(F(0,2)*F(1,2)) * sigma(2,0) / deg(0)
+        expected = math.sqrt(1.0) * sigma.sigma(2, 0) / 2
+        assert reinf.triadic_consolidation(0, 1) == pytest.approx(expected)
+
+    def test_wedge_stretch_formula(self):
+        # 0-1 edge; 0 also connects to 2 (exclusive); triangle 0-2-3.
+        g = Graph(4, [(0, 1), (0, 2), (0, 3), (2, 3)])
+        _, _, sigma, similarity, reinf = make_setup(g)
+        expected = similarity.anchored(0, 2) * sigma.sigma(2, 0) / g.degree(0)
+        expected += similarity.anchored(0, 3) * sigma.sigma(3, 0) / g.degree(0)
+        assert reinf.wedge_stretch(0, 1) == pytest.approx(expected)
+
+    def test_wedge_stretch_empty_when_no_exclusive(self, triangle):
+        _, _, _, _, reinf = make_setup(triangle)
+        assert reinf.wedge_stretch(0, 1) == 0.0
+
+    def test_triadic_empty_when_no_common(self):
+        g = Graph(2, [(0, 1)])
+        _, _, _, _, reinf = make_setup(g)
+        assert reinf.triadic_consolidation(0, 1) == 0.0
+
+
+class TestRoleDispatch:
+    def test_core_adds_af_tf(self, triangle):
+        _, _, sigma, _, reinf = make_setup(triangle, mu=2, eps=0.3)
+        assert sigma.role(0) is NodeRole.CORE
+        delta = reinf.delta_for_trigger(0, 1)
+        expected = reinf.direct_consolidation(0, 1) + reinf.triadic_consolidation(0, 1)
+        assert delta == pytest.approx(expected)
+        assert delta > 0
+
+    def test_periphery_subtracts_wsf(self):
+        # 1 is a leaf (periphery with mu=2); 0 has exclusive neighbors.
+        g = Graph(4, [(0, 1), (0, 2), (0, 3), (2, 3)])
+        _, _, sigma, _, reinf = make_setup(g, mu=2, eps=0.3)
+        assert sigma.role(1) is NodeRole.PERIPHERY
+        delta = reinf.delta_for_trigger(1, 0)
+        assert delta == pytest.approx(-reinf.wedge_stretch(1, 0))
+
+    def test_pcore_combines_all_three(self):
+        # Star center: degree 3 >= mu, but no active neighbors (no triangles).
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        _, _, sigma, _, reinf = make_setup(g, mu=2, eps=0.3)
+        assert sigma.role(0) is NodeRole.P_CORE
+        expected = (
+            reinf.direct_consolidation(0, 1)
+            + reinf.triadic_consolidation(0, 1)
+            - reinf.wedge_stretch(0, 1)
+        )
+        assert reinf.delta_for_trigger(0, 1) == pytest.approx(expected)
+
+
+class TestApply:
+    def test_apply_is_symmetric_in_triggers(self, triangle):
+        """apply() adds both trigger nodes' contributions."""
+        _, _, _, similarity, reinf = make_setup(triangle)
+        d0 = reinf.delta_for_trigger(0, 1)
+        d1 = reinf.delta_for_trigger(1, 0)
+        new = reinf.apply(0, 1)
+        assert new == pytest.approx(1.0 + d0 + d1)
+
+    def test_floor_prevents_nonpositive_similarity(self):
+        # Heavy wedge stretch on a periphery-periphery edge drives F down;
+        # the floor must keep it positive.
+        g = Graph(6, [(0, 1), (0, 2), (0, 3), (1, 4), (1, 5), (2, 3), (4, 5)])
+        clock, act, sigma, similarity, reinf = make_setup(g, mu=4)
+        for _ in range(200):
+            new = reinf.apply(0, 1)
+        assert new >= reinf.floor
+        assert similarity.anchored(0, 1) > 0
+
+    def test_cap_bounds_growth(self, triangle):
+        _, _, _, similarity, reinf = make_setup(triangle)
+        for _ in range(2000):
+            new = reinf.apply(0, 1)
+        assert new <= reinf.cap
+
+    def test_sweep_touches_every_edge(self, small_planted):
+        graph, _ = small_planted
+        _, _, _, similarity, reinf = make_setup(graph)
+        reinf.sweep()
+        changed = sum(
+            1 for e in graph.edges() if similarity.anchored(*e) != 1.0
+        )
+        # Almost every edge should move (structure is non-trivial everywhere).
+        assert changed > 0.8 * graph.m
+
+    def test_reinforcement_separates_communities(self, barbell):
+        """After sweeps, intra-clique similarity > bridge similarity —
+        the propagation Attractor needs 50 iterations for."""
+        _, _, _, similarity, reinf = make_setup(barbell, mu=2, eps=0.2)
+        for _ in range(3):
+            reinf.sweep()
+        intra = similarity.anchored(0, 1)  # inside first K5
+        bridge_edge = None
+        for u, v in barbell.edges():
+            if (u < 5) != (v < 5):
+                bridge_edge = (u, v)
+                break
+        assert bridge_edge is not None
+        bridge = similarity.anchored(*bridge_edge)
+        assert intra > bridge
+
+    def test_validation(self, triangle):
+        clock, act, sigma, similarity, _ = make_setup(triangle)
+        with pytest.raises(ValueError):
+            LocalReinforcement(triangle, sigma, similarity, floor=0.0)
+        with pytest.raises(ValueError):
+            LocalReinforcement(triangle, sigma, similarity, floor=1.0, cap=0.5)
+
+
+class TestPosMPreservation:
+    def test_lemma4_reinforcement_preserves_posm(self, triangle):
+        """Lemma 4: applying reinforcement then decaying == decaying then
+        the actual-value relation still holds (anchored arithmetic)."""
+        clock, act, sigma, similarity, reinf = make_setup(triangle)
+        reinf.apply(0, 1)
+        anchored = similarity.anchored(0, 1)
+        clock.advance(7.0)
+        g = clock.global_factor()
+        assert similarity.actual(0, 1) == pytest.approx(anchored * g)

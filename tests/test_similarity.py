@@ -1,0 +1,140 @@
+"""Unit tests for active similarity, active neighbors and node roles."""
+
+import math
+
+import pytest
+
+from repro.core.activation import Activation
+from repro.core.decay import Activeness, DecayClock
+from repro.core.similarity import ActiveSimilarity, NodeRole, naive_sigma
+from repro.graph.graph import Graph, edge_key
+
+
+def make_similarity(graph, *, lam=0.1, eps=0.3, mu=2, uniform=1.0):
+    clock = DecayClock(lam)
+    initial = {e: uniform for e in graph.edges()}
+    act = Activeness(clock, initial=initial)
+    sim = ActiveSimilarity(graph, act, eps=eps, mu=mu)
+    return clock, act, sim
+
+
+class TestSigma:
+    def test_triangle_uniform(self, triangle):
+        _, _, sim = make_similarity(triangle)
+        # num = a(0,2)+a(1,2) = 2; denom = (a(0,1)+a(0,2)) + (a(1,0)+a(1,2)) = 4
+        assert sim.sigma(0, 1) == pytest.approx(0.5)
+
+    def test_no_common_neighbors_is_zero(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 3)])
+        _, _, sim = make_similarity(g)
+        assert sim.sigma(0, 1) == 0.0
+
+    def test_zero_strength_is_zero(self, triangle):
+        clock = DecayClock(0.1)
+        act = Activeness(clock)  # no initial activeness at all
+        sim = ActiveSimilarity(triangle, act, eps=0.3, mu=2)
+        assert sim.sigma(0, 1) == 0.0
+
+    def test_matches_naive_reference(self, medium_planted):
+        graph, _ = medium_planted
+        clock, act, sim = make_similarity(graph)
+        # Activate a few edges to break uniformity.
+        for i, e in enumerate(list(graph.edges())[:20]):
+            act.on_activation(e[0], e[1], float(i) * 0.5)
+            sim.on_activation_delta(e[0], e[1], 1.0 / clock.global_factor())
+        actual = {e: act.value(*e) for e in graph.edges()}
+        for u, v in list(graph.edges())[:40]:
+            assert sim.sigma(u, v) == pytest.approx(
+                naive_sigma(graph, actual, u, v), rel=1e-9
+            )
+
+    def test_neum_invariance_under_decay(self, square_with_diagonal):
+        """Lemma 3: σ computed from anchored values is time-invariant
+        when no activation arrives (the global factor cancels)."""
+        clock, act, sim = make_similarity(square_with_diagonal)
+        before = sim.sigma(0, 2)
+        clock.advance(50.0)
+        assert sim.sigma(0, 2) == pytest.approx(before)
+
+    def test_activation_boosts_similarity_via_common_neighbor(self):
+        # Path 0-1-2 plus edge 0-2: activating (1,2) raises sigma(0,2)'s
+        # numerator through common neighbor 1.
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        clock, act, sim = make_similarity(g)
+        before = sim.sigma(0, 2)
+        act.on_activation(1, 2, 1.0)
+        sim.on_activation_delta(1, 2, 1.0 / clock.global_factor())
+        after = sim.sigma(0, 2)
+        assert after > before
+
+
+class TestStrengths:
+    def test_initial_strengths(self, triangle):
+        _, _, sim = make_similarity(triangle)
+        assert sim.strength(0) == pytest.approx(2.0)
+
+    def test_incremental_strength_updates(self, triangle):
+        clock, act, sim = make_similarity(triangle)
+        _, delta = act.on_activation(0, 1, 1.0)
+        sim.on_activation_delta(0, 1, delta)
+        assert sim.strength(0) == pytest.approx(2.0 + delta)
+        assert sim.strength(1) == pytest.approx(2.0 + delta)
+        assert sim.strength(2) == pytest.approx(2.0)
+
+    def test_rescale_scales_strengths(self, triangle):
+        clock, act, sim = make_similarity(triangle)
+        clock.add_rescale_listener(sim.on_rescale)
+        clock.advance(3.0)
+        g = clock.global_factor()
+        clock.rescale()
+        assert sim.strength(0) == pytest.approx(2.0 * g)
+        # σ stays the same across the rescale (NeuM).
+        assert sim.sigma(0, 1) == pytest.approx(0.5)
+
+
+class TestActiveNeighbors:
+    def test_threshold_filters(self, triangle):
+        _, _, sim = make_similarity(triangle, eps=0.4)
+        assert sim.active_neighbors(0) == [1, 2]
+        _, _, sim2 = make_similarity(triangle, eps=0.6)
+        assert sim2.active_neighbors(0) == []
+
+    def test_count_matches_list(self, medium_planted):
+        graph, _ = medium_planted
+        _, _, sim = make_similarity(graph, eps=0.2)
+        for v in list(graph.nodes())[:30]:
+            assert sim.active_neighbor_count(v) == len(sim.active_neighbors(v))
+
+
+class TestRoles:
+    def test_periphery_by_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        _, _, sim = make_similarity(g, mu=2)
+        # Leaves have degree 1 < mu.
+        for leaf in (1, 2, 3):
+            assert sim.role(leaf) is NodeRole.PERIPHERY
+
+    def test_core_in_clique(self):
+        g = Graph(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        _, _, sim = make_similarity(g, eps=0.3, mu=2)
+        assert all(sim.role(v) is NodeRole.CORE for v in g.nodes())
+
+    def test_pcore_with_inactive_neighbors(self):
+        # Star center has degree >= mu but zero similarity (no triangles).
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        _, _, sim = make_similarity(g, eps=0.3, mu=2)
+        assert sim.role(0) is NodeRole.P_CORE
+
+    def test_roles_partition_vertex_set(self, medium_planted):
+        graph, _ = medium_planted
+        _, _, sim = make_similarity(graph, eps=0.3, mu=3)
+        counts = sim.role_counts()
+        assert sum(counts.values()) == graph.n
+
+    def test_parameter_validation(self, triangle):
+        clock = DecayClock(0.1)
+        act = Activeness(clock)
+        with pytest.raises(ValueError):
+            ActiveSimilarity(triangle, act, eps=1.5, mu=2)
+        with pytest.raises(ValueError):
+            ActiveSimilarity(triangle, act, eps=0.3, mu=0)

@@ -1,0 +1,102 @@
+"""Unit tests for modularity and conductance."""
+
+import pytest
+
+from repro.evalm.structural import (
+    average_conductance,
+    cluster_conductance,
+    modularity,
+    structural_scores,
+    total_weight,
+    weighted_degrees,
+)
+from repro.graph.generators import barbell_graph, complete_graph
+from repro.graph.graph import Graph
+
+
+class TestTotals:
+    def test_unweighted_total_is_edge_count(self, triangle):
+        assert total_weight(triangle) == 3.0
+
+    def test_weighted_total(self, triangle):
+        weights = {e: 2.0 for e in triangle.edges()}
+        assert total_weight(triangle, weights) == 6.0
+
+    def test_weighted_degrees(self, triangle):
+        weights = {(0, 1): 1.0, (0, 2): 2.0, (1, 2): 3.0}
+        deg = weighted_degrees(triangle, weights)
+        assert deg == [3.0, 4.0, 5.0]
+
+
+class TestModularity:
+    def test_single_cluster_is_near_zero(self, triangle):
+        # All nodes in one cluster: Q = 1 - 1 = 0.
+        assert modularity(triangle, [[0, 1, 2]]) == pytest.approx(0.0)
+
+    def test_barbell_split_positive(self):
+        g = barbell_graph(5, bridge=1)
+        left = list(range(5))
+        right = list(range(5, 10))
+        q_split = modularity(g, [left, right])
+        q_whole = modularity(g, [left + right])
+        assert q_split > q_whole
+
+    def test_newman_hand_computed(self):
+        # Two triangles joined by one edge: the classic Q = 10/14 - ... case.
+        g = Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+        q = modularity(g, [[0, 1, 2], [3, 4, 5]])
+        m = 7.0
+        expected = (3 / m - (7 / (2 * m)) ** 2) + (3 / m - (7 / (2 * m)) ** 2)
+        assert q == pytest.approx(expected)
+
+    def test_weighted_matches_scaled_unweighted(self, barbell):
+        """Uniformly scaling all weights leaves Q unchanged."""
+        clusters = [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]]
+        weights = {e: 3.0 for e in barbell.edges()}
+        assert modularity(barbell, clusters, weights) == pytest.approx(
+            modularity(barbell, clusters)
+        )
+
+    def test_overlapping_clusters_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            modularity(triangle, [[0, 1], [1, 2]])
+
+    def test_empty_graph(self):
+        assert modularity(Graph(3), [[0], [1], [2]]) == 0.0
+
+    def test_partial_partition_allowed(self, barbell):
+        q = modularity(barbell, [[0, 1, 2, 3, 4]])  # only one bell clustered
+        assert -1.0 <= q <= 1.0
+
+
+class TestConductance:
+    def test_isolated_cluster_zero(self):
+        g = Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        assert cluster_conductance(g, [0, 1, 2]) == 0.0
+
+    def test_fully_cut_cluster_high(self):
+        # A single node inside a clique: all its edges are cut.
+        g = complete_graph(4)
+        c = cluster_conductance(g, [0])
+        assert c == pytest.approx(1.0)
+
+    def test_barbell_bell_low(self):
+        g = barbell_graph(5, bridge=1)
+        c = cluster_conductance(g, list(range(5)))
+        # One cut edge against vol=21.
+        assert c == pytest.approx(1 / 21)
+
+    def test_average_weighted_by_size(self):
+        g = barbell_graph(5, bridge=1)
+        left = list(range(5))
+        right = list(range(5, 10))
+        avg = average_conductance(g, [left, right])
+        assert avg == pytest.approx(1 / 21)
+
+    def test_empty_clusters_degenerate(self, triangle):
+        assert average_conductance(triangle, []) == 1.0
+
+    def test_structural_scores_shape(self, barbell):
+        scores = structural_scores(barbell, [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]])
+        assert set(scores) == {"modularity", "conductance", "clusters"}
+        assert scores["clusters"] == 2.0

@@ -1,0 +1,151 @@
+"""Unit tests for BFS / components / Dijkstra primitives."""
+
+import math
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.generators import grid_graph, path_graph, planted_partition
+from repro.graph.traversal import (
+    INF,
+    bfs_order,
+    connected_components,
+    dijkstra,
+    edge_weight_map,
+    eccentricity_upper_bound,
+    multi_source_dijkstra,
+    shortest_path,
+)
+
+
+def unit_weight(u: int, v: int) -> float:
+    return 1.0
+
+
+class TestBfs:
+    def test_order_starts_at_source(self, path10):
+        order = bfs_order(path10, 3)
+        assert order[0] == 3
+        assert set(order) == set(range(10))
+
+    def test_unreachable_excluded(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert set(bfs_order(g, 0)) == {0, 1}
+
+
+class TestComponents:
+    def test_single_component(self, triangle):
+        comps = connected_components(triangle)
+        assert comps == [[0, 1, 2]]
+
+    def test_multiple_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        comps = connected_components(g)
+        assert comps == [[0, 1], [2, 3], [4]]
+
+    def test_restricted_to_node_subset(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        comps = connected_components(g, nodes=[0, 1, 3])
+        assert comps == [[0, 1], [3]]
+
+    def test_isolated_nodes_are_singletons(self):
+        g = Graph(3)
+        assert connected_components(g) == [[0], [1], [2]]
+
+
+class TestDijkstra:
+    def test_path_graph_distances(self, path10):
+        dist, parent = dijkstra(path10, 0, unit_weight)
+        assert dist == [float(i) for i in range(10)]
+        assert parent[0] == -1
+        assert all(parent[i] == i - 1 for i in range(1, 10))
+
+    def test_weighted_shortcut(self):
+        # 0-1-2 with weights 1 each, plus direct 0-2 with weight 3.
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        weights = {(0, 1): 1.0, (1, 2): 1.0, (0, 2): 3.0}
+        dist, parent = dijkstra(g, 0, edge_weight_map(weights))
+        assert dist[2] == 2.0
+        assert parent[2] == 1
+
+    def test_unreachable_is_inf(self):
+        g = Graph(3, [(0, 1)])
+        dist, _ = dijkstra(g, 0, unit_weight)
+        assert dist[2] == INF
+
+    def test_grid_corner_to_corner(self):
+        g = grid_graph(4, 4)
+        dist, _ = dijkstra(g, 0, unit_weight)
+        assert dist[15] == 6.0  # Manhattan distance
+
+
+class TestMultiSourceDijkstra:
+    def test_single_source_matches_dijkstra(self, grid_5x5):
+        d1, p1 = dijkstra(grid_5x5, 0, unit_weight)
+        d2, s2, p2 = multi_source_dijkstra(grid_5x5, [0], unit_weight)
+        assert d1 == d2
+        assert all(s == 0 for s in s2)
+
+    def test_two_sources_partition_path(self, path10):
+        dist, seed, parent = multi_source_dijkstra(path10, [0, 9], unit_weight)
+        # Nodes 0-4 closest to 0 (ties to smaller seed), 5-9 to 9.
+        assert seed[:5] == [0] * 5
+        assert seed[5:] == [9] * 5
+
+    def test_tie_breaks_to_smaller_seed(self):
+        g = path_graph(3)  # 0-1-2, sources 0 and 2, node 1 equidistant
+        _, seed, _ = multi_source_dijkstra(g, [2, 0], unit_weight)
+        assert seed[1] == 0
+
+    def test_seeds_have_zero_distance_no_parent(self, grid_5x5):
+        dist, seed, parent = multi_source_dijkstra(grid_5x5, [3, 17], unit_weight)
+        for s in (3, 17):
+            assert dist[s] == 0.0
+            assert seed[s] == s
+            assert parent[s] == -1
+
+    def test_unreachable_nodes_marked(self):
+        g = Graph(4, [(0, 1)])
+        dist, seed, parent = multi_source_dijkstra(g, [0], unit_weight)
+        assert seed[2] == -1 and seed[3] == -1
+        assert dist[2] == INF
+
+    def test_parents_form_shortest_path_forest(self, medium_planted):
+        graph, _ = medium_planted
+        sources = [0, 50, 100]
+        dist, seed, parent = multi_source_dijkstra(graph, sources, unit_weight)
+        for v in graph.nodes():
+            if v in sources or seed[v] < 0:
+                continue
+            p = parent[v]
+            assert p >= 0
+            assert dist[v] == pytest.approx(dist[p] + 1.0)
+            assert seed[v] == seed[p]
+
+
+class TestShortestPath:
+    def test_path_endpoints(self, grid_5x5):
+        d, path = shortest_path(grid_5x5, 0, 24, unit_weight)
+        assert d == 8.0
+        assert path[0] == 0 and path[-1] == 24
+        assert len(path) == 9
+
+    def test_unreachable_returns_empty(self):
+        g = Graph(3, [(0, 1)])
+        d, path = shortest_path(g, 0, 2, unit_weight)
+        assert d == INF
+        assert path == []
+
+    def test_source_equals_target(self, triangle):
+        d, path = shortest_path(triangle, 1, 1, unit_weight)
+        assert d == 0.0
+        assert path == [1]
+
+
+class TestEccentricity:
+    def test_path_ends(self, path10):
+        assert eccentricity_upper_bound(path10, 0) == 9
+        assert eccentricity_upper_bound(path10, 5) == 5
+
+    def test_clique_is_one(self, triangle):
+        assert eccentricity_upper_bound(triangle, 0) == 1

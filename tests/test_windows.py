@@ -1,0 +1,153 @@
+"""Tests for the sliding-window and interval temporal models."""
+
+import pytest
+
+from repro.core.activation import Activation
+from repro.core.windows import IntervalEdgeModel, SlidingWindowActiveness
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def path3():
+    return Graph(3, [(0, 1), (1, 2)])
+
+
+class TestSlidingWindow:
+    def test_counts_in_window(self, path3):
+        model = SlidingWindowActiveness(path3, window=5.0)
+        model.on_activation(0, 1, 1.0)
+        model.on_activation(0, 1, 2.0)
+        assert model.value(0, 1) == 2
+
+    def test_expiry_at_window_edge(self, path3):
+        model = SlidingWindowActiveness(path3, window=5.0)
+        model.on_activation(0, 1, 1.0)
+        model.advance(6.0)
+        assert model.value(0, 1) == 0  # t - W = 1.0, boundary expires
+
+    def test_partial_expiry(self, path3):
+        model = SlidingWindowActiveness(path3, window=3.0)
+        model.on_activation(0, 1, 1.0)
+        model.on_activation(0, 1, 3.0)
+        model.advance(4.5)
+        assert model.value(0, 1) == 1
+
+    def test_abrupt_forgetting_vs_decay(self, path3):
+        """The model's defining weakness: one step past the window the
+        edge looks identical to a never-active edge."""
+        model = SlidingWindowActiveness(path3, window=2.0)
+        for t in range(1, 6):
+            model.on_activation(0, 1, float(t))
+        model.advance(7.5)
+        assert model.value(0, 1) == 0
+        assert model.value(1, 2) == 0  # indistinguishable
+
+    def test_time_monotonic(self, path3):
+        model = SlidingWindowActiveness(path3, window=1.0)
+        model.on_activation(0, 1, 5.0)
+        with pytest.raises(ValueError):
+            model.on_activation(0, 1, 4.0)
+        with pytest.raises(ValueError):
+            model.advance(1.0)
+
+    def test_non_edge_rejected(self, path3):
+        model = SlidingWindowActiveness(path3, window=1.0)
+        with pytest.raises(ValueError):
+            model.on_activation(0, 2, 1.0)
+
+    def test_window_validation(self, path3):
+        with pytest.raises(ValueError):
+            SlidingWindowActiveness(path3, window=0.0)
+
+    def test_snapshot_weights_smoothing(self, path3):
+        model = SlidingWindowActiveness(path3, window=5.0)
+        model.on_activation(0, 1, 1.0)
+        weights = model.snapshot_weights(smoothing=0.5)
+        assert weights[(0, 1)] == 1.0
+        assert weights[(1, 2)] == 0.5
+
+    def test_expiry_scan_cost_is_edge_count(self, path3):
+        model = SlidingWindowActiveness(path3, window=5.0)
+        assert model.total_expiry_scan_cost() == path3.m
+
+
+class TestIntervalModel:
+    def test_membership(self, path3):
+        model = IntervalEdgeModel(path3)
+        model.add_interval(0, 1, 2.0, 5.0)
+        assert model.is_active(0, 1, 2.0)
+        assert model.is_active(0, 1, 5.0)
+        assert not model.is_active(0, 1, 5.1)
+        assert not model.is_active(1, 2, 3.0)
+
+    def test_union_of_intervals(self, path3):
+        model = IntervalEdgeModel(path3)
+        model.add_interval(0, 1, 1.0, 2.0)
+        model.add_interval(0, 1, 4.0, 6.0)
+        assert model.is_active(0, 1, 1.5)
+        assert not model.is_active(0, 1, 3.0)
+        assert model.is_active(0, 1, 5.0)
+
+    def test_active_at(self, path3):
+        model = IntervalEdgeModel(path3)
+        model.add_interval(0, 1, 0.0, 10.0)
+        model.add_interval(1, 2, 5.0, 6.0)
+        assert model.active_at(1.0) == [(0, 1)]
+        assert set(model.active_at(5.5)) == {(0, 1), (1, 2)}
+
+    def test_validation(self, path3):
+        model = IntervalEdgeModel(path3)
+        with pytest.raises(ValueError):
+            model.add_interval(0, 1, 5.0, 2.0)
+        with pytest.raises(ValueError):
+            model.add_interval(0, 2, 1.0, 2.0)
+
+    def test_snapshot_weights(self, path3):
+        model = IntervalEdgeModel(path3)
+        model.add_interval(0, 1, 0.0, 4.0)
+        weights = model.snapshot_weights(2.0, smoothing=0.1)
+        assert weights[(0, 1)] == 1.0
+        assert weights[(1, 2)] == 0.1
+
+    def test_sessionization_merges_close_activations(self, path3):
+        acts = [
+            Activation(0, 1, 1.0),
+            Activation(0, 1, 2.0),   # gap 1 <= 2 -> same session
+            Activation(0, 1, 10.0),  # gap 8 > 2 -> new session
+        ]
+        model = IntervalEdgeModel.from_activations(path3, acts, session_gap=2.0)
+        assert model.intervals_of(0, 1) == [(1.0, 2.0), (10.0, 10.0)]
+
+    def test_sessionization_multiple_edges(self, path3):
+        acts = [
+            Activation(0, 1, 1.0),
+            Activation(1, 2, 1.5),
+            Activation(0, 1, 2.0),
+        ]
+        model = IntervalEdgeModel.from_activations(path3, acts, session_gap=5.0)
+        assert model.intervals_of(0, 1) == [(1.0, 2.0)]
+        assert model.intervals_of(1, 2) == [(1.5, 1.5)]
+
+    def test_sessionization_gap_validation(self, path3):
+        with pytest.raises(ValueError):
+            IntervalEdgeModel.from_activations(path3, [], session_gap=0.0)
+
+
+class TestModelsDisagreeWhereExpected:
+    def test_decay_remembers_what_window_forgets(self, path3):
+        """The paper's motivating contrast: after the window passes, the
+        sliding-window model has forgotten a historically strong edge
+        while the time-decay scheme still ranks it above a never-active
+        one."""
+        from repro.core.decay import Activeness, DecayClock
+
+        window = SlidingWindowActiveness(path3, window=2.0)
+        clock = DecayClock(lam=0.1)
+        decay = Activeness(clock)
+        for t in range(1, 11):
+            window.on_activation(0, 1, float(t))
+            decay.on_activation(0, 1, float(t))
+        window.advance(15.0)
+        clock.advance(15.0)
+        assert window.value(0, 1) == window.value(1, 2) == 0
+        assert decay.value(0, 1) > decay.value(1, 2)

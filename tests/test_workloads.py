@@ -1,0 +1,195 @@
+"""Tests for dataset stand-ins, stream generators and the case study."""
+
+import math
+
+import pytest
+
+from repro.core.activation import Activation
+from repro.workloads.case_study import FOCAL, TRACKED, build_case_study
+from repro.workloads.datasets import (
+    ACTIVATION_SETS,
+    GROUND_TRUTH_SETS,
+    SPECS,
+    dataset_names,
+    load_dataset,
+    table1_rows,
+)
+from repro.workloads.streams import (
+    QueryEvent,
+    community_biased_stream,
+    day_trace,
+    mixed_workload,
+    uniform_stream,
+)
+
+
+class TestDatasets:
+    def test_all_17_names_present(self):
+        assert len(SPECS) == 17
+        assert dataset_names()[0] == "CO"
+        assert dataset_names()[-1] == "TW"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("NOPE")
+
+    def test_load_is_deterministic(self):
+        a = load_dataset("CO")
+        b = load_dataset("CO")
+        assert a.graph == b.graph
+        assert a.labels == b.labels
+
+    def test_size_ordering_preserved(self):
+        """Stand-in sizes follow the paper's ordering (CO < ... < TW)."""
+        sizes = [load_dataset(n).graph.n for n in ("CO", "LA", "DB", "TW")]
+        assert sizes == sorted(sizes)
+
+    def test_truth_partition(self):
+        data = load_dataset("CA")
+        clusters = data.truth_clusters()
+        assert sorted(v for c in clusters for v in c) == list(data.graph.nodes())
+
+    def test_activation_sets_are_small(self):
+        for name in ACTIVATION_SETS:
+            assert load_dataset(name).graph.n <= 400
+
+    def test_ground_truth_sets_exist(self):
+        for name in GROUND_TRUTH_SETS:
+            assert name in SPECS
+
+    def test_table1_rows_shape(self):
+        rows = table1_rows()
+        assert len(rows) == 17
+        for row in rows:
+            assert row["standin_vertices"] <= row["paper_vertices"]
+            assert row["standin_edges"] > 0
+
+    def test_default_stream_covers_timestamps(self):
+        data = load_dataset("CO")
+        stream = data.default_stream(timestamps=10)
+        times = {a.t for a in stream}
+        assert len(times) == 10
+
+
+class TestUniformStream:
+    def test_batch_sizes_match_fraction(self, medium_planted):
+        graph, _ = medium_planted
+        stream = uniform_stream(graph, timestamps=4, fraction=0.1, seed=0)
+        per_step = max(1, round(0.1 * graph.m))
+        batches = list(stream.batches_by_timestamp())
+        assert all(len(b) == per_step for _, b in batches)
+
+    def test_fraction_validation(self, medium_planted):
+        graph, _ = medium_planted
+        with pytest.raises(ValueError):
+            uniform_stream(graph, fraction=0.0)
+
+    def test_deterministic(self, medium_planted):
+        graph, _ = medium_planted
+        a = uniform_stream(graph, timestamps=3, fraction=0.05, seed=9)
+        b = uniform_stream(graph, timestamps=3, fraction=0.05, seed=9)
+        assert list(a) == list(b)
+
+
+class TestCommunityBiasedStream:
+    def test_bias_respected(self, medium_planted):
+        graph, labels = medium_planted
+        stream = community_biased_stream(
+            graph, labels, timestamps=20, fraction=0.1, intra_bias=0.95, seed=1
+        )
+        intra = sum(1 for a in stream if labels[a.u] == labels[a.v])
+        assert intra / len(stream) > 0.85
+
+    def test_zero_bias_prefers_inter(self, medium_planted):
+        graph, labels = medium_planted
+        stream = community_biased_stream(
+            graph, labels, timestamps=20, fraction=0.1, intra_bias=0.0, seed=1
+        )
+        inter = sum(1 for a in stream if labels[a.u] != labels[a.v])
+        assert inter == len(stream)
+
+    def test_bias_validation(self, medium_planted):
+        graph, labels = medium_planted
+        with pytest.raises(ValueError):
+            community_biased_stream(graph, labels, intra_bias=1.5)
+
+
+class TestDayTrace:
+    def test_minute_timestamps(self, small_planted):
+        graph, _ = small_planted
+        stream = day_trace(graph, minutes=60, base_per_minute=5, seed=2)
+        times = sorted({a.t for a in stream})
+        assert times[0] >= 1.0 and times[-1] <= 60.0
+
+    def test_diurnal_shape(self, small_planted):
+        """Midday minutes carry more activations than the edges of the day."""
+        graph, _ = small_planted
+        stream = day_trace(graph, minutes=200, base_per_minute=20, seed=3)
+        counts = {}
+        for a in stream:
+            counts[a.t] = counts.get(a.t, 0) + 1
+        early = sum(counts.get(float(m), 0) for m in range(1, 21))
+        midday = sum(counts.get(float(m), 0) for m in range(90, 110))
+        assert midday > early
+
+    def test_deterministic(self, small_planted):
+        graph, _ = small_planted
+        a = day_trace(graph, minutes=30, seed=7)
+        b = day_trace(graph, minutes=30, seed=7)
+        assert list(a) == list(b)
+
+
+class TestMixedWorkload:
+    def test_replacement_fraction(self, medium_planted):
+        graph, _ = medium_planted
+        stream = uniform_stream(graph, timestamps=20, fraction=0.2, seed=0)
+        events = mixed_workload(stream, query_fraction=0.3, seed=1)
+        queries = sum(1 for e in events if isinstance(e, QueryEvent))
+        assert abs(queries / len(events) - 0.3) < 0.08
+
+    def test_zero_fraction_all_activations(self, medium_planted):
+        graph, _ = medium_planted
+        stream = uniform_stream(graph, timestamps=3, fraction=0.05, seed=0)
+        events = mixed_workload(stream, query_fraction=0.0, seed=1)
+        assert all(isinstance(e, Activation) for e in events)
+
+    def test_validation(self, medium_planted):
+        graph, _ = medium_planted
+        stream = uniform_stream(graph, timestamps=1, fraction=0.05, seed=0)
+        with pytest.raises(ValueError):
+            mixed_workload(stream, query_fraction=1.5)
+
+
+class TestCaseStudy:
+    def test_exact_paper_shape(self):
+        cs = build_case_study()
+        assert cs.graph.n == 29
+        assert len(cs.stream) == 735
+        assert cs.stream.span == (1.0, 30.0)
+
+    def test_focal_edges_exist(self):
+        cs = build_case_study()
+        for neighbor in TRACKED:
+            assert cs.graph.has_edge(FOCAL, neighbor)
+
+    def test_deterministic(self):
+        a = build_case_study()
+        b = build_case_study()
+        assert list(a.stream) == list(b.stream)
+
+    def test_phase_activations_present(self):
+        cs = build_case_study()
+        # v8-v7 collaboration lives in years 5..11 only.
+        v7_years = {a.t for a in cs.stream if a.edge == (7, 8)}
+        assert v7_years and min(v7_years) >= 5.0 and max(v7_years) <= 11.0
+
+    def test_expectations_cover_decades(self):
+        cs = build_case_study()
+        for year in (10, 20, 30):
+            for neighbor in TRACKED:
+                assert (year, neighbor) in cs.expectations
+        # Sanity: at t10 only v7 is live; at t30 v0 and v26 are.
+        assert cs.expectations[(10, 7)] is True
+        assert cs.expectations[(10, 0)] is False
+        assert cs.expectations[(30, 26)] is True
+        assert cs.expectations[(30, 7)] is False
