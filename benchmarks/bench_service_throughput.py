@@ -1,0 +1,217 @@
+"""Service benchmark — throughput and latency of the streaming server.
+
+Unlike the paper-figure benches, this one measures the *serving layer*
+added on top of the engines (``repro.service``): a real ``repro-anc
+serve`` subprocess is driven over TCP with a mixed ingest/query workload
+and we record
+
+* ingest throughput (acknowledged activations per second, i.e. WAL
+  append + backpressured enqueue),
+* end-to-end query latency percentiles (client-measured ``clusters`` and
+  ``local`` round trips racing the ingest stream),
+* apply lag (how long ``sync`` takes to drain the tail after the last
+  ingest).
+
+The results land in ``bench_results/service_throughput.json``.  A second
+target SIGKILLs the server mid-stream and asserts the restarted process
+serves the *identical* cluster output at the same granularity — the
+service's durability contract, exercised at benchmark scale.
+
+Qualitative claims asserted:
+
+* every acknowledged activation is applied (ingested == applied after
+  one sync barrier);
+* micro-batching holds query latency bounded while ingest runs (p99
+  below a generous wall);
+* kill -9 + restart reproduces ``clusters()`` byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.reporting import format_table, save_result
+from repro.graph.generators import planted_partition
+from repro.service import ServiceClient
+from repro.workloads.streams import community_biased_stream
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+NODES, COMMUNITIES = 150, 6
+TIMESTAMPS = 40
+INGEST_CHUNK = 25
+QUERY_EVERY = 4  # issue one clusters + one local query per N chunks
+
+
+def _percentile(values, p):
+    data = sorted(values)
+    return data[max(0, min(len(data) - 1, int(round(p / 100 * (len(data) - 1)))))]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph, labels = planted_partition(
+        NODES, COMMUNITIES, p_in=0.4, p_out=0.01, seed=5
+    )
+    stream = community_biased_stream(
+        graph, labels, timestamps=TIMESTAMPS, fraction=0.05, seed=2
+    )
+    return graph, [[a.u, a.v, a.t] for a in stream]
+
+
+@pytest.fixture()
+def server_factory(workload, tmp_path):
+    """Start ``repro-anc serve`` subprocesses over the workload graph."""
+    graph, _ = workload
+    edgelist = tmp_path / "graph.txt"
+    edgelist.write_text("".join(f"{u} {v}\n" for u, v in graph.edges()))
+    procs = []
+
+    def start(data_dir):
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve", str(edgelist),
+                "--port", "0", "--data-dir", str(data_dir),
+                "--rep", "1", "--pyramids", "2",
+                "--batch-size", "64", "--max-latency", "0.02",
+                "--checkpoint-every", "500", "--metrics-interval", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=dict(os.environ, PYTHONPATH=str(SRC)),
+            text=True,
+        )
+        procs.append(proc)
+        announce = proc.stdout.readline().split()
+        assert announce and announce[0] == "SERVING", announce
+        return proc, announce[1], int(announce[2])
+
+    yield start
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def test_service_throughput(benchmark, workload, server_factory, tmp_path):
+    graph, items = workload
+    proc, host, port = server_factory(tmp_path / "data")
+    query_latencies = []
+    with ServiceClient(host, port) as client:
+        level = client.clusters_info()["level"]
+
+        ingest_started = time.perf_counter()
+        for i in range(0, len(items), INGEST_CHUNK):
+            client.ingest_batch(items[i : i + INGEST_CHUNK])
+            if (i // INGEST_CHUNK) % QUERY_EVERY == 0:
+                node = items[i][0]
+                for op in (
+                    lambda: client.clusters(level),
+                    lambda: client.local(node, level),
+                ):
+                    started = time.perf_counter()
+                    op()
+                    query_latencies.append(time.perf_counter() - started)
+        ingest_seconds = time.perf_counter() - ingest_started
+
+        sync_started = time.perf_counter()
+        applied = client.sync()
+        sync_seconds = time.perf_counter() - sync_started
+        metrics = client.metrics()
+        stats = client.stats()
+
+        # pytest-benchmark target: one live local-cluster round trip.
+        benchmark.pedantic(
+            lambda: client.local(items[0][0], level), rounds=20, iterations=1
+        )
+        client.shutdown()
+    assert proc.wait(timeout=30) == 0
+
+    throughput = len(items) / ingest_seconds
+    row = {
+        "activations": len(items),
+        "ingest_s": ingest_seconds,
+        "ingest_per_s": throughput,
+        "sync_s": sync_seconds,
+        "queries": len(query_latencies),
+        "query_p50_ms": _percentile(query_latencies, 50) * 1e3,
+        "query_p99_ms": _percentile(query_latencies, 99) * 1e3,
+    }
+    print()
+    print(
+        format_table(
+            [row],
+            title=f"Service throughput ({NODES}-node graph, live TCP server)",
+            float_fmt="{:.2f}",
+        )
+    )
+    save_result(
+        "service_throughput",
+        {
+            "graph": {"n": graph.n, "m": graph.m},
+            "workload": row,
+            "server_metrics": {
+                "counters": metrics["counters"],
+                "histograms": metrics["histograms"],
+            },
+        },
+    )
+
+    # Durable ingest keeps up and nothing acknowledged is lost.
+    assert applied == len(items)
+    assert stats["applied"] == len(items)
+    assert throughput > 0
+    # Micro-batching bounds query latency while ingest is running.  The
+    # wall is generous (pure-Python engine) but a regression to per-
+    # activation index rebuilds or a blocked writer would blow through it.
+    assert row["query_p99_ms"] < 5000
+    assert metrics["counters"]["batches_applied"] >= 1
+    assert metrics["histograms"]["batch_flush_seconds"]["count"] >= 1
+
+
+def test_kill9_mid_stream_recovers_identically(
+    benchmark, workload, server_factory, tmp_path
+):
+    """The durability contract at bench scale: SIGKILL the server while
+    it is mid-stream, restart on the same data dir, and the recovered
+    process serves the same clusters at the same granularity."""
+    graph, items = workload
+    data_dir = tmp_path / "data"
+    cut = (2 * len(items)) // 3
+
+    proc, host, port = server_factory(data_dir)
+    with ServiceClient(host, port) as client:
+        client.ingest_batch(items[:cut])  # auto-checkpoints at 500
+        client.sync()
+        before = client.clusters_info()
+        level = before["level"]
+    proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=10)
+
+    def restart_and_compare():
+        proc, host, port = server_factory(data_dir)
+        with ServiceClient(host, port) as client:
+            after = client.clusters_info(level=level)
+            client.shutdown()
+        assert proc.wait(timeout=30) == 0
+        return after
+
+    after = benchmark.pedantic(restart_and_compare, rounds=1, iterations=1)
+    assert after["applied"] == before["applied"] == cut
+    assert after["t"] == before["t"]
+    assert after["clusters"] == before["clusters"]
+
+    # The recovered server is live: it absorbs the rest of the stream.
+    proc, host, port = server_factory(data_dir)
+    with ServiceClient(host, port) as client:
+        client.ingest_batch(items[cut:])
+        assert client.sync() == len(items)
+        client.shutdown()
+    assert proc.wait(timeout=30) == 0

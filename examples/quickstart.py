@@ -10,29 +10,40 @@ runs the three query types of the paper's Problem 1:
 3. local cluster queries for one user.
 
 Run:  python examples/quickstart.py
+(Set REPRO_EXAMPLE_QUICK=1 for a scaled-down run, as the test suite's
+examples smoke test does.)
 """
+
+import os
 
 from repro import ANCO, ANCParams
 from repro.evalm import score_clustering
 from repro.graph.generators import planted_partition
 from repro.workloads.streams import community_biased_stream
 
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK") == "1"
+
 
 def main() -> None:
-    # --- the relation network: 300 users in friend groups ---------------
+    # --- the relation network: users in friend groups --------------------
+    users, groups_n, timestamps = (120, 6, 10) if QUICK else (300, 12, 30)
     graph, groups = planted_partition(
-        300, 12, p_in=0.35, p_out=0.01, seed=7
+        users, groups_n, p_in=0.35, p_out=0.01, seed=7
     )
     print(f"Relation network: {graph.n} users, {graph.m} friendships")
 
-    # --- the activation stream: 30 timestamps of chats ------------------
+    # --- the activation stream of chats ----------------------------------
     stream = community_biased_stream(
-        graph, groups, timestamps=30, fraction=0.1, intra_bias=0.9, seed=1
+        graph, groups, timestamps=timestamps, fraction=0.1, intra_bias=0.9,
+        seed=1,
     )
-    print(f"Activation stream: {len(stream)} chats over 30 timestamps")
+    print(f"Activation stream: {len(stream)} chats over {timestamps} timestamps")
 
     # --- the online engine ----------------------------------------------
-    params = ANCParams(lam=0.1, rep=3, k=4, seed=0, eps=0.25, mu=2)
+    params = ANCParams(
+        lam=0.1, rep=1 if QUICK else 3, k=2 if QUICK else 4,
+        seed=0, eps=0.25, mu=2,
+    )
     engine = ANCO(graph, params)
     engine.process_stream(stream)
     print(

@@ -36,6 +36,11 @@ def _add_anc_params(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pyramids", type=int, default=4, help="number of pyramids k")
     parser.add_argument("--support", type=float, default=0.7, help="voting threshold θ")
     parser.add_argument("--seed", type=int, default=0, help="index RNG seed")
+    parser.add_argument(
+        "--update-workers", type=int, default=0,
+        help="threads for parallel index maintenance (Lemma 13); "
+             "0 = sequential (see the GIL caveat in docs/usage.md)",
+    )
 
 
 def _params_from(args: argparse.Namespace) -> ANCParams:
@@ -47,6 +52,7 @@ def _params_from(args: argparse.Namespace) -> ANCParams:
         k=args.pyramids,
         support=args.support,
         seed=args.seed,
+        update_workers=args.update_workers,
     )
 
 
@@ -154,6 +160,40 @@ def cmd_stream(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    import asyncio
+    import logging
+
+    from .service.server import ANCServer, ServerConfig
+
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    graph, names = read_edge_list(args.edgelist)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        engine=args.engine,
+        batch_size=args.batch_size,
+        max_latency=args.max_latency,
+        max_pending=args.max_pending,
+        data_dir=args.data_dir,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_interval=args.checkpoint_interval,
+        metrics_interval=args.metrics_interval,
+    )
+    server = ANCServer(graph, names, config=config, params=_params_from(args))
+    try:
+        asyncio.run(
+            server.run(announce=lambda line: print(line, file=out, flush=True))
+        )
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
 def cmd_datasets(args: argparse.Namespace, out) -> int:
     from .bench.reporting import format_table
     from .workloads.datasets import table1_rows
@@ -204,6 +244,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--min-size", type=int, default=1)
     _add_anc_params(p_stream)
     p_stream.set_defaults(func=cmd_stream)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run a long-lived streaming clustering server (docs/service.md)",
+    )
+    p_serve.add_argument("edgelist", help="relation network: u v (or u v t) lines")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7700,
+                         help="TCP port (0 picks a free port; announced on stdout)")
+    p_serve.add_argument(
+        "--engine", choices=("anco", "ancor", "ancf"), default="anco"
+    )
+    p_serve.add_argument("--batch-size", type=int, default=64,
+                         help="micro-batch flush size")
+    p_serve.add_argument("--max-latency", type=float, default=0.05,
+                         help="micro-batch flush latency bound (seconds)")
+    p_serve.add_argument("--max-pending", type=int, default=4096,
+                         help="intake queue bound (backpressure limit)")
+    p_serve.add_argument("--data-dir", default=None,
+                         help="durability directory (WAL + checkpoints); "
+                              "omit for an in-memory server")
+    p_serve.add_argument("--checkpoint-every", type=int, default=2000,
+                         help="checkpoint after this many applied activations")
+    p_serve.add_argument("--checkpoint-interval", type=float, default=0.0,
+                         help="also checkpoint every this many seconds (0 = off)")
+    p_serve.add_argument("--metrics-interval", type=float, default=30.0,
+                         help="metrics log-line period in seconds (0 = off)")
+    _add_anc_params(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_data = sub.add_parser("datasets", help="list the Table I stand-ins")
     p_data.set_defaults(func=cmd_datasets)

@@ -80,8 +80,19 @@ def load_index(graph: Graph, path: PathLike) -> PyramidIndex:
     """
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    if doc.get("format") != FORMAT_VERSION:
-        raise ValueError(f"unsupported index format {doc.get('format')!r}")
+    if not isinstance(doc, dict):
+        raise ValueError(
+            f"{path} is not an index document (expected a JSON object, "
+            f"got {type(doc).__name__})"
+        )
+    version = doc.get("format")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported index format version {version!r} in {path}; this "
+            f"build reads version {FORMAT_VERSION}.  Re-save the index with "
+            f"save_index() from the build that wrote it, or rebuild from the "
+            f"graph."
+        )
     if doc["graph"] != graph_fingerprint(graph):
         raise ValueError(
             "graph does not match the one the index was built on "

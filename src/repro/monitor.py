@@ -118,6 +118,17 @@ class ClusterWatcher:
         the graph.
         """
         self.engine.process_batch(batch)
+        return self.observe_applied(batch)
+
+    def observe_applied(self, batch: Sequence[Activation]) -> List[ClusterChange]:
+        """Report watched changes for a batch the engine *already* absorbed.
+
+        Drivers that own the engine's update schedule (the service's
+        :class:`~repro.service.engine_host.EngineHost` applies batches on
+        a writer thread with deterministic batch-end hooks) call this
+        after applying each batch instead of :meth:`process_batch`, so
+        the watcher observes without double-processing the stream.
+        """
         # The refresh region is the index's actual affected set (Lemma 11
         # — possibly wider than the batch endpoints when updates re-seat
         # distant nodes) plus the endpoints themselves.

@@ -1,0 +1,53 @@
+"""Long-lived serving layer over the ANC engines.
+
+The paper's headline result — per-activation index maintenance up to
+10⁶× faster than reconstruction (§V) — only pays off inside a serving
+loop that interleaves a live activation stream with cluster queries.
+This package is that loop:
+
+* :mod:`~repro.service.ingest` — bounded intake queue with
+  micro-batching (flush on batch size or max latency);
+* :mod:`~repro.service.engine_host` — single-writer/multi-reader
+  concurrency: the engine update runs on a dedicated writer thread while
+  queries are answered from an immutable published snapshot;
+* :mod:`~repro.service.snapshots` — write-ahead activation log plus
+  periodic engine checkpoints (through :mod:`repro.index.persistence`),
+  so recovery = load checkpoint + replay WAL tail;
+* :mod:`~repro.service.metrics` — counters and sliding-window
+  histograms behind a JSON snapshot;
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — a
+  stdlib-only TCP JSON-lines protocol and its blocking client.
+
+Start a server from the command line with ``repro-anc serve`` or
+programmatically via :class:`~repro.service.server.ANCServer`; see
+``docs/service.md`` for the protocol and operational knobs.
+"""
+
+from .client import ServiceClient, ServiceError
+from .engine_host import EngineHost, PublishedState
+from .ingest import MicroBatcher
+from .metrics import MetricsRegistry
+from .server import ANCServer, ServerConfig
+from .snapshots import (
+    CheckpointStore,
+    WriteAheadLog,
+    dump_engine_state,
+    recover_engine,
+    restore_engine,
+)
+
+__all__ = [
+    "ANCServer",
+    "ServerConfig",
+    "ServiceClient",
+    "ServiceError",
+    "EngineHost",
+    "PublishedState",
+    "MicroBatcher",
+    "MetricsRegistry",
+    "CheckpointStore",
+    "WriteAheadLog",
+    "dump_engine_state",
+    "restore_engine",
+    "recover_engine",
+]

@@ -1,0 +1,129 @@
+"""Blocking JSON-lines client for :class:`~repro.service.server.ANCServer`.
+
+Plain sockets, no dependencies: one request out, one response in.  The
+benchmark load generator, the examples and operational scripts all talk
+to the server through this class; anything else can speak the protocol
+directly (it is a dozen lines in any language — see ``docs/service.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+Label = Union[str, int]
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``{"ok": false}``; carries its error message."""
+
+
+class ServiceClient:
+    """One TCP connection to a running ANC service.
+
+    Usable as a context manager::
+
+        with ServiceClient("127.0.0.1", 7700) as client:
+            client.ingest("alice", "bob", t=12.5)
+            client.sync()
+            print(client.clusters())
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- plumbing ---------------------------------------------------------
+    def request(self, op: str, **fields: object) -> Dict[str, object]:
+        """Send one request; return the decoded response or raise."""
+        payload = {"op": op, **{k: v for k, v in fields.items() if v is not None}}
+        self._file.write(json.dumps(payload).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown server error"))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- convenience ops ---------------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        return self.request("ping")
+
+    def ingest(self, u: Label, v: Label, t: float) -> int:
+        """Ingest one activation; returns its sequence number."""
+        return int(self.request("ingest", u=u, v=v, t=t)["seq"])
+
+    def ingest_batch(self, items: Sequence[Tuple[Label, Label, float]]) -> int:
+        """Ingest many activations; returns the last sequence number."""
+        response = self.request(
+            "ingest_batch", items=[[u, v, t] for u, v, t in items]
+        )
+        return int(response["seq"])
+
+    def clusters(
+        self, level: Optional[int] = None, *, min_size: int = 1
+    ) -> List[List[Label]]:
+        """All clusters at ``level`` (default √n granularity)."""
+        return self.request("clusters", level=level, min_size=min_size)["clusters"]
+
+    def clusters_info(
+        self, level: Optional[int] = None, *, min_size: int = 1
+    ) -> Dict[str, object]:
+        """Clusters plus level/time/applied metadata."""
+        return self.request("clusters", level=level, min_size=min_size)
+
+    def local(self, node: Label, level: Optional[int] = None) -> List[Label]:
+        """The node's cluster at ``level``."""
+        return self.request("local", node=node, level=level)["cluster"]
+
+    def zoom_in(self, level: int) -> int:
+        return int(self.request("zoom_in", level=level)["level"])
+
+    def zoom_out(self, level: int) -> int:
+        return int(self.request("zoom_out", level=level)["level"])
+
+    def watch(self, node: Label, level: Optional[int] = None) -> List[Label]:
+        """Watch a node's cluster; returns the current cluster."""
+        return self.request("watch", node=node, level=level)["cluster"]
+
+    def unwatch(self, node: Label, level: Optional[int] = None) -> None:
+        self.request("unwatch", node=node, level=level)
+
+    def changes(self) -> List[Dict[str, object]]:
+        """Drain accumulated cluster-change events for watched nodes."""
+        return self.request("changes")["changes"]
+
+    def sync(self) -> int:
+        """Block until everything ingested so far is applied and visible."""
+        return int(self.request("sync")["applied"])
+
+    def stats(self) -> Dict[str, object]:
+        return self.request("stats")["stats"]
+
+    def metrics(self) -> Dict[str, object]:
+        return self.request("metrics")["metrics"]
+
+    def snapshot(self) -> str:
+        """Force a durable checkpoint; returns its path on the server."""
+        return str(self.request("snapshot")["path"])
+
+    def shutdown(self) -> None:
+        """Ask the server to shut down gracefully."""
+        self.request("shutdown")

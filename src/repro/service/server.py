@@ -1,0 +1,422 @@
+"""The asyncio TCP server: JSON-lines protocol over the engine host.
+
+Stdlib-only.  Each connection carries newline-delimited JSON requests;
+every request gets exactly one JSON response (``{"ok": true, ...}`` or
+``{"ok": false, "error": ...}``), echoing the request's ``id`` when one
+was sent, so clients may pipeline.  See ``docs/service.md`` for the full
+protocol table.
+
+Wiring (one of everything):
+
+    clients ──TCP──> handlers ──ingest──> MicroBatcher ──> EngineHost
+                         │                                    │
+                         └──────── queries ◄── PublishedState ┘
+    WAL append on ingest; periodic checkpoints through the host's
+    writer thread; periodic metrics log line.
+
+On startup with a ``data_dir`` the server first recovers: newest
+complete checkpoint + WAL tail replay (see
+:mod:`~repro.service.snapshots`), so a ``kill -9`` loses nothing that
+was acknowledged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Hashable, List, Optional, Sequence, Union
+
+from ..core.activation import Activation
+from ..core.anc import ANCParams, make_engine
+from ..graph.graph import Graph, edge_key
+from .engine_host import EngineHost
+from .ingest import MicroBatcher
+from .metrics import MetricsRegistry
+from .snapshots import CheckpointStore, WriteAheadLog, recover_engine
+
+__all__ = ["ANCServer", "ServerConfig"]
+
+log = logging.getLogger("repro.service")
+
+
+@dataclass
+class ServerConfig:
+    """Operational knobs of one server process."""
+
+    host: str = "127.0.0.1"
+    #: Port to bind; 0 picks a free port (read :attr:`ANCServer.port` after start).
+    port: int = 0
+    #: Engine to serve: ``anco`` / ``ancor`` / ``ancf``.
+    engine: str = "anco"
+    #: Micro-batch flush thresholds (see :class:`MicroBatcher`).
+    batch_size: int = 64
+    max_latency: float = 0.05
+    #: Intake queue bound — the backpressure limit.
+    max_pending: int = 4096
+    #: Durability directory (WAL + checkpoints); None = in-memory only.
+    data_dir: Optional[Union[str, Path]] = None
+    #: Checkpoint after this many applied activations (0 = only on shutdown).
+    checkpoint_every: int = 2000
+    #: Also checkpoint at least every this many seconds (0 = disabled).
+    checkpoint_interval: float = 0.0
+    #: Period of the metrics log line (0 = disabled).
+    metrics_interval: float = 30.0
+
+
+class ANCServer:
+    """A long-lived clustering service over one relation network.
+
+    Parameters
+    ----------
+    graph:
+        The relation network ``G(V, E)``.
+    names:
+        Original node labels (``names[i]`` for dense id ``i``) as
+        returned by the edge-list readers; protocol messages use these
+        labels.  ``None`` serves dense integer ids directly.
+    config:
+        Operational knobs; see :class:`ServerConfig`.
+    params:
+        Engine parameters for a cold start (a recovered checkpoint's
+        stored parameters win over these).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        names: Optional[Sequence[Hashable]] = None,
+        *,
+        config: Optional[ServerConfig] = None,
+        params: Optional[ANCParams] = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config or ServerConfig()
+        self.names = list(names) if names is not None else None
+        self._label_to_id: Dict[str, int] = (
+            {str(name): i for i, name in enumerate(self.names)}
+            if self.names is not None
+            else {}
+        )
+
+        store: Optional[CheckpointStore] = None
+        wal: Optional[WriteAheadLog] = None
+        if self.config.data_dir is not None:
+            store = CheckpointStore(self.config.data_dir)
+            engine, replayed = recover_engine(
+                graph,
+                store,
+                params=params,
+                engine_name=self.config.engine.upper(),
+            )
+            if replayed or engine.activations_processed:
+                log.info(
+                    "recovered engine at %d activations (%d replayed from WAL)",
+                    engine.activations_processed,
+                    replayed,
+                )
+            wal = WriteAheadLog(store.wal_path)
+        else:
+            engine = make_engine(self.config.engine.upper(), graph, params)
+
+        self.metrics = MetricsRegistry()
+        self.batcher = MicroBatcher(
+            batch_size=self.config.batch_size,
+            max_latency=self.config.max_latency,
+            max_pending=self.config.max_pending,
+        )
+        self.host = EngineHost(
+            engine,
+            self.batcher,
+            wal=wal,
+            checkpoints=store,
+            checkpoint_every=self.config.checkpoint_every,
+            metrics=self.metrics,
+        )
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._run_task: Optional[asyncio.Task] = None
+        self._background: List[asyncio.Task] = []
+        self._stop = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start the writer + background tasks."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=4 * 1024 * 1024,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._run_task = asyncio.create_task(self.host.run())
+        if self.config.metrics_interval > 0:
+            self._background.append(
+                asyncio.create_task(self._metrics_loop(self.config.metrics_interval))
+            )
+        if self.config.checkpoint_interval > 0 and self.host.checkpoints is not None:
+            self._background.append(
+                asyncio.create_task(
+                    self._checkpoint_loop(self.config.checkpoint_interval)
+                )
+            )
+        log.info("serving on %s:%d", self.config.host, self.port)
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` (or a client ``shutdown``), then drain."""
+        if self._server is None:
+            await self.start()
+        await self._stop.wait()
+        await self._shutdown()
+
+    async def run(self, *, announce=None) -> None:
+        """Start, announce ``SERVING <host> <port>``, serve until stopped.
+
+        ``announce`` is a callable receiving the announce line (default:
+        print to stdout, which the benchmark's process harness parses).
+        """
+        await self.start()
+        line = f"SERVING {self.config.host} {self.port}"
+        if announce is None:
+            print(line, flush=True)
+        else:
+            announce(line)
+        await self.serve_forever()
+
+    def request_stop(self) -> None:
+        """Ask the server to shut down (idempotent, safe from handlers)."""
+        self._stop.set()
+
+    async def stop(self) -> None:
+        """Request and await a graceful shutdown."""
+        self.request_stop()
+        if self._server is not None:
+            await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        server.close()
+        await server.wait_closed()
+        for task in self._background:
+            task.cancel()
+        for task in self._background:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._background.clear()
+        # Drain the queue, cut a final checkpoint, stop the writer.
+        await self.host.close(self._run_task)
+        if self.host.wal is not None:
+            self.host.wal.close()
+        log.info("shut down cleanly at %d activations", self.host.applied)
+
+    async def _metrics_loop(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            log.info("metrics %s", self.metrics.log_line())
+
+    async def _checkpoint_loop(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            await self.host.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Protocol plumbing
+    # ------------------------------------------------------------------
+    def _label(self, v: int) -> Union[str, int]:
+        return str(self.names[v]) if self.names is not None else v
+
+    def _labels(self, nodes: Sequence[int]) -> List[Union[str, int]]:
+        return [self._label(v) for v in nodes]
+
+    def _resolve_node(self, raw: object) -> int:
+        """Map a protocol node reference (label or dense id) to a node id."""
+        if self.names is not None:
+            v = self._label_to_id.get(str(raw))
+            if v is not None:
+                return v
+        if isinstance(raw, int) or (isinstance(raw, str) and raw.lstrip("-").isdigit()):
+            v = int(raw)
+            if self.graph.has_node(v):
+                return v
+        raise ValueError(f"unknown node {raw!r}")
+
+    def _resolve_activation(self, item: Sequence[object]) -> Activation:
+        if len(item) != 3:
+            raise ValueError(f"activation must be [u, v, t], got {item!r}")
+        u = self._resolve_node(item[0])
+        v = self._resolve_node(item[1])
+        if u == v:
+            raise ValueError(f"self-activation on node {item[0]!r}")
+        u, v = edge_key(u, v)
+        if not self.graph.has_edge(u, v):
+            raise ValueError(f"({item[0]!r}, {item[1]!r}) is not a relation edge")
+        t = self.host.clamp_time(float(item[2]))
+        return Activation(u, v, t)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                response = await self._handle_request(line)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_request(self, raw: bytes) -> Dict[str, object]:
+        request_id: object = None
+        try:
+            request = json.loads(raw)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op")
+            handler = self._OPS.get(op)
+            if handler is None:
+                raise ValueError(f"unknown op {op!r}")
+            response = await handler(self, request)
+            response.setdefault("ok", True)
+        except Exception as exc:  # protocol boundary: report, don't crash
+            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    # ------------------------------------------------------------------
+    # Op handlers
+    # ------------------------------------------------------------------
+    async def _op_ping(self, request: Dict) -> Dict[str, object]:
+        return {"t": self.host.state.t, "applied": self.host.applied}
+
+    async def _op_ingest(self, request: Dict) -> Dict[str, object]:
+        act = self._resolve_activation(
+            [request.get("u"), request.get("v"), request.get("t", self.host.state.t)]
+        )
+        seq = await self.host.ingest(act)
+        return {"seq": seq, "t": act.t}
+
+    async def _op_ingest_batch(self, request: Dict) -> Dict[str, object]:
+        items = request.get("items")
+        if not isinstance(items, list):
+            raise ValueError("ingest_batch needs a list 'items' of [u, v, t]")
+        seq = -1
+        for item in items:
+            act = self._resolve_activation(item)
+            seq = await self.host.ingest(act)
+        return {"accepted": len(items), "seq": seq}
+
+    async def _op_clusters(self, request: Dict) -> Dict[str, object]:
+        level, clusters = await self.host.clusters(request.get("level"))
+        min_size = int(request.get("min_size", 1))
+        state = self.host.state
+        return {
+            "level": level,
+            "num_levels": state.num_levels,
+            "t": state.t,
+            "applied": state.activations,
+            "clusters": [
+                self._labels(c) for c in clusters if len(c) >= min_size
+            ],
+        }
+
+    async def _op_local(self, request: Dict) -> Dict[str, object]:
+        node = self._resolve_node(request.get("node"))
+        level, cluster = await self.host.cluster_of(node, request.get("level"))
+        state = self.host.state
+        return {
+            "level": level,
+            "t": state.t,
+            "applied": state.activations,
+            "cluster": self._labels(cluster),
+        }
+
+    async def _op_zoom_in(self, request: Dict) -> Dict[str, object]:
+        return {"level": self.host.zoom_in(int(request.get("level", 0)))}
+
+    async def _op_zoom_out(self, request: Dict) -> Dict[str, object]:
+        return {"level": self.host.zoom_out(int(request.get("level", 0)))}
+
+    async def _op_watch(self, request: Dict) -> Dict[str, object]:
+        node = self._resolve_node(request.get("node"))
+        cluster = await self.host.watch(node, request.get("level"))
+        return {"cluster": self._labels(cluster)}
+
+    async def _op_unwatch(self, request: Dict) -> Dict[str, object]:
+        node = self._resolve_node(request.get("node"))
+        await self.host.unwatch(node, request.get("level"))
+        return {}
+
+    async def _op_changes(self, request: Dict) -> Dict[str, object]:
+        events = self.host.drain_watch_events()
+        return {
+            "changes": [
+                {
+                    "node": self._label(e.node),
+                    "level": e.level,
+                    "t": e.t,
+                    "joined": self._labels(sorted(e.joined)),
+                    "left": self._labels(sorted(e.left)),
+                }
+                for e in events
+            ]
+        }
+
+    async def _op_sync(self, request: Dict) -> Dict[str, object]:
+        state = await self.host.wait_applied()
+        return {"applied": state.activations, "t": state.t}
+
+    async def _op_stats(self, request: Dict) -> Dict[str, object]:
+        return {"stats": self.host.stats()}
+
+    async def _op_metrics(self, request: Dict) -> Dict[str, object]:
+        return {"metrics": self.metrics.snapshot()}
+
+    async def _op_snapshot(self, request: Dict) -> Dict[str, object]:
+        await self.host.wait_applied()
+        path = await self.host.checkpoint()
+        if path is None:
+            raise ValueError("server has no data_dir; checkpoints are disabled")
+        return {"path": path, "applied": self.host.applied}
+
+    async def _op_shutdown(self, request: Dict) -> Dict[str, object]:
+        self.request_stop()
+        return {"stopping": True}
+
+    _OPS = {
+        "ping": _op_ping,
+        "ingest": _op_ingest,
+        "ingest_batch": _op_ingest_batch,
+        "clusters": _op_clusters,
+        "local": _op_local,
+        "zoom_in": _op_zoom_in,
+        "zoom_out": _op_zoom_out,
+        "watch": _op_watch,
+        "unwatch": _op_unwatch,
+        "changes": _op_changes,
+        "sync": _op_sync,
+        "stats": _op_stats,
+        "metrics": _op_metrics,
+        "snapshot": _op_snapshot,
+        "shutdown": _op_shutdown,
+    }

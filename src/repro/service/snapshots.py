@@ -1,0 +1,359 @@
+"""Durability: write-ahead activation log + engine checkpoints.
+
+The service survives a ``kill -9`` with *exact* state reconstruction:
+
+* every accepted activation is appended (and flushed) to a write-ahead
+  log **before** it is acknowledged or enqueued for the writer;
+* periodically the writer thread dumps a checkpoint: the pyramid index
+  through :mod:`repro.index.persistence` plus the full metric state
+  (decay clock, anchored activeness and similarity stores, node
+  strengths) and engine counters;
+* recovery = load the newest valid checkpoint + replay the WAL tail
+  (entries past the checkpoint's activation count).
+
+Because the whole pipeline is deterministic — seeded RNG, float state
+restored bit-for-bit (``json`` round-trips ``repr`` exactly), updates
+independent of dict iteration order — the recovered engine's
+``clusters()`` output is byte-identical to the crashed process's, which
+``tests/test_service.py`` and the service benchmark both assert.
+
+Checkpoints are crash-safe without directory renames: a checkpoint dir
+``checkpoint-<seq>/`` is complete only once its ``MANIFEST`` file exists;
+recovery picks the highest-numbered complete checkpoint and ignores
+torn ones.  A torn final WAL line (the append that was in flight when
+the process died) is skipped on replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..core.activation import Activation
+from ..core.anc import ANCF, ANCO, ANCOR, ANCEngineBase, ANCParams
+from ..graph.graph import Graph
+from ..index.clustering import ClusterQueryEngine
+from ..index.persistence import load_index, save_index
+
+PathLike = Union[str, Path]
+
+ENGINE_STATE_VERSION = 1
+
+__all__ = [
+    "WriteAheadLog",
+    "CheckpointStore",
+    "apply_activations",
+    "dump_engine_state",
+    "restore_engine",
+    "recover_engine",
+]
+
+
+def apply_activations(engine: ANCEngineBase, acts: List[Activation]) -> None:
+    """Feed activations to ``engine`` with *deterministic* batch hooks.
+
+    The live host and crash recovery must drive the engine identically
+    or ANCOR's periodic reinforcement (fired from ``on_batch_end``)
+    would depend on wall-clock micro-batch boundaries.  This helper
+    derives the boundaries from the data instead: ``on_batch_end(t)``
+    fires exactly when the stream time advances past ``t``, so any
+    partitioning of the same activation sequence produces bit-identical
+    engine state.
+    """
+    for act in acts:
+        if act.t > engine.now and engine.activations_processed > 0:
+            engine.on_batch_end(engine.now)
+        engine.process(act)
+
+
+# ----------------------------------------------------------------------
+# Write-ahead log
+# ----------------------------------------------------------------------
+
+class WriteAheadLog:
+    """Append-only ``u v t`` activation log with torn-tail tolerance.
+
+    Entries are written in ingest order, which the single-writer host
+    guarantees equals apply order, so "the first N entries" always means
+    "the N activations the engine has absorbed".
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: Entries in the log (counted on open so appends continue the seq).
+        self.entries = self._repair_tail()
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def _repair_tail(self) -> int:
+        """Truncate a torn final line left by a crash; return entry count.
+
+        Without this, the first append after recovery would land *after*
+        the torn fragment and turn a benign torn tail into mid-file
+        corruption.
+        """
+        if not self.path.exists():
+            return 0
+        with open(self.path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        if lines:
+            parts = lines[-1].split()
+            try:
+                int(parts[0]), int(parts[1]), float(parts[2])
+            except (IndexError, ValueError):
+                lines.pop()
+                with open(self.path, "w", encoding="utf-8") as fh:
+                    fh.write("".join(line + "\n" for line in lines))
+        return len(lines)
+
+    def append(self, act: Activation) -> int:
+        """Durably append one activation; returns its sequence number."""
+        self._fh.write(f"{act.u} {act.v} {act.t!r}\n")
+        self._fh.flush()
+        self.entries += 1
+        return self.entries - 1
+
+    def close(self) -> None:
+        self._fh.close()
+
+    @staticmethod
+    def replay(path: PathLike, *, skip: int = 0) -> Iterator[Activation]:
+        """Yield activations from entry ``skip`` onward.
+
+        A malformed *final* line (torn by a crash mid-append) is ignored;
+        a malformed line elsewhere raises, since that means corruption
+        rather than a torn tail.
+        """
+        path = Path(path)
+        if not path.exists():
+            return
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        for i, line in enumerate(lines):
+            parts = line.split()
+            try:
+                u, v, t = int(parts[0]), int(parts[1]), float(parts[2])
+            except (IndexError, ValueError):
+                if i == len(lines) - 1:
+                    return  # torn tail
+                raise ValueError(f"corrupt WAL line {i}: {line!r}")
+            if i >= skip:
+                yield Activation(u, v, t)
+
+
+# ----------------------------------------------------------------------
+# Engine state (de)hydration
+# ----------------------------------------------------------------------
+
+def dump_engine_state(engine: ANCEngineBase) -> Dict[str, object]:
+    """Everything beyond the index needed to resurrect ``engine`` exactly.
+
+    Must be called while no writer is mutating the engine (the host runs
+    it on the writer thread).
+    """
+    metric = engine.metric
+    clock = metric.clock
+    doc: Dict[str, object] = {
+        "format": ENGINE_STATE_VERSION,
+        "engine": type(engine).__name__,
+        "params": asdict(engine.params),
+        "activations": engine.activations_processed,
+        "clock": {
+            "t": clock.now,
+            "anchor": clock.anchor,
+            "since_rescale": clock._since_rescale,
+            "rescale_count": clock._rescale_count,
+        },
+        "activeness": [
+            [u, v, value] for (u, v), value in metric.activeness.store.items_anchored()
+        ],
+        "similarity": [
+            [u, v, value] for (u, v), value in metric.similarity.items_anchored()
+        ],
+        "strength": list(metric.sigma._strength),
+    }
+    if isinstance(engine, ANCOR):
+        doc["reinforce"] = {
+            "interval": engine.reinforce_interval,
+            "last": engine._last_reinforce,
+        }
+    if isinstance(engine, ANCF):
+        doc["dirty"] = engine._dirty
+    return doc
+
+
+def restore_engine(
+    graph: Graph, doc: Dict[str, object], index_path: PathLike
+) -> ANCEngineBase:
+    """Rebuild an engine from :func:`dump_engine_state` + a saved index.
+
+    No reinforcement sweep and no Dijkstra runs: the metric stores, node
+    strengths and decay clock are restored verbatim and the index comes
+    back through :func:`repro.index.persistence.load_index`.
+    """
+    from ..core.metric import SimilarityFunction
+
+    version = doc.get("format") if isinstance(doc, dict) else None
+    if version != ENGINE_STATE_VERSION:
+        raise ValueError(
+            f"unsupported engine-state format {version!r}; this build "
+            f"supports version {ENGINE_STATE_VERSION}"
+        )
+    engines = {"ANCF": ANCF, "ANCO": ANCO, "ANCOR": ANCOR}
+    name = doc["engine"]
+    if name not in engines:
+        raise ValueError(f"unknown engine {name!r} in checkpoint")
+    params = ANCParams(**doc["params"])  # type: ignore[arg-type]
+
+    engine = engines[name].__new__(engines[name])  # type: ignore[assignment]
+    engine.graph = graph
+    engine.params = params
+    metric = SimilarityFunction(
+        graph,
+        lam=params.lam,
+        eps=params.eps,
+        mu=params.mu,
+        rep=params.rep,
+        rescale_every=params.rescale_every,
+        initialize=False,
+    )
+    clock_doc = doc["clock"]
+    metric.clock._t = float(clock_doc["t"])  # type: ignore[index]
+    metric.clock._anchor = float(clock_doc["anchor"])  # type: ignore[index]
+    metric.clock._since_rescale = int(clock_doc["since_rescale"])  # type: ignore[index]
+    metric.clock._rescale_count = int(clock_doc["rescale_count"])  # type: ignore[index]
+    for u, v, value in doc["activeness"]:  # type: ignore[union-attr]
+        metric.activeness.store.set_anchored(int(u), int(v), float(value))
+    for u, v, value in doc["similarity"]:  # type: ignore[union-attr]
+        metric.similarity.set_anchored(int(u), int(v), float(value))
+    metric.sigma._strength = [float(s) for s in doc["strength"]]  # type: ignore[union-attr]
+    metric._initialized = True
+    engine.metric = metric
+
+    engine.index = load_index(graph, index_path)
+    metric.clock.add_rescale_listener(engine.index.on_rescale)
+    engine.queries = ClusterQueryEngine(engine.index, method=params.method)
+    engine.activations_processed = int(doc["activations"])  # type: ignore[arg-type]
+
+    if isinstance(engine, ANCO):
+        engine._wire_updates()
+    if isinstance(engine, ANCOR):
+        reinforce = doc["reinforce"]
+        engine.reinforce_interval = float(reinforce["interval"])  # type: ignore[index]
+        engine._last_reinforce = float(reinforce["last"])  # type: ignore[index]
+    if isinstance(engine, ANCF):
+        engine._dirty = bool(doc.get("dirty", False))
+    return engine
+
+
+# ----------------------------------------------------------------------
+# Checkpoint store
+# ----------------------------------------------------------------------
+
+class CheckpointStore:
+    """Numbered checkpoints plus the WAL, under one data directory.
+
+    Layout::
+
+        data_dir/
+          wal.log                  append-only activation log
+          checkpoint-<seq>/
+            engine.json            dump_engine_state() output
+            index.json             repro.index.persistence document
+            MANIFEST               written last; marks the dir complete
+    """
+
+    def __init__(self, data_dir: PathLike) -> None:
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def wal_path(self) -> Path:
+        return self.data_dir / "wal.log"
+
+    # -- writing -----------------------------------------------------------
+    def write_checkpoint(self, engine: ANCEngineBase) -> Path:
+        """Dump ``engine`` as checkpoint ``<activations_processed>``.
+
+        Call from the writer thread only (needs a quiescent engine).
+        Older checkpoints are pruned after the new one is complete.
+        """
+        seq = engine.activations_processed
+        target = self.data_dir / f"checkpoint-{seq}"
+        target.mkdir(parents=True, exist_ok=True)
+        doc = dump_engine_state(engine)
+        with open(target / "engine.json", "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        save_index(engine.index, target / "index.json")
+        with open(target / "MANIFEST", "w", encoding="utf-8") as fh:
+            json.dump({"seq": seq}, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._prune(keep=seq)
+        return target
+
+    def _prune(self, *, keep: int) -> None:
+        for path, seq in self._checkpoint_dirs():
+            if seq != keep:
+                for child in path.iterdir():
+                    child.unlink()
+                path.rmdir()
+
+    # -- reading -----------------------------------------------------------
+    def _checkpoint_dirs(self) -> List[Tuple[Path, int]]:
+        out: List[Tuple[Path, int]] = []
+        for path in self.data_dir.glob("checkpoint-*"):
+            try:
+                seq = int(path.name.split("-", 1)[1])
+            except ValueError:
+                continue
+            out.append((path, seq))
+        return sorted(out, key=lambda item: item[1])
+
+    def latest_checkpoint(self) -> Optional[Tuple[Path, int]]:
+        """Newest *complete* checkpoint (has a MANIFEST), or ``None``."""
+        complete = [
+            (path, seq)
+            for path, seq in self._checkpoint_dirs()
+            if (path / "MANIFEST").exists()
+        ]
+        return complete[-1] if complete else None
+
+
+def recover_engine(
+    graph: Graph,
+    store: CheckpointStore,
+    *,
+    params: Optional[ANCParams] = None,
+    engine_name: str = "ANCO",
+) -> Tuple[ANCEngineBase, int]:
+    """Build the serving engine from whatever ``store`` holds.
+
+    * complete checkpoint found → restore it, then replay the WAL tail;
+    * no checkpoint but a WAL → fresh engine, replay the whole WAL;
+    * empty directory → fresh engine.
+
+    Returns ``(engine, replayed)`` where ``replayed`` counts the WAL
+    entries applied on top of the checkpoint (0 on a cold start with no
+    log).  ``params``/``engine_name`` configure the fresh-start path and
+    are ignored when a checkpoint dictates them.
+    """
+    from ..core.anc import make_engine
+
+    latest = store.latest_checkpoint()
+    if latest is not None:
+        path, _ = latest
+        with open(path / "engine.json", "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        engine = restore_engine(graph, doc, path / "index.json")
+    else:
+        engine = make_engine(engine_name, graph, params)
+    skip = engine.activations_processed
+    tail = list(WriteAheadLog.replay(store.wal_path, skip=skip))
+    apply_activations(engine, tail)
+    return engine, len(tail)

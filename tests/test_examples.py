@@ -1,0 +1,46 @@
+"""Smoke test: every script under ``examples/`` runs end to end.
+
+Each example is executed as a real subprocess (the way a reader would
+run it) with ``REPRO_EXAMPLE_QUICK=1``, which the heavier scripts honor
+by scaling their workloads down.  The assertion is deliberately shallow
+— exit code 0 and non-empty output — because the examples' job is to
+demonstrate APIs, and the APIs themselves are covered by the unit suite.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(ROOT / "src"),
+        REPRO_EXAMPLE_QUICK="1",
+    )
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=180,
+        cwd=ROOT,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n--- stdout ---\n{result.stdout}\n"
+        f"--- stderr ---\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"

@@ -145,6 +145,62 @@ class TestPersistence:
         with pytest.raises(ValueError, match="unsupported"):
             load_index(graph, path)
 
+    def test_unknown_format_error_is_actionable(self, built_index, tmp_path):
+        """A future-version document fails with a clear ValueError that
+        names both versions — never a KeyError from missing fields."""
+        graph, _ = built_index
+        path = tmp_path / "index.json"
+        path.write_text('{"format": 7}')
+        with pytest.raises(ValueError) as excinfo:
+            load_index(graph, path)
+        message = str(excinfo.value)
+        assert "7" in message
+        from repro.index.persistence import FORMAT_VERSION
+
+        assert str(FORMAT_VERSION) in message
+
+    def test_missing_format_field_rejected(self, built_index, tmp_path):
+        graph, _ = built_index
+        path = tmp_path / "index.json"
+        path.write_text('{"weights": []}')
+        with pytest.raises(ValueError, match="unsupported index format"):
+            load_index(graph, path)
+
+    def test_non_object_document_rejected(self, built_index, tmp_path):
+        graph, _ = built_index
+        path = tmp_path / "index.json"
+        path.write_text('[1, 2, 3]')
+        with pytest.raises(ValueError, match="JSON object"):
+            load_index(graph, path)
+
+    def test_weight_table_round_trip_after_dynamic_updates(
+        self, built_index, tmp_path
+    ):
+        """The weight table survives save/load after a burst of dynamic
+        updates, and the restored index keeps evolving identically."""
+        graph, index = built_index
+        rng = random.Random(7)
+        edges = list(graph.edges())
+        for _ in range(30):
+            u, v = rng.choice(edges)
+            index.update_edge_weight(u, v, rng.choice([0.2, 0.5, 1.5, 3.0]))
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(graph, path)
+        assert loaded.weights_view() == index.weights_view()
+        # Continue the update stream on both; they must stay in lockstep.
+        for _ in range(15):
+            u, v = rng.choice(edges)
+            w = rng.choice([0.25, 0.75, 2.0])
+            index.update_edge_weight(u, v, w)
+            loaded.update_edge_weight(u, v, w)
+        assert loaded.weights_view() == index.weights_view()
+        for p_orig, p_load in zip(index.partitions(), loaded.partitions()):
+            assert p_orig.seed == p_load.seed
+            assert p_orig.parent == p_load.parent
+            assert p_orig.dist == p_load.dist
+        loaded.check_consistency()
+
     def test_fingerprint_order_independent(self):
         g1 = Graph(4, [(0, 1), (2, 3), (1, 2)])
         g2 = Graph(4, [(1, 2), (0, 1), (2, 3)])
