@@ -13,7 +13,6 @@ DESIGN.md:
 * μ shifts the role mix monotonically: larger μ, fewer cores.
 """
 
-import statistics
 
 import pytest
 

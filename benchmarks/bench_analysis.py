@@ -1,0 +1,53 @@
+"""Lint-speed benchmark — a full-repo ``repro-anc lint`` run, timed.
+
+The static-analysis gate (docs/static-analysis.md) runs on every PR and
+is meant to be cheap enough for a pre-commit hook: parse each file once,
+run all eight rules over the same tree.  This bench times a full lint of
+``src``, ``tests``, ``benchmarks`` and ``examples``, records per-file
+cost, and asserts the repository itself is clean (the same invariant
+``tests/test_analysis.py`` pins).
+"""
+
+import time
+from pathlib import Path
+
+from repro.analysis import all_rules, lint_paths
+from repro.bench.reporting import format_table, save_result
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+LINT_TARGETS = [
+    REPO_ROOT / name for name in ("src", "tests", "benchmarks", "examples")
+]
+
+
+def run_lint():
+    start = time.perf_counter()
+    result = lint_paths([p for p in LINT_TARGETS if p.exists()])
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def test_full_repo_lint(benchmark):
+    rows = []
+
+    def sweep():
+        result, elapsed = run_lint()
+        rows.append(
+            {
+                "files": result.files,
+                "rules": len(all_rules()),
+                "findings": len(result.findings),
+                "suppressed": sum(result.suppressed.values()),
+                "total_s": elapsed,
+                "ms_per_file": 1e3 * elapsed / max(result.files, 1),
+            }
+        )
+
+    benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print()
+    print(format_table(rows, title="Full-repo lint (all rules)"))
+    best = min(rows, key=lambda r: r["total_s"])
+    save_result("analysis_lint", {"rows": rows, "best": best})
+    # The repo lints clean, and a full run stays hook-friendly.
+    assert all(r["findings"] == 0 for r in rows)
+    assert best["total_s"] < 30.0

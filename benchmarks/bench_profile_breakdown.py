@@ -19,7 +19,6 @@ import time
 import pytest
 
 from repro.bench.reporting import format_table, save_result
-from repro.core.anc import ANCParams
 from repro.core.metric import SimilarityFunction
 from repro.index.pyramid import PyramidIndex
 from repro.workloads.datasets import load_dataset

@@ -13,7 +13,6 @@ them across a size ladder rather than on one graph:
   locality that produces the UPDATE-vs-RECONSTRUCT gap of Fig 8.
 """
 
-import math
 import random
 import statistics
 import time

@@ -25,7 +25,6 @@ Qualitative claims asserted:
   activation while the window model's snapshot read scans every edge.
 """
 
-import math
 import random
 
 import pytest

@@ -14,7 +14,7 @@ import random
 
 from repro import ANCO, ANCParams, Activation
 from repro.graph.generators import planted_partition
-from repro.index import add_relation_edge, estimate_distance, rank_by_estimated_distance
+from repro.index import add_relation_edge, rank_by_estimated_distance
 from repro.monitor import ClusterWatcher
 
 

@@ -1,0 +1,168 @@
+"""Shared AST helpers: dotted names, import resolution, parent links."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_PARENT = "_anclint_parent"
+
+
+def link_parents(tree: ast.AST) -> None:
+    """Attach a parent pointer to every node (idempotent)."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            setattr(child, _PARENT, parent)
+
+
+def parent(node: ast.AST) -> Optional[ast.AST]:
+    """The parent node, if :func:`link_parents` has run."""
+    return getattr(node, _PARENT, None)
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk outwards from ``node`` (excluding itself) to the module."""
+    current = parent(node)
+    while current is not None:
+        yield current
+        current = parent(current)
+
+
+def enclosing_function(node: ast.AST) -> Optional[FunctionNode]:
+    """The nearest ``def``/``async def`` containing ``node``."""
+    for anc in ancestors(node):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return anc
+    return None
+
+
+def enclosing_class(node: ast.AST) -> Optional[ast.ClassDef]:
+    """The nearest ``class`` containing ``node``."""
+    for anc in ancestors(node):
+        if isinstance(anc, ast.ClassDef):
+            return anc
+    return None
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted(node.value)
+        if base is not None:
+            return f"{base}.{node.attr}"
+    return None
+
+
+def import_map(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> fully qualified name, from the module's imports.
+
+    ``import time`` maps ``time -> time``; ``import numpy as np`` maps
+    ``np -> numpy``; ``from time import sleep as zzz`` maps
+    ``zzz -> time.sleep``.  Relative imports are prefixed with one dot
+    per level so they can never collide with stdlib names.
+    """
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".", 1)[0]
+                    mapping[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                mapping[local] = f"{module}.{alias.name}" if module else alias.name
+    return mapping
+
+
+def qualify(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Resolve a Name/Attribute chain through the module's imports.
+
+    ``time.sleep`` under ``import time`` resolves to ``time.sleep``;
+    ``zzz`` under ``from time import sleep as zzz`` resolves to
+    ``time.sleep``; an unimported bare name resolves to itself (which is
+    how builtins like ``open`` are matched).
+    """
+    name = dotted(node)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    base = imports.get(head)
+    if base is None:
+        return name
+    return f"{base}.{rest}" if rest else base
+
+
+def call_name(node: ast.Call, imports: Dict[str, str]) -> Optional[str]:
+    """The qualified name a call resolves to, if statically nameable."""
+    return qualify(node.func, imports)
+
+
+def loop_target_names(target: ast.AST) -> Set[str]:
+    """The plain names bound by a ``for`` target (Name or tuple of Names)."""
+    names: Set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def walk_skipping_functions(body: Iterable[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function bodies.
+
+    Used by scope-sensitive rules (e.g. async-blocking): a ``def`` nested
+    inside an ``async def`` runs in whatever context it is later called
+    from, so its body is analysed on its own, not as part of the
+    coroutine.
+    """
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def is_awaited(node: ast.AST) -> bool:
+    """True when ``node`` is directly wrapped in an ``await``."""
+    return isinstance(parent(node), ast.Await)
+
+
+def str_constants(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """The tuple of strings in a literal list/tuple of str, else None."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    values = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        values.append(element.value)
+    return tuple(values)
+
+
+__all__ = [
+    "FunctionNode",
+    "ancestors",
+    "call_name",
+    "dotted",
+    "enclosing_class",
+    "enclosing_function",
+    "import_map",
+    "is_awaited",
+    "link_parents",
+    "loop_target_names",
+    "parent",
+    "qualify",
+    "str_constants",
+    "walk_skipping_functions",
+]

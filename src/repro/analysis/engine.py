@@ -1,0 +1,228 @@
+"""The lint engine: walk files, run rules, apply pragma suppressions."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from .astutils import import_map, link_parents
+from .findings import Finding
+from .pragmas import Suppressions, parse_pragmas
+from .registry import Rule, all_rules, get_rule
+
+PathLike = Union[str, Path]
+
+#: Pseudo-rule name for files that do not parse; it participates in
+#: reports and exit codes but cannot be selected or pragma-suppressed.
+PARSE_ERROR = "parse-error"
+
+#: Pseudo-rule name for pragmas that violate the reason policy.
+BAD_PRAGMA = "pragma-without-reason"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", ".venv", "venv", "build", "dist"}
+
+
+class FileContext:
+    """Everything a rule may look at for one file."""
+
+    def __init__(self, path: str, module: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        #: Dotted module name relative to the package root, e.g.
+        #: ``repro.core.decay`` — rules scope themselves by this.
+        self.module = module
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        #: Local name -> qualified name, from the module's imports.
+        self.imports = import_map(tree)
+        link_parents(tree)
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when the module sits at or under any dotted prefix."""
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+
+@dataclass
+class LintResult:
+    """Aggregate outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: rule -> count of findings suppressed by pragmas.
+    suppressed: Dict[str, int] = field(default_factory=dict)
+    files: int = 0
+
+    def merge(self, other: "LintResult") -> None:
+        """Fold another result (one more file) into this one."""
+        self.findings.extend(other.findings)
+        for name, count in other.suppressed.items():
+            self.suppressed[name] = self.suppressed.get(name, 0) + count
+        self.files += other.files
+
+    @property
+    def ok(self) -> bool:
+        """True when the run produced no (unsuppressed) findings."""
+        return not self.findings
+
+    def finalize(self) -> "LintResult":
+        """Sort findings into the deterministic report order."""
+        self.findings.sort()
+        return self
+
+
+def module_name_for(path: Path, package: str = "repro") -> str:
+    """Infer the dotted module name from a file path.
+
+    Everything from the last path component named ``package`` onwards
+    forms the module (``src/repro/core/decay.py`` -> ``repro.core.decay``);
+    files outside the package are named by their stem, which keeps the
+    package-scoped rules from firing on scripts, tests and benchmarks.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if package in parts:
+        start = len(parts) - 1 - parts[::-1].index(package)
+        parts = parts[start:]
+        return ".".join(parts) if parts else package
+    return parts[-1] if parts else "<unknown>"
+
+
+def iter_python_files(paths: Sequence[PathLike]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files to lint, sorted."""
+    seen = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            candidates: Iterator[Path] = (
+                p
+                for p in sorted(root.rglob("*.py"))
+                if not (_SKIP_DIRS & set(p.parts))
+            )
+        else:
+            candidates = iter([root])
+        for path in candidates:
+            if path not in seen:
+                seen.add(path)
+                yield path
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> List[Rule]:
+    if select is None:
+        return all_rules()
+    return [get_rule(name) for name in select]
+
+
+def check_source(
+    source: str,
+    *,
+    path: str = "<snippet>",
+    module: str = "<snippet>",
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint one source string (the test fixtures' entry point)."""
+    result = LintResult(files=1)
+    suppressions = parse_pragmas(source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=PARSE_ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return result.finalize()
+
+    ctx = FileContext(path=path, module=module, source=source, tree=tree)
+    for rule in _select_rules(select):
+        for node, message in rule.check(ctx):
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+            if suppressions.suppress(rule.name, line):
+                continue
+            result.findings.append(
+                Finding(path=path, line=line, col=col, rule=rule.name, message=message)
+            )
+    for pragma in suppressions.missing_reasons():
+        result.findings.append(
+            Finding(
+                path=path,
+                line=pragma.line,
+                col=0,
+                rule=BAD_PRAGMA,
+                message=(
+                    "exemption pragma must carry a reason: "
+                    "# anclint: disable=RULE — why this is safe"
+                ),
+            )
+        )
+    result.suppressed = dict(suppressions.applied)
+    return result.finalize()
+
+
+# Alias used by tests and docs; ``lint_source`` reads better at call sites.
+lint_source = check_source
+
+
+def check_file(
+    path: PathLike,
+    *,
+    select: Optional[Sequence[str]] = None,
+    package: str = "repro",
+) -> LintResult:
+    """Lint one file from disk."""
+    file_path = Path(path)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        result = LintResult(files=1)
+        result.findings.append(
+            Finding(
+                path=str(file_path),
+                line=1,
+                col=0,
+                rule=PARSE_ERROR,
+                message=f"cannot read file: {exc}",
+            )
+        )
+        return result.finalize()
+    return check_source(
+        source,
+        path=str(file_path),
+        module=module_name_for(file_path, package=package),
+        select=select,
+    )
+
+
+def lint_paths(
+    paths: Sequence[PathLike],
+    *,
+    select: Optional[Sequence[str]] = None,
+    package: str = "repro",
+) -> LintResult:
+    """Lint every Python file under ``paths``; the CLI's workhorse."""
+    total = LintResult()
+    for file_path in iter_python_files(paths):
+        total.merge(check_file(file_path, select=select, package=package))
+    return total.finalize()
+
+
+__all__ = [
+    "BAD_PRAGMA",
+    "FileContext",
+    "LintResult",
+    "PARSE_ERROR",
+    "check_file",
+    "check_source",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+]

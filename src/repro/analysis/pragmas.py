@@ -1,0 +1,113 @@
+"""Exemption pragmas: ``# anclint: disable=RULE — reason``.
+
+Two scopes, distinguished by where the comment sits:
+
+* a comment on its **own line** disables the named rule(s) for the whole
+  file;
+* a **trailing** comment disables them for findings reported on that
+  physical line only.
+
+Multiple rules may be disabled at once (``disable=rule-a,rule-b``).  The
+text after the dash is the human reason; policy (docs/static-analysis.md)
+requires one, and the parser records pragmas without a reason so the
+linter can reject them.  Applied suppressions are counted per rule and
+surface in every report — an exemption is visible, never silent.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+PRAGMA_RE = re.compile(
+    r"#\s*anclint:\s*disable=(?P<rules>[A-Za-z0-9_,-]+)"
+    r"(?:\s*(?:—|–|--|-)\s*(?P<reason>\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed pragma comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    file_level: bool
+
+
+@dataclass
+class Suppressions:
+    """The pragma set of one file, plus the count of applied exemptions."""
+
+    pragmas: List[Pragma] = field(default_factory=list)
+    #: rule -> number of findings actually suppressed (filled by the engine).
+    applied: Dict[str, int] = field(default_factory=dict)
+
+    def covers(self, rule: str, line: int) -> bool:
+        """True if a pragma exempts ``rule`` at ``line`` (without counting)."""
+        for pragma in self.pragmas:
+            if rule not in pragma.rules:
+                continue
+            if pragma.file_level or pragma.line == line:
+                return True
+        return False
+
+    def suppress(self, rule: str, line: int) -> bool:
+        """Like :meth:`covers`, but records the applied exemption."""
+        if not self.covers(rule, line):
+            return False
+        self.applied[rule] = self.applied.get(rule, 0) + 1
+        return True
+
+    def missing_reasons(self) -> List[Pragma]:
+        """Pragmas violating the 'every exemption carries a reason' policy."""
+        return [p for p in self.pragmas if not p.reason]
+
+
+def _comments(source: str) -> Iterator[Tuple[int, int, str]]:
+    """Yield ``(line, col, text)`` for every comment token.
+
+    Uses :mod:`tokenize` so ``#`` characters inside string literals are
+    never mistaken for comments; falls back to a plain line scan when the
+    file does not tokenize (the AST parse will report the error anyway).
+    """
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.start[1], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            stripped = text.lstrip()
+            if stripped.startswith("#"):
+                yield lineno, len(text) - len(stripped), stripped
+
+
+def parse_pragmas(source: str) -> Suppressions:
+    """Extract every ``anclint: disable`` pragma from ``source``."""
+    lines = source.splitlines()
+    supp = Suppressions()
+    for lineno, col, text in _comments(source):
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        if not rules:
+            continue
+        code_before = lines[lineno - 1][:col].strip() if lineno <= len(lines) else ""
+        supp.pragmas.append(
+            Pragma(
+                line=lineno,
+                rules=rules,
+                reason=(match.group("reason") or "").strip(),
+                file_level=not code_before,
+            )
+        )
+    return supp
+
+
+__all__ = ["PRAGMA_RE", "Pragma", "Suppressions", "parse_pragmas"]

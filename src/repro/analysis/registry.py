@@ -1,0 +1,60 @@
+"""The rule registry.
+
+A rule is a function ``check(ctx) -> Iterable[(node, message)]``
+registered under a stable kebab-case name; the engine turns the yielded
+pairs into :class:`~repro.analysis.findings.Finding` records and applies
+pragma suppressions.  Names double as pragma targets
+(``# anclint: disable=<name> — reason``) and ``--select`` arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import FileContext
+
+CheckFn = Callable[["FileContext"], Iterable[Tuple[ast.AST, str]]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: identity, one-line summary, and its check."""
+
+    name: str
+    summary: str
+    check: CheckFn
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(name: str, summary: str) -> Callable[[CheckFn], CheckFn]:
+    """Register ``check`` under ``name`` (decorator)."""
+
+    def decorate(check: CheckFn) -> CheckFn:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate rule name {name!r}")
+        _REGISTRY[name] = Rule(name=name, summary=summary, check=check)
+        return check
+
+    return decorate
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by name."""
+    return sorted(_REGISTRY.values(), key=lambda r: r.name)
+
+
+def get_rule(name: str) -> Rule:
+    """Look up one rule; raises ``KeyError`` with the known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown rule {name!r}; known rules: {known}") from None
+
+
+__all__ = ["CheckFn", "Rule", "all_rules", "get_rule", "rule"]

@@ -1,0 +1,43 @@
+"""Render a :class:`~repro.analysis.engine.LintResult` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .engine import LintResult
+
+
+def render_text(result: LintResult) -> str:
+    """The human report: one ``path:line:col: rule: message`` per finding,
+    then a summary line that also accounts for pragma exemptions."""
+    lines = [
+        f"{f.location()}: {f.rule}: {f.message}" for f in result.findings
+    ]
+    suppressed_total = sum(result.suppressed.values())
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    summary = (
+        f"{len(result.findings)} {noun} in {result.files} file"
+        f"{'' if result.files == 1 else 's'}"
+    )
+    if suppressed_total:
+        per_rule = ", ".join(
+            f"{name} x{count}" for name, count in sorted(result.suppressed.items())
+        )
+        summary += f" ({suppressed_total} suppressed by pragma: {per_rule})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The machine report (stable keys, sorted findings)."""
+    payload: Dict[str, Any] = {
+        "files": result.files,
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": dict(sorted(result.suppressed.items())),
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+__all__ = ["render_json", "render_text"]

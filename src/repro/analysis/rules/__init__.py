@@ -1,0 +1,23 @@
+"""Built-in rules; importing this package registers all of them."""
+
+from . import (  # noqa: F401  (imports register the rules)
+    async_blocking,
+    dict_iteration,
+    exports,
+    float_equality,
+    mutable_defaults,
+    snapshot_immutability,
+    wall_clock,
+    writer_discipline,
+)
+
+__all__ = [
+    "async_blocking",
+    "dict_iteration",
+    "exports",
+    "float_equality",
+    "mutable_defaults",
+    "snapshot_immutability",
+    "wall_clock",
+    "writer_discipline",
+]

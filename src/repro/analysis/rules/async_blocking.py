@@ -1,0 +1,87 @@
+"""no-blocking-in-async: coroutines in repro.service must not block.
+
+One blocked coroutine stalls the whole event loop — ingestion, queries
+and checkpoint timers all share it.  Inside any ``async def`` in the
+service package this rule flags:
+
+* ``time.sleep`` (use ``asyncio.sleep``);
+* direct blocking I/O constructors — builtin ``open``, ``socket.*``
+  connection calls, ``subprocess`` helpers (run them in the writer
+  executor instead);
+* bare ``.acquire()`` calls that are not awaited — a
+  ``threading.Lock.acquire`` blocks the loop, and an un-awaited
+  ``asyncio.Lock.acquire()`` is a bug anyway.
+
+Nested ``def`` bodies are skipped: the host hands such closures to the
+writer executor, where blocking is exactly what they are for.  The WAL
+write inside ``EngineHost.ingest`` is a deliberate, documented
+exception (an ``fsync``-bounded append the design accepts); it is a
+method call on the WAL object, which this rule — scoped to *direct*
+blocking constructors — does not match.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from ..astutils import call_name, is_awaited, walk_skipping_functions
+from ..engine import FileContext
+from ..registry import rule
+
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.socketpair",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "os.system",
+        "urllib.request.urlopen",
+    }
+)
+
+
+@rule(
+    "no-blocking-in-async",
+    "async service code must not call blocking primitives on the event loop",
+)
+def check(ctx: FileContext) -> Iterable[Tuple[ast.AST, str]]:
+    if not ctx.in_package("repro.service"):
+        return
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        for node in walk_skipping_functions(func.body):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node, ctx.imports)
+            if name in BLOCKING_CALLS:
+                hint = (
+                    "use asyncio.sleep"
+                    if name == "time.sleep"
+                    else "run it in the writer executor"
+                )
+                yield (
+                    node,
+                    f"blocking call {name}() inside async def "
+                    f"{func.name}() stalls the event loop; {hint}",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+                and not is_awaited(node)
+            ):
+                yield (
+                    node,
+                    f"bare .acquire() inside async def {func.name}() blocks "
+                    f"the event loop; await an asyncio primitive instead",
+                )
+
+
+__all__ = ["BLOCKING_CALLS", "check"]

@@ -1,0 +1,116 @@
+"""dict-mutation-during-iteration: don't resize a dict you're walking.
+
+Adding or removing keys while iterating a dict raises ``RuntimeError``
+at runtime — but only on the code path that actually mutates, which in
+streaming code can hide behind rare batch shapes for a long time.  For
+every ``for k in d:`` / ``d.keys()/.values()/.items():`` loop this
+heuristic flags, in the loop body:
+
+* ``del d[...]``;
+* calls to the resizing methods ``pop``/``popitem``/``clear``/
+  ``update``/``setdefault``;
+* subscript assignment ``d[expr] = ...`` where ``expr`` is anything
+  other than a bare loop variable.
+
+``d[k] = ...`` and ``d[k] *= g`` with ``k`` the loop variable are
+allowed: overwriting an *existing* key never resizes (this is the
+batched-rescale idiom in :mod:`repro.core.decay` and
+:mod:`repro.index.pyramid`).  Iterating a materialized copy
+(``for k in list(d):``) is the sanctioned escape hatch and is never
+flagged, because the iterable is no longer a bare name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Tuple
+
+from ..astutils import dotted, loop_target_names
+from ..engine import FileContext
+from ..registry import rule
+
+RESIZING_METHODS = frozenset({"pop", "popitem", "clear", "update", "setdefault"})
+
+_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+
+def _iterated_dict(iter_expr: ast.AST) -> Optional[str]:
+    """The dotted name of the dict being iterated directly, if any."""
+    if (
+        isinstance(iter_expr, ast.Call)
+        and isinstance(iter_expr.func, ast.Attribute)
+        and iter_expr.func.attr in _VIEW_METHODS
+        and not iter_expr.args
+        and not iter_expr.keywords
+    ):
+        return dotted(iter_expr.func.value)
+    return dotted(iter_expr)
+
+
+def _subscript_of(node: ast.AST, name: str) -> Optional[ast.Subscript]:
+    if isinstance(node, ast.Subscript) and dotted(node.value) == name:
+        return node
+    return None
+
+
+def _check_body(
+    loop: ast.For, name: str, ctx: FileContext
+) -> Iterator[Tuple[ast.AST, str]]:
+    targets = loop_target_names(loop.target)
+    for node in ast.walk(loop):
+        if node is loop:
+            continue
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if _subscript_of(target, name) is not None:
+                    yield (
+                        node,
+                        f"del {name}[...] while iterating {name}; iterate "
+                        f"list({name}) instead",
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in RESIZING_METHODS
+                and dotted(func.value) == name
+            ):
+                yield (
+                    node,
+                    f"{name}.{func.attr}() may resize {name} while it is "
+                    f"being iterated; iterate list({name}) instead",
+                )
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            write_targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in write_targets:
+                sub = _subscript_of(target, name)
+                if sub is None:
+                    continue
+                index = sub.slice
+                if isinstance(index, ast.Name) and index.id in targets:
+                    continue  # overwriting the current key never resizes
+                yield (
+                    node,
+                    f"{name}[...] assignment with a non-loop-variable key "
+                    f"may insert while {name} is being iterated; collect "
+                    f"changes and apply after the loop",
+                )
+
+
+@rule(
+    "dict-mutation-during-iteration",
+    "a dict must not be resized while it is being iterated",
+)
+def check(ctx: FileContext) -> Iterable[Tuple[ast.AST, str]]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.For):
+            continue
+        name = _iterated_dict(node.iter)
+        if name is None:
+            continue
+        yield from _check_body(node, name, ctx)
+
+
+__all__ = ["RESIZING_METHODS", "check"]

@@ -1,0 +1,135 @@
+"""export-consistency: every public module declares an honest ``__all__``.
+
+``__all__`` is the module's public contract: it pins the wildcard-import
+surface, tells readers (and mypy/ruff) which names are API, and makes
+accidental exports — or accidentally *private* API — a lint failure
+instead of a doc drift.  For every module under ``repro`` this rule
+requires:
+
+* a module-level ``__all__`` that is a literal list/tuple of strings;
+* every entry resolves to a module-level binding (def, class,
+  assignment or import — including those under ``if``/``try`` at the
+  top level);
+* every *public* top-level function and class defined in the module
+  appears in ``__all__``.
+
+Re-exported imports and public constants may be listed but are not
+required to be: the contract is about the names the module itself
+defines.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..astutils import str_constants
+from ..engine import FileContext
+from ..registry import rule
+
+
+def _top_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Module body, descending into top-level ``if``/``try`` blocks."""
+    stack: List[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, ast.If):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+        elif isinstance(node, ast.Try):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+            stack.extend(node.finalbody)
+            for handler in node.handlers:
+                stack.extend(handler.body)
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in _top_level_statements(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".", 1)[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+def _find_all(tree: ast.Module) -> Tuple[Optional[ast.stmt], Optional[Tuple[str, ...]]]:
+    for node in _top_level_statements(tree):
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "__all__" in targets:
+                return node, str_constants(node.value)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == "__all__"
+            and node.value is not None
+        ):
+            return node, str_constants(node.value)
+    return None, None
+
+
+def _public_defs(tree: ast.Module) -> Iterator[ast.stmt]:
+    for node in _top_level_statements(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not node.name.startswith("_"):
+                yield node
+
+
+@rule(
+    "export-consistency",
+    "every repro module declares an __all__ matching its public surface",
+)
+def check(ctx: FileContext) -> Iterable[Tuple[ast.AST, str]]:
+    if not ctx.in_package("repro"):
+        return
+    node, entries = _find_all(ctx.tree)
+    if node is None:
+        yield (
+            ctx.tree.body[0] if ctx.tree.body else ctx.tree,
+            "public module defines no __all__; declare the module's "
+            "export contract",
+        )
+        return
+    if entries is None:
+        yield (
+            node,
+            "__all__ must be a literal list/tuple of string names so it "
+            "can be statically checked",
+        )
+        return
+    bound = _bound_names(ctx.tree)
+    for entry in entries:
+        if entry not in bound:
+            yield (
+                node,
+                f"__all__ lists {entry!r}, which is not defined or imported "
+                f"at module level",
+            )
+    listed = set(entries)
+    for definition in _public_defs(ctx.tree):
+        name = getattr(definition, "name", "")
+        if name and name not in listed:
+            yield (
+                definition,
+                f"public {type(definition).__name__.replace('Def', '').lower()} "
+                f"{name!r} is not listed in __all__; export it or rename it "
+                f"with a leading underscore",
+            )
+
+
+__all__ = ["check"]

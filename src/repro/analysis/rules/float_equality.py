@@ -1,0 +1,73 @@
+"""float-equality: no exact ``==``/``!=`` on float math in decay paths.
+
+The decay clock, similarity function and reinforcement operator chain
+long products of ``exp(-λΔt)`` factors; two mathematically equal
+quantities routinely differ in the last ulp, so exact comparison is a
+latent bug (the classic failure mode of streaming decay indexes).  The
+rule is scoped to the three numeric-core modules where such a
+comparison is essentially never intended; the rare deliberate exact
+check (e.g. a ``!= 1.0`` no-op guard) takes a pragma with its reason.
+
+Float-ishness is syntactic: float literals, ``float(...)`` casts, true
+division, ``math.*`` calls, and negations thereof.  That catches the
+comparisons that matter without needing type inference.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from ..astutils import call_name
+from ..engine import FileContext
+from ..registry import rule
+
+SCOPE_MODULES = frozenset(
+    {
+        "repro.core.decay",
+        "repro.core.similarity",
+        "repro.core.reinforcement",
+    }
+)
+
+
+def _floatish(node: ast.AST, ctx: FileContext) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _floatish(node.operand, ctx)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _floatish(node.left, ctx) or _floatish(node.right, ctx)
+    if isinstance(node, ast.Call):
+        name = call_name(node, ctx.imports)
+        if name is None:
+            return False
+        return name == "float" or name.startswith("math.")
+    return False
+
+
+@rule(
+    "float-equality",
+    "no exact ==/!= between float expressions in the numeric core",
+)
+def check(ctx: FileContext) -> Iterable[Tuple[ast.AST, str]]:
+    if ctx.module not in SCOPE_MODULES:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        operands = [node.left, *node.comparators]
+        if any(_floatish(operand, ctx) for operand in operands):
+            yield (
+                node,
+                "exact ==/!= on float expressions in the numeric core; "
+                "compare against a tolerance (math.isclose) or pragma the "
+                "deliberate exact check with its reason",
+            )
+
+
+__all__ = ["SCOPE_MODULES", "check"]

@@ -1,0 +1,67 @@
+"""mutable-default-arg: no shared mutable default parameter values.
+
+A ``def f(xs=[])`` default is evaluated once and shared across calls —
+in a long-lived server that is cross-request state leakage.  Flags
+list/dict/set literals and calls to the standard mutable constructors
+used as defaults (positional or keyword-only).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from ..astutils import call_name
+from ..engine import FileContext
+from ..registry import rule
+
+MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "collections.deque",
+        "collections.Counter",
+        "collections.OrderedDict",
+        "defaultdict",
+        "deque",
+        "Counter",
+        "OrderedDict",
+    }
+)
+
+
+def _is_mutable_default(node: ast.AST, ctx: FileContext) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node, ctx.imports)
+        return name in MUTABLE_CONSTRUCTORS
+    return False
+
+
+@rule(
+    "mutable-default-arg",
+    "default parameter values must not be shared mutable objects",
+)
+def check(ctx: FileContext) -> Iterable[Tuple[ast.AST, str]]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        func_name = getattr(node, "name", "<lambda>")
+        for default in defaults:
+            if _is_mutable_default(default, ctx):
+                yield (
+                    default,
+                    f"mutable default value in {func_name}() is shared "
+                    f"across calls; default to None and create it inside "
+                    f"the function",
+                )
+
+
+__all__ = ["MUTABLE_CONSTRUCTORS", "check"]

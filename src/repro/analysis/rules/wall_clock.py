@@ -1,0 +1,78 @@
+"""no-wall-clock-in-engine: engine code never reads the wall clock.
+
+Byte-identical kill -9 recovery (docs/service.md) replays the WAL
+through the same engine code and must land on the same state; that only
+holds if ``core/``, ``index/`` and ``graph/`` derive every timestamp
+from the data (activation ``t`` values), never from the machine.  The
+service, benchmarks and CLI legitimately read real time (flush timers,
+metrics, wall-clock measurements) and are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from ..astutils import call_name
+from ..engine import FileContext
+from ..registry import rule
+
+#: Package prefixes where the wall clock is banned.
+ENGINE_PACKAGES = ("repro.core", "repro.index", "repro.graph")
+
+BANNED_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.localtime",
+        "time.gmtime",
+    }
+)
+
+#: ``now``-family constructors; argless means "naive wall clock".
+DATETIME_NOW = frozenset(
+    {
+        "datetime.now",
+        "datetime.today",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+
+@rule(
+    "no-wall-clock-in-engine",
+    "core/index/graph code must derive time from the data, not the machine",
+)
+def check(ctx: FileContext) -> Iterable[Tuple[ast.AST, str]]:
+    if not ctx.in_package(*ENGINE_PACKAGES):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node, ctx.imports)
+        if name is None:
+            continue
+        if name in BANNED_CALLS:
+            yield (
+                node,
+                f"{name}() reads the wall clock inside engine code; derive "
+                f"time from activation timestamps so WAL replay stays "
+                f"byte-identical (docs/service.md)",
+            )
+        elif name in DATETIME_NOW and not node.args and not node.keywords:
+            yield (
+                node,
+                f"argless {name}() reads the naive wall clock inside engine "
+                f"code; derive time from activation timestamps instead",
+            )
+
+
+__all__ = ["BANNED_CALLS", "DATETIME_NOW", "ENGINE_PACKAGES", "check"]

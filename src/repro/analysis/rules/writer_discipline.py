@@ -1,0 +1,186 @@
+"""writer-discipline: engine mutation stays on the writer thread.
+
+The service's concurrency model (docs/service.md) is single-writer /
+multi-reader: exactly one thread — the :class:`~repro.service.
+engine_host.EngineHost` writer — may call engine- or index-mutating
+methods; every other service path reads immutable ``PublishedState``
+snapshots.  This rule flags calls to known mutators from service modules
+outside the writer paths (``engine_host`` itself and ``snapshots``,
+whose WAL-replay drives the engine during recovery *before* the host
+starts).  Non-service code — benchmarks, CLI, tests, the library API —
+owns its engines outright and may mutate freely.
+
+The mutator registry is **derived from the source of truth**: the method
+sets of :class:`~repro.core.anc.ANCEngineBase` and its subclasses, of
+:class:`~repro.index.pyramid.PyramidIndex`, and the module-level update
+functions of :mod:`repro.index.dynamic`, minus an explicit read-only
+allowlist — so a mutator added to the engine later is covered without
+touching this rule.  A hard-coded fallback keeps the rule alive if that
+derivation ever fails (e.g. the linter running on a partial checkout).
+``close`` is deliberately excluded: the name is too generic (file
+handles, clients, executors) to flag without drowning in false
+positives, and closing is a lifecycle action, not a state mutation.
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import lru_cache
+from pathlib import Path
+from typing import FrozenSet, Iterable, Iterator, Tuple
+
+from ..astutils import dotted
+from ..engine import FileContext
+from ..registry import rule
+
+#: Service modules allowed to drive engine mutation.
+WRITER_MODULES = frozenset(
+    {"repro.service.engine_host", "repro.service.snapshots"}
+)
+
+#: Engine/index methods that only *read* — never part of the registry.
+READ_ONLY_METHODS = frozenset(
+    {
+        "clusters",
+        "cluster_of",
+        "zoom_in",
+        "zoom_out",
+        "stats",
+        "now",
+        "weight",
+        "weights_view",
+        "partitions",
+        "partitions_at",
+        "vote_count",
+        "same_cluster_vote",
+        "memory_cost",
+        "check_consistency",
+        "num_levels",
+        "snapshot_weights",
+    }
+)
+
+#: Lifecycle methods excluded from the registry (see module docstring).
+EXCLUDED_METHODS = frozenset({"close"})
+
+FALLBACK_METHOD_MUTATORS = frozenset(
+    {
+        # ANCEngineBase and subclasses
+        "process",
+        "process_batch",
+        "process_stream",
+        "on_batch_end",
+        "refresh",
+        # PyramidIndex
+        "update_edge_weight",
+        "set_all_weights",
+        "rebuild",
+        "on_rescale",
+        "drain_affected",
+    }
+)
+
+FALLBACK_FUNCTION_MUTATORS = frozenset(
+    {"insert_edge_into_index", "register_edge_in_metric", "add_relation_edge"}
+)
+
+#: Classes whose public methods (minus the allowlist) are mutators.
+_ENGINE_CLASSES = frozenset({"ANCEngineBase", "ANCO", "ANCOR", "ANCF"})
+_INDEX_CLASSES = frozenset({"PyramidIndex"})
+
+
+def _is_property(node: ast.AST) -> bool:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    for deco in node.decorator_list:
+        name = dotted(deco)
+        if name in ("property", "cached_property", "functools.cached_property"):
+            return True
+    return False
+
+
+def _class_methods(tree: ast.Module, class_names: FrozenSet[str]) -> Iterator[str]:
+    for node in tree.body:
+        if not (isinstance(node, ast.ClassDef) and node.name in class_names):
+            continue
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name.startswith("_") or _is_property(item):
+                continue
+            yield item.name
+
+
+def _module_functions(tree: ast.Module) -> Iterator[str]:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and not node.name.startswith("_"):
+            yield node.name
+
+
+def _parse(path: Path) -> ast.Module:
+    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+@lru_cache(maxsize=1)
+def mutator_registry() -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    """(method mutators, function mutators), derived from the sources."""
+    package_root = Path(__file__).resolve().parents[2]
+    try:
+        methods = set()
+        methods.update(
+            _class_methods(_parse(package_root / "core" / "anc.py"), _ENGINE_CLASSES)
+        )
+        methods.update(
+            _class_methods(
+                _parse(package_root / "index" / "pyramid.py"), _INDEX_CLASSES
+            )
+        )
+        functions = set(
+            _module_functions(_parse(package_root / "index" / "dynamic.py"))
+        )
+        methods -= READ_ONLY_METHODS | EXCLUDED_METHODS
+        functions -= READ_ONLY_METHODS | EXCLUDED_METHODS
+        if not methods or not functions:
+            raise ValueError("derived mutator registry is empty")
+        return frozenset(methods), frozenset(functions)
+    except (OSError, SyntaxError, ValueError):
+        return FALLBACK_METHOD_MUTATORS, FALLBACK_FUNCTION_MUTATORS
+
+
+@rule(
+    "writer-discipline",
+    "engine/index mutators may only be called from the service writer paths",
+)
+def check(ctx: FileContext) -> Iterable[Tuple[ast.AST, str]]:
+    if not ctx.in_package("repro.service") or ctx.module in WRITER_MODULES:
+        return
+    method_mutators, function_mutators = mutator_registry()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in method_mutators:
+            yield (
+                node,
+                f"call to engine mutator .{func.attr}() outside the writer "
+                f"path; route mutations through EngineHost (single-writer "
+                f"discipline, docs/service.md)",
+            )
+        elif isinstance(func, ast.Name) and func.id in function_mutators:
+            yield (
+                node,
+                f"call to index mutator {func.id}() outside the writer path; "
+                f"route mutations through EngineHost (single-writer "
+                f"discipline, docs/service.md)",
+            )
+
+
+__all__ = [
+    "EXCLUDED_METHODS",
+    "FALLBACK_FUNCTION_MUTATORS",
+    "FALLBACK_METHOD_MUTATORS",
+    "READ_ONLY_METHODS",
+    "WRITER_MODULES",
+    "check",
+    "mutator_registry",
+]

@@ -25,10 +25,12 @@ not divide by zero, matching the reference implementation's behaviour.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List
 
 from ..graph.graph import Edge, Graph, edge_key
 from ..graph.traversal import connected_components
+
+__all__ = ["jaccard_similarity", "Attractor", "attractor"]
 
 
 def jaccard_similarity(graph: Graph, u: int, v: int) -> float:

@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set
 
 from ..graph.graph import Edge, Graph, edge_key
 from .louvain import louvain
+
+__all__ = ["Dyna"]
 
 
 class Dyna:

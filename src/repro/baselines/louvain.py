@@ -18,7 +18,9 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..graph.graph import Edge, Graph, edge_key
+from ..graph.graph import Edge, Graph
+
+__all__ = ["louvain"]
 
 Weights = Optional[Mapping[Edge, float]]
 

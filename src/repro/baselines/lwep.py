@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from ..graph.graph import Edge, Graph, edge_key
+
+__all__ = ["Lwep"]
 
 
 class Lwep:

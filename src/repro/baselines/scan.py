@@ -22,9 +22,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import List, Mapping, Optional, Set
 
 from ..graph.graph import Edge, Graph, edge_key
+
+__all__ = ["ScanResult", "structural_similarity", "scan"]
 
 Weights = Optional[Mapping[Edge, float]]
 

@@ -21,7 +21,9 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from ..graph.graph import Edge, Graph, edge_key
+from ..graph.graph import Edge, Graph
+
+__all__ = ["spectral_clustering"]
 
 Weights = Optional[Mapping[Edge, float]]
 

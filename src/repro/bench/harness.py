@@ -11,17 +11,26 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..baselines import Dyna, Lwep, attractor, louvain, scan, spectral_clustering
-from ..core.activation import Activation, ActivationStream
+from ..core.activation import Activation
 from ..core.anc import ANCF, ANCO, ANCOR, ANCParams
 from ..evalm import score_clustering, structural_scores
 from ..graph.graph import Edge, Graph
-from ..index.clustering import ClusterQueryEngine
-from ..index.pyramid import PyramidIndex
 from ..workloads.datasets import Dataset, load_dataset
 from ..workloads.streams import QueryEvent, mixed_workload, uniform_stream
+
+__all__ = [
+    "MIN_CLUSTER",
+    "timed",
+    "anc_static_clusters",
+    "static_quality_rows",
+    "ActivationRun",
+    "run_activation_experiment",
+    "update_vs_reconstruct",
+    "run_mixed_workload",
+]
 
 MIN_CLUSTER = 3  # the paper's noise threshold
 

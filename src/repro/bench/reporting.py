@@ -13,6 +13,16 @@ import os
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
+__all__ = [
+    "format_table",
+    "format_series",
+    "sparkline",
+    "sparkline_block",
+    "results_dir",
+    "save_result",
+    "speedup",
+]
+
 Number = Union[int, float]
 
 

@@ -10,7 +10,9 @@ Installed as the ``repro-anc`` console script (also runnable as
 * ``stream <temporal-edgelist>`` — replay a ``u v t`` activation stream
   through an online engine, printing cluster snapshots at checkpoints
   and answering local queries;
-* ``datasets`` — the Table I stand-in catalogue.
+* ``datasets`` — the Table I stand-in catalogue;
+* ``lint`` — run the :mod:`repro.analysis` invariant linter over the
+  source tree (the CI gate; see ``docs/static-analysis.md``).
 
 Edge lists are whitespace-separated ``u v`` (or ``u v t``) lines; node
 labels may be arbitrary strings and are reported back verbatim.
@@ -20,12 +22,23 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import IO, List, Optional, Sequence
 
 from .baselines import attractor, louvain, scan
-from .core.anc import ANCF, ANCO, ANCOR, ANCParams, make_engine
+from .core.anc import ANCF, ANCParams, make_engine
 from .graph.io import read_edge_list, read_temporal_edge_list
 from .graph.traversal import connected_components
+
+__all__ = [
+    "cmd_info",
+    "cmd_cluster",
+    "cmd_stream",
+    "cmd_serve",
+    "cmd_datasets",
+    "cmd_lint",
+    "build_parser",
+    "main",
+]
 
 
 def _add_anc_params(parser: argparse.ArgumentParser) -> None:
@@ -56,7 +69,8 @@ def _params_from(args: argparse.Namespace) -> ANCParams:
     )
 
 
-def _print_clusters(clusters, names, *, min_size: int, out) -> None:
+def _print_clusters(clusters: Sequence[List[int]], names: Sequence[object], *,
+                    min_size: int, out: IO[str]) -> None:
     kept = [c for c in clusters if len(c) >= min_size]
     kept.sort(key=len, reverse=True)
     print(f"{len(kept)} clusters (>= {min_size} nodes):", file=out)
@@ -66,7 +80,7 @@ def _print_clusters(clusters, names, *, min_size: int, out) -> None:
         print(f"  [{i}] size={len(cluster)}: {preview}", file=out)
 
 
-def cmd_info(args: argparse.Namespace, out) -> int:
+def cmd_info(args: argparse.Namespace, out: IO[str]) -> int:
     graph, names = read_edge_list(args.edgelist)
     comps = connected_components(graph)
     degrees = sorted((graph.degree(v) for v in graph.nodes()), reverse=True)
@@ -80,7 +94,7 @@ def cmd_info(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def cmd_cluster(args: argparse.Namespace, out) -> int:
+def cmd_cluster(args: argparse.Namespace, out: IO[str]) -> int:
     graph, names = read_edge_list(args.edgelist)
     if args.method == "anc":
         engine = ANCF(graph, _params_from(args))
@@ -100,7 +114,7 @@ def cmd_cluster(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def cmd_stream(args: argparse.Namespace, out) -> int:
+def cmd_stream(args: argparse.Namespace, out: IO[str]) -> int:
     graph, stream, names = read_temporal_edge_list(args.edgelist)
     if not stream:
         print("no activations in input", file=out)
@@ -125,7 +139,7 @@ def cmd_stream(args: argparse.Namespace, out) -> int:
     print(f"replaying {len(stream)} activations over t=[{first}, {last}] "
           f"with {args.engine.upper()}", file=out)
     ck = 0
-    batch: List = []
+    batch: List[object] = []
     from .core.activation import ActivationStream
 
     validated = ActivationStream(graph, stream)
@@ -160,7 +174,7 @@ def cmd_stream(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace, out) -> int:
+def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
     import asyncio
     import logging
 
@@ -194,12 +208,30 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def cmd_datasets(args: argparse.Namespace, out) -> int:
+def cmd_datasets(args: argparse.Namespace, out: IO[str]) -> int:
     from .bench.reporting import format_table
     from .workloads.datasets import table1_rows
 
     print(format_table(table1_rows(), title="Table I stand-ins"), file=out)
     return 0
+
+
+def cmd_lint(args: argparse.Namespace, out: IO[str]) -> int:
+    from .analysis import all_rules, lint_paths, render_json, render_text
+
+    if args.list_rules:
+        width = max(len(r.name) for r in all_rules())
+        for rule in all_rules():
+            print(f"{rule.name.ljust(width)}  {rule.summary}", file=out)
+        return 0
+    try:
+        result = lint_paths(args.paths, select=args.select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=out)
+        return 2
+    rendered = render_json(result) if args.format == "json" else render_text(result)
+    print(rendered, file=out)
+    return 0 if result.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -277,10 +309,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_data = sub.add_parser("datasets", help="list the Table I stand-ins")
     p_data.set_defaults(func=cmd_datasets)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the invariant linter (docs/static-analysis.md)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    p_lint.add_argument(
+        "--select", action="append", default=None, metavar="RULE",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    p_lint.set_defaults(func=cmd_lint)
+
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+def main(argv: Optional[Sequence[str]] = None, out: Optional[IO[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
     parser = build_parser()

@@ -10,9 +10,11 @@ and slicing helpers the engines and benchmarks need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from ..graph.graph import Edge, Graph, edge_key
+
+__all__ = ["Activation", "ActivationStream", "naive_activeness"]
 
 
 @dataclass(frozen=True, order=True)
@@ -88,7 +90,7 @@ class ActivationStream:
     def __iter__(self) -> Iterator[Activation]:
         return iter(self._items)
 
-    def __getitem__(self, idx):
+    def __getitem__(self, idx: int) -> Activation:
         return self._items[idx]
 
     @property

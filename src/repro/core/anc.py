@@ -24,14 +24,23 @@ delegates ``clusters`` / ``cluster_of`` / ``zoom``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..graph.graph import Graph
 from ..index.clustering import ClusterQueryEngine, Clustering
 from ..index.pyramid import PyramidIndex
 from .activation import Activation, ActivationStream
 from .metric import SimilarityFunction
+
+__all__ = [
+    "ANCParams",
+    "ANCEngineBase",
+    "ANCO",
+    "ANCOR",
+    "ANCF",
+    "make_engine",
+]
 
 
 @dataclass(frozen=True)
@@ -301,7 +310,9 @@ class ANCF(ANCEngineBase):
         return super().cluster_of(v, level)
 
 
-def make_engine(name: str, graph: Graph, params: Optional[ANCParams] = None, **kwargs):
+def make_engine(
+    name: str, graph: Graph, params: Optional[ANCParams] = None, **kwargs: object
+) -> ANCEngineBase:
     """Factory by paper name: 'ANCF', 'ANCO' or 'ANCOR'."""
     table = {"ANCF": ANCF, "ANCO": ANCO, "ANCOR": ANCOR}
     try:

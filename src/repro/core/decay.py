@@ -34,6 +34,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..graph.graph import Edge, edge_key
 
+__all__ = ["ValueKind", "DecayClock", "AnchoredEdgeValues", "Activeness"]
+
 
 class ValueKind(enum.Enum):
     """How a derived function relates to its anchored form (Definition 2)."""
@@ -152,7 +154,11 @@ class DecayClock:
         the ``rescale_every`` activations that triggered it (Lemma 1).
         """
         g = self.global_factor()
-        if g != 1.0:
+        # The comparison below is a deliberate exact check: when no stream
+        # time has passed, global_factor() returns the literal 1.0 and the
+        # absorb sweep would be a no-op; any other value (even one ulp off)
+        # must still be absorbed or recovery replay diverges.
+        if g != 1.0:  # anclint: disable=float-equality — exact no-op guard, g is literally 1.0 iff Δt == 0
             for store in self._stores:
                 store._absorb(g)
             for listener in self._listeners:

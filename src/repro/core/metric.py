@@ -35,14 +35,16 @@ iterations).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
-from ..graph.graph import Edge, Graph, edge_key
+from ..graph.graph import Edge, Graph
 from ..graph.traversal import INF, dijkstra, shortest_path
 from .activation import Activation
-from .decay import Activeness, AnchoredEdgeValues, DecayClock, ValueKind
+from .decay import Activeness, DecayClock, ValueKind
 from .reinforcement import SIMILARITY_CAP, SIMILARITY_FLOOR, LocalReinforcement
-from .similarity import ActiveSimilarity, NodeRole
+from .similarity import ActiveSimilarity
+
+__all__ = ["SimilarityFunction"]
 
 #: Callback signature for weight-change notifications:
 #: ``listener(u, v, new_anchored_weight)`` with ``u < v``.

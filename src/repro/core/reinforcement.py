@@ -32,11 +32,13 @@ problem by truncating weights to [0, 1]).
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
-from ..graph.graph import Edge, Graph, edge_key
+from ..graph.graph import Graph, edge_key
 from .decay import AnchoredEdgeValues
 from .similarity import ActiveSimilarity, NodeRole
+
+__all__ = ["LocalReinforcement"]
 
 #: Default floor for the anchored similarity after reinforcement.  The
 #: floor bounds how "severed" an edge can get: reviving a dormant

@@ -25,10 +25,12 @@ Node roles partition ``V`` (Section IV-B):
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from ..graph.graph import Edge, Graph, edge_key
-from .decay import Activeness, AnchoredEdgeValues, DecayClock
+from .decay import Activeness
+
+__all__ = ["NodeRole", "ActiveSimilarity", "naive_sigma"]
 
 
 class NodeRole(enum.Enum):

@@ -19,10 +19,12 @@ examples use these as drop-in weight providers for snapshot clustering.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Tuple
 
 from ..graph.graph import Edge, Graph, edge_key
 from .activation import Activation
+
+__all__ = ["SlidingWindowActiveness", "IntervalEdgeModel"]
 
 
 class SlidingWindowActiveness:

@@ -10,7 +10,15 @@ dropped) has been applied by the caller.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "clusters_to_labeling",
+    "labeling_to_clusters",
+    "filter_noise",
+    "restrict_to_common",
+    "contingency",
+]
 
 Clustering = Sequence[Sequence[int]]
 Labeling = Mapping[int, Hashable]

@@ -16,7 +16,7 @@ composes naturally: filter first, then score.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Mapping, Sequence
+from typing import Dict, Hashable, Iterable, List, Mapping
 
 from .contingency import (
     Clustering,
@@ -25,6 +25,14 @@ from .contingency import (
     contingency,
     restrict_to_common,
 )
+
+__all__ = [
+    "nmi",
+    "purity",
+    "f1_score",
+    "adjusted_rand_index",
+    "score_clustering",
+]
 
 
 def nmi(predicted: Labeling, truth: Labeling) -> float:
@@ -50,7 +58,7 @@ def nmi(predicted: Labeling, truth: Labeling) -> float:
     return max(0.0, mutual / math.sqrt(h_pred * h_truth))
 
 
-def _entropy(counts, n: int) -> float:
+def _entropy(counts: Iterable[int], n: int) -> float:
     h = 0.0
     for c in counts:
         if c > 0:

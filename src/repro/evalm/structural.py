@@ -18,6 +18,15 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..graph.graph import Edge, Graph, edge_key
 
+__all__ = [
+    "total_weight",
+    "weighted_degrees",
+    "modularity",
+    "cluster_conductance",
+    "average_conductance",
+    "structural_scores",
+]
+
 Clustering = Sequence[Sequence[int]]
 Weights = Optional[Mapping[Edge, float]]
 

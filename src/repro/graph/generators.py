@@ -21,10 +21,25 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from .graph import Graph
 from .traversal import connected_components
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "powerlaw_community_sizes",
+    "planted_partition",
+    "lfr_like",
+    "caveman_relaxed",
+    "grid_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "barbell_graph",
+]
 
 RngLike = Union[int, random.Random, None]
 

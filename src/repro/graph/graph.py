@@ -15,7 +15,9 @@ single graph instance can back many concurrent indexes.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["edge_key", "Graph", "GraphBuilder"]
 
 Edge = Tuple[int, int]
 

@@ -15,15 +15,22 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Hashable, List, Tuple, Union
+from typing import Hashable, List, TextIO, Tuple, Union
 
 from ..core.activation import Activation
 from .graph import Graph, GraphBuilder
 
+__all__ = [
+    "read_edge_list",
+    "read_temporal_edge_list",
+    "write_edge_list",
+    "write_temporal_edge_list",
+]
+
 PathLike = Union[str, Path]
 
 
-def _open_lines(source: Union[PathLike, io.TextIOBase]):
+def _open_lines(source: Union[PathLike, io.TextIOBase]) -> TextIO:
     if isinstance(source, (str, Path)):
         return open(source, "r", encoding="utf-8")
     return source

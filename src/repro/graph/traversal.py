@@ -14,6 +14,17 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .graph import Edge, Graph, edge_key
 
+__all__ = [
+    "INF",
+    "bfs_order",
+    "connected_components",
+    "dijkstra",
+    "multi_source_dijkstra",
+    "edge_weight_map",
+    "shortest_path",
+    "eccentricity_upper_bound",
+]
+
 INF = float("inf")
 
 WeightFn = Callable[[int, int], float]

@@ -23,11 +23,20 @@ move one granularity level up or down.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Tuple
 
 from ..graph.graph import Graph
 from .pyramid import PyramidIndex
 from .voting import voted_adjacency
+
+__all__ = [
+    "node_rank_order",
+    "even_clustering",
+    "power_clustering",
+    "local_cluster",
+    "ClusterQueryEngine",
+    "ZoomSession",
+]
 
 Clustering = List[List[int]]
 

@@ -29,6 +29,13 @@ from typing import List, Optional, Tuple
 from ..graph.traversal import INF
 from .pyramid import PyramidIndex
 
+__all__ = [
+    "estimate_distance",
+    "common_seed_witness",
+    "rank_by_estimated_distance",
+    "estimate_eccentricity",
+]
+
 
 def estimate_distance(index: PyramidIndex, u: int, v: int) -> float:
     """Sketch upper bound on ``dist(u, v)`` under the current weights.

@@ -21,11 +21,17 @@ set only growing).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from ..core.metric import SimilarityFunction
 from ..graph.graph import edge_key
 from .pyramid import PyramidIndex
+
+__all__ = [
+    "insert_edge_into_index",
+    "register_edge_in_metric",
+    "add_relation_edge",
+]
 
 if TYPE_CHECKING:  # avoid the core.anc <-> index circular import at runtime
     from ..core.anc import ANCEngineBase

@@ -20,11 +20,13 @@ from __future__ import annotations
 
 import random
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Tuple
 
 from ..graph.graph import Edge, Graph, edge_key
 from .pyramid import Pyramid, PyramidIndex, levels_for, seeds_at_level
 from .voronoi import VoronoiPartition
+
+__all__ = ["ParallelUpdater", "build_index_parallel"]
 
 
 class ParallelUpdater:
@@ -85,7 +87,7 @@ class ParallelUpdater:
     def __enter__(self) -> "ParallelUpdater":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -134,7 +136,7 @@ def build_index_parallel(
             seeds = sub.sample(nodes, seeds_at_level(level, graph.n))
             jobs.append((p_idx, level, seeds))
 
-    def build(job):
+    def build(job: Tuple[int, int, List[int]]) -> Tuple[int, int, VoronoiPartition]:
         p_idx, level, seeds = job
         return p_idx, level, VoronoiPartition(graph, seeds, index._weight_fn)
 

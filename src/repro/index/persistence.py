@@ -25,6 +25,8 @@ from ..graph.traversal import INF
 from .pyramid import Pyramid, PyramidIndex
 from .voronoi import VoronoiPartition
 
+__all__ = ["FORMAT_VERSION", "graph_fingerprint", "save_index", "load_index"]
+
 PathLike = Union[str, Path]
 
 FORMAT_VERSION = 1

@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional
 
 from ..graph.graph import Edge, Graph, edge_key
 from .voronoi import VoronoiPartition
+
+__all__ = ["levels_for", "seeds_at_level", "Pyramid", "PyramidIndex"]
 
 RngLike = Optional[random.Random]
 

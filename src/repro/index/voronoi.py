@@ -32,10 +32,12 @@ maintained partition stays comparable to a fresh rebuild.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Sequence, Set, Tuple
 
-from ..graph.graph import Edge, Graph, edge_key
+from ..graph.graph import Graph
 from ..graph.traversal import INF, multi_source_dijkstra
+
+__all__ = ["VoronoiPartition"]
 
 WeightFn = Callable[[int, int], float]
 

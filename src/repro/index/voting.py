@@ -13,10 +13,12 @@ adds:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set
 
-from ..graph.graph import Edge, Graph, edge_key
+from ..graph.graph import Edge, edge_key
 from .pyramid import PyramidIndex
+
+__all__ = ["voted_edges", "voted_adjacency", "VoteTable"]
 
 
 def voted_edges(index: PyramidIndex, level: int) -> List[Edge]:

@@ -19,13 +19,15 @@ The watcher wraps any ANC engine; see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from .core.activation import Activation
+from .core.activation import Activation, ActivationStream
 from .core.anc import ANCEngineBase
 from .index.clustering import local_cluster
 from .index.voting import VoteTable
+
+__all__ = ["ClusterChange", "ClusterWatcher"]
 
 
 @dataclass(frozen=True)
@@ -166,7 +168,7 @@ class ClusterWatcher:
         self._events.extend(changes)
         return changes
 
-    def process_stream(self, stream) -> List[ClusterChange]:
+    def process_stream(self, stream: ActivationStream) -> List[ClusterChange]:
         """Feed a whole stream batch-by-timestamp; returns all changes."""
         all_changes: List[ClusterChange] = []
         for _, batch in stream.batches_by_timestamp():

@@ -22,7 +22,7 @@ from __future__ import annotations
 import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
 
 from ..core.activation import Activation
 from ..core.anc import ANCEngineBase
@@ -32,6 +32,8 @@ from .metrics import MetricsRegistry
 from .snapshots import CheckpointStore, WriteAheadLog, apply_activations
 
 __all__ = ["EngineHost", "PublishedState"]
+
+T = TypeVar("T")
 
 Clustering = List[List[int]]
 
@@ -76,12 +78,18 @@ class PublishedState:
         self.stats = stats
 
     def clusters(self, level: int) -> Clustering:
-        return self.clusters_by_level[level]
+        """All clusters at ``level`` — as copies.
+
+        The snapshot is shared by every reader concurrently; handing out
+        the stored lists would let one caller's mutation corrupt what
+        everyone else (and later queries against the same state) sees.
+        """
+        return [list(c) for c in self.clusters_by_level[level]]
 
     def cluster_of(self, node: int, level: int) -> List[int]:
-        """The node's cluster, resolved from the materialized membership."""
+        """The node's cluster (a copy), resolved from the membership."""
         cluster_id = self.membership_by_level[level][node]
-        return self.clusters_by_level[level][cluster_id]
+        return list(self.clusters_by_level[level][cluster_id])
 
 
 class EngineHost:
@@ -278,7 +286,7 @@ class EngineHost:
                 remaining.append((target, future))
         self._applied_waiters = remaining
 
-    async def _run_on_writer(self, fn, *args):
+    async def _run_on_writer(self, fn: Callable[..., T], *args: object) -> T:
         """Run ``fn`` on the writer thread (serialized with batches)."""
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self._executor, fn, *args)

@@ -25,9 +25,9 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Hashable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Union
 
 from ..core.activation import Activation
 from ..core.anc import ANCParams, make_engine
@@ -173,7 +173,7 @@ class ANCServer:
         await self._stop.wait()
         await self._shutdown()
 
-    async def run(self, *, announce=None) -> None:
+    async def run(self, *, announce: Optional[Callable[[str], object]] = None) -> None:
         """Start, announce ``SERVING <host> <port>``, serve until stopped.
 
         ``announce`` is a callable receiving the announce line (default:

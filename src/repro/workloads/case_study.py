@@ -28,10 +28,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.activation import Activation, ActivationStream
 from ..graph.graph import Graph
+
+__all__ = ["CaseStudy", "build_case_study"]
 
 #: The focal author and the tracked neighbors of Figure 11.
 FOCAL = 8

@@ -21,15 +21,21 @@ and stream helpers.
 
 from __future__ import annotations
 
-import math
-import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..core.activation import Activation, ActivationStream
+from ..core.activation import ActivationStream
 from ..graph.generators import planted_partition
 from ..graph.graph import Graph
 from .streams import uniform_stream
+
+__all__ = [
+    "DatasetSpec",
+    "Dataset",
+    "load_dataset",
+    "dataset_names",
+    "table1_rows",
+]
 
 
 @dataclass(frozen=True)

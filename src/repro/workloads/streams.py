@@ -18,10 +18,18 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import List, Sequence, Union
 
 from ..core.activation import Activation, ActivationStream
-from ..graph.graph import Edge, Graph
+from ..graph.graph import Graph
+
+__all__ = [
+    "uniform_stream",
+    "community_biased_stream",
+    "day_trace",
+    "QueryEvent",
+    "mixed_workload",
+]
 
 RngLike = Union[int, random.Random, None]
 

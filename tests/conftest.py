@@ -2,21 +2,11 @@
 
 from __future__ import annotations
 
-import random
 
 import pytest
 
 from repro.core.anc import ANCO, ANCParams
-from repro.graph.generators import (
-    barbell_graph,
-    caveman_relaxed,
-    complete_graph,
-    cycle_graph,
-    grid_graph,
-    path_graph,
-    planted_partition,
-    star_graph,
-)
+from repro.graph.generators import barbell_graph, grid_graph, path_graph, planted_partition
 from repro.graph.graph import Graph
 
 

@@ -23,7 +23,7 @@ class TestActivation:
     def test_frozen(self):
         a = Activation(0, 1, 1.0)
         with pytest.raises(AttributeError):
-            a.t = 2.0  # type: ignore[misc]
+            a.t = 2.0  # type: ignore[misc]  # anclint: disable=snapshot-immutability — asserting Activation is frozen, not a snapshot
 
     def test_ordering_is_deterministic(self):
         items = [Activation(1, 2, 5.0), Activation(0, 2, 9.0), Activation(0, 1, 7.0)]

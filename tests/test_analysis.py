@@ -1,0 +1,574 @@
+"""Tests for the repro.analysis invariant linter.
+
+One true-positive and one true-negative fixture per rule, the pragma
+machinery, the CLI gate, and — the point of the whole exercise — the
+check that ``src/repro`` itself lints clean.
+"""
+
+import io
+import json
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import all_rules, lint_paths, lint_source, parse_pragmas
+from repro.analysis.engine import BAD_PRAGMA, PARSE_ERROR, module_name_for
+from repro.analysis.rules.snapshot_immutability import published_slots
+from repro.analysis.rules.writer_discipline import mutator_registry
+from repro.cli import main
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def findings_for(source, module, rule=None):
+    result = lint_source(textwrap.dedent(source), module=module)
+    if rule is None:
+        return result.findings
+    return [f for f in result.findings if f.rule == rule]
+
+
+RULE_NAMES = {
+    "writer-discipline",
+    "no-wall-clock-in-engine",
+    "no-blocking-in-async",
+    "snapshot-immutability",
+    "float-equality",
+    "mutable-default-arg",
+    "dict-mutation-during-iteration",
+    "export-consistency",
+}
+
+
+def test_all_eight_rules_registered():
+    assert {r.name for r in all_rules()} == RULE_NAMES
+
+
+# ----------------------------------------------------------------------
+# The acceptance gate: the repository's own source lints clean.
+# ----------------------------------------------------------------------
+
+def test_src_repro_lints_clean():
+    result = lint_paths([SRC])
+    assert result.findings == [], "\n".join(
+        f"{f.location()}: {f.rule}: {f.message}" for f in result.findings
+    )
+    assert result.files > 50
+    # The one sanctioned exemption (core/decay.py's exact no-op guard)
+    # is counted, not silently dropped.
+    assert result.suppressed.get("float-equality") == 1
+
+
+# ----------------------------------------------------------------------
+# writer-discipline
+# ----------------------------------------------------------------------
+
+WRITER_POSITIVE = """
+    def sneaky(host, batch):
+        host.engine.process_batch(batch)
+"""
+
+
+def test_writer_discipline_positive():
+    found = findings_for(
+        WRITER_POSITIVE, "repro.service.ingest", "writer-discipline"
+    )
+    assert len(found) == 1
+    assert "process_batch" in found[0].message
+
+
+def test_writer_discipline_function_mutator_positive():
+    src = """
+        from ..index.dynamic import insert_edge_into_index
+
+        def grow(index, graph, metric, u, v):
+            insert_edge_into_index(index, graph, metric, u, v)
+    """
+    found = findings_for(src, "repro.service.server", "writer-discipline")
+    assert len(found) == 1
+    assert "insert_edge_into_index" in found[0].message
+
+
+def test_writer_discipline_allows_writer_and_nonservice_code():
+    # The writer path itself may mutate ...
+    assert not findings_for(
+        WRITER_POSITIVE, "repro.service.engine_host", "writer-discipline"
+    )
+    assert not findings_for(
+        WRITER_POSITIVE, "repro.service.snapshots", "writer-discipline"
+    )
+    # ... and so may code that owns its engine outright.
+    assert not findings_for(WRITER_POSITIVE, "repro.bench.harness", "writer-discipline")
+    # Read-only queries in service code are always fine.
+    read_only = """
+        def peek(host, level):
+            return host.engine.clusters(level)
+    """
+    assert not findings_for(read_only, "repro.service.server", "writer-discipline")
+
+
+def test_mutator_registry_derived_from_sources():
+    methods, functions = mutator_registry()
+    assert {"process", "process_batch", "refresh", "update_edge_weight"} <= methods
+    assert "clusters" not in methods and "close" not in methods
+    assert "insert_edge_into_index" in functions
+
+
+# ----------------------------------------------------------------------
+# no-wall-clock-in-engine
+# ----------------------------------------------------------------------
+
+def test_wall_clock_positive():
+    src = """
+        import time
+        from datetime import datetime
+
+        def stamp():
+            return time.time(), datetime.now()
+    """
+    found = findings_for(src, "repro.core.decay", "no-wall-clock-in-engine")
+    assert len(found) == 2
+
+
+def test_wall_clock_matches_aliased_imports():
+    src = """
+        from time import monotonic as mono
+
+        def stamp():
+            return mono()
+    """
+    assert findings_for(src, "repro.index.pyramid", "no-wall-clock-in-engine")
+
+
+def test_wall_clock_allowed_outside_engine():
+    src = """
+        import time
+
+        def stamp():
+            return time.time()
+    """
+    for module in ("repro.service.metrics", "repro.bench.harness", "repro.cli"):
+        assert not findings_for(src, module, "no-wall-clock-in-engine")
+
+
+def test_wall_clock_allows_tz_aware_datetime():
+    src = """
+        from datetime import datetime, timezone
+
+        def stamp(tz):
+            return datetime.now(timezone.utc)
+    """
+    # Still engine scope, but not the argless naive form the rule names.
+    assert not findings_for(src, "repro.core.decay", "no-wall-clock-in-engine")
+
+
+# ----------------------------------------------------------------------
+# no-blocking-in-async
+# ----------------------------------------------------------------------
+
+def test_async_blocking_positive():
+    src = """
+        import time
+
+        async def handler(lock):
+            time.sleep(0.1)
+            fh = open("state.json")
+            lock.acquire()
+    """
+    found = findings_for(src, "repro.service.server", "no-blocking-in-async")
+    assert len(found) == 3
+
+
+def test_async_blocking_negative():
+    src = """
+        import asyncio
+
+        async def handler(lock):
+            await asyncio.sleep(0.1)
+            async with lock:
+                pass
+            await lock.acquire()
+
+            def blocking_closure():  # handed to the writer executor
+                return open("state.json").read()
+
+            return blocking_closure
+    """
+    assert not findings_for(src, "repro.service.server", "no-blocking-in-async")
+
+
+def test_async_blocking_ignores_sync_and_nonservice_code():
+    src = """
+        import time
+
+        def sync_helper():
+            time.sleep(0.1)
+    """
+    assert not findings_for(src, "repro.service.server", "no-blocking-in-async")
+    src_async = """
+        import time
+
+        async def run():
+            time.sleep(0.1)
+    """
+    assert not findings_for(src_async, "repro.bench.harness", "no-blocking-in-async")
+
+
+# ----------------------------------------------------------------------
+# snapshot-immutability
+# ----------------------------------------------------------------------
+
+def test_snapshot_immutability_positive():
+    src = """
+        def tamper(state):
+            state.seq = 99
+            state.stats["queries"] = 0
+            state.clusters_by_level[5].append([1, 2])
+    """
+    found = findings_for(src, "repro.service.server", "snapshot-immutability")
+    assert len(found) == 3
+
+
+def test_snapshot_immutability_self_outside_init():
+    src = """
+        class PublishedState:
+            def __init__(self, seq):
+                self.seq = seq
+
+            def bump(self):
+                self.seq += 1
+    """
+    found = findings_for(src, "repro.service.engine_host", "snapshot-immutability")
+    assert len(found) == 1
+    assert "outside __init__" in found[0].message
+
+
+def test_snapshot_immutability_negative():
+    src = """
+        class Other:
+            def __init__(self):
+                self.seq = 0
+                self.stats = {}
+
+            def bump(self):
+                self.seq += 1
+                self.stats["x"] = 1
+    """
+    assert not findings_for(src, "repro.service.metrics", "snapshot-immutability")
+
+
+def test_published_slots_derived():
+    assert "clusters_by_level" in published_slots()
+    assert "seq" in published_slots()
+
+
+# ----------------------------------------------------------------------
+# float-equality
+# ----------------------------------------------------------------------
+
+def test_float_equality_positive():
+    src = """
+        def check(g):
+            return g == 1.0
+    """
+    assert findings_for(src, "repro.core.decay", "float-equality")
+
+
+def test_float_equality_negative():
+    src = """
+        import math
+
+        def check(g, n):
+            if n == 3:
+                return True
+            return math.isclose(g, 1.0)
+    """
+    assert not findings_for(src, "repro.core.decay", "float-equality")
+    # Same comparison outside the numeric-core scope is not flagged.
+    src_eq = """
+        def check(g):
+            return g == 1.0
+    """
+    assert not findings_for(src_eq, "repro.core.metric", "float-equality")
+
+
+# ----------------------------------------------------------------------
+# mutable-default-arg
+# ----------------------------------------------------------------------
+
+def test_mutable_default_positive():
+    src = """
+        def f(xs=[], *, cache={}):
+            return xs, cache
+    """
+    found = findings_for(src, "anything", "mutable-default-arg")
+    assert len(found) == 2
+
+
+def test_mutable_default_negative():
+    src = """
+        def f(xs=None, n=3, name="x", pair=(1, 2)):
+            xs = [] if xs is None else xs
+            return xs
+    """
+    assert not findings_for(src, "anything", "mutable-default-arg")
+
+
+# ----------------------------------------------------------------------
+# dict-mutation-during-iteration
+# ----------------------------------------------------------------------
+
+def test_dict_mutation_positive():
+    src = """
+        def prune(d, threshold):
+            for k in d:
+                if d[k] < threshold:
+                    del d[k]
+            for k, v in d.items():
+                d.setdefault(k + 1, v)
+    """
+    found = findings_for(src, "anything", "dict-mutation-during-iteration")
+    assert len(found) == 2
+
+
+def test_dict_mutation_negative():
+    src = """
+        def rescale(self, factor):
+            for key in self._weights:
+                self._weights[key] *= factor
+
+        def prune(d, threshold):
+            for k in list(d):
+                if d[k] < threshold:
+                    del d[k]
+    """
+    assert not findings_for(src, "anything", "dict-mutation-during-iteration")
+
+
+# ----------------------------------------------------------------------
+# export-consistency
+# ----------------------------------------------------------------------
+
+def test_exports_missing_all():
+    src = """
+        def api():
+            return 1
+    """
+    found = findings_for(src, "repro.core.widget", "export-consistency")
+    assert len(found) == 1
+    assert "no __all__" in found[0].message
+
+
+def test_exports_unknown_and_unlisted_names():
+    src = """
+        __all__ = ["api", "ghost"]
+
+        def api():
+            return 1
+
+        def stray():
+            return 2
+    """
+    found = findings_for(src, "repro.core.widget", "export-consistency")
+    messages = " | ".join(f.message for f in found)
+    assert "ghost" in messages and "stray" in messages
+    assert len(found) == 2
+
+
+def test_exports_consistent_module_clean():
+    src = """
+        __all__ = ["api", "Widget"]
+
+        def api():
+            return 1
+
+        def _helper():
+            return 2
+
+        class Widget:
+            pass
+    """
+    assert not findings_for(src, "repro.core.widget", "export-consistency")
+    # Modules outside the repro package are out of scope.
+    bare = "def api():\n    return 1\n"
+    assert not findings_for(bare, "some_script", "export-consistency")
+
+
+# ----------------------------------------------------------------------
+# Pragmas
+# ----------------------------------------------------------------------
+
+def test_line_pragma_suppresses_and_counts():
+    src = """
+        __all__ = ["check"]
+
+        def check(g):
+            return g == 1.0  # anclint: disable=float-equality — exact guard
+    """
+    result = lint_source(textwrap.dedent(src), module="repro.core.decay")
+    assert not result.findings
+    assert result.suppressed == {"float-equality": 1}
+
+
+def test_file_pragma_suppresses_whole_file():
+    src = """
+        # anclint: disable=float-equality — legacy numeric fixture
+        __all__ = ["check", "check2"]
+
+        def check(g):
+            return g == 1.0
+
+        def check2(g):
+            return g != 2.0
+    """
+    result = lint_source(textwrap.dedent(src), module="repro.core.decay")
+    assert not result.findings
+    assert result.suppressed == {"float-equality": 2}
+
+
+def test_pragma_does_not_cover_other_rules_or_lines():
+    src = """
+        __all__ = ["check"]
+
+        def check(g):
+            if g == 1.0:  # anclint: disable=float-equality — guard
+                return g
+            return g == 2.0
+    """
+    result = lint_source(textwrap.dedent(src), module="repro.core.decay")
+    assert [f.rule for f in result.findings] == ["float-equality"]
+    assert result.findings[0].line == 7
+    assert result.suppressed == {"float-equality": 1}
+
+
+def test_pragma_without_reason_is_itself_a_finding():
+    src = """
+        __all__ = ["check"]
+
+        def check(g):
+            return g == 1.0  # anclint: disable=float-equality
+    """
+    result = lint_source(textwrap.dedent(src), module="repro.core.decay")
+    assert [f.rule for f in result.findings] == [BAD_PRAGMA]
+    assert result.suppressed == {"float-equality": 1}
+
+
+def test_pragma_inside_string_is_not_a_pragma():
+    src = '''
+        __all__ = ["check"]
+
+        TEXT = "# anclint: disable=float-equality — not a comment"
+
+        def check(g):
+            return g == 1.0
+    '''
+    result = lint_source(textwrap.dedent(src), module="repro.core.decay")
+    assert [f.rule for f in result.findings] == ["float-equality"]
+
+
+def test_parse_pragmas_levels():
+    supp = parse_pragmas(
+        "# anclint: disable=rule-a — file wide\n"
+        "x = 1  # anclint: disable=rule-b,rule-c - spot fix\n"
+    )
+    assert supp.covers("rule-a", 40)
+    assert supp.covers("rule-b", 2) and supp.covers("rule-c", 2)
+    assert not supp.covers("rule-b", 3)
+
+
+# ----------------------------------------------------------------------
+# Engine mechanics
+# ----------------------------------------------------------------------
+
+def test_syntax_error_becomes_parse_error_finding():
+    result = lint_source("def broken(:\n", module="repro.core.x")
+    assert [f.rule for f in result.findings] == [PARSE_ERROR]
+
+
+def test_module_name_inference():
+    assert module_name_for(Path("src/repro/core/decay.py")) == "repro.core.decay"
+    assert module_name_for(Path("src/repro/service/__init__.py")) == "repro.service"
+    assert module_name_for(Path("benchmarks/bench_analysis.py")) == "bench_analysis"
+
+
+def test_findings_sorted_deterministically(tmp_path):
+    bad = tmp_path / "fix.py"
+    bad.write_text(
+        "def b(xs=[]):\n    return xs\n\n\ndef a(ys={}):\n    return ys\n"
+    )
+    result = lint_paths([tmp_path])
+    lines = [f.line for f in result.findings]
+    assert lines == sorted(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI gate
+# ----------------------------------------------------------------------
+
+def test_cli_lint_clean_repo_exits_zero():
+    out = io.StringIO()
+    assert main(["lint", str(SRC)], out) == 0
+    assert "0 findings" in out.getvalue()
+    assert "suppressed by pragma" in out.getvalue()
+
+
+def test_cli_lint_true_positive_exits_nonzero(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(xs=[]):\n    return xs\n")
+    out = io.StringIO()
+    assert main(["lint", str(bad)], out) == 1
+    assert "mutable-default-arg" in out.getvalue()
+
+
+def test_cli_lint_json_format(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(xs=[]):\n    return xs\n")
+    out = io.StringIO()
+    assert main(["lint", "--format", "json", str(bad)], out) == 1
+    payload = json.loads(out.getvalue())
+    assert payload["ok"] is False
+    assert payload["findings"][0]["rule"] == "mutable-default-arg"
+
+
+def test_cli_lint_select_and_list_rules(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(xs=[]):\n    return xs\n")
+    out = io.StringIO()
+    # Selecting an unrelated rule ignores the mutable default.
+    assert main(["lint", "--select", "float-equality", str(bad)], out) == 0
+    out = io.StringIO()
+    assert main(["lint", "--list-rules"], out) == 0
+    listing = out.getvalue()
+    for name in RULE_NAMES:
+        assert name in listing
+
+
+# ----------------------------------------------------------------------
+# The other two gates, when their tools exist in the environment
+# ----------------------------------------------------------------------
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():  # pragma: no cover - exercised in CI
+    proc = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_clean():  # pragma: no cover - exercised in CI
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.activation import Activation, ActivationStream
+from repro.core.activation import Activation
 from repro.core.anc import ANCF, ANCO, ANCOR, ANCParams, make_engine
 from repro.graph.generators import planted_partition
 from repro.index.pyramid import PyramidIndex

@@ -11,12 +11,7 @@ from repro.baselines.lwep import Lwep
 from repro.baselines.scan import scan, structural_similarity
 from repro.baselines.spectral import spectral_clustering
 from repro.evalm import modularity, score_clustering
-from repro.graph.generators import (
-    barbell_graph,
-    caveman_relaxed,
-    complete_graph,
-    planted_partition,
-)
+from repro.graph.generators import barbell_graph, caveman_relaxed, complete_graph
 from repro.graph.graph import Graph
 
 

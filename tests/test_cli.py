@@ -5,7 +5,6 @@ import io
 import pytest
 
 from repro.cli import main
-from repro.graph.generators import planted_partition
 from repro.graph.io import write_edge_list, write_temporal_edge_list
 from repro.core.activation import Activation
 

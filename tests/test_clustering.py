@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.graph.generators import barbell_graph, planted_partition
+from repro.graph.generators import barbell_graph
 from repro.index.clustering import (
     ClusterQueryEngine,
     even_clustering,

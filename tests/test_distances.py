@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.graph.generators import path_graph, planted_partition
+from repro.graph.generators import path_graph
 from repro.graph.traversal import INF, dijkstra
 from repro.index.distances import (
     common_seed_witness,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.activation import Activation
 from repro.core.anc import ANCO, ANCParams
-from repro.graph.generators import planted_partition
 from repro.graph.graph import Graph
 from repro.index.dynamic import (
     add_relation_edge,

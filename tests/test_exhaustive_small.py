@@ -7,13 +7,11 @@ force.  Failures here localize bugs precisely — there is no shrinking
 step between "a graph exists that breaks X" and the counterexample.
 """
 
-import itertools
-import math
 
 import pytest
 
 from repro.core.decay import Activeness, DecayClock
-from repro.core.similarity import ActiveSimilarity, NodeRole, naive_sigma
+from repro.core.similarity import ActiveSimilarity, naive_sigma
 from repro.graph.graph import Graph, edge_key
 from repro.graph.traversal import INF, connected_components, multi_source_dijkstra
 from repro.index.pyramid import PyramidIndex

@@ -4,16 +4,10 @@ import math
 
 import pytest
 
-from repro import ANCF, ANCO, ANCOR, ANCParams, Activation
+from repro import ANCF, ANCO, ANCOR, ANCParams
 from repro.baselines import louvain, spectral_clustering
 from repro.evalm import modularity, score_clustering
-from repro.index.pyramid import PyramidIndex
-from repro.workloads import (
-    build_case_study,
-    community_biased_stream,
-    load_dataset,
-    uniform_stream,
-)
+from repro.workloads import build_case_study, community_biased_stream, load_dataset
 
 
 class TestFullPipelineOnDataset:

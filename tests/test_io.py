@@ -4,7 +4,6 @@ import io
 
 import pytest
 
-from repro.graph.generators import planted_partition
 from repro.graph.io import (
     read_edge_list,
     read_temporal_edge_list,

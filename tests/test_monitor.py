@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.core.activation import Activation
 from repro.core.anc import ANCO, ANCParams
-from repro.graph.generators import barbell_graph, planted_partition
 from repro.index.clustering import local_cluster
 from repro.monitor import ClusterChange, ClusterWatcher
 from repro.workloads.streams import community_biased_stream

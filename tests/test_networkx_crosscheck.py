@@ -13,7 +13,6 @@ import pytest
 
 from repro.baselines.louvain import louvain
 from repro.evalm.structural import modularity
-from repro.graph.generators import planted_partition
 from repro.graph.graph import Graph, edge_key
 from repro.graph.traversal import (
     INF,

@@ -17,7 +17,6 @@ from hypothesis import strategies as st
 
 from repro.core.activation import Activation, naive_activeness
 from repro.core.decay import Activeness, DecayClock, ValueKind
-from repro.core.metric import SimilarityFunction
 from repro.core.similarity import ActiveSimilarity, naive_sigma
 from repro.graph.generators import erdos_renyi, planted_partition
 from repro.graph.graph import Graph, edge_key

@@ -1,10 +1,8 @@
 """Unit tests for the pyramid index P (Section V-A)."""
 
-import math
 
 import pytest
 
-from repro.graph.generators import planted_partition
 from repro.index.pyramid import PyramidIndex, levels_for, seeds_at_level
 
 

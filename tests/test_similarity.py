@@ -1,13 +1,11 @@
 """Unit tests for active similarity, active neighbors and node roles."""
 
-import math
 
 import pytest
 
-from repro.core.activation import Activation
 from repro.core.decay import Activeness, DecayClock
 from repro.core.similarity import ActiveSimilarity, NodeRole, naive_sigma
-from repro.graph.graph import Graph, edge_key
+from repro.graph.graph import Graph
 
 
 def make_similarity(graph, *, lam=0.1, eps=0.3, mu=2, uniform=1.0):

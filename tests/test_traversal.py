@@ -1,11 +1,10 @@
 """Unit tests for BFS / components / Dijkstra primitives."""
 
-import math
 
 import pytest
 
 from repro.graph.graph import Graph
-from repro.graph.generators import grid_graph, path_graph, planted_partition
+from repro.graph.generators import grid_graph, path_graph
 from repro.graph.traversal import (
     INF,
     bfs_order,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.graph.generators import grid_graph, path_graph, planted_partition
 from repro.graph.graph import Graph
 from repro.graph.traversal import INF, multi_source_dijkstra
 from repro.index.voronoi import VoronoiPartition

@@ -1,6 +1,5 @@
 """Tests for dataset stand-ins, stream generators and the case study."""
 
-import math
 
 import pytest
 
