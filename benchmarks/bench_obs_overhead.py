@@ -1,0 +1,112 @@
+"""Observability overhead — instrumentation must be (nearly) free.
+
+The PR's acceptance gate for ``repro.obs``: on the Table IV workload
+shape (ANCO over a uniform activation stream), an engine that merely
+*carries* an observability bundle (metrics registered, tracer disabled —
+the production default) must stay within 5 % of the un-instrumented
+per-activation cost, and full tracing (every span recorded, sample 1.0)
+within 20 %.
+
+Methodology: the same stream is replayed through a fresh engine per
+configuration, best-of-``REPEATS`` to damp scheduler noise (overhead
+ratios compare minima, the standard trick for micro-benchmarks on shared
+machines).  Results land in ``bench_results/obs_overhead.json``.
+"""
+
+import pytest
+
+from repro.bench.harness import timed
+from repro.bench.reporting import format_table, save_result
+from repro.core.anc import ANCO, ANCParams
+from repro.obs import MetricsRegistry, Observability, Tracer
+from repro.workloads.datasets import load_dataset
+from repro.workloads.streams import uniform_stream
+
+REPEATS = 5
+TIMESTAMPS = 10
+FRACTION = 0.05
+
+
+def _workload():
+    dataset = load_dataset("CO")
+    stream = uniform_stream(
+        dataset.graph, timestamps=TIMESTAMPS, fraction=FRACTION, seed=0
+    )
+    return dataset.graph, list(stream.batches_by_timestamp()), len(stream)
+
+
+def _obs_for(mode):
+    if mode == "dark":
+        return None
+    if mode == "metrics":
+        # The production default: registry live, tracer off.
+        return Observability(
+            registry=MetricsRegistry(), tracer=Tracer(enabled=False)
+        )
+    if mode == "tracing":
+        return Observability(
+            registry=MetricsRegistry(),
+            tracer=Tracer(enabled=True, capacity=65536, sample=1.0),
+        )
+    raise ValueError(mode)
+
+
+@pytest.fixture(scope="module")
+def overhead_rows():
+    graph, batches, n_acts = _workload()
+    params = ANCParams(rep=2, k=2, seed=0, rescale_every=512, eps=0.25, mu=2)
+    rows = []
+    for mode in ("dark", "metrics", "tracing"):
+        best = float("inf")
+        for _ in range(REPEATS):
+            engine = ANCO(graph, params, obs=_obs_for(mode))
+
+            def replay(e=engine):
+                for _, batch in batches:
+                    e.process_batch(batch)
+
+            seconds, _ = timed(replay, label=f"obs_overhead.{mode}")
+            best = min(best, seconds)
+        rows.append(
+            {
+                "mode": mode,
+                "best_seconds": best,
+                "sec_per_activation": best / n_acts,
+                "activations": n_acts,
+            }
+        )
+    return rows
+
+
+def test_obs_overhead_within_budget(benchmark, overhead_rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_mode = {row["mode"]: row["sec_per_activation"] for row in overhead_rows}
+    rows = [
+        {**row, "overhead_pct": 100.0 * (row["sec_per_activation"] / by_mode["dark"] - 1.0)}
+        for row in overhead_rows
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            ["mode", "activations", "sec_per_activation", "overhead_pct"],
+            title="Observability overhead (ANCO, Table IV workload shape)",
+            float_fmt="{:.6f}",
+        )
+    )
+    save_result(
+        "obs_overhead",
+        {
+            "workload": {
+                "dataset": "CO",
+                "timestamps": TIMESTAMPS,
+                "fraction": FRACTION,
+                "repeats": REPEATS,
+            },
+            "rows": rows,
+        },
+    )
+    # The acceptance budgets: carrying the bundle is free-ish; full
+    # tracing costs bounded, predictable overhead.
+    assert by_mode["metrics"] <= by_mode["dark"] * 1.05, by_mode
+    assert by_mode["tracing"] <= by_mode["dark"] * 1.20, by_mode

@@ -6,6 +6,17 @@ holds if ``core/``, ``index/`` and ``graph/`` derive every timestamp
 from the data (activation ``t`` values), never from the machine.  The
 service, benchmarks and CLI legitimately read real time (flush timers,
 metrics, wall-clock measurements) and are out of scope.
+
+One carve-out: **instrumentation** measures how long engine code takes
+without feeding the reading back into engine state, so it cannot break
+replay determinism.  Engine modules that want a duration therefore
+import the timing facade from :mod:`repro.obs.trace` (its
+``perf_counter`` re-export) rather than :mod:`time` directly — the
+facade names are allowlisted here, every direct ``time.*`` read (and
+any aliased re-import of one, caught by terminal-suffix matching) stays
+banned.  The allowlist is the *only* sanctioned route; growing it means
+editing :mod:`repro.obs.trace`, which keeps the exception auditable in
+one place (docs/static-analysis.md).
 """
 
 from __future__ import annotations
@@ -46,6 +57,35 @@ DATETIME_NOW = frozenset(
     }
 )
 
+#: Terminal attribute names that read a clock.  A dotted call whose last
+#: segment lands here is treated as a clock read even when the module was
+#: aliased (``import time as _t; _t.time()`` resolves to ``time.time`` and
+#: is already in BANNED_CALLS, but ``from time import perf_counter as pc``
+#: re-exported through a helper module resolves to ``<module>.perf_counter``
+#: — the suffix catches it).
+BANNED_SUFFIXES = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+    }
+)
+
+#: Module prefixes whose timing names are the sanctioned instrumentation
+#: facade (see module docstring).  Relative imports resolve to
+#: dot-prefixed names (``from ..obs.trace import perf_counter`` →
+#: ``..obs.trace.perf_counter``), hence the ``lstrip``.
+OBS_FACADE_PREFIXES = ("repro.obs.", "obs.")
+
+
+def _is_obs_facade(name: str) -> bool:
+    """Whether a resolved call name goes through the repro.obs facade."""
+    stripped = name.lstrip(".")
+    return stripped.startswith(OBS_FACADE_PREFIXES)
+
 
 @rule(
     "no-wall-clock-in-engine",
@@ -60,12 +100,17 @@ def check(ctx: FileContext) -> Iterable[Tuple[ast.AST, str]]:
         name = call_name(node, ctx.imports)
         if name is None:
             continue
-        if name in BANNED_CALLS:
+        if _is_obs_facade(name):
+            continue
+        if name in BANNED_CALLS or (
+            "." in name and name.rpartition(".")[2] in BANNED_SUFFIXES
+        ):
             yield (
                 node,
                 f"{name}() reads the wall clock inside engine code; derive "
                 f"time from activation timestamps so WAL replay stays "
-                f"byte-identical (docs/service.md)",
+                f"byte-identical, or time instrumentation through the "
+                f"repro.obs facade (docs/service.md, docs/observability.md)",
             )
         elif name in DATETIME_NOW and not node.args and not node.keywords:
             yield (
@@ -75,4 +120,11 @@ def check(ctx: FileContext) -> Iterable[Tuple[ast.AST, str]]:
             )
 
 
-__all__ = ["BANNED_CALLS", "DATETIME_NOW", "ENGINE_PACKAGES", "check"]
+__all__ = [
+    "BANNED_CALLS",
+    "BANNED_SUFFIXES",
+    "DATETIME_NOW",
+    "ENGINE_PACKAGES",
+    "OBS_FACADE_PREFIXES",
+    "check",
+]

@@ -57,11 +57,15 @@ READ_ONLY_METHODS = frozenset(
         "check_consistency",
         "num_levels",
         "snapshot_weights",
+        "partitions_with_levels",
     }
 )
 
 #: Lifecycle methods excluded from the registry (see module docstring).
-EXCLUDED_METHODS = frozenset({"close"})
+#: ``attach_obs`` wires an observability bundle onto an engine before the
+#: writer starts — configuration, not state mutation, and the server does
+#: it from ``__init__`` by design.
+EXCLUDED_METHODS = frozenset({"close", "attach_obs"})
 
 FALLBACK_METHOD_MUTATORS = frozenset(
     {

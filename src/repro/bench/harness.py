@@ -18,10 +18,12 @@ from ..core.activation import Activation
 from ..core.anc import ANCF, ANCO, ANCOR, ANCParams
 from ..evalm import score_clustering, structural_scores
 from ..graph.graph import Edge, Graph
+from ..obs.trace import Tracer
 from ..workloads.datasets import Dataset, load_dataset
 from ..workloads.streams import QueryEvent, mixed_workload, uniform_stream
 
 __all__ = [
+    "BENCH_TRACER",
     "MIN_CLUSTER",
     "timed",
     "anc_static_clusters",
@@ -34,12 +36,27 @@ __all__ = [
 
 MIN_CLUSTER = 3  # the paper's noise threshold
 
+#: Every labelled :func:`timed` call lands here as a completed span, so
+#: bench targets get a per-phase breakdown for free —
+#: :func:`repro.bench.reporting.save_result` drains this buffer into the
+#: ``"phases"`` key of each ``bench_results/*.json`` record.
+BENCH_TRACER = Tracer(enabled=True, capacity=65536)
 
-def timed(fn: Callable[[], object]) -> Tuple[float, object]:
-    """Wall-clock one call; returns (seconds, result)."""
+
+def timed(
+    fn: Callable[[], object], *, label: Optional[str] = None
+) -> Tuple[float, object]:
+    """Wall-clock one call; returns (seconds, result).
+
+    With a ``label`` the measurement is also recorded as a span on
+    :data:`BENCH_TRACER` for the saved per-phase breakdowns.
+    """
     start = time.perf_counter()
     result = fn()
-    return time.perf_counter() - start, result
+    seconds = time.perf_counter() - start
+    if label is not None:
+        BENCH_TRACER.record(label, duration=seconds)
+    return seconds, result
 
 
 # ----------------------------------------------------------------------
@@ -100,7 +117,7 @@ def static_quality_rows(
                 (f"ANCF{rep}", lambda d=dataset, r=rep: anc_static_clusters(d, r, params))
             )
         for method_name, runner in methods:
-            seconds, clusters = timed(runner)
+            seconds, clusters = timed(runner, label=f"static.{method_name}")
             quality = score_clustering(clusters, truth, min_size=MIN_CLUSTER)
             structural = structural_scores(graph, clusters, min_size=MIN_CLUSTER)
             rows.append(
@@ -232,7 +249,10 @@ def _run_one_method(
         else:
             engine = ANCF(graph, params)
         for t, batch in batches:
-            seconds, _ = timed(lambda b=batch, e=engine: e.process_batch(b))
+            seconds, _ = timed(
+                lambda b=batch, e=engine: e.process_batch(b),
+                label=f"{method}.update",
+            )
             update_time += seconds
             if t in truth_at:
                 clusters = _method_clusters(method, engine, dataset, target)
@@ -278,7 +298,7 @@ def _run_one_method(
                     return louvain(graph, decayed, seed=seed)
                 return attractor(graph, max_iterations=15)
 
-            seconds, clusters = timed(recompute)
+            seconds, clusters = timed(recompute, label=f"{method}.update")
             update_time += seconds
             if t in truth_at:
                 quality.append(
@@ -317,9 +337,11 @@ def update_vs_reconstruct(
             seed=seed,
         )
         batch = list(stream)[:batch_size]
-        update_s, _ = timed(lambda: [engine.process(a) for a in batch])
+        update_s, _ = timed(
+            lambda: [engine.process(a) for a in batch], label="update"
+        )
         # RECONSTRUCT: rebuild the whole index at the post-batch weights.
-        reconstruct_s, _ = timed(engine.index.rebuild)
+        reconstruct_s, _ = timed(engine.index.rebuild, label="reconstruct")
         rows.append(
             {
                 "batch_size": batch_size,
@@ -380,7 +402,7 @@ def _run_workload(
                 else:
                     engine.process(ev)  # type: ignore[arg-type]
 
-        seconds, _ = timed(run)
+        seconds, _ = timed(run, label=f"{method}.workload")
         return seconds
     # Baselines answer a query by recomputing/reading the current clusters;
     # updates arrive per timestamp batch.
@@ -416,5 +438,5 @@ def _run_workload(
         if pending and current_t is not None:
             model.step(current_t, pending)  # type: ignore[union-attr]
 
-    seconds, _ = timed(run_baseline)
+    seconds, _ = timed(run_baseline, label=f"{method}.workload")
     return seconds

@@ -131,10 +131,24 @@ def results_dir() -> Path:
 
 
 def save_result(experiment: str, payload: Mapping[str, Any]) -> Path:
-    """Persist one experiment's data as JSON; returns the file path."""
+    """Persist one experiment's data as JSON; returns the file path.
+
+    Labelled :func:`repro.bench.harness.timed` calls since the last save
+    are folded in under a ``"phases"`` key (per-label count / total /
+    mean / max seconds), so every saved record carries its own phase
+    breakdown.  A payload that already has ``"phases"`` wins; the tracer
+    buffer is drained either way so breakdowns never leak across saves.
+    """
+    from ..obs.export import phase_breakdown
+    from .harness import BENCH_TRACER  # function-local: harness is heavy
+
+    doc: Dict[str, Any] = dict(payload)
+    phases = phase_breakdown(BENCH_TRACER.drain())
+    if phases:
+        doc.setdefault("phases", phases)
     path = results_dir() / f"{experiment}.json"
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        json.dump(doc, fh, indent=2, sort_keys=True, default=str)
     return path
 
 

@@ -9,7 +9,11 @@ Installed as the ``repro-anc`` console script (also runnable as
   and print the clusters (optionally at a chosen granularity level);
 * ``stream <temporal-edgelist>`` — replay a ``u v t`` activation stream
   through an online engine, printing cluster snapshots at checkpoints
-  and answering local queries;
+  and answering local queries; ``--trace-out`` / ``--metrics-out``
+  capture a Chrome trace and a metrics snapshot of the replay
+  (``docs/observability.md``);
+* ``stats`` — fetch a running server's metrics in Prometheus text (or
+  JSON) over the service protocol;
 * ``datasets`` — the Table I stand-in catalogue;
 * ``lint`` — run the :mod:`repro.analysis` invariant linter over the
   source tree (the CI gate; see ``docs/static-analysis.md``).
@@ -34,6 +38,7 @@ __all__ = [
     "cmd_cluster",
     "cmd_stream",
     "cmd_serve",
+    "cmd_stats",
     "cmd_datasets",
     "cmd_lint",
     "build_parser",
@@ -120,6 +125,16 @@ def cmd_stream(args: argparse.Namespace, out: IO[str]) -> int:
         print("no activations in input", file=out)
         return 1
     engine = make_engine(args.engine, graph, _params_from(args))
+    obs = None
+    if args.trace_out or args.metrics_out:
+        from .obs.instruments import MetricsRegistry
+        from .obs.trace import Observability, Tracer
+
+        tracer = Tracer(
+            enabled=True, capacity=65536, sample=args.trace_sample
+        )
+        obs = Observability(registry=MetricsRegistry(), tracer=tracer)
+        engine.attach_obs(obs)
     watcher = None
     if args.watch:
         from .monitor import ClusterWatcher
@@ -171,6 +186,49 @@ def cmd_stream(args: argparse.Namespace, out: IO[str]) -> int:
                     min_size=args.min_size, out=out,
                 )
             ck += 1
+    if obs is not None:
+        if args.trace_out:
+            from .obs.export import write_chrome_trace
+
+            write_chrome_trace(args.trace_out, obs.tracer)
+            print(
+                f"wrote Chrome trace ({len(obs.tracer)} spans, "
+                f"{obs.tracer.recorded} recorded) to {args.trace_out}",
+                file=out,
+            )
+        if args.metrics_out:
+            import json
+
+            from .obs.export import render_json
+
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(
+                    render_json(obs.registry), fh, indent=2, sort_keys=True
+                )
+                fh.write("\n")
+            print(f"wrote metrics snapshot to {args.metrics_out}", file=out)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace, out: IO[str]) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
+            if args.format == "json":
+                import json
+
+                doc = {"stats": client.stats(), "metrics": client.metrics()}
+                print(json.dumps(doc, indent=2, sort_keys=True), file=out)
+            else:
+                print(
+                    client.metrics_text(namespace=args.namespace),
+                    end="",
+                    file=out,
+                )
+    except (OSError, ServiceError) as exc:
+        print(f"error: {exc}", file=out)
+        return 1
     return 0
 
 
@@ -274,6 +332,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--level", type=int, default=None,
                           help="granularity level (default √n)")
     p_stream.add_argument("--min-size", type=int, default=1)
+    p_stream.add_argument("--trace-out", default=None, metavar="FILE",
+                          help="write a Chrome trace_event JSON of the "
+                               "replay (open in chrome://tracing or "
+                               "Perfetto; docs/observability.md)")
+    p_stream.add_argument("--metrics-out", default=None, metavar="FILE",
+                          help="write the metrics snapshot (counters, "
+                               "gauges, histogram summaries) as JSON")
+    p_stream.add_argument("--trace-sample", type=float, default=1.0,
+                          help="fraction of root spans to record "
+                               "(deterministic 1-in-N; default 1.0)")
     _add_anc_params(p_stream)
     p_stream.set_defaults(func=cmd_stream)
 
@@ -305,6 +373,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="metrics log-line period in seconds (0 = off)")
     _add_anc_params(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="fetch a running server's metrics (docs/observability.md)",
+    )
+    p_stats.add_argument("--host", default="127.0.0.1")
+    p_stats.add_argument("--port", type=int, default=7700)
+    p_stats.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="prom = Prometheus text exposition; json = stats + metrics",
+    )
+    p_stats.add_argument("--namespace", default=None,
+                         help="metric name prefix (default: anc)")
+    p_stats.add_argument("--timeout", type=float, default=10.0,
+                         help="connection timeout in seconds")
+    p_stats.set_defaults(func=cmd_stats)
 
     p_data = sub.add_parser("datasets", help="list the Table I stand-ins")
     p_data.set_defaults(func=cmd_datasets)

@@ -30,6 +30,8 @@ from typing import List, Optional, Sequence
 from ..graph.graph import Graph
 from ..index.clustering import ClusterQueryEngine, Clustering
 from ..index.pyramid import PyramidIndex
+from ..obs.instruments import MetricsRegistry
+from ..obs.trace import DISABLED_OBS, Observability
 from .activation import Activation, ActivationStream
 from .metric import SimilarityFunction
 
@@ -90,7 +92,13 @@ class ANCParams:
 class ANCEngineBase:
     """Common wiring: metric + index + query engine over one graph."""
 
-    def __init__(self, graph: Graph, params: Optional[ANCParams] = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        params: Optional[ANCParams] = None,
+        *,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.graph = graph
         self.params = params or ANCParams()
         p = self.params
@@ -113,6 +121,57 @@ class ANCEngineBase:
         self.queries = ClusterQueryEngine(self.index, method=p.method)
         #: Activations processed so far.
         self.activations_processed = 0
+        self._init_obs(obs)
+
+    # -- observability -----------------------------------------------------
+    def _init_obs(self, obs: Optional[Observability]) -> None:
+        """Set up the observability binding (restore paths call this too)."""
+        self.obs = DISABLED_OBS
+        if obs is not None:
+            self.attach_obs(obs)
+
+    def attach_obs(self, obs: Observability) -> None:
+        """Bind an :class:`~repro.obs.trace.Observability` bundle.
+
+        Pure wiring, not a state mutation: the engine's components start
+        tracing into ``obs.tracer`` and the engine's operational stats
+        are registered as gauges in ``obs.registry`` (late-binding reads
+        of live attributes — registering costs nothing on the hot path).
+        With ``obs.enabled`` false only the tracer handle is threaded
+        through, keeping the disabled no-op fast path.
+        """
+        self.obs = obs
+        self.metric.tracer = obs.tracer
+        self.queries.bind_obs(obs)
+        if obs.enabled:
+            self._register_gauges(obs.registry)
+
+    def _register_gauges(self, registry: MetricsRegistry) -> None:
+        """Fold the :meth:`stats` figures into a metrics registry."""
+        registry.gauge(
+            "engine_activations", lambda: float(self.activations_processed)
+        )
+        registry.gauge("engine_stream_time", lambda: self.metric.clock.now)
+        registry.gauge(
+            "engine_rescales", lambda: float(self.metric.clock.rescale_count)
+        )
+        registry.gauge("index_updates", lambda: float(self.index.update_count))
+        registry.gauge("index_touched", lambda: float(self.index.total_touched))
+        registry.gauge(
+            "index_update_increases", lambda: float(self.index.update_increases)
+        )
+        registry.gauge(
+            "index_update_decreases", lambda: float(self.index.update_decreases)
+        )
+        for level in range(1, self.index.num_levels + 1):
+            registry.gauge(
+                f"index_level{level}_touched",
+                lambda l=level: float(self.index.touched_by_level.get(l, 0)),
+            )
+            registry.gauge(
+                f"index_level{level}_repairs",
+                lambda l=level: float(self.index.repairs_by_level.get(l, 0)),
+            )
 
     # -- stream ingestion (overridden per engine) -------------------------
     def process(self, act: Activation) -> None:
@@ -121,6 +180,14 @@ class ANCEngineBase:
 
     def process_batch(self, batch: Sequence[Activation]) -> None:
         """Absorb a batch sharing (or advancing through) timestamps."""
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            with tracer.span("process_batch", size=len(batch)):
+                self._process_batch(batch)
+        else:
+            self._process_batch(batch)
+
+    def _process_batch(self, batch: Sequence[Activation]) -> None:
         for act in batch:
             self.process(act)
         if batch:
@@ -170,6 +237,10 @@ class ANCEngineBase:
         * ``index_updates`` / ``index_touched`` — weight updates
           dispatched to the pyramids and the cumulative touched-node
           count (the Lemma 12 budget actually spent);
+        * ``index_update_increases`` / ``index_update_decreases`` —
+          Update-Increase vs Update-Decrease dispatch counts;
+        * ``index_touched_by_level`` / ``index_repairs_by_level`` — the
+          per-granularity-level repair cost split;
         * ``levels`` / ``pyramids`` — index shape;
         * ``roles`` — current core / p-core / periphery counts.
         """
@@ -183,6 +254,10 @@ class ANCEngineBase:
             "rescales": self.metric.clock.rescale_count,
             "index_updates": self.index.update_count,
             "index_touched": self.index.total_touched,
+            "index_update_increases": self.index.update_increases,
+            "index_update_decreases": self.index.update_decreases,
+            "index_touched_by_level": dict(sorted(self.index.touched_by_level.items())),
+            "index_repairs_by_level": dict(sorted(self.index.repairs_by_level.items())),
             "levels": self.index.num_levels,
             "pyramids": self.index.k,
             "roles": {
@@ -202,8 +277,14 @@ class ANCO(ANCEngineBase):
     path whose amortized cost Table IV reports.
     """
 
-    def __init__(self, graph: Graph, params: Optional[ANCParams] = None) -> None:
-        super().__init__(graph, params)
+    def __init__(
+        self,
+        graph: Graph,
+        params: Optional[ANCParams] = None,
+        *,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        super().__init__(graph, params, obs=obs)
         self._wire_updates()
 
     def _wire_updates(self) -> None:
@@ -255,16 +336,18 @@ class ANCOR(ANCO):
         params: Optional[ANCParams] = None,
         *,
         reinforce_interval: float = 5.0,
+        obs: Optional[Observability] = None,
     ) -> None:
         if reinforce_interval <= 0:
             raise ValueError(f"reinforce_interval must be positive, got {reinforce_interval}")
-        super().__init__(graph, params)
+        super().__init__(graph, params, obs=obs)
         self.reinforce_interval = reinforce_interval
         self._last_reinforce = 0.0
 
     def on_batch_end(self, t: float) -> None:
         if t - self._last_reinforce >= self.reinforce_interval:
-            self.metric.reinforce_all()
+            with self.obs.tracer.span("reinforce_all"):
+                self.metric.reinforce_all()
             self._last_reinforce = t
 
 
@@ -278,8 +361,14 @@ class ANCF(ANCEngineBase):
     cost Table IV's top half reports.
     """
 
-    def __init__(self, graph: Graph, params: Optional[ANCParams] = None) -> None:
-        super().__init__(graph, params)
+    def __init__(
+        self,
+        graph: Graph,
+        params: Optional[ANCParams] = None,
+        *,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        super().__init__(graph, params, obs=obs)
         self._dirty = False
 
     def process(self, act: Activation) -> None:
@@ -289,10 +378,21 @@ class ANCF(ANCEngineBase):
 
     def refresh(self) -> None:
         """Recompute ``S_t`` and rebuild the index (one snapshot)."""
-        self.metric.recompute()
-        self.index.set_all_weights(self.metric.snapshot_weights())
-        self.index.rebuild()
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            with tracer.span("refresh"):
+                self._refresh()
+        else:
+            self._refresh()
         self._dirty = False
+
+    def _refresh(self) -> None:
+        tracer = self.obs.tracer
+        with tracer.span("recompute_similarity"):
+            self.metric.recompute()
+        with tracer.span("rebuild_index"):
+            self.index.set_all_weights(self.metric.snapshot_weights())
+            self.index.rebuild()
 
     def on_batch_end(self, t: float) -> None:
         # The offline method recomputes per snapshot; tests/benchmarks can

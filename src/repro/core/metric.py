@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Tuple
 
 from ..graph.graph import Edge, Graph
 from ..graph.traversal import INF, dijkstra, shortest_path
+from ..obs.trace import NULL_TRACER, Tracer
 from .activation import Activation
 from .decay import Activeness, DecayClock, ValueKind
 from .reinforcement import SIMILARITY_CAP, SIMILARITY_FLOOR, LocalReinforcement
@@ -99,6 +100,10 @@ class SimilarityFunction:
             graph, self.sigma, self.similarity, floor=floor, cap=cap
         )
         self._weight_listeners: List[WeightListener] = []
+        #: Span tracer for the per-activation phase breakdown; the inert
+        #: default costs one attribute check per activation (engines
+        #: swap in a live tracer via ``attach_obs``).
+        self.tracer: Tracer = NULL_TRACER
         self._initialized = False
         if initialize:
             self.initialize()
@@ -136,12 +141,36 @@ class SimilarityFunction:
         Touches only ``N(u) ∪ N(v)`` (Lemma 5) and costs O(1) amortized
         for the decay bookkeeping (Lemma 1).
         """
+        if self.tracer.enabled:
+            return self._on_activation_traced(act)
         u, v = act.u, act.v
         _, delta = self.activeness.on_activation(u, v, act.t)
         self.sigma.on_activation_delta(u, v, delta)
         new_anchored = self.reinforcement.apply(u, v)
         self._notify(u, v, 1.0 / new_anchored)
         self.clock.note_activation()
+        return new_anchored
+
+    def _on_activation_traced(self, act: Activation) -> float:
+        """The :meth:`on_activation` pipeline under phase spans.
+
+        Identical state transitions; the only additions are the span
+        context managers, so traces answer "where does one activation's
+        time go" (activeness vs reinforcement vs index repair vs decay
+        bookkeeping) without perturbing results.
+        """
+        tracer = self.tracer
+        u, v = act.u, act.v
+        with tracer.span("activation", u=u, v=v):
+            with tracer.span("activeness"):
+                _, delta = self.activeness.on_activation(u, v, act.t)
+                self.sigma.on_activation_delta(u, v, delta)
+            with tracer.span("reinforce"):
+                new_anchored = self.reinforcement.apply(u, v)
+            with tracer.span("index_repair"):
+                self._notify(u, v, 1.0 / new_anchored)
+            with tracer.span("decay_tick"):
+                self.clock.note_activation()
         return new_anchored
 
     def on_activation_activeness_only(self, act: Activation) -> None:

@@ -26,6 +26,7 @@ import math
 from typing import List, Optional, Tuple
 
 from ..graph.graph import Graph
+from ..obs.trace import DISABLED_OBS, Observability, perf_counter
 from .pyramid import PyramidIndex
 from .voting import voted_adjacency
 
@@ -149,6 +150,21 @@ class ClusterQueryEngine:
             raise ValueError(f"method must be 'power' or 'even', got {method}")
         self.index = index
         self.method = method
+        self._obs = DISABLED_OBS
+
+    def bind_obs(self, obs: Observability) -> None:
+        """Bind an observability bundle (engines call this via ``attach_obs``).
+
+        With an enabled bundle, global and local cluster queries record
+        their latency into the ``query_clusters_seconds`` /
+        ``query_local_seconds`` histograms and emit ``query_*`` spans.
+        """
+        self._obs = obs
+        if obs.enabled:
+            # Create the instruments eagerly so exposition shows the
+            # (empty) histograms before the first query arrives.
+            obs.registry.histogram("query_clusters_seconds")
+            obs.registry.histogram("query_local_seconds")
 
     # -- granularity handling -------------------------------------------
     @property
@@ -190,6 +206,18 @@ class ClusterQueryEngine:
         if level is None:
             level = self.sqrt_n_level()
         level = self.clamp_level(level)
+        obs = self._obs
+        if not obs.enabled:
+            return self._clusters_at(level)
+        start = perf_counter()
+        with obs.tracer.span("query_clusters", level=level):
+            result = self._clusters_at(level)
+        obs.registry.histogram("query_clusters_seconds").observe(
+            perf_counter() - start
+        )
+        return result
+
+    def _clusters_at(self, level: int) -> Clustering:
         if self.method == "power":
             return power_clustering(self.index, level)
         return even_clustering(self.index, level)
@@ -221,7 +249,17 @@ class ClusterQueryEngine:
         """
         if level is None:
             level = self.sqrt_n_level()
-        return local_cluster(self.index, v, self.clamp_level(level))
+        level = self.clamp_level(level)
+        obs = self._obs
+        if not obs.enabled:
+            return local_cluster(self.index, v, level)
+        start = perf_counter()
+        with obs.tracer.span("query_local", node=v, level=level):
+            result = local_cluster(self.index, v, level)
+        obs.registry.histogram("query_local_seconds").observe(
+            perf_counter() - start
+        )
+        return result
 
     def smallest_cluster_of(self, v: int) -> Tuple[int, List[int]]:
         """The smallest cluster containing ``v`` (finest granularity).

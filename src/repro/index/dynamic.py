@@ -56,8 +56,10 @@ def insert_edge_into_index(
         raise ValueError(f"edge {key} already has a weight; use update_edge_weight")
     index._weights[key] = weight
     touched = 0
-    for partition in index.partitions():
-        touched += partition.update_decrease(u, v)
+    for level, partition in index.partitions_with_levels():
+        moved = partition.update_decrease(u, v)
+        touched += moved
+        index._record_repair(level, moved)
         index.affected_since_drain |= partition.last_affected
     # The endpoints gained an edge even if no assignment changed: vote
     # tables must (re)count the new edge.
@@ -65,6 +67,7 @@ def insert_edge_into_index(
     index.affected_since_drain.add(v)
     index.total_touched += touched
     index.update_count += 1
+    index.update_decreases += 1
     return touched
 
 

@@ -44,7 +44,11 @@ class ParallelUpdater:
 
     def __init__(self, index: PyramidIndex, *, workers: Optional[int] = None) -> None:
         self.index = index
-        self._partitions: List[VoronoiPartition] = list(index.partitions())
+        self._levels: List[int] = []
+        self._partitions: List[VoronoiPartition] = []
+        for level, partition in index.partitions_with_levels():
+            self._levels.append(level)
+            self._partitions.append(partition)
         if workers is None:
             workers = min(8, len(self._partitions)) or 1
         if workers < 1:
@@ -73,11 +77,17 @@ class ParallelUpdater:
         def repair(partition: VoronoiPartition) -> int:
             return partition.apply_weight_change(u, v, old, new_weight)
 
-        touched = sum(self._pool.map(repair, self._partitions))
-        for partition in self._partitions:
+        moved = list(self._pool.map(repair, self._partitions))
+        touched = sum(moved)
+        for level, partition, count in zip(self._levels, self._partitions, moved):
+            self.index._record_repair(level, count)
             self.index.affected_since_drain |= partition.last_affected
         self.index.total_touched += touched
         self.index.update_count += 1
+        if new_weight > old:
+            self.index.update_increases += 1
+        else:
+            self.index.update_decreases += 1
         return touched
 
     def close(self) -> None:
@@ -124,9 +134,7 @@ def build_index_parallel(
     index.support = support
     index._weights = dict(weights)
     index._weight_fn = index._make_weight_fn()
-    index.total_touched = 0
-    index.update_count = 0
-    index.affected_since_drain = set()
+    index._init_counters()
     rng = random.Random(seed)
     nodes = list(graph.nodes())
     jobs = []  # (pyramid_idx, level, seeds) in the sequential RNG order

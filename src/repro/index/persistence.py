@@ -107,9 +107,7 @@ def load_index(graph: Graph, path: PathLike) -> PyramidIndex:
     index.support = float(doc["support"])
     index._weights = weights
     index._weight_fn = index._make_weight_fn()
-    index.total_touched = 0
-    index.update_count = 0
-    index.affected_since_drain = set()
+    index._init_counters()
     index.pyramids = []
     for pyramid_doc in doc["pyramids"]:
         pyramid = Pyramid.__new__(Pyramid)

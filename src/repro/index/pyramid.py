@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..graph.graph import Edge, Graph, edge_key
 from .voronoi import VoronoiPartition
@@ -129,13 +129,31 @@ class PyramidIndex:
             Pyramid(graph, self._weight_fn, random.Random(rng.randrange(2**63)))
             for _ in range(k)
         ]
+        self._init_counters()
+
+    def _init_counters(self) -> None:
+        """Zero the observability counters (restore paths call this too)."""
         #: Cumulative touched-node count across updates (Fig 8 observability).
         self.total_touched = 0
         #: Number of weight updates dispatched.
         self.update_count = 0
+        #: Updates dispatched as Update-Increase (weight grew).
+        self.update_increases = 0
+        #: Updates dispatched as Update-Decrease (weight shrank; edge
+        #: insertions count here — a new edge is a decrease from +∞).
+        self.update_decreases = 0
+        #: level -> cumulative touched nodes across that level's partitions.
+        self.touched_by_level: Dict[int, int] = {}
+        #: level -> repair dispatches (k per level per update).
+        self.repairs_by_level: Dict[int, int] = {}
         #: Union of partitions' affected sets since the last drain —
         #: consumed by vote maintenance (VoteTable / ClusterWatcher).
         self.affected_since_drain: set = set()
+
+    def _record_repair(self, level: int, moved: int) -> None:
+        """Account one partition repair at ``level`` that moved ``moved`` nodes."""
+        self.touched_by_level[level] = self.touched_by_level.get(level, 0) + moved
+        self.repairs_by_level[level] = self.repairs_by_level.get(level, 0) + 1
 
     def _make_weight_fn(self) -> Callable[[int, int], float]:
         weights = self._weights
@@ -169,6 +187,12 @@ class PyramidIndex:
         """The ``k`` partitions at one granularity level."""
         return [p.partition(level) for p in self.pyramids]
 
+    def partitions_with_levels(self) -> Iterator[Tuple[int, VoronoiPartition]]:
+        """All partitions as ``(level, partition)`` pairs."""
+        for pyramid in self.pyramids:
+            for level, partition in pyramid.levels.items():
+                yield level, partition
+
     # ------------------------------------------------------------------
     # Updates (Section V-C)
     # ------------------------------------------------------------------
@@ -187,11 +211,17 @@ class PyramidIndex:
             return 0
         self._weights[key] = new_weight
         touched = 0
-        for partition in self.partitions():
-            touched += partition.apply_weight_change(u, v, old, new_weight)
+        for level, partition in self.partitions_with_levels():
+            moved = partition.apply_weight_change(u, v, old, new_weight)
+            touched += moved
+            self._record_repair(level, moved)
             self.affected_since_drain |= partition.last_affected
         self.total_touched += touched
         self.update_count += 1
+        if new_weight > old:
+            self.update_increases += 1
+        else:
+            self.update_decreases += 1
         return touched
 
     def drain_affected(self) -> set:

@@ -26,6 +26,7 @@ from .core.activation import Activation, ActivationStream
 from .core.anc import ANCEngineBase
 from .index.clustering import local_cluster
 from .index.voting import VoteTable
+from .obs.trace import perf_counter
 
 __all__ = ["ClusterChange", "ClusterWatcher"]
 
@@ -130,7 +131,35 @@ class ClusterWatcher:
         a writer thread with deterministic batch-end hooks) call this
         after applying each batch instead of :meth:`process_batch`, so
         the watcher observes without double-processing the stream.
+
+        When the engine carries an enabled observability bundle, each
+        refresh records its cost — ``watcher_refresh_seconds`` and the
+        ``watcher_*`` counters — turning the paper's §V-C "cost equal to
+        the reporting" remark into a measured quantity (compare
+        ``watcher_touched_nodes`` against ``watcher_reported_nodes``).
         """
+        obs = self.engine.obs
+        if not obs.enabled:
+            return self._observe(batch)[0]
+        start = perf_counter()
+        with obs.tracer.span("watcher_refresh", batch_size=len(batch)):
+            changes, touched_count = self._observe(batch)
+        registry = obs.registry
+        registry.histogram("watcher_refresh_seconds").observe(
+            perf_counter() - start
+        )
+        registry.counter("watcher_batches").inc()
+        registry.counter("watcher_touched_nodes").inc(float(touched_count))
+        registry.counter("watcher_changes").inc(float(len(changes)))
+        registry.counter("watcher_reported_nodes").inc(
+            float(sum(len(c.joined) + len(c.left) for c in changes))
+        )
+        return changes
+
+    def _observe(
+        self, batch: Sequence[Activation]
+    ) -> Tuple[List[ClusterChange], int]:
+        """The refresh itself; returns (changes, touched-region size)."""
         # The refresh region is the index's actual affected set (Lemma 11
         # — possibly wider than the batch endpoints when updates re-seat
         # distant nodes) plus the endpoints themselves.
@@ -166,7 +195,7 @@ class ClusterWatcher:
                     changes.append(change)
                     self._clusters[(node, level)] = new
         self._events.extend(changes)
-        return changes
+        return changes, len(touched)
 
     def process_stream(self, stream: ActivationStream) -> List[ClusterChange]:
         """Feed a whole stream batch-by-timestamp; returns all changes."""

@@ -1,0 +1,55 @@
+"""Library-wide observability: instruments, span tracing, exposition.
+
+Stdlib-only, shared by every layer of the stack (engines, index,
+service, CLI, bench harness — see ``docs/observability.md``):
+
+* :mod:`~repro.obs.instruments` — counters, gauges and sliding-window
+  histograms behind one :class:`MetricsRegistry` (promoted out of
+  ``repro.service.metrics``, which keeps a compatibility re-export);
+* :mod:`~repro.obs.trace` — a low-overhead span tracer (nested phase
+  timings, bounded ring buffer, deterministic sampling) plus the
+  :class:`Observability` bundle components share, and the sanctioned
+  ``perf_counter`` timing facade for engine code;
+* :mod:`~repro.obs.export` — JSON and Prometheus text exposition of a
+  registry, and Chrome ``trace_event`` dumps of a span buffer.
+
+Everything is disabled by default: an engine without an attached
+:class:`Observability` pays one attribute check per instrumented phase.
+"""
+
+from __future__ import annotations
+
+from .export import (
+    chrome_trace,
+    phase_breakdown,
+    render_json,
+    render_prometheus,
+    write_chrome_trace,
+)
+from .instruments import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    DISABLED_OBS,
+    NULL_TRACER,
+    Observability,
+    Span,
+    Tracer,
+    perf_counter,
+)
+
+__all__ = [
+    "Counter",
+    "DISABLED_OBS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Observability",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "perf_counter",
+    "phase_breakdown",
+    "render_json",
+    "render_prometheus",
+    "write_chrome_trace",
+]

@@ -1,0 +1,153 @@
+"""Exposition: registries as JSON / Prometheus text, spans as Chrome traces.
+
+Three consumers, three formats:
+
+* :func:`render_json` — the registry snapshot dict (what the server's
+  ``metrics`` op and the CLI's ``--metrics-out`` serve);
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``metrics_text`` op, ``repro-anc stats``): counters as ``_total``,
+  gauges verbatim, histograms as summaries with quantile labels;
+* :func:`chrome_trace` — a span buffer as Chrome ``trace_event`` JSON
+  ("X" complete events, microsecond timestamps), loadable in
+  ``chrome://tracing`` / Perfetto to see one activation's nested phases.
+
+:func:`phase_breakdown` aggregates a span list into per-phase
+count/total/mean/max — the compact form the bench harness folds into
+every ``bench_results/*.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from .instruments import MetricsRegistry
+from .trace import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "phase_breakdown",
+    "render_json",
+    "render_prometheus",
+    "write_chrome_trace",
+]
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Histogram window percentiles exposed as Prometheus summary quantiles.
+_QUANTILES = ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"))
+
+
+def _metric_name(name: str, namespace: str = "") -> str:
+    """A valid Prometheus metric name for an instrument name."""
+    out = _NAME_SANITIZER.sub("_", name)
+    if namespace:
+        out = f"{_NAME_SANITIZER.sub('_', namespace)}_{out}"
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _fmt(value: float) -> str:
+    """A float in Prometheus text form (repr round-trips exactly)."""
+    return repr(float(value))
+
+
+def render_json(
+    registry: MetricsRegistry, *, rate_key: Optional[str] = None
+) -> Dict[str, object]:
+    """The registry snapshot as a JSON-able dict (read-only by default)."""
+    return registry.snapshot(rate_key=rate_key)
+
+
+def render_prometheus(registry: MetricsRegistry, *, namespace: str = "") -> str:
+    """The registry in the Prometheus text exposition format (version 0.0.4).
+
+    Counters get the conventional ``_total`` suffix; histograms render as
+    summaries over their sliding window (quantile-labelled samples plus
+    the exact lifetime ``_sum`` / ``_count``).  Reading instruments is
+    the only side effect — no rate window is touched.
+    """
+    lines: List[str] = []
+    for name, counter in registry.counters().items():
+        metric = _metric_name(name, namespace) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(counter.value)}")
+    for name, gauge in registry.gauges().items():
+        metric = _metric_name(name, namespace)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(gauge.value)}")
+    for name, hist in registry.histograms().items():
+        metric = _metric_name(name, namespace)
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, _ in _QUANTILES:
+            value = hist.percentile(quantile * 100.0)
+            lines.append(f'{metric}{{quantile="{quantile:g}"}} {_fmt(value)}')
+        lines.append(f"{metric}_sum {_fmt(hist.sum)}")
+        lines.append(f"{metric}_count {_fmt(float(hist.count))}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def chrome_trace(
+    spans: Union[Tracer, Iterable[Span]], *, pid: int = 0
+) -> Dict[str, object]:
+    """A span buffer as a Chrome ``trace_event`` JSON document.
+
+    Every span becomes one "X" (complete) event with microsecond
+    ``ts``/``dur``; the nesting depth rides along in ``args`` so flat
+    viewers can reconstruct the hierarchy.  Accepts a tracer (reads its
+    buffer without draining) or any span iterable.
+    """
+    if isinstance(spans, Tracer):
+        spans = spans.spans()
+    events: List[Dict[str, object]] = []
+    for span in spans:
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "pid": pid,
+                "tid": span.tid,
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "args": {**span.args, "depth": span.depth},
+            }
+        )
+    events.sort(key=lambda e: (e["tid"], e["ts"]))  # type: ignore[index]
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: Union[str, Path], spans: Union[Tracer, Iterable[Span]], *, pid: int = 0
+) -> Path:
+    """Dump :func:`chrome_trace` to ``path``; returns the path."""
+    target = Path(path)
+    with open(target, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(spans, pid=pid), fh, indent=2, sort_keys=True)
+    return target
+
+
+def phase_breakdown(
+    spans: Union[Tracer, Iterable[Span]]
+) -> Dict[str, Dict[str, float]]:
+    """Aggregate spans into ``{phase: {count, total_s, mean_s, max_s}}``.
+
+    Phases are span names, sorted for stable JSON output.  This is the
+    per-phase breakdown the bench harness appends to every saved result.
+    """
+    if isinstance(spans, Tracer):
+        spans = spans.spans()
+    acc: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        entry = acc.get(span.name)
+        if entry is None:
+            entry = acc[span.name] = {"count": 0.0, "total_s": 0.0, "max_s": 0.0}
+        entry["count"] += 1.0
+        entry["total_s"] += span.duration
+        if span.duration > entry["max_s"]:
+            entry["max_s"] = span.duration
+    for entry in acc.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+    return {name: acc[name] for name in sorted(acc)}

@@ -1,0 +1,264 @@
+"""Counters, gauges and sliding-window histograms (library-wide).
+
+Stdlib-only on purpose (no layer of this repo adds dependencies).
+Every instrument is cheap to update on the hot path — a counter is one
+float add, a histogram observation is one deque append — and the
+registry renders everything into a plain JSON-able dict on demand, which
+the server exposes through the ``metrics`` op, the Prometheus
+``metrics_text`` op (:func:`repro.obs.export.render_prometheus`) and a
+periodic log line.
+
+Histograms keep a bounded window of recent observations (default 8192)
+rather than full reservoir sampling: percentiles answer "what is query
+latency *now*", which is what an operator watching a live service wants,
+and the bound keeps memory flat regardless of uptime.
+
+Rates are **per-consumer**: every snapshot caller names the rate window
+it owns (``rate_key``), so the operator log line, a polling dashboard
+and an ad-hoc ``metrics`` op never reset each other's deltas.  Passing
+``rate_key=None`` takes a fully read-only snapshot whose rates are
+lifetime averages (no window state is touched at all).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count (events, activations, bytes...)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value, either set directly or read from a callable."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None) -> None:
+        self.name = name
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Histogram:
+    """Sliding-window distribution with percentile queries.
+
+    Tracks the lifetime count/sum exactly; percentiles are computed over
+    the most recent ``window`` observations.  All read paths (``count``,
+    ``mean``, ``sum``, :meth:`summary`) take the lock, so a reader racing
+    an :meth:`observe` never sees a count/sum pair from two different
+    observations.
+    """
+
+    __slots__ = ("name", "_window", "_count", "_sum", "_lock")
+
+    def __init__(self, name: str, *, window: int = 8192) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.name = name
+        self._window: Deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._window.append(value)
+            self._count += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100) of the recent window (0.0 when empty).
+
+        Nearest-rank on the sorted window — exact for the data it holds,
+        no interpolation surprises in the tails.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            data = sorted(self._window)
+        if not data:
+            return 0.0
+        rank = max(0, min(len(data) - 1, int(round(p / 100.0 * (len(data) - 1)))))
+        return data[rank]
+
+    def summary(self) -> Dict[str, float]:
+        """count / mean / p50 / p90 / p99 / max of the current window.
+
+        One lock acquisition: every field derives from a single
+        consistent (window, count, sum) view.
+        """
+        with self._lock:
+            data = sorted(self._window)
+            count = self._count
+            total = self._sum
+        out = {
+            "count": float(count),
+            "mean": total / count if count else 0.0,
+        }
+        if data:
+            last = len(data) - 1
+            out["p50"] = data[int(round(0.50 * last))]
+            out["p90"] = data[int(round(0.90 * last))]
+            out["p99"] = data[int(round(0.99 * last))]
+            out["max"] = data[-1]
+        else:
+            out.update({"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0})
+        return out
+
+
+class MetricsRegistry:
+    """Named instruments plus snapshot/log-line rendering.
+
+    ``snapshot()`` additionally derives a ``*_per_s`` rate for every
+    counter from the delta since the *same consumer's* previous snapshot
+    (identified by ``rate_key``), so concurrent consumers — the periodic
+    operator log line, a polling client, the ``metrics`` op — never
+    corrupt each other's rate baselines.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._started = time.monotonic()
+        #: rate_key -> (last snapshot time, counter values at that time).
+        self._rate_windows: Dict[str, Tuple[float, Dict[str, float]]] = {}
+
+    # -- instrument factories (idempotent by name) -----------------------
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name, fn)
+        elif fn is not None:
+            gauge._fn = fn
+        return gauge
+
+    def histogram(self, name: str, *, window: int = 8192) -> Histogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(name, window=window)
+        return hist
+
+    # -- instrument views (exposition renderers read these) ---------------
+    def counters(self) -> Dict[str, Counter]:
+        """Name-sorted view of the registered counters."""
+        return {name: self._counters[name] for name in sorted(self._counters)}
+
+    def gauges(self) -> Dict[str, Gauge]:
+        """Name-sorted view of the registered gauges."""
+        return {name: self._gauges[name] for name in sorted(self._gauges)}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Name-sorted view of the registered histograms."""
+        return {name: self._histograms[name] for name in sorted(self._histograms)}
+
+    # -- rendering --------------------------------------------------------
+    def snapshot(self, *, rate_key: Optional[str] = "default") -> Dict[str, object]:
+        """One JSON-able dict of everything, with per-counter rates.
+
+        ``rate_key`` names the rate window this caller owns: the
+        ``*_per_s`` figures are deltas since the previous snapshot taken
+        *with the same key*, and only that window is advanced.  Pass
+        ``None`` for a read-only snapshot (rates become lifetime
+        averages; no registry state changes at all).
+        """
+        now = time.monotonic()
+        doc: Dict[str, object] = {"uptime_s": now - self._started}
+        counters: Dict[str, float] = {
+            name: counter.value for name, counter in sorted(self._counters.items())
+        }
+        if rate_key is None:
+            last_at, last_values = self._started, {}
+        else:
+            last_at, last_values = self._rate_windows.get(
+                rate_key, (self._started, {})
+            )
+        elapsed = max(1e-9, now - last_at)
+        rates: Dict[str, float] = {
+            name + "_per_s": (value - last_values.get(name, 0.0)) / elapsed
+            for name, value in counters.items()
+        }
+        if rate_key is not None:
+            self._rate_windows[rate_key] = (now, dict(counters))
+        doc["counters"] = counters
+        doc["rates"] = rates
+        doc["gauges"] = {
+            name: gauge.value for name, gauge in sorted(self._gauges.items())
+        }
+        doc["histograms"] = {
+            name: hist.summary() for name, hist in sorted(self._histograms.items())
+        }
+        return doc
+
+    def log_line(self) -> str:
+        """A compact one-line rendering for the periodic operator log.
+
+        Owns its own rate window (``"log"``), so clients snapshotting the
+        registry never skew the logged ``*_per_s`` figures.
+        """
+        doc = self.snapshot(rate_key="log")
+        parts: List[str] = [f"up={doc['uptime_s']:.0f}s"]
+        for name, rate in doc["rates"].items():  # type: ignore[union-attr]
+            parts.append(f"{name}={rate:.1f}")
+        for name, value in doc["gauges"].items():  # type: ignore[union-attr]
+            parts.append(f"{name}={value:g}")
+        for name, summary in doc["histograms"].items():  # type: ignore[union-attr]
+            parts.append(
+                f"{name}[p50={summary['p50'] * 1e3:.1f}ms "
+                f"p99={summary['p99'] * 1e3:.1f}ms]"
+            )
+        return " ".join(parts)

@@ -1,0 +1,326 @@
+"""Low-overhead span tracing: where does one activation's time go?
+
+A :class:`Tracer` records *spans* — named, nested phase timings — into a
+bounded ring buffer.  The design constraints, in order:
+
+1. **Disabled is free.**  ``tracer.span(...)`` on a disabled tracer is
+   one attribute check plus returning a shared no-op context manager; no
+   allocation, no clock read.  Engines are instrumented unconditionally
+   and pay nothing until an operator turns tracing on.
+2. **Enabled is cheap.**  A live span is two ``perf_counter`` reads and
+   one deque append (under a lock, at span *exit* only).  The ring
+   buffer (``capacity`` spans) keeps memory flat on unbounded streams —
+   old spans fall off the back.
+3. **Deterministic sampling.**  ``sample=0.25`` records every 4th
+   top-level span via a per-thread accumulator — no RNG, so two runs of
+   the same stream trace the same activations.  Nested spans follow
+   their root's decision (a sampled activation is traced *whole*).
+
+Spans carry start times relative to the tracer's epoch, a nesting depth
+and the recording thread id, which is exactly what the Chrome
+``trace_event`` export (:func:`repro.obs.export.chrome_trace`) needs.
+
+This module also re-exports :func:`time.perf_counter` as **the timing
+facade for engine code**: ``repro.core`` / ``repro.index`` must never
+read the machine clock for *state* (WAL replay must be byte-identical —
+see the ``no-wall-clock-in-engine`` lint rule), but importing
+``perf_counter`` from here marks a read as pure measurement, which the
+rule's obs-facade allowlist admits.
+
+:class:`Observability` bundles one registry + one tracer so a component
+tree (engine → index → queries → watcher) shares a single wiring handle;
+:data:`DISABLED_OBS` is the inert default every component starts with.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import perf_counter
+from typing import ContextManager, Deque, Dict, List, Optional
+
+from .instruments import MetricsRegistry
+
+__all__ = [
+    "DISABLED_OBS",
+    "NULL_TRACER",
+    "Observability",
+    "Span",
+    "Tracer",
+    "perf_counter",
+]
+
+
+class Span:
+    """One completed phase timing (immutable once recorded)."""
+
+    __slots__ = ("name", "start", "duration", "depth", "tid", "args")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        depth: int,
+        tid: int,
+        args: Dict[str, object],
+    ) -> None:
+        self.name = name
+        #: Seconds since the tracer's epoch.
+        self.start = start
+        self.duration = duration
+        #: Nesting depth (0 = top-level).
+        self.depth = depth
+        #: Recording thread id.
+        self.tid = tid
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, start={self.start:.6f}, "
+            f"dur={self.duration:.6f}, depth={self.depth})"
+        )
+
+
+class _NullSpan:
+    """Shared no-op context manager — the disabled-tracer fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _MutedSpan:
+    """Context manager for a span under an unsampled root.
+
+    Records nothing but maintains the per-thread mute depth, so every
+    nested span of an unsampled top-level span is skipped with it.
+    """
+
+    __slots__ = ("_local",)
+
+    def __init__(self, local: threading.local) -> None:
+        self._local = local
+
+    def __enter__(self) -> "_MutedSpan":
+        self._local.muted = getattr(self._local, "muted", 0) + 1
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._local.muted -= 1
+        return False
+
+
+class _LiveSpan:
+    """Context manager that times one phase and records it on exit."""
+
+    __slots__ = ("_tracer", "_local", "name", "args", "depth", "_t0")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        local: threading.local,
+        name: str,
+        args: Dict[str, object],
+    ) -> None:
+        self._tracer = tracer
+        self._local = local
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "_LiveSpan":
+        local = self._local
+        self.depth = getattr(local, "depth", 0)
+        local.depth = self.depth + 1
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = perf_counter()
+        self._local.depth = self.depth
+        self._tracer._record(
+            self.name, self._t0, end - self._t0, self.depth, self.args
+        )
+        return False
+
+
+class Tracer:
+    """Nested span recorder with a bounded buffer and deterministic sampling.
+
+    Parameters
+    ----------
+    enabled:
+        Initial state; :meth:`enable` / :meth:`disable` flip it live.
+    capacity:
+        Ring-buffer bound — only the most recent ``capacity`` spans are
+        kept (memory stays flat on unbounded streams).
+    sample:
+        Fraction of *top-level* spans to record, in ``(0, 1]``.  Applied
+        with a deterministic per-thread accumulator; nested spans follow
+        their root's decision.
+    """
+
+    def __init__(
+        self, *, enabled: bool = False, capacity: int = 8192, sample: float = 1.0
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.enabled = enabled
+        self.capacity = capacity
+        self.sample = 1.0
+        self.set_sample(sample)
+        self._epoch = perf_counter()
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        #: Spans recorded over the tracer's lifetime (ring-buffer evictions
+        #: do not decrement this).
+        self.recorded = 0
+        #: Top-level spans skipped by sampling.
+        self.sampled_out = 0
+
+    # -- configuration ----------------------------------------------------
+    def enable(self) -> None:
+        """Start recording (safe to call at any time)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording; the buffer keeps its spans."""
+        self.enabled = False
+
+    def set_sample(self, sample: float) -> None:
+        """Set the top-level sampling fraction (in ``(0, 1]``)."""
+        if not 0.0 < sample <= 1.0:
+            raise ValueError(f"sample must be in (0, 1], got {sample}")
+        self.sample = sample
+
+    # -- recording --------------------------------------------------------
+    def span(self, name: str, **args: object) -> ContextManager[object]:
+        """Context manager timing one phase.
+
+        Returns a shared no-op when disabled (the one-attribute-check
+        fast path), a muted guard under an unsampled root, or a live
+        span otherwise.  Usable from any thread; nesting depth is
+        tracked per thread.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        local = self._local
+        if getattr(local, "muted", 0):
+            return _MutedSpan(local)
+        if self.sample < 1.0 and getattr(local, "depth", 0) == 0:
+            acc = getattr(local, "acc", 0.0) + self.sample
+            if acc < 1.0:
+                local.acc = acc
+                self.sampled_out += 1
+                return _MutedSpan(local)
+            local.acc = acc - 1.0
+        return _LiveSpan(self, local, name, args)
+
+    def record(
+        self,
+        name: str,
+        *,
+        duration: float,
+        start: Optional[float] = None,
+        depth: int = 0,
+        **args: object,
+    ) -> None:
+        """Record an externally timed measurement as a completed span.
+
+        For callers that already hold a duration (the bench harness's
+        ``timed()``).  ``start`` is a ``perf_counter`` value; when omitted
+        the span is laid out as ending now.  No-op when disabled;
+        sampling does not apply.
+        """
+        if not self.enabled:
+            return
+        if start is None:
+            start = perf_counter() - duration
+        self._record(name, start, duration, depth, dict(args))
+
+    def _record(
+        self,
+        name: str,
+        t0: float,
+        duration: float,
+        depth: int,
+        args: Dict[str, object],
+    ) -> None:
+        span = Span(
+            name,
+            t0 - self._epoch,
+            duration,
+            depth,
+            threading.get_ident(),
+            dict(args) if args else {},
+        )
+        with self._lock:
+            self._spans.append(span)
+            self.recorded += 1
+
+    # -- reading ----------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """The buffered spans, oldest first (the buffer is kept)."""
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> List[Span]:
+        """Return the buffered spans and clear the buffer."""
+        with self._lock:
+            out = list(self._spans)
+            self._spans.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def status(self) -> Dict[str, object]:
+        """JSON-able state summary (the server's ``trace`` op returns it)."""
+        return {
+            "enabled": self.enabled,
+            "sample": self.sample,
+            "capacity": self.capacity,
+            "buffered": len(self._spans),
+            "recorded": self.recorded,
+            "sampled_out": self.sampled_out,
+        }
+
+
+#: Shared inert tracer — the default every instrumented component binds.
+NULL_TRACER = Tracer(enabled=False, capacity=1)
+
+
+class Observability:
+    """One registry + one tracer, shared down a component tree.
+
+    An engine's ``attach_obs`` hands the same bundle to its metric,
+    index, query engine and watcher, so all of them register into one
+    registry and trace into one buffer.  ``enabled=False`` (the
+    :data:`DISABLED_OBS` default) means components skip registration
+    entirely and keep the no-op tracer fast path.
+    """
+
+    __slots__ = ("registry", "tracer", "enabled")
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        *,
+        enabled: bool = True,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.enabled = enabled
+
+
+#: The inert default bundle: disabled, with the shared no-op tracer.
+DISABLED_OBS = Observability(tracer=NULL_TRACER, enabled=False)

@@ -117,8 +117,28 @@ class ServiceClient:
     def stats(self) -> Dict[str, object]:
         return self.request("stats")["stats"]
 
-    def metrics(self) -> Dict[str, object]:
-        return self.request("metrics")["metrics"]
+    def metrics(self, *, rate_key: Optional[str] = None) -> Dict[str, object]:
+        """The metrics snapshot (read-only unless a ``rate_key`` is given)."""
+        return self.request("metrics", rate_key=rate_key)["metrics"]  # type: ignore[return-value]
+
+    def metrics_text(self, *, namespace: Optional[str] = None) -> str:
+        """The registry in Prometheus text exposition format."""
+        return str(self.request("metrics_text", namespace=namespace)["text"])
+
+    def trace(
+        self,
+        action: str = "status",
+        *,
+        sample: Optional[float] = None,
+        drain: Optional[bool] = None,
+    ) -> Dict[str, object]:
+        """Drive the server-side engine tracer (docs/observability.md).
+
+        ``action``: ``start`` / ``stop`` / ``status`` / ``dump`` /
+        ``clear``; ``dump`` returns a Chrome ``trace_event`` document
+        under ``"trace"``.
+        """
+        return self.request("trace", action=action, sample=sample, drain=drain)
 
     def snapshot(self) -> str:
         """Force a durable checkpoint; returns its path on the server."""

@@ -1,200 +1,15 @@
-"""Service observability: counters, gauges and sliding-window histograms.
+"""Compatibility re-export: instruments live in :mod:`repro.obs.instruments`.
 
-Stdlib-only on purpose (the whole service layer adds no dependencies).
-Every instrument is cheap to update on the hot path — a counter is one
-float add, a histogram observation is one deque append — and the
-registry renders everything into a plain JSON-able dict on demand, which
-the server exposes through the ``metrics`` op and a periodic log line.
-
-Histograms keep a bounded window of recent observations (default 8192)
-rather than full reservoir sampling: percentiles answer "what is query
-latency *now*", which is what an operator watching a live service wants,
-and the bound keeps memory flat regardless of uptime.
+The counters/gauges/histograms the service grew in its first iteration
+turned out to be wanted by every layer (engines, CLI, bench harness), so
+they were promoted into the library-wide :mod:`repro.obs` package.  This
+module keeps the original import path working for existing callers;
+new code should import from ``repro.obs`` directly
+(see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from ..obs.instruments import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
-
-
-class Counter:
-    """Monotonically increasing count (events, activations, bytes...)."""
-
-    __slots__ = ("name", "_value", "_lock")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._value = 0.0
-        self._lock = threading.Lock()
-
-    def inc(self, amount: float = 1.0) -> None:
-        """Add ``amount`` (must be >= 0)."""
-        if amount < 0:
-            raise ValueError(f"counter increment must be >= 0, got {amount}")
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> float:
-        return self._value
-
-
-class Gauge:
-    """A point-in-time value, either set directly or read from a callable."""
-
-    __slots__ = ("name", "_value", "_fn")
-
-    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None) -> None:
-        self.name = name
-        self._value = 0.0
-        self._fn = fn
-
-    def set(self, value: float) -> None:
-        self._value = value
-
-    @property
-    def value(self) -> float:
-        if self._fn is not None:
-            return float(self._fn())
-        return self._value
-
-
-class Histogram:
-    """Sliding-window distribution with percentile queries.
-
-    Tracks the lifetime count/sum exactly; percentiles are computed over
-    the most recent ``window`` observations.
-    """
-
-    __slots__ = ("name", "_window", "_count", "_sum", "_lock")
-
-    def __init__(self, name: str, *, window: int = 8192) -> None:
-        if window < 1:
-            raise ValueError(f"window must be >= 1, got {window}")
-        self.name = name
-        self._window: Deque[float] = deque(maxlen=window)
-        self._count = 0
-        self._sum = 0.0
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        with self._lock:
-            self._window.append(value)
-            self._count += 1
-            self._sum += value
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    @property
-    def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
-
-    def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0..100) of the recent window (0.0 when empty).
-
-        Nearest-rank on the sorted window — exact for the data it holds,
-        no interpolation surprises in the tails.
-        """
-        if not 0.0 <= p <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
-        with self._lock:
-            data = sorted(self._window)
-        if not data:
-            return 0.0
-        rank = max(0, min(len(data) - 1, int(round(p / 100.0 * (len(data) - 1)))))
-        return data[rank]
-
-    def summary(self) -> Dict[str, float]:
-        """count / mean / p50 / p90 / p99 / max of the current window."""
-        with self._lock:
-            data = sorted(self._window)
-        out = {"count": float(self._count), "mean": self.mean}
-        if data:
-            last = len(data) - 1
-            out["p50"] = data[int(round(0.50 * last))]
-            out["p90"] = data[int(round(0.90 * last))]
-            out["p99"] = data[int(round(0.99 * last))]
-            out["max"] = data[-1]
-        else:
-            out.update({"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0})
-        return out
-
-
-class MetricsRegistry:
-    """Named instruments plus snapshot/log-line rendering.
-
-    ``snapshot()`` additionally derives a ``*_per_s`` rate for every
-    counter from the delta since the previous snapshot, so the periodic
-    metrics log line shows current rates, not lifetime averages.
-    """
-
-    def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
-        self._started = time.monotonic()
-        self._last_snapshot_at = self._started
-        self._last_counter_values: Dict[str, float] = {}
-
-    # -- instrument factories (idempotent by name) -----------------------
-    def counter(self, name: str) -> Counter:
-        return self._counters.setdefault(name, Counter(name))
-
-    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None) -> Gauge:
-        gauge = self._gauges.get(name)
-        if gauge is None:
-            gauge = self._gauges[name] = Gauge(name, fn)
-        elif fn is not None:
-            gauge._fn = fn
-        return gauge
-
-    def histogram(self, name: str, *, window: int = 8192) -> Histogram:
-        return self._histograms.setdefault(name, Histogram(name, window=window))
-
-    # -- rendering --------------------------------------------------------
-    def snapshot(self) -> Dict[str, object]:
-        """One JSON-able dict of everything, with per-counter rates."""
-        now = time.monotonic()
-        elapsed = max(1e-9, now - self._last_snapshot_at)
-        doc: Dict[str, object] = {"uptime_s": now - self._started}
-        counters: Dict[str, float] = {}
-        rates: Dict[str, float] = {}
-        for name, counter in sorted(self._counters.items()):
-            value = counter.value
-            counters[name] = value
-            rates[name + "_per_s"] = (
-                value - self._last_counter_values.get(name, 0.0)
-            ) / elapsed
-            self._last_counter_values[name] = value
-        self._last_snapshot_at = now
-        doc["counters"] = counters
-        doc["rates"] = rates
-        doc["gauges"] = {
-            name: gauge.value for name, gauge in sorted(self._gauges.items())
-        }
-        doc["histograms"] = {
-            name: hist.summary() for name, hist in sorted(self._histograms.items())
-        }
-        return doc
-
-    def log_line(self) -> str:
-        """A compact one-line rendering for the periodic operator log."""
-        doc = self.snapshot()
-        parts: List[str] = [f"up={doc['uptime_s']:.0f}s"]
-        for name, rate in doc["rates"].items():  # type: ignore[union-attr]
-            parts.append(f"{name}={rate:.1f}")
-        for name, value in doc["gauges"].items():  # type: ignore[union-attr]
-            parts.append(f"{name}={value:g}")
-        for name, summary in doc["histograms"].items():  # type: ignore[union-attr]
-            parts.append(
-                f"{name}[p50={summary['p50'] * 1e3:.1f}ms "
-                f"p99={summary['p99'] * 1e3:.1f}ms]"
-            )
-        return " ".join(parts)

@@ -32,6 +32,8 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Union
 from ..core.activation import Activation
 from ..core.anc import ANCParams, make_engine
 from ..graph.graph import Graph, edge_key
+from ..obs.export import chrome_trace, render_prometheus
+from ..obs.trace import Observability, Tracer
 from .engine_host import EngineHost
 from .ingest import MicroBatcher
 from .metrics import MetricsRegistry
@@ -64,6 +66,8 @@ class ServerConfig:
     checkpoint_interval: float = 0.0
     #: Period of the metrics log line (0 = disabled).
     metrics_interval: float = 30.0
+    #: Span ring-buffer capacity of the engine tracer (``trace`` op).
+    trace_capacity: int = 8192
 
 
 class ANCServer:
@@ -122,6 +126,13 @@ class ANCServer:
             engine = make_engine(self.config.engine.upper(), graph, params)
 
         self.metrics = MetricsRegistry()
+        # Engine-deep observability: one registry + one tracer shared by
+        # the engine, its index, the query engine and the watcher.  The
+        # tracer starts disabled (the no-op fast path); the ``trace`` op
+        # turns it on live.
+        self.tracer = Tracer(enabled=False, capacity=self.config.trace_capacity)
+        self.obs = Observability(registry=self.metrics, tracer=self.tracer)
+        engine.attach_obs(self.obs)
         self.batcher = MicroBatcher(
             batch_size=self.config.batch_size,
             max_latency=self.config.max_latency,
@@ -390,7 +401,43 @@ class ANCServer:
         return {"stats": self.host.stats()}
 
     async def _op_metrics(self, request: Dict) -> Dict[str, object]:
-        return {"metrics": self.metrics.snapshot()}
+        # Read-only by default: a polling client must not reset anyone
+        # else's rate window (notably the operator log line's).  Clients
+        # that want delta rates pass their own ``rate_key``.
+        rate_key = request.get("rate_key")
+        return {
+            "metrics": self.metrics.snapshot(
+                rate_key=str(rate_key) if rate_key is not None else None
+            )
+        }
+
+    async def _op_metrics_text(self, request: Dict) -> Dict[str, object]:
+        namespace = str(request.get("namespace", "anc"))
+        return {"text": render_prometheus(self.metrics, namespace=namespace)}
+
+    async def _op_trace(self, request: Dict) -> Dict[str, object]:
+        tracer = self.tracer
+        action = str(request.get("action", "status"))
+        if action == "start":
+            sample = request.get("sample")
+            if sample is not None:
+                tracer.set_sample(float(sample))
+            tracer.enable()
+        elif action == "stop":
+            tracer.disable()
+        elif action == "clear":
+            tracer.drain()
+        elif action == "dump":
+            spans = (
+                tracer.drain() if bool(request.get("drain", True)) else tracer.spans()
+            )
+            return {"trace": chrome_trace(spans), **tracer.status()}
+        elif action != "status":
+            raise ValueError(
+                f"unknown trace action {action!r}; expected "
+                f"start/stop/status/dump/clear"
+            )
+        return dict(tracer.status())
 
     async def _op_snapshot(self, request: Dict) -> Dict[str, object]:
         await self.host.wait_applied()
@@ -417,6 +464,8 @@ class ANCServer:
         "sync": _op_sync,
         "stats": _op_stats,
         "metrics": _op_metrics,
+        "metrics_text": _op_metrics_text,
+        "trace": _op_trace,
         "snapshot": _op_snapshot,
         "shutdown": _op_shutdown,
     }

@@ -237,6 +237,9 @@ def restore_engine(
     metric.clock.add_rescale_listener(engine.index.on_rescale)
     engine.queries = ClusterQueryEngine(engine.index, method=params.method)
     engine.activations_processed = int(doc["activations"])  # type: ignore[arg-type]
+    # __new__ bypassed __init__, so the observability binding must be
+    # re-created explicitly (the server re-attaches its bundle afterwards).
+    engine._init_obs(None)
 
     if isinstance(engine, ANCO):
         engine._wire_updates()

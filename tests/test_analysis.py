@@ -167,6 +167,51 @@ def test_wall_clock_allows_tz_aware_datetime():
     assert not findings_for(src, "repro.core.decay", "no-wall-clock-in-engine")
 
 
+def test_wall_clock_allows_the_obs_facade():
+    """Instrumented engine code imports its clock from repro.obs.trace
+    (pure measurement, not state) — the allowlisted facade."""
+    for import_line in (
+        "from ..obs.trace import perf_counter",
+        "from repro.obs.trace import perf_counter",
+    ):
+        src = f"""
+            {import_line}
+
+            def measure():
+                return perf_counter()
+        """
+        assert not findings_for(
+            src, "repro.index.clustering", "no-wall-clock-in-engine"
+        )
+
+
+def test_wall_clock_suffix_catches_laundered_clocks():
+    """Re-exporting a clock through a non-facade module does not wash
+    it: the terminal-suffix match still flags the call."""
+    src = """
+        from ..service.helpers import perf_counter
+
+        def measure():
+            return perf_counter()
+    """
+    found = findings_for(src, "repro.index.pyramid", "no-wall-clock-in-engine")
+    assert found and "repro.obs" in found[0].message
+
+
+def test_wall_clock_raw_time_still_flagged_next_to_facade():
+    src = """
+        import time
+
+        from ..obs.trace import perf_counter
+
+        def measure():
+            return perf_counter(), time.time()
+    """
+    found = findings_for(src, "repro.core.metric", "no-wall-clock-in-engine")
+    assert len(found) == 1
+    assert "time.time" in found[0].message
+
+
 # ----------------------------------------------------------------------
 # no-blocking-in-async
 # ----------------------------------------------------------------------

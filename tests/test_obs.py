@@ -1,0 +1,574 @@
+"""Tests for the observability stack (``repro.obs``).
+
+Covers the PR's required surface:
+
+* instrument fixes — per-consumer rate windows (a polling reader no
+  longer corrupts the log line's deltas) and torn-read-free histograms;
+* the span tracer — nesting, deterministic sampling, ring-buffer bound,
+  and the disabled no-op fast path;
+* exposition goldens — Prometheus text (validated with a test-side
+  parser) and Chrome ``trace_event`` JSON;
+* engine integration — phase spans, per-level repair accounting, query
+  latency histograms, watcher refresh cost, and the guarantee that
+  tracing does not perturb results;
+* the service surface — ``metrics_text`` and ``trace`` ops end to end;
+* the CLI — ``stream --trace-out/--metrics-out`` artifacts.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.core.anc import ANCO, ANCOR, ANCParams
+from repro.monitor import ClusterWatcher
+from repro.obs import (
+    DISABLED_OBS,
+    NULL_TRACER,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    chrome_trace,
+    phase_breakdown,
+    render_prometheus,
+    write_chrome_trace,
+)
+from repro.obs.instruments import Histogram
+from repro.service import ServerConfig
+from test_service import make_stream, rpc, run_server_scenario
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+=\"[^\"]*\"(,[a-zA-Z0-9_]+=\"[^\"]*\")*\})? \S+$"
+)
+
+
+def parse_prometheus(text):
+    """Validate Prometheus text exposition 0.0.4; return {metric: value}.
+
+    Every sample line must be ``name[{labels}] value`` with a float
+    value, every ``# TYPE`` must name a known type, and the text must
+    end with a newline — the contract a real scraper relies on.
+    """
+    assert text.endswith("\n")
+    samples = {}
+    typed = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            assert parts[0] == "#" and parts[1] == "TYPE", line
+            assert parts[3] in ("counter", "gauge", "summary", "histogram"), line
+            typed[parts[2]] = parts[3]
+            continue
+        assert _SAMPLE_RE.match(line), f"malformed sample line: {line!r}"
+        name, _, value = line.rpartition(" ")
+        samples[name] = float(value)  # raises if not a float
+    return samples, typed
+
+
+def enabled_obs(**tracer_kwargs):
+    tracer_kwargs.setdefault("enabled", True)
+    return Observability(
+        registry=MetricsRegistry(), tracer=Tracer(**tracer_kwargs)
+    )
+
+
+def drive(engine, graph, labels, *, timestamps=6):
+    acts = make_stream(graph, labels, timestamps=timestamps)
+    current, batch = None, []
+    for act in acts:
+        if current is not None and act.t != current:
+            engine.process_batch(batch)
+            batch = []
+        current = act.t
+        batch.append(act)
+    if batch:
+        engine.process_batch(batch)
+    return acts
+
+
+# ----------------------------------------------------------------------
+# Instruments: per-consumer rate windows (the snapshot-corruption fix)
+# ----------------------------------------------------------------------
+
+class FakeTime:
+    """Stand-in for the ``time`` module with a controllable monotonic."""
+
+    def __init__(self, at=100.0):
+        self.at = at
+
+    def monotonic(self):
+        return self.at
+
+
+class TestRateWindows:
+    def _registry(self, monkeypatch):
+        from repro.obs import instruments
+
+        clock = FakeTime()
+        monkeypatch.setattr(instruments, "time", clock)
+        return MetricsRegistry(), clock
+
+    def test_each_consumer_owns_its_window(self, monkeypatch):
+        registry, clock = self._registry(monkeypatch)
+        counter = registry.counter("acts")
+        counter.inc(10)
+        clock.at = 101.0
+        assert registry.snapshot(rate_key="a")["rates"]["acts_per_s"] == 10.0
+        counter.inc(6)
+        clock.at = 103.0
+        # A different consumer sees the delta since *its* last snapshot
+        # (none -> registry start), not since consumer "a" looked.
+        assert registry.snapshot(rate_key="b")["rates"]["acts_per_s"] == pytest.approx(16 / 3)
+        # Consumer "a" still measures from t=101: (16-10)/(103-101).
+        assert registry.snapshot(rate_key="a")["rates"]["acts_per_s"] == 3.0
+
+    def test_read_only_snapshot_never_advances_windows(self, monkeypatch):
+        """The regression the PR fixes: a polling ``metrics`` op used to
+        reset the shared rate baseline, zeroing the operator log line's
+        deltas.  Read-only snapshots must leave every window untouched."""
+        registry, clock = self._registry(monkeypatch)
+        counter = registry.counter("acts")
+        counter.inc(8)
+        clock.at = 102.0
+        assert registry.snapshot(rate_key="log")["rates"]["acts_per_s"] == 4.0
+        counter.inc(4)
+        clock.at = 103.0
+        # Hammer the read-only path in between, as a polling client would.
+        for _ in range(5):
+            doc = registry.snapshot(rate_key=None)
+            # Lifetime average: 12 counts over 3 seconds of uptime.
+            assert doc["rates"]["acts_per_s"] == 4.0
+        clock.at = 104.0
+        # The log consumer's delta covers everything since *its* last
+        # snapshot at t=102 — the polling reads did not steal it.
+        assert registry.snapshot(rate_key="log")["rates"]["acts_per_s"] == 2.0
+
+    def test_log_line_uses_its_own_window(self, monkeypatch):
+        registry, clock = self._registry(monkeypatch)
+        registry.counter("acts").inc(5)
+        clock.at = 101.0
+        registry.snapshot(rate_key="client")  # someone else polls first
+        clock.at = 105.0
+        assert "acts_per_s=1.0" in registry.log_line()
+
+
+class TestHistogram:
+    def test_summary_is_a_single_consistent_view(self):
+        """Concurrent torn-read regression: with every observation equal
+        to 1.0, any consistent (count, sum) view yields mean exactly 1.0;
+        a count read apart from its sum would not."""
+        hist = Histogram("lat", window=64)
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                hist.observe(1.0)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(300):
+                summary = hist.summary()
+                if summary["count"]:
+                    assert summary["mean"] == 1.0
+                assert hist.mean in (0.0, 1.0)
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_summary_and_percentiles(self):
+        hist = Histogram("lat", window=100)
+        for v in range(1, 101):
+            hist.observe(float(v))
+        summary = hist.summary()
+        assert summary["count"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == pytest.approx(50.0, abs=1.0)
+        assert summary["max"] == 100.0
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+
+    def test_window_bound_keeps_lifetime_totals(self):
+        hist = Histogram("lat", window=4)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            hist.observe(v)
+        assert hist.count == 6
+        assert hist.sum == 21.0
+        assert hist.percentile(0) == 3.0  # 1.0 and 2.0 fell off the window
+
+    def test_empty_summary(self):
+        summary = Histogram("lat").summary()
+        assert summary == {
+            "count": 0.0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+            "max": 0.0,
+        }
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+
+class TestTracer:
+    def test_nesting_depth_and_exit_order(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", kind="batch"):
+            with tracer.span("inner"):
+                pass
+        spans = tracer.spans()
+        assert [(s.name, s.depth) for s in spans] == [("inner", 1), ("outer", 0)]
+        assert spans[1].args == {"kind": "batch"}
+        assert all(s.duration >= 0.0 for s in spans)
+
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        # The fast path allocates nothing: same object every call.
+        assert tracer.span("a") is tracer.span("b")
+        with tracer.span("a"):
+            pass
+        assert tracer.spans() == [] and tracer.recorded == 0
+
+    def test_ring_buffer_bound(self):
+        tracer = Tracer(enabled=True, capacity=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer) == 4
+        assert tracer.recorded == 10
+        assert [s.name for s in tracer.drain()] == ["s6", "s7", "s8", "s9"]
+        assert len(tracer) == 0
+
+    def test_deterministic_sampling(self):
+        tracer = Tracer(enabled=True, sample=0.5)
+        for _ in range(10):
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    pass
+        # The per-thread accumulator records exactly every other root —
+        # and each unsampled root mutes its children too.
+        assert tracer.recorded == 10  # 5 roots + 5 children
+        assert tracer.sampled_out == 5
+        by_name = {}
+        for span in tracer.spans():
+            by_name[span.name] = by_name.get(span.name, 0) + 1
+        assert by_name == {"root": 5, "child": 5}
+
+    def test_sampling_is_repeatable(self):
+        def run():
+            tracer = Tracer(enabled=True, sample=0.25)
+            for i in range(12):
+                with tracer.span("root", i=i):
+                    pass
+            return [s.args["i"] for s in tracer.spans()]
+
+        assert run() == run() and len(run()) == 3
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(sample=0.0)
+        with pytest.raises(ValueError):
+            Tracer().set_sample(1.5)
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_external_record_and_status(self):
+        tracer = Tracer(enabled=True, capacity=8)
+        tracer.record("bench.update", duration=0.125, method="ANCO")
+        (span,) = tracer.spans()
+        assert span.duration == 0.125 and span.args == {"method": "ANCO"}
+        status = tracer.status()
+        assert status["enabled"] is True
+        assert status["buffered"] == 1 and status["recorded"] == 1
+        tracer.disable()
+        tracer.record("ignored", duration=1.0)
+        assert tracer.status()["recorded"] == 1
+
+
+# ----------------------------------------------------------------------
+# Exposition
+# ----------------------------------------------------------------------
+
+class TestExposition:
+    def test_prometheus_text_is_parseable(self):
+        registry = MetricsRegistry()
+        registry.counter("acts ingested").inc(7)  # name needs sanitizing
+        registry.gauge("depth", lambda: 3.5)
+        hist = registry.histogram("latency_seconds")
+        for v in (0.1, 0.2, 0.3):
+            hist.observe(v)
+        text = render_prometheus(registry, namespace="anc")
+        samples, typed = parse_prometheus(text)
+        assert samples["anc_acts_ingested_total"] == 7.0
+        assert typed["anc_acts_ingested_total"] == "counter"
+        assert samples["anc_depth"] == 3.5
+        assert typed["anc_latency_seconds"] == "summary"
+        assert samples['anc_latency_seconds{quantile="0.5"}'] == 0.2
+        assert samples["anc_latency_seconds_sum"] == pytest.approx(0.6)
+        assert samples["anc_latency_seconds_count"] == 3.0
+
+    def test_prometheus_empty_registry(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_chrome_trace_document(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("batch", size=2):
+            with tracer.span("activation"):
+                pass
+        doc = chrome_trace(tracer)
+        json.loads(json.dumps(doc))  # strictly JSON-able
+        events = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+        assert [e["name"] for e in events] == ["batch", "activation"]
+        batch, activation = events
+        assert all(e["ph"] == "X" for e in events)
+        assert batch["args"] == {"size": 2, "depth": 0}
+        assert activation["args"]["depth"] == 1
+        # Microsecond layout: the child lies inside the parent.
+        assert batch["ts"] <= activation["ts"]
+        assert activation["ts"] + activation["dur"] <= batch["ts"] + batch["dur"] + 1e-3
+        path = write_chrome_trace(tmp_path / "trace.json", tracer)
+        assert json.loads(path.read_text())["traceEvents"] == events
+
+    def test_phase_breakdown(self):
+        tracer = Tracer(enabled=True)
+        tracer.record("update", duration=0.5)
+        tracer.record("update", duration=1.5)
+        tracer.record("query", duration=0.25)
+        phases = phase_breakdown(tracer)
+        assert phases["update"]["count"] == 2
+        assert phases["update"]["total_s"] == 2.0
+        assert phases["update"]["mean_s"] == 1.0
+        assert phases["update"]["max_s"] == 1.5
+        assert phases["query"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# Engine integration
+# ----------------------------------------------------------------------
+
+class TestEngineIntegration:
+    def test_default_engine_is_dark(self, small_planted, quick_params):
+        graph, labels = small_planted
+        engine = ANCO(graph, quick_params)
+        assert engine.obs is DISABLED_OBS
+        drive(engine, graph, labels, timestamps=3)
+        assert len(NULL_TRACER) == 0
+
+    def test_phase_spans_cover_the_hot_path(self, small_planted, quick_params):
+        graph, labels = small_planted
+        obs = enabled_obs(capacity=65536)
+        engine = ANCO(graph, quick_params, obs=obs)
+        drive(engine, graph, labels, timestamps=4)
+        engine.clusters()
+        names = {s.name for s in obs.tracer.spans()}
+        assert {
+            "process_batch", "activation", "activeness", "reinforce",
+            "index_repair", "decay_tick", "query_clusters",
+        } <= names
+        depth_of = {s.name: s.depth for s in obs.tracer.spans()}
+        assert depth_of["process_batch"] == 0
+        assert depth_of["activation"] == 1
+        assert depth_of["activeness"] == 2
+
+    def test_per_level_counters_sum_to_totals(self, small_planted, quick_params):
+        graph, labels = small_planted
+        obs = enabled_obs()
+        engine = ANCO(graph, quick_params, obs=obs)
+        drive(engine, graph, labels, timestamps=4)
+        index = engine.index
+        assert index.update_count > 0
+        assert sum(index.touched_by_level.values()) == index.total_touched
+        assert sum(index.repairs_by_level.values()) == (
+            index.update_count * index.k * index.num_levels
+        )
+        assert index.update_increases + index.update_decreases == index.update_count
+        stats = engine.stats()
+        assert stats["index_touched_by_level"] == dict(
+            sorted(index.touched_by_level.items())
+        )
+        assert stats["index_update_increases"] == index.update_increases
+
+    def test_gauges_track_engine_stats(self, small_planted, quick_params):
+        graph, labels = small_planted
+        obs = enabled_obs()
+        engine = ANCO(graph, quick_params, obs=obs)
+        acts = drive(engine, graph, labels, timestamps=4)
+        gauges = obs.registry.gauges()
+        assert gauges["engine_activations"].value == float(len(acts))
+        assert gauges["index_updates"].value == float(engine.index.update_count)
+        per_level = sum(
+            gauges[f"index_level{level}_touched"].value
+            for level in range(1, engine.index.num_levels + 1)
+        )
+        assert per_level == float(engine.index.total_touched)
+
+    def test_query_latency_histograms(self, small_planted, quick_params):
+        graph, labels = small_planted
+        obs = enabled_obs()
+        engine = ANCO(graph, quick_params, obs=obs)
+        drive(engine, graph, labels, timestamps=3)
+        engine.clusters()
+        engine.cluster_of(0)
+        assert obs.registry.histogram("query_clusters_seconds").count == 1
+        assert obs.registry.histogram("query_local_seconds").count == 1
+
+    def test_watcher_refresh_cost_is_measured(self, small_planted, quick_params):
+        graph, labels = small_planted
+        obs = enabled_obs(capacity=65536)
+        engine = ANCOR(graph, quick_params, obs=obs)
+        watcher = ClusterWatcher(engine)
+        watcher.watch(0)
+        acts = make_stream(graph, labels, timestamps=4)
+        batches = 0
+        current, batch = None, []
+        for act in acts:
+            if current is not None and act.t != current:
+                watcher.process_batch(batch)
+                batches += 1
+                batch = []
+            current = act.t
+            batch.append(act)
+        if batch:
+            watcher.process_batch(batch)
+            batches += 1
+        registry = obs.registry
+        assert registry.counter("watcher_batches").value == float(batches)
+        assert registry.histogram("watcher_refresh_seconds").count == batches
+        assert registry.counter("watcher_touched_nodes").value > 0
+        assert "watcher_refresh" in {s.name for s in obs.tracer.spans()}
+
+    def test_tracing_does_not_perturb_results(self, small_planted, quick_params):
+        graph, labels = small_planted
+        dark = ANCO(graph, quick_params)
+        traced = ANCO(graph, quick_params, obs=enabled_obs(capacity=65536))
+        drive(dark, graph, labels, timestamps=5)
+        drive(traced, graph, labels, timestamps=5)
+        assert dark.index.weights_view() == traced.index.weights_view()
+        assert dark.clusters() == traced.clusters()
+        assert traced.obs.tracer.recorded > 0
+
+
+# ----------------------------------------------------------------------
+# Service surface
+# ----------------------------------------------------------------------
+
+class TestServiceObservability:
+    def test_metrics_text_op(self, small_planted, quick_params):
+        graph, labels = small_planted
+        acts = make_stream(graph, labels, timestamps=5)
+
+        async def scenario(reader, writer, server):
+            items = [[a.u, a.v, a.t] for a in acts]
+            await rpc(reader, writer, op="ingest_batch", items=items)
+            await rpc(reader, writer, op="sync")
+            return await rpc(reader, writer, op="metrics_text")
+
+        response = run_server_scenario(
+            scenario, graph_and_labels=small_planted, params=quick_params
+        )
+        assert response["ok"] is True
+        samples, typed = parse_prometheus(response["text"])
+        assert samples["anc_activations_ingested_total"] == float(len(acts))
+        assert typed["anc_activations_ingested_total"] == "counter"
+        # Engine gauges fold into the same registry via attach_obs.
+        assert samples["anc_engine_activations"] == float(len(acts))
+
+    def test_trace_op_round_trip(self, small_planted, quick_params):
+        graph, labels = small_planted
+        acts = make_stream(graph, labels, timestamps=5)
+
+        async def scenario(reader, writer, server):
+            off = await rpc(reader, writer, op="trace")
+            started = await rpc(reader, writer, op="trace", action="start")
+            items = [[a.u, a.v, a.t] for a in acts]
+            await rpc(reader, writer, op="ingest_batch", items=items)
+            await rpc(reader, writer, op="sync")
+            await rpc(reader, writer, op="clusters")
+            dump = await rpc(reader, writer, op="trace", action="dump")
+            drained = await rpc(reader, writer, op="trace", action="status")
+            stopped = await rpc(reader, writer, op="trace", action="stop")
+            bad = await rpc(reader, writer, op="trace", action="bogus")
+            return off, started, dump, drained, stopped, bad
+
+        # Small ring: the in-process harness reads replies through an
+        # asyncio stream with the default 64 KiB line limit (the real
+        # ServiceClient has none), so keep the dump compact.
+        config = ServerConfig(metrics_interval=0.0, trace_capacity=200)
+        off, started, dump, drained, stopped, bad = run_server_scenario(
+            scenario, graph_and_labels=small_planted, params=quick_params,
+            config=config,
+        )
+        assert off["enabled"] is False
+        assert started["enabled"] is True
+        events = dump["trace"]["traceEvents"]
+        names = {e["name"] for e in events}
+        # The writer drives the engine per activation (deterministic
+        # batch hooks), so the engine phases nest under "activation".
+        assert {"activation", "index_repair", "query_clusters"} <= names
+        assert {e["args"]["depth"] for e in events} >= {0, 1}
+        assert drained["buffered"] == 0  # dump drains by default
+        assert stopped["enabled"] is False
+        assert bad["ok"] is False and "unknown trace action" in bad["error"]
+
+    def test_metrics_op_is_read_only_by_default(self, small_planted, quick_params):
+        graph, labels = small_planted
+        acts = make_stream(graph, labels, timestamps=5)
+
+        async def scenario(reader, writer, server):
+            items = [[a.u, a.v, a.t] for a in acts]
+            await rpc(reader, writer, op="ingest_batch", items=items)
+            await rpc(reader, writer, op="sync")
+            for _ in range(3):
+                await rpc(reader, writer, op="metrics")
+            assert server.metrics._rate_windows == {}
+            keyed = await rpc(reader, writer, op="metrics", rate_key="mine")
+            assert "mine" in server.metrics._rate_windows
+            return keyed
+
+        keyed = run_server_scenario(
+            scenario, graph_and_labels=small_planted, params=quick_params
+        )
+        assert keyed["metrics"]["counters"]["activations_ingested"] == float(
+            len(acts)
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI artifacts
+# ----------------------------------------------------------------------
+
+class TestCliTracing:
+    def test_stream_trace_and_metrics_out(self, tmp_path):
+        edgelist = tmp_path / "stream.tsv"
+        edgelist.write_text(
+            "a b 1\nb c 1\na c 2\nc d 2\nd a 3\na b 3\nb c 4\n"
+        )
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        out = io.StringIO()
+        code = main(
+            [
+                "stream", str(edgelist),
+                "--trace-out", str(trace_path),
+                "--metrics-out", str(metrics_path),
+            ],
+            out,
+        )
+        assert code == 0
+        doc = json.loads(trace_path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"process_batch", "activation", "index_repair"} <= names
+        assert {e["args"]["depth"] for e in doc["traceEvents"]} >= {0, 1, 2}
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["gauges"]["engine_activations"] == 7.0
+        assert "wrote Chrome trace" in out.getvalue()
