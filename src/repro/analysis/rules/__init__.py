@@ -6,6 +6,7 @@ from . import (  # noqa: F401  (imports register the rules)
     exports,
     float_equality,
     mutable_defaults,
+    service_exceptions,
     snapshot_immutability,
     wall_clock,
     writer_discipline,
@@ -17,6 +18,7 @@ __all__ = [
     "exports",
     "float_equality",
     "mutable_defaults",
+    "service_exceptions",
     "snapshot_immutability",
     "wall_clock",
     "writer_discipline",

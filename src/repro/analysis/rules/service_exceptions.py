@@ -1,0 +1,138 @@
+"""service-exception-discipline: no silently swallowed service failures.
+
+The resilience contract (docs/faults.md) is that a fault either heals
+into byte-identical state or surfaces as a *typed* error — never a bare
+``except ... pass`` that turns data loss into silence.  The serving
+stack (:mod:`repro.service`) and the fault harness (:mod:`repro.faults`)
+therefore hold every ``except`` handler to one of three outcomes:
+
+* **re-raise** — the handler contains a ``raise`` (bare or chained);
+* **map to a typed error** — the handler references one of the typed
+  service exceptions or the :func:`repro.service.errors.fault_response`
+  mapper (assigning ``ServiceTimeout(...)`` to a retry loop's
+  ``last_error`` counts: the type is preserved for the caller);
+* **carry a counted pragma** — a trailing
+  ``# anclint: disable=service-exception-discipline — reason`` on the
+  ``except`` line, for the handful of handlers whose only correct action
+  is closing a connection that is already dead.  Pragmas are counted in
+  every lint report, so the exemption list stays auditable.
+
+Catching one of the typed errors *by name* also counts as disciplined —
+the type already classified the failure (retry loops store it, the chaos
+harness records it), so nothing is being silenced.
+
+Handlers for ``asyncio.CancelledError`` and ``StopIteration`` are flow
+control, not failures, and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from ..engine import FileContext
+from ..registry import rule
+
+#: Package prefixes the discipline applies to.
+SERVICE_PACKAGES = ("repro.service", "repro.faults")
+
+#: Terminal identifiers that mark a handler as "maps to a typed error".
+TYPED_ERROR_NAMES = frozenset(
+    {
+        "fault_response",
+        "ServiceFault",
+        "BadRequest",
+        "UnknownOp",
+        "Overloaded",
+        "Unavailable",
+        "ServiceError",
+        "ServiceConnectError",
+        "ServiceTimeout",
+        "ServiceRetryAfter",
+        "ServiceUnavailable",
+        "WalCorruptError",
+        "CheckpointCorruptError",
+        "InjectedFault",
+        "InjectedCrash",
+        "ChaosResult",
+    }
+)
+
+#: Exception types whose handlers are flow control, not failure handling.
+FLOW_CONTROL_TYPES = frozenset(
+    {"CancelledError", "StopIteration", "StopAsyncIteration", "TimeoutError"}
+)
+
+
+def _terminal_name(node: ast.expr) -> str:
+    """The last identifier of a Name/Attribute chain, '' otherwise."""
+    while isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _handler_types(handler: ast.ExceptHandler) -> Iterable[str]:
+    """Terminal names of the exception types a handler catches."""
+    node = handler.type
+    if node is None:
+        return []
+    if isinstance(node, ast.Tuple):
+        return [_terminal_name(elt) for elt in node.elts]
+    return [_terminal_name(node)]
+
+
+def _is_flow_control(handler: ast.ExceptHandler) -> bool:
+    names = list(_handler_types(handler))
+    return bool(names) and all(name in FLOW_CONTROL_TYPES for name in names)
+
+
+def _is_disciplined(handler: ast.ExceptHandler) -> bool:
+    # Catching a *typed* error by name is deliberate handling: the type
+    # already classified the failure (retry loops store it, the chaos
+    # harness records it); silence is only possible for untyped catches.
+    if any(name in TYPED_ERROR_NAMES for name in _handler_types(handler)):
+        return True
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Name) and node.id in TYPED_ERROR_NAMES:
+                return True
+            if isinstance(node, ast.Attribute) and node.attr in TYPED_ERROR_NAMES:
+                return True
+    return False
+
+
+@rule(
+    "service-exception-discipline",
+    "service/faults except handlers must re-raise, map to a typed error, "
+    "or carry a counted pragma",
+)
+def check(ctx: FileContext) -> Iterable[Tuple[ast.AST, str]]:
+    if not ctx.in_package(*SERVICE_PACKAGES):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if _is_flow_control(node):
+            continue
+        if _is_disciplined(node):
+            continue
+        caught = ", ".join(_handler_types(node)) or "everything"
+        yield (
+            node,
+            f"handler for {caught} neither re-raises nor maps to a typed "
+            f"service error; a swallowed failure here turns data loss into "
+            f"silence — re-raise, wrap in a typed error, or add a trailing "
+            f"counted pragma with the reason (docs/faults.md)",
+        )
+
+
+__all__ = [
+    "FLOW_CONTROL_TYPES",
+    "SERVICE_PACKAGES",
+    "TYPED_ERROR_NAMES",
+    "check",
+]

@@ -16,7 +16,10 @@ Installed as the ``repro-anc`` console script (also runnable as
   JSON) over the service protocol;
 * ``datasets`` — the Table I stand-in catalogue;
 * ``lint`` — run the :mod:`repro.analysis` invariant linter over the
-  source tree (the CI gate; see ``docs/static-analysis.md``).
+  source tree (the CI gate; see ``docs/static-analysis.md``);
+* ``chaos`` — run the fault-injection matrix (:mod:`repro.faults`)
+  against the serving stack and gate on silent divergence
+  (``docs/faults.md``).
 
 Edge lists are whitespace-separated ``u v`` (or ``u v t``) lines; node
 labels may be arbitrary strings and are reported back verbatim.
@@ -38,6 +41,7 @@ __all__ = [
     "cmd_cluster",
     "cmd_stream",
     "cmd_serve",
+    "cmd_chaos",
     "cmd_stats",
     "cmd_datasets",
     "cmd_lint",
@@ -292,6 +296,44 @@ def cmd_lint(args: argparse.Namespace, out: IO[str]) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_chaos(args: argparse.Namespace, out: IO[str]) -> int:
+    from .faults.chaos import (
+        SCENARIOS,
+        report_lines,
+        run_matrix,
+        write_report,
+    )
+
+    if args.list_scenarios:
+        width = max(len(s.name) for s in SCENARIOS)
+        for scenario in SCENARIOS:
+            print(
+                f"{scenario.name.ljust(width)}  [{scenario.mode}] "
+                f"expect={scenario.expect}: {scenario.description}",
+                file=out,
+            )
+        return 0
+    try:
+        report = run_matrix(
+            seeds=tuple(args.seeds),
+            only=args.scenarios or None,
+            workdir=args.workdir,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=out)
+        return 2
+    for line in report_lines(report):
+        print(line, file=out)
+    if args.out is not None:
+        write_report(report, args.out)
+        print(f"report written to {args.out}", file=out)
+    # Silent divergence is the unforgivable outcome; any out-of-contract
+    # cell also fails the run so CI catches regressions in the contracts.
+    if report["silent_divergence"] or report["ok"] != report["total"]:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-anc",
@@ -414,6 +456,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-injection matrix (docs/faults.md)",
+    )
+    p_chaos.add_argument(
+        "scenarios", nargs="*", metavar="SCENARIO",
+        help="scenario names to run (default: the full matrix)",
+    )
+    p_chaos.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1, 2], metavar="N",
+        help="matrix seeds (default: 0 1 2)",
+    )
+    p_chaos.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="keep scenario data directories here (default: temp dir)",
+    )
+    p_chaos.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the JSON report to this file",
+    )
+    p_chaos.add_argument(
+        "--list-scenarios", action="store_true",
+        help="print the scenario catalogue and exit",
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

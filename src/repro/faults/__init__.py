@@ -1,0 +1,51 @@
+"""Deterministic fault injection for the serving stack.
+
+The paper's engines are deterministic by construction; this package
+makes their *failure handling* testable with the same rigor.  A
+:class:`~repro.faults.plan.FaultPlan` (seeded, trigger-by-count or
+probability, phase-gated) arms injectors at hook sites threaded through
+:mod:`repro.service` and :mod:`repro.index.persistence` — torn WAL
+tails, lost page writes, checkpoint bit rot, socket resets, duplicated
+batches, stalled readers, overload.  Disarmed hooks cost one attribute
+check (the :mod:`repro.obs` contract), so they ship permanently.
+
+:mod:`~repro.faults.chaos` turns the catalog into a matrix: every
+injector × several seeds, each run compared byte-for-byte against a
+fault-free oracle.  ``repro-anc chaos`` runs it from the CLI;
+``docs/faults.md`` documents the catalog and the recovery contracts.
+"""
+
+from .chaos import (
+    SCENARIOS,
+    ChaosResult,
+    Scenario,
+    ServerThread,
+    engine_signature,
+    report_lines,
+    run_matrix,
+    run_scenario,
+    scenario_by_name,
+    write_report,
+)
+from .injectors import CATALOG, validate_spec
+from .plan import FaultAction, FaultPlan, FaultSpec, InjectedCrash, InjectedFault
+
+__all__ = [
+    "CATALOG",
+    "ChaosResult",
+    "FaultAction",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+    "Scenario",
+    "SCENARIOS",
+    "ServerThread",
+    "engine_signature",
+    "report_lines",
+    "run_matrix",
+    "run_scenario",
+    "scenario_by_name",
+    "validate_spec",
+    "write_report",
+]

@@ -1,0 +1,679 @@
+"""The chaos matrix: every injector versus a fault-free oracle.
+
+Each :class:`Scenario` arms one failure mode over a deterministic
+synthetic workload (planted-partition graph + community-biased stream),
+lets it fire, then drives the recovery protocol a real deployment would:
+
+* **pipeline** scenarios exercise the durability layer directly — append
+  each activation to the WAL, apply it, checkpoint periodically; on an
+  :class:`~repro.faults.plan.InjectedCrash` (or at end of stream,
+  standing in for a ``kill -9``) reopen the data directory, run
+  :func:`~repro.service.snapshots.recover_engine` and have the "client"
+  resend every activation past the recovered high-water mark;
+* **service** scenarios run a real :class:`~repro.service.server.ANCServer`
+  on a background event loop (:class:`ServerThread`) and push the stream
+  through a retrying :class:`~repro.service.client.ServiceClient`, so
+  socket resets, duplicated batches, overload shedding and slow-reader
+  eviction hit the actual protocol path.
+
+Every run is classified against the scenario's contract:
+
+* ``recovered`` — final engine state is **byte-identical** to the
+  fault-free oracle (exact float reprs, all cluster levels);
+* ``typed-failure`` — recovery refused with :class:`WalCorruptError` /
+  :class:`CheckpointCorruptError` (correct when the fault destroyed
+  acknowledged data);
+* ``diverged`` — recovery *claimed* success but the state differs.
+  This is the one outcome that is never acceptable; CI gates on it.
+
+``repro-anc chaos`` runs the matrix from the command line and
+``tests/chaos/`` asserts it under pytest (``-m chaos``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.activation import Activation
+from ..core.anc import ANCEngineBase, ANCParams, make_engine
+from ..graph.generators import planted_partition
+from ..graph.graph import Graph
+from ..service.client import RetryPolicy, ServiceClient, ServiceError
+from ..service.server import ANCServer, ServerConfig
+from ..service.snapshots import (
+    CheckpointCorruptError,
+    CheckpointStore,
+    WalCorruptError,
+    WriteAheadLog,
+    apply_activations,
+    recover_engine,
+)
+from ..workloads.streams import community_biased_stream
+from .plan import FaultPlan, FaultSpec, InjectedCrash
+
+__all__ = [
+    "ChaosResult",
+    "Scenario",
+    "SCENARIOS",
+    "ServerThread",
+    "engine_signature",
+    "report_lines",
+    "run_matrix",
+    "run_scenario",
+    "scenario_by_name",
+    "write_report",
+]
+
+#: Small-but-nontrivial engine parameters shared by every scenario (and
+#: by the oracle — determinism demands the exact same configuration).
+QUICK_PARAMS = ANCParams(rep=1, k=2, seed=0, rescale_every=64)
+
+#: Pipeline scenarios cut a checkpoint this often (in applied activations).
+CHECKPOINT_EVERY = 40
+
+#: Service scenarios send the stream in client batches of this size.
+CLIENT_BATCH = 25
+
+
+def _build_workload(seed: int) -> Tuple[Graph, List[Activation]]:
+    """Deterministic graph + activation stream for one matrix seed."""
+    graph, labels = planted_partition(
+        40, 4, p_in=0.5, p_out=0.05, seed=seed + 13
+    )
+    stream = community_biased_stream(
+        graph, labels, timestamps=10, fraction=0.08, seed=seed
+    )
+    return graph, list(stream)
+
+
+def engine_signature(engine: ANCEngineBase) -> Dict[str, object]:
+    """Exact state fingerprint: equal signatures ⇒ byte-identical engines.
+
+    Floats go through ``repr`` so 1e-16 drift is a mismatch, and clusters
+    are captured at the bottom, √n and top levels of the pyramid.
+    """
+    metric = engine.metric
+    levels = sorted(
+        {1, engine.queries.sqrt_n_level(), engine.queries.num_levels}
+    )
+    return {
+        "activations": engine.activations_processed,
+        "t": repr(engine.now),
+        "anchor": repr(metric.clock.anchor),
+        "similarity": sorted(
+            (u, v, repr(value))
+            for (u, v), value in metric.similarity.items_anchored()
+        ),
+        "clusters": {
+            str(level): engine.clusters(level) for level in levels
+        },
+    }
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one (scenario, seed) cell of the matrix."""
+
+    scenario: str
+    seed: int
+    status: str  # "recovered" | "typed-failure" | "diverged" | "error"
+    expect: str
+    detail: str = ""
+    injected: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """The run did what the scenario's contract promises."""
+        return self.status == self.expect
+
+    @property
+    def silent_divergence(self) -> bool:
+        """Recovery claimed success over wrong state — the CI-gating sin."""
+        return self.status == "diverged"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "status": self.status,
+            "expect": self.expect,
+            "ok": self.ok,
+            "detail": self.detail,
+            "injected": self.injected,
+        }
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One armed failure mode plus its recovery contract.
+
+    ``specs`` receives ``(seed, n_acts)`` so triggers can sit mid-stream
+    regardless of the seed-dependent stream length.  ``expect`` is the
+    contractual outcome: ``recovered`` (byte-identical state after the
+    protocol's own resend/replay) or ``typed-failure`` (recovery must
+    *refuse* because acknowledged data is unrecoverable).
+    """
+
+    name: str
+    mode: str  # "pipeline" | "service"
+    expect: str
+    specs: Callable[[int, int], List[FaultSpec]]
+    description: str = ""
+    server: Mapping[str, object] = field(default_factory=dict)
+    client_attempts: int = 6
+
+
+# ----------------------------------------------------------------------
+# Pipeline scenarios: the durability layer head-on
+# ----------------------------------------------------------------------
+
+def _mid(n_acts: int) -> int:
+    """A trigger count mid-stream, past the first checkpoint."""
+    return max(CHECKPOINT_EVERY + 2, n_acts // 2)
+
+
+SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario(
+        name="wal-torn-tail",
+        mode="pipeline",
+        expect="recovered",
+        description="crash mid-append leaves half a record; repaired, tail resent",
+        specs=lambda seed, n: [
+            FaultSpec("wal.append", "torn-tail", at_count=_mid(n))
+        ],
+    ),
+    Scenario(
+        name="wal-short-write",
+        mode="pipeline",
+        expect="recovered",
+        description="final record misses fields (short write) then crash",
+        specs=lambda seed, n: [
+            FaultSpec("wal.append", "short-write", at_count=_mid(n))
+        ],
+    ),
+    Scenario(
+        name="wal-bit-flip-tail",
+        mode="pipeline",
+        expect="recovered",
+        description="flipped digit in the final record; CRC catches it",
+        specs=lambda seed, n: [
+            FaultSpec("wal.append", "bit-flip", at_count=_mid(n))
+        ],
+    ),
+    Scenario(
+        name="wal-fsync-loss-tail",
+        mode="pipeline",
+        expect="recovered",
+        description="acked append never hit disk; crash tears the next one",
+        specs=lambda seed, n: [
+            FaultSpec("wal.append", "fsync-loss", at_count=_mid(n)),
+            FaultSpec("wal.append", "torn-tail", at_count=_mid(n) + 1),
+        ],
+    ),
+    Scenario(
+        name="wal-lost-page",
+        mode="pipeline",
+        expect="typed-failure",
+        description="hole inside the acknowledged stream; replay must refuse",
+        specs=lambda seed, n: [
+            FaultSpec("wal.append", "fsync-loss", at_count=_mid(n)),
+            FaultSpec("wal.append", "crash", at_count=_mid(n) + 1),
+        ],
+    ),
+    Scenario(
+        name="wal-crash-after-append",
+        mode="pipeline",
+        expect="recovered",
+        description="kill -9 between WAL append and index apply",
+        specs=lambda seed, n: [
+            FaultSpec("wal.append", "crash", at_count=_mid(n))
+        ],
+    ),
+    Scenario(
+        name="checkpoint-skip-manifest",
+        mode="pipeline",
+        expect="recovered",
+        description="crash before MANIFEST; torn checkpoint must be ignored",
+        specs=lambda seed, n: [
+            FaultSpec("checkpoint.write", "skip-manifest", at_count=1)
+        ],
+    ),
+    Scenario(
+        name="checkpoint-truncate-engine",
+        mode="pipeline",
+        expect="recovered",
+        description="crash mid-write of engine.json; no MANIFEST, so ignored",
+        specs=lambda seed, n: [
+            FaultSpec("checkpoint.write", "truncate-engine", at_count=1)
+        ],
+    ),
+    Scenario(
+        name="checkpoint-bit-rot",
+        mode="pipeline",
+        expect="typed-failure",
+        description="complete checkpoint rots after fsync; checksum must refuse",
+        specs=lambda seed, n: [
+            FaultSpec(
+                "checkpoint.write",
+                "corrupt-engine",
+                at_count=max(1, n // CHECKPOINT_EVERY),
+            )
+        ],
+    ),
+    Scenario(
+        name="index-save-truncated",
+        mode="pipeline",
+        expect="recovered",
+        description="crash mid-write of index.json; no MANIFEST, so ignored",
+        specs=lambda seed, n: [
+            FaultSpec("index.save", "truncate", at_count=1)
+        ],
+    ),
+    Scenario(
+        name="checkpoint-complete-then-crash",
+        mode="pipeline",
+        expect="recovered",
+        description="crash right after a complete checkpoint; restart resumes",
+        specs=lambda seed, n: [
+            FaultSpec("checkpoint.write", "crash", at_count=1)
+        ],
+    ),
+    Scenario(
+        name="slow-snapshot-reader",
+        mode="pipeline",
+        expect="recovered",
+        description="index load stalls during recovery; slow but exact",
+        specs=lambda seed, n: [
+            FaultSpec(
+                "index.load",
+                "delay",
+                probability=1.0,
+                phase="recovery",
+                args={"seconds": 0.05},
+            )
+        ],
+    ),
+    # -- service scenarios: the protocol path under network faults -----
+    Scenario(
+        name="service-conn-resets",
+        mode="service",
+        expect="recovered",
+        description="first two connections dropped + one request reset mid-stream",
+        specs=lambda seed, n: [
+            FaultSpec("server.accept", "reset", at_count=1),
+            FaultSpec("server.accept", "reset", at_count=2),
+            FaultSpec("server.request", "reset", at_count=3),
+        ],
+        client_attempts=8,
+    ),
+    Scenario(
+        name="service-batch-duplicate",
+        mode="service",
+        expect="recovered",
+        description="a batch arrives twice; seq-keyed dedup keeps it exactly-once",
+        specs=lambda seed, n: [
+            FaultSpec("server.ingest_batch", "duplicate", at_count=2)
+        ],
+    ),
+    Scenario(
+        name="service-overload-shed",
+        mode="service",
+        expect="recovered",
+        description="stalled writer backs the queue up; shed + client retry",
+        specs=lambda seed, n: [
+            FaultSpec(
+                "ingest.flush", "delay", at_count=1, args={"seconds": 0.3}
+            )
+        ],
+        server={
+            "batch_size": 8,
+            "max_latency": 0.005,
+            "shed_watermark": 12,
+        },
+        client_attempts=16,
+    ),
+    Scenario(
+        name="service-slow-reader",
+        mode="service",
+        expect="recovered",
+        description="ack write stalls; server evicts, client resends the key",
+        specs=lambda seed, n: [
+            FaultSpec(
+                "server.send", "stall", at_count=2, args={"seconds": 5.0}
+            )
+        ],
+        server={"write_timeout": 0.2},
+        client_attempts=8,
+    ),
+)
+
+
+def scenario_by_name(name: str) -> Scenario:
+    for scenario in SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise KeyError(
+        f"unknown chaos scenario {name!r}; known: "
+        + ", ".join(s.name for s in SCENARIOS)
+    )
+
+
+# ----------------------------------------------------------------------
+# Pipeline runner
+# ----------------------------------------------------------------------
+
+def _run_pipeline(
+    scenario: Scenario, seed: int, workdir: Path
+) -> ChaosResult:
+    graph, acts = _build_workload(seed)
+    oracle = make_engine("ANCO", graph, QUICK_PARAMS)
+    apply_activations(oracle, acts)
+    expected = engine_signature(oracle)
+
+    plan = FaultPlan(scenario.specs(seed, len(acts)), seed=seed)
+    plan.set_phase("live")
+    data_dir = workdir / f"{scenario.name}-s{seed}"
+    store = CheckpointStore(data_dir, faults=plan)
+    wal = WriteAheadLog(store.wal_path, faults=plan)
+    engine = make_engine("ANCO", graph, QUICK_PARAMS)
+    detail = "stream complete; simulated kill -9 at end"
+    try:
+        for i, act in enumerate(acts):
+            wal.append(act)
+            apply_activations(engine, [act])
+            if (i + 1) % CHECKPOINT_EVERY == 0:
+                store.write_checkpoint(engine)
+    except InjectedCrash as exc:
+        detail = f"crashed: {exc}"
+    finally:
+        wal.close()
+    del engine  # a crash loses all in-memory state; recover from disk only
+
+    plan.set_phase("recovery")
+    try:
+        recovered, replayed = recover_engine(
+            graph, store, params=QUICK_PARAMS
+        )
+    except (WalCorruptError, CheckpointCorruptError) as exc:
+        return ChaosResult(
+            scenario.name,
+            seed,
+            "typed-failure",
+            scenario.expect,
+            detail=f"{detail}; {type(exc).__name__}: {exc}",
+            injected=list(plan.fired),
+        )
+    # The client resends everything past the recovered high-water mark —
+    # it never got an ack for those, so at-least-once delivery covers the
+    # tail the crash (or a benign torn/lost tail record) took.
+    resend = acts[recovered.activations_processed:]
+    tail_wal = WriteAheadLog(store.wal_path)
+    try:
+        for act in resend:
+            tail_wal.append(act)
+            apply_activations(recovered, [act])
+    finally:
+        tail_wal.close()
+    got = engine_signature(recovered)
+    status = "recovered" if got == expected else "diverged"
+    return ChaosResult(
+        scenario.name,
+        seed,
+        status,
+        scenario.expect,
+        detail=f"{detail}; replayed {replayed}, resent {len(resend)}",
+        injected=list(plan.fired),
+    )
+
+
+# ----------------------------------------------------------------------
+# Service runner
+# ----------------------------------------------------------------------
+
+class ServerThread:
+    """An :class:`ANCServer` on a private event loop in a daemon thread.
+
+    Lets blocking clients (the real :class:`ServiceClient`, chaos
+    scenarios, tests) talk to an in-process server.  Use as a context
+    manager; ``stop()`` requests a graceful shutdown and joins.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        config: Optional[ServerConfig] = None,
+        params: Optional[ANCParams] = None,
+        names: Optional[Sequence[Hashable]] = None,
+    ) -> None:
+        self._graph = graph
+        self._config = config or ServerConfig()
+        self._params = params
+        self._names = names
+        self.server: Optional[ANCServer] = None
+        self.port: Optional[int] = None
+        self.host: str = self._config.host
+        self.error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="anc-chaos-server", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # anclint: disable=service-exception-discipline — a thread boundary cannot propagate; start()/stop() re-raise from ``self.error`` on the caller's thread
+            self.error = exc
+        finally:
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.server = ANCServer(
+            self._graph,
+            self._names,
+            config=self._config,
+            params=self._params,
+        )
+        await self.server.start()
+        self.port = self.server.port
+        self._started.set()
+        await self.server.serve_forever()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._started.wait(timeout=15.0):
+            raise RuntimeError("server thread did not start within 15s")
+        if self.error is not None:
+            raise RuntimeError("server thread failed on startup") from self.error
+        assert self.port is not None
+        return self
+
+    def stop(self) -> None:
+        """Request a graceful shutdown and join the thread."""
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_stop)
+            except RuntimeError:  # anclint: disable=service-exception-discipline — the loop already exited (server shut down on its own); joining below is the only remaining work
+                pass
+        self._thread.join(timeout=15.0)
+        if self._thread.is_alive():  # pragma: no cover - hang diagnostics
+            raise RuntimeError("server thread did not shut down within 15s")
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def _run_service(
+    scenario: Scenario, seed: int, workdir: Path
+) -> ChaosResult:
+    graph, acts = _build_workload(seed)
+    oracle = make_engine("ANCO", graph, QUICK_PARAMS)
+    apply_activations(oracle, acts)
+    expected = engine_signature(oracle)
+
+    plan = FaultPlan(scenario.specs(seed, len(acts)), seed=seed)
+    config = ServerConfig(
+        port=0,
+        engine="anco",
+        metrics_interval=0.0,
+        faults=plan,
+        **scenario.server,  # type: ignore[arg-type]
+    )
+    retry = RetryPolicy(
+        attempts=scenario.client_attempts,
+        base_delay=0.02,
+        max_delay=0.25,
+        seed=seed,
+    )
+    with ServerThread(graph, config=config, params=QUICK_PARAMS) as handle:
+        assert handle.server is not None and handle.port is not None
+        try:
+            client = ServiceClient(
+                handle.host, handle.port, timeout=5.0, retry=retry
+            )
+            try:
+                for start in range(0, len(acts), CLIENT_BATCH):
+                    chunk = acts[start : start + CLIENT_BATCH]
+                    client.ingest_batch([(a.u, a.v, a.t) for a in chunk])
+                applied = client.sync()
+                stats = client.stats()
+            finally:
+                client.close()
+        except ServiceError as exc:
+            return ChaosResult(
+                scenario.name,
+                seed,
+                "typed-failure",
+                scenario.expect,
+                detail=f"{type(exc).__name__}: {exc}",
+                injected=list(plan.fired),
+            )
+        # The writer is idle after sync() with no traffic in flight, so
+        # reading the engine from this thread observes a quiescent state.
+        got = engine_signature(handle.server.host.engine)
+        raw = handle.server.metrics.snapshot(rate_key=None).get("counters")
+        counters: Dict[str, float] = dict(raw) if isinstance(raw, dict) else {}
+        detail = (
+            f"applied={applied}/{len(acts)} degraded={stats.get('degraded')}"
+            f" shed={counters.get('ingest_shed', 0)}"
+            f" dedup={counters.get('ingest_dedup_hits', 0)}"
+            f" evictions={counters.get('slow_reader_evictions', 0)}"
+        )
+    if applied != len(acts) or got != expected:
+        status = "diverged"
+    else:
+        status = "recovered"
+    return ChaosResult(
+        scenario.name,
+        seed,
+        status,
+        scenario.expect,
+        detail=detail,
+        injected=list(plan.fired),
+    )
+
+
+# ----------------------------------------------------------------------
+# The matrix
+# ----------------------------------------------------------------------
+
+def run_scenario(
+    scenario: Union[Scenario, str], seed: int, workdir: Union[str, Path]
+) -> ChaosResult:
+    """Run one matrix cell; never raises for in-contract failures."""
+    if isinstance(scenario, str):
+        scenario = scenario_by_name(scenario)
+    runner = _run_pipeline if scenario.mode == "pipeline" else _run_service
+    try:
+        return runner(scenario, seed, Path(workdir))
+    except Exception as exc:
+        # Out-of-contract escapes map to the typed "error" status so one
+        # broken cell cannot hide the rest of the matrix (ChaosResult).
+        return ChaosResult(
+            scenario.name,
+            seed,
+            "error",
+            scenario.expect,
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def run_matrix(
+    seeds: Sequence[int] = (0, 1, 2),
+    *,
+    only: Optional[Sequence[str]] = None,
+    workdir: Optional[Union[str, Path]] = None,
+) -> Dict[str, object]:
+    """Run scenarios × seeds; returns a JSON-able report.
+
+    ``report["silent_divergence"]`` is the count CI gates on: cells where
+    recovery claimed success over state that differs from the fault-free
+    oracle.  ``report["ok"]`` counts cells meeting their contract.
+    """
+    selected = (
+        [scenario_by_name(name) for name in only]
+        if only is not None
+        else list(SCENARIOS)
+    )
+    results: List[ChaosResult] = []
+
+    def _run_all(base: Path) -> None:
+        for scenario in selected:
+            for seed in seeds:
+                results.append(run_scenario(scenario, seed, base))
+
+    if workdir is None:
+        with tempfile.TemporaryDirectory(prefix="anc-chaos-") as tmp:
+            _run_all(Path(tmp))
+    else:
+        _run_all(Path(workdir))
+
+    return {
+        "seeds": list(seeds),
+        "scenarios": [s.name for s in selected],
+        "total": len(results),
+        "ok": sum(1 for r in results if r.ok),
+        "silent_divergence": sum(1 for r in results if r.silent_divergence),
+        "failures": [
+            f"{r.scenario}/seed{r.seed}: {r.status} (expected {r.expect})"
+            for r in results
+            if not r.ok
+        ],
+        "results": [r.to_dict() for r in results],
+    }
+
+
+def report_lines(report: Mapping[str, object]) -> List[str]:
+    """Human-readable rows for the CLI table."""
+    lines: List[str] = []
+    cells = report.get("results")
+    assert isinstance(cells, list)
+    for cell in cells:
+        assert isinstance(cell, Mapping)
+        mark = "ok " if cell["ok"] else "FAIL"
+        lines.append(
+            f"{mark} {str(cell['scenario']):<32} seed={cell['seed']} "
+            f"{str(cell['status']):<14} {cell['detail']}"
+        )
+    lines.append(
+        f"{report['ok']}/{report['total']} cells in contract, "
+        f"{report['silent_divergence']} silent divergence(s)"
+    )
+    return lines
+
+
+def write_report(report: Mapping[str, object], path: Union[str, Path]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

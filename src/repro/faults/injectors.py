@@ -1,0 +1,111 @@
+"""Injector catalog: what each hook site can do when a spec fires.
+
+Each hook site in the serving stack admits a fixed set of injector
+kinds; :data:`CATALOG` is the authoritative map and
+:func:`validate_spec` rejects a :class:`~repro.faults.plan.FaultSpec`
+naming a kind its site does not support (a typo'd kind must fail loudly
+at plan construction, not silently never fire).
+
+The byte-level corruption kinds are implemented here so the hook sites
+stay one-liners: :func:`corrupt_record` turns a well-formed WAL record
+into the bytes a torn/short/bit-flipped write would have left, plus a
+flag for whether the simulated process dies right after.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .plan import FaultSpec
+
+__all__ = ["CATALOG", "corrupt_record", "corrupt_payload", "validate_spec"]
+
+#: site -> {kind: human description}.  Docs render this table verbatim.
+CATALOG: Dict[str, Dict[str, str]] = {
+    "wal.append": {
+        "torn-tail": "write only a prefix of the record, then crash mid-append",
+        "short-write": "write a truncated record that still parses partially, then crash",
+        "bit-flip": "write the record with one digit corrupted, then crash",
+        "fsync-loss": "acknowledge the append but persist nothing (lost page write)",
+        "crash": "persist the record fully, then crash before it is applied",
+    },
+    "checkpoint.write": {
+        "skip-manifest": "crash after the state files, before the MANIFEST",
+        "truncate-engine": "write half of engine.json, then crash (no MANIFEST)",
+        "corrupt-engine": "flip bytes inside engine.json but complete the MANIFEST",
+        "crash": "complete the checkpoint, then crash before returning",
+    },
+    "index.save": {
+        "truncate": "write half of the index document, then crash",
+    },
+    "index.load": {
+        "delay": "stall the snapshot read for args['seconds'] (slow reader)",
+    },
+    "ingest.flush": {
+        "delay": "hold a formed micro-batch for args['seconds'] before the writer sees it",
+    },
+    "server.accept": {
+        "reset": "reset the connection before reading a single request",
+    },
+    "server.request": {
+        "reset": "reset the connection instead of answering this request",
+        "delay": "answer this request args['seconds'] late",
+    },
+    "server.send": {
+        "stall": "stop reading the response stream (slow reader) for args['seconds']",
+    },
+    "server.ingest_batch": {
+        "duplicate": "deliver this batch request twice (network-level duplication)",
+        "delay": "hold this batch for args['seconds'] before ingesting",
+    },
+}
+
+
+def validate_spec(spec: FaultSpec) -> None:
+    """Reject a spec whose site/kind pair is not in the catalog."""
+    kinds = CATALOG.get(spec.site)
+    if kinds is None:
+        raise ValueError(
+            f"unknown fault site {spec.site!r}; known: {sorted(CATALOG)}"
+        )
+    if spec.kind not in kinds:
+        raise ValueError(
+            f"site {spec.site!r} does not support kind {spec.kind!r}; "
+            f"known: {sorted(kinds)}"
+        )
+
+
+def corrupt_payload(payload: str) -> str:
+    """Flip one digit of ``payload`` (deterministic, length-preserving).
+
+    The result still *parses* wherever a number did — that is the point:
+    bit rot that syntax checks cannot catch, only checksums can.
+    """
+    for i in range(len(payload) - 1, -1, -1):
+        ch = payload[i]
+        if ch.isdigit():
+            flipped = str((int(ch) + 1) % 10)
+            return payload[:i] + flipped + payload[i + 1:]
+    return payload
+
+
+def corrupt_record(kind: str, record: str) -> Tuple[str, bool]:
+    """Bytes a faulty ``wal.append`` leaves behind, and whether it crashes.
+
+    ``record`` includes its trailing newline.  Returns ``(data, crash)``
+    where ``data`` is what actually reaches the file.
+    """
+    body = record.rstrip("\n")
+    if kind == "torn-tail":
+        return body[: max(1, len(body) // 2)], True
+    if kind == "short-write":
+        # Keep whole leading fields (parses, but field-count is wrong).
+        fields = body.split()
+        return " ".join(fields[: max(1, len(fields) - 2)]) + "\n", True
+    if kind == "bit-flip":
+        return corrupt_payload(body) + "\n", True
+    if kind == "fsync-loss":
+        return "", False
+    if kind == "crash":
+        return record, True
+    raise ValueError(f"unknown wal.append kind {kind!r}")

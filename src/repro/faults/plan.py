@@ -1,0 +1,226 @@
+"""Deterministic, seedable fault injection: the plan and its triggers.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries armed over
+named *hook sites* in the serving stack (``wal.append``,
+``checkpoint.write``, ``server.request``, ...).  Instrumented code asks
+the plan at each site::
+
+    if self.faults is not None:
+        action = self.faults.hit("wal.append", seq=seq)
+        if action is not None:
+            ...apply the injector...
+
+which follows the same contract as :mod:`repro.obs`: **disarmed is
+free** — a component whose ``faults`` attribute is ``None`` pays one
+attribute check and nothing else, so the hooks ship in production code
+permanently.
+
+Determinism is the whole point: a spec fires either on an exact hit
+count (``at_count``) or with a probability drawn from the plan's own
+seeded RNG, so the same plan + seed + workload replays the same fault
+sequence bit-for-bit.  The chaos matrix (:mod:`repro.faults.chaos`)
+relies on this to compare every faulted run against a fault-free oracle.
+
+Faults that simulate process death raise :class:`InjectedCrash`; the
+harness catches it, reopens the data directory and drives recovery
+exactly like a restarted server would.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..obs.instruments import Counter
+from ..obs.trace import Observability
+
+__all__ = [
+    "FaultAction",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Base of every deliberately injected failure.
+
+    Carries the hook site and injector kind so harnesses (and error
+    envelopes) can tell injected failures from organic ones.
+    """
+
+    def __init__(self, site: str, kind: str, message: str = "") -> None:
+        self.site = site
+        self.kind = kind
+        super().__init__(message or f"injected fault {kind!r} at {site!r}")
+
+
+class InjectedCrash(InjectedFault):
+    """Simulated ``kill -9``: the hook raises instead of returning.
+
+    Whatever bytes the injector left on disk *stay* — the chaos harness
+    recovers from the resulting directory state, never from memory.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: where, what, and when it fires.
+
+    Parameters
+    ----------
+    site:
+        Hook-site name (see :data:`repro.faults.injectors.CATALOG`).
+    kind:
+        Injector kind, validated against the site's catalog entry.
+    at_count:
+        Fire on exactly the N-th hit of ``site`` (1-based).  Mutually
+        exclusive with ``probability``.
+    probability:
+        Fire on any hit with this chance, drawn from the *plan's* seeded
+        RNG — deterministic for a fixed plan seed and hit sequence.
+    phase:
+        Only fire while the plan's phase (set by the harness via
+        :meth:`FaultPlan.set_phase`) equals this string; ``None`` means
+        any phase.
+    max_fires:
+        Stop firing after this many activations of the spec.
+    args:
+        Injector-specific parameters (``seconds`` for delays, ...).
+    """
+
+    site: str
+    kind: str
+    at_count: Optional[int] = None
+    probability: float = 0.0
+    phase: Optional[str] = None
+    max_fires: int = 1
+    args: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if (self.at_count is None) == (self.probability <= 0.0):
+            raise ValueError(
+                f"spec {self.site}/{self.kind}: set exactly one of "
+                f"at_count (got {self.at_count!r}) or probability "
+                f"(got {self.probability!r})"
+            )
+        if self.at_count is not None and self.at_count < 1:
+            raise ValueError(f"at_count must be >= 1, got {self.at_count}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.max_fires < 1:
+            raise ValueError(f"max_fires must be >= 1, got {self.max_fires}")
+
+
+class FaultAction:
+    """What an armed hook site must apply: the kind plus its arguments."""
+
+    __slots__ = ("site", "kind", "args")
+
+    def __init__(self, site: str, kind: str, args: Mapping[str, object]) -> None:
+        self.site = site
+        self.kind = kind
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultAction({self.site!r}, {self.kind!r}, {dict(self.args)!r})"
+
+    def seconds(self, default: float = 0.05) -> float:
+        """The ``seconds`` argument of a delay/stall injector."""
+        value = self.args.get("seconds", default)
+        return float(value) if isinstance(value, (int, float)) else default
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec` entries plus firing state.
+
+    One plan instance is threaded through a whole serving stack (WAL,
+    checkpoint store, batcher, server), so its per-site hit counters see
+    the global ordering of events and ``at_count`` triggers are
+    meaningful across components.  Not thread-safe by design: the
+    serving stack funnels every durable mutation through the single
+    writer/event loop, which is exactly the ordering the plan counts.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), *, seed: int = 0) -> None:
+        from .injectors import validate_spec
+
+        for spec in specs:
+            validate_spec(spec)
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._hits: Dict[str, int] = {}
+        self._fires: List[int] = [0] * len(self.specs)
+        #: Chronological record of fired faults (for reports/assertions).
+        self.fired: List[Dict[str, object]] = []
+        self._phase: Optional[str] = None
+        self._c_injected: Optional[Counter] = None
+
+    # -- wiring ------------------------------------------------------------
+    def attach_obs(self, obs: Observability) -> None:
+        """Count fired faults in ``obs``'s registry (``faults_injected``)."""
+        if obs.enabled:
+            self._c_injected = obs.registry.counter("faults_injected")
+
+    def set_phase(self, phase: Optional[str]) -> None:
+        """Enter a named phase; specs with a ``phase`` only fire inside it."""
+        self._phase = phase
+
+    @property
+    def phase(self) -> Optional[str]:
+        return self._phase
+
+    # -- interrogation -----------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        """True while any spec can still fire."""
+        return any(
+            fires < spec.max_fires
+            for spec, fires in zip(self.specs, self._fires)
+        )
+
+    def hits(self, site: str) -> int:
+        """How many times ``site`` has been reached so far."""
+        return self._hits.get(site, 0)
+
+    def report(self) -> Dict[str, object]:
+        """JSON-able summary: seed, per-site hits, and the fired log."""
+        return {
+            "seed": self.seed,
+            "hits": dict(sorted(self._hits.items())),
+            "fired": list(self.fired),
+        }
+
+    # -- the hook ----------------------------------------------------------
+    def hit(self, site: str, **ctx: object) -> Optional[FaultAction]:
+        """Register one arrival at ``site``; return the action to apply.
+
+        At most one spec fires per hit (first match in plan order).
+        ``ctx`` is free-form hook context recorded in the fired log.
+        """
+        count = self._hits.get(site, 0) + 1
+        self._hits[site] = count
+        for i, spec in enumerate(self.specs):
+            if spec.site != site or self._fires[i] >= spec.max_fires:
+                continue
+            if spec.phase is not None and spec.phase != self._phase:
+                continue
+            if spec.at_count is not None:
+                due = count == spec.at_count
+            else:
+                due = self._rng.random() < spec.probability
+            if not due:
+                continue
+            self._fires[i] += 1
+            self.fired.append(
+                {"site": site, "kind": spec.kind, "hit": count, **ctx}
+            )
+            if self._c_injected is not None:
+                self._c_injected.inc()
+            return FaultAction(site, spec.kind, spec.args)
+        return None

@@ -16,14 +16,18 @@ fingerprint (n, m, and an order-independent edge checksum).
 from __future__ import annotations
 
 import json
+import time
 import zlib
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from ..graph.graph import Graph
 from ..graph.traversal import INF
 from .pyramid import Pyramid, PyramidIndex
 from .voronoi import VoronoiPartition
+
+if TYPE_CHECKING:  # hook-only dependency; repro.faults never imports us back
+    from ..faults.plan import FaultPlan
 
 __all__ = ["FORMAT_VERSION", "graph_fingerprint", "save_index", "load_index"]
 
@@ -48,8 +52,15 @@ def _decode_dist(raw: List[object]) -> List[float]:
     return [INF if d is None else float(d) for d in raw]
 
 
-def save_index(index: PyramidIndex, path: PathLike) -> None:
-    """Write the index to ``path`` as JSON."""
+def save_index(
+    index: PyramidIndex, path: PathLike, *, faults: "Optional[FaultPlan]" = None
+) -> None:
+    """Write the index to ``path`` as JSON.
+
+    ``faults`` is the :mod:`repro.faults` hook (site ``index.save``);
+    ``None`` — the default everywhere outside the chaos harness — costs
+    a single comparison.
+    """
     doc = {
         "format": FORMAT_VERSION,
         "graph": graph_fingerprint(index.graph),
@@ -69,17 +80,37 @@ def save_index(index: PyramidIndex, path: PathLike) -> None:
             for pyramid in index.pyramids
         ],
     }
+    payload = json.dumps(doc)
+    if faults is not None:
+        action = faults.hit("index.save", path=str(path))
+        if action is not None and action.kind == "truncate":
+            from ..faults.plan import InjectedCrash
+
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(payload[: len(payload) // 2])
+            raise InjectedCrash(
+                "index.save", action.kind, f"crashed mid-write of {path}"
+            )
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh)
+        fh.write(payload)
 
 
-def load_index(graph: Graph, path: PathLike) -> PyramidIndex:
+def load_index(
+    graph: Graph, path: PathLike, *, faults: "Optional[FaultPlan]" = None
+) -> PyramidIndex:
     """Restore an index previously written by :func:`save_index`.
 
     ``graph`` must be the same relation network the index was built on
     (verified by fingerprint).  No shortest-path computation is run; the
     restored partitions are validated structurally instead.
+
+    ``faults`` is the :mod:`repro.faults` hook (site ``index.load``, the
+    slow/stalled snapshot reader); ``None`` costs a single comparison.
     """
+    if faults is not None:
+        action = faults.hit("index.load", path=str(path))
+        if action is not None and action.kind == "delay":
+            time.sleep(action.seconds())
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     if not isinstance(doc, dict):

@@ -23,13 +23,25 @@ programmatically via :class:`~repro.service.server.ANCServer`; see
 ``docs/service.md`` for the protocol and operational knobs.
 """
 
-from .client import ServiceClient, ServiceError
+from .client import (
+    CircuitBreaker,
+    RetryPolicy,
+    ServiceClient,
+    ServiceConnectError,
+    ServiceError,
+    ServiceRetryAfter,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
 from .engine_host import EngineHost, PublishedState
+from .errors import BadRequest, Overloaded, ServiceFault, Unavailable, UnknownOp
 from .ingest import MicroBatcher
 from .metrics import MetricsRegistry
 from .server import ANCServer, ServerConfig
 from .snapshots import (
+    CheckpointCorruptError,
     CheckpointStore,
+    WalCorruptError,
     WriteAheadLog,
     dump_engine_state,
     recover_engine,
@@ -41,12 +53,25 @@ __all__ = [
     "ServerConfig",
     "ServiceClient",
     "ServiceError",
+    "ServiceConnectError",
+    "ServiceTimeout",
+    "ServiceRetryAfter",
+    "ServiceUnavailable",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ServiceFault",
+    "BadRequest",
+    "UnknownOp",
+    "Overloaded",
+    "Unavailable",
     "EngineHost",
     "PublishedState",
     "MicroBatcher",
     "MetricsRegistry",
     "CheckpointStore",
     "WriteAheadLog",
+    "WalCorruptError",
+    "CheckpointCorruptError",
     "dump_engine_state",
     "restore_engine",
     "recover_engine",

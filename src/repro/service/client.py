@@ -1,24 +1,180 @@
-"""Blocking JSON-lines client for :class:`~repro.service.server.ANCServer`.
+"""Blocking JSON-lines client with retry, timeouts and a circuit breaker.
 
 Plain sockets, no dependencies: one request out, one response in.  The
 benchmark load generator, the examples and operational scripts all talk
 to the server through this class; anything else can speak the protocol
 directly (it is a dozen lines in any language — see ``docs/service.md``).
+
+Resilience semantics (the full contract is in ``docs/faults.md``):
+
+* **Typed failures.**  Connection refusal raises
+  :class:`ServiceConnectError`; a connect or per-op deadline raises
+  :class:`ServiceTimeout`; a server ``RETRY_AFTER`` that outlives the
+  retry budget raises :class:`ServiceRetryAfter`; an open circuit
+  breaker raises :class:`ServiceUnavailable` without touching the wire.
+* **Bounded retry.**  Transport failures on idempotent requests retry up
+  to :attr:`RetryPolicy.attempts` times with exponential backoff and
+  *deterministic* jitter (the policy's seeded RNG — two clients built
+  with the same seed sleep the same schedule).
+* **Exactly-once ingest.**  Every ``ingest_batch`` carries an
+  idempotency key derived from the client's own batch sequence number;
+  the server remembers completed keys and resumes half-done ones, so an
+  at-least-once resend never double-applies an activation.
+* **Circuit breaker.**  After ``failure_threshold`` consecutive
+  transport-level failures the breaker opens and requests fail fast for
+  ``cooldown`` seconds, then a half-open probe decides.  Breaker state
+  and client retry counters are appended to :meth:`metrics_text` as
+  Prometheus samples next to the server's own.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
+import random
 import socket
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import time
+from dataclasses import dataclass
+from typing import IO, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = [
+    "CircuitBreaker",
+    "RetryPolicy",
+    "ServiceClient",
+    "ServiceConnectError",
+    "ServiceError",
+    "ServiceRetryAfter",
+    "ServiceTimeout",
+    "ServiceUnavailable",
+]
 
 Label = Union[str, int]
 
+#: Distinguishes concurrently-created clients in their idempotency keys.
+_CLIENT_IDS = itertools.count()
+
 
 class ServiceError(RuntimeError):
-    """The server answered ``{"ok": false}``; carries its error message."""
+    """The server answered ``{"ok": false}``; carries its error message.
+
+    ``code`` mirrors the protocol's ``error_type`` vocabulary
+    (``BAD_REQUEST`` / ``RETRY_AFTER`` / ``INTERNAL`` / ...); client-side
+    failures use their own codes (``CONNECT`` / ``TIMEOUT`` /
+    ``UNAVAILABLE``).
+    """
+
+    def __init__(self, message: str, *, code: str = "INTERNAL") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServiceConnectError(ServiceError):
+    """Could not reach the server (refused, reset, or closed mid-request)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, code="CONNECT")
+
+
+class ServiceTimeout(ServiceError):
+    """A connect or request deadline expired."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, code="TIMEOUT")
+
+
+class ServiceRetryAfter(ServiceError):
+    """The server shed the request (overload) beyond the retry budget."""
+
+    def __init__(self, message: str, *, retry_after: float) -> None:
+        super().__init__(message, code="RETRY_AFTER")
+        self.retry_after = retry_after
+
+
+class ServiceUnavailable(ServiceError):
+    """The circuit breaker is open; the request never reached the wire."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, code="UNAVAILABLE")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``delay(k)`` for retry number ``k`` (0-based) is
+    ``min(base_delay * factor**k, max_delay)`` spread by ``±jitter``
+    using the policy consumer's seeded RNG, so retry storms decorrelate
+    across clients while any single run replays exactly.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def delay(self, retry: int, rng: random.Random) -> float:
+        raw = min(self.base_delay * self.factor ** retry, self.max_delay)
+        if self.jitter <= 0.0:
+            return raw
+        spread = raw * self.jitter
+        return max(0.0, raw - spread + 2.0 * spread * rng.random())
+
+
+class CircuitBreaker:
+    """Closed → open after N consecutive failures → half-open probe.
+
+    Counts *transport-level* failures only (connect errors, timeouts,
+    exhausted retry budgets).  A server that answers — even with an
+    error envelope — is alive, and does not move the breaker.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.state = self.CLOSED
+        #: Consecutive transport failures since the last success.
+        self.failures = 0
+        #: Lifetime count of closed→open transitions.
+        self.opened_total = 0
+        self._opened_at = 0.0
+
+    def allow(self) -> bool:
+        """Whether a request may go out now (may flip open → half-open)."""
+        if self.state == self.OPEN:
+            if self._clock() - self._opened_at < self.cooldown:
+                return False
+            self.state = self.HALF_OPEN
+        return True
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = self.CLOSED
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == self.HALF_OPEN or self.failures >= self.failure_threshold:
+            if self.state != self.OPEN:
+                self.opened_total += 1
+            self.state = self.OPEN
+            self._opened_at = self._clock()
 
 
 class ServiceClient:
@@ -30,31 +186,183 @@ class ServiceClient:
             client.ingest("alice", "bob", t=12.5)
             client.sync()
             print(client.clusters())
+
+    ``timeout`` is the default per-operation (and connect) deadline;
+    individual :meth:`request` calls may override it.  ``retry`` and
+    ``breaker`` default to :class:`RetryPolicy()` and
+    :class:`CircuitBreaker()`.
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._rng = random.Random(self.retry.seed)
+        #: Requests re-sent after a transport failure or RETRY_AFTER.
+        self.retries = 0
+        #: Successful re-connections after losing an established one.
+        self.reconnects = 0
+        self._batch_seq = 0
+        self._session = f"{os.getpid()}-{next(_CLIENT_IDS)}"
+        self._sock: Optional[socket.socket] = None
+        self._file: Optional[IO[bytes]] = None
+        self._connect()
 
     # -- plumbing ---------------------------------------------------------
-    def request(self, op: str, **fields: object) -> Dict[str, object]:
-        """Send one request; return the decoded response or raise."""
-        payload = {"op": op, **{k: v for k, v in fields.items() if v is not None}}
-        self._file.write(json.dumps(payload).encode() + b"\n")
-        self._file.flush()
-        line = self._file.readline()
+    def _connect(self) -> None:
+        """Establish the connection, retrying refusals with backoff.
+
+        Raises :class:`ServiceTimeout` when the connect deadline expires
+        (the server is reachable but not answering — waiting longer is a
+        different failure than "nothing listens there") and
+        :class:`ServiceConnectError` once refusals exhaust the budget.
+        """
+        attempts = max(1, self.retry.attempts)
+        last: Optional[OSError] = None
+        for attempt in range(attempts):
+            if attempt > 0:
+                self._sleep(self.retry.delay(attempt - 1, self._rng))
+            try:
+                sock = socket.create_connection(
+                    (self._host, self._port), timeout=self._timeout
+                )
+            except socket.timeout as exc:
+                raise ServiceTimeout(
+                    f"connecting to {self._host}:{self._port} timed out "
+                    f"after {self._timeout}s"
+                ) from exc
+            except OSError as exc:  # anclint: disable=service-exception-discipline — refusal is retried; exhaustion raises ServiceConnectError from the stored cause below
+                last = exc
+                continue
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+            return
+        raise ServiceConnectError(
+            f"cannot connect to {self._host}:{self._port} after "
+            f"{attempts} attempts: {last}"
+        ) from last
+
+    def _teardown(self) -> None:
+        """Drop the broken connection (reconnect happens lazily on retry)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:  # anclint: disable=service-exception-discipline — closing an already-broken pipe; the socket close below is the cleanup
+                pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # anclint: disable=service-exception-discipline — nothing to map: the descriptor is gone either way
+                pass
+        self._file = None
+        self._sock = None
+
+    def _sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def _round_trip(self, payload: bytes, timeout: Optional[float]) -> Dict[str, object]:
+        sock, file = self._sock, self._file
+        if sock is None or file is None:
+            raise ConnectionError("not connected")
+        sock.settimeout(timeout if timeout is not None else self._timeout)
+        file.write(payload)
+        file.flush()
+        line = file.readline()
         if not line:
             raise ConnectionError("server closed the connection")
         response = json.loads(line)
-        if not response.get("ok"):
-            raise ServiceError(response.get("error", "unknown server error"))
+        if not isinstance(response, dict):
+            raise ServiceError(f"malformed response: {response!r}")
         return response
 
+    def request(
+        self,
+        op: str,
+        *,
+        timeout: Optional[float] = None,
+        idempotent: bool = True,
+        **fields: object,
+    ) -> Dict[str, object]:
+        """Send one request; return the decoded response or raise typed.
+
+        Transport failures and ``RETRY_AFTER`` envelopes are retried
+        (with backoff) while ``idempotent`` is true; other error
+        envelopes raise :class:`ServiceError` immediately with the
+        server's ``error_type`` as :attr:`ServiceError.code`.
+        """
+        if not self.breaker.allow():
+            raise ServiceUnavailable(
+                f"circuit breaker open after {self.breaker.failures} "
+                f"consecutive failures; cooling down {self.breaker.cooldown}s"
+            )
+        payload = json.dumps(
+            {"op": op, **{k: v for k, v in fields.items() if v is not None}}
+        ).encode() + b"\n"
+        attempts = max(1, self.retry.attempts) if idempotent else 1
+        last_error: Optional[ServiceError] = None
+        next_delay: Optional[float] = None
+        for attempt in range(attempts):
+            if attempt > 0:
+                self.retries += 1
+                if next_delay is None:
+                    next_delay = self.retry.delay(attempt - 1, self._rng)
+                self._sleep(next_delay)
+                next_delay = None
+            if self._sock is None:
+                try:
+                    self._connect()
+                    self.reconnects += 1
+                except ServiceError as exc:
+                    last_error = exc
+                    continue
+            try:
+                response = self._round_trip(payload, timeout)
+            except socket.timeout:
+                self._teardown()
+                last_error = ServiceTimeout(
+                    f"{op} timed out after {timeout or self._timeout}s"
+                )
+                continue
+            except (ConnectionError, OSError) as exc:
+                self._teardown()
+                last_error = ServiceConnectError(f"connection lost during {op}: {exc}")
+                continue
+            if response.get("ok"):
+                self.breaker.record_success()
+                return response
+            error_type = str(response.get("error_type", "INTERNAL"))
+            message = str(response.get("error", "unknown server error"))
+            if error_type == "RETRY_AFTER":
+                hint = response.get("retry_after")
+                retry_after = (
+                    float(hint)
+                    if isinstance(hint, (int, float))
+                    else self.retry.base_delay
+                )
+                last_error = ServiceRetryAfter(message, retry_after=retry_after)
+                next_delay = min(retry_after, self.retry.max_delay)
+                continue
+            # The server answered: it is alive.  Surface its error as-is
+            # without moving the breaker or burning retries.
+            raise ServiceError(message, code=error_type)
+        self.breaker.record_failure()
+        if last_error is None:  # attempts >= 1 always sets it; belt and braces
+            last_error = ServiceConnectError(f"{op} failed without a response")
+        raise last_error
+
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -62,26 +370,71 @@ class ServiceClient:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
+    # -- client-side metrics ----------------------------------------------
+    def client_metrics_text(self, *, namespace: str = "anc") -> str:
+        """Client resilience counters in Prometheus text format.
+
+        Rendered in the same style as the server's
+        :func:`~repro.obs.export.render_prometheus` output so the two
+        concatenate into one scrape body (see :meth:`metrics_text`).
+        Breaker state encodes as 0 = closed, 1 = open, 2 = half-open.
+        """
+        states = {
+            CircuitBreaker.CLOSED: 0.0,
+            CircuitBreaker.OPEN: 1.0,
+            CircuitBreaker.HALF_OPEN: 2.0,
+        }
+        prefix = f"{namespace}_client" if namespace else "client"
+        samples: List[Tuple[str, str, float]] = [
+            ("retries_total", "counter", float(self.retries)),
+            ("reconnects_total", "counter", float(self.reconnects)),
+            ("breaker_opened_total", "counter", float(self.breaker.opened_total)),
+            ("breaker_failures", "gauge", float(self.breaker.failures)),
+            ("breaker_state", "gauge", states.get(self.breaker.state, -1.0)),
+        ]
+        lines: List[str] = []
+        for name, kind, value in samples:
+            lines.append(f"# TYPE {prefix}_{name} {kind}")
+            lines.append(f"{prefix}_{name} {value:g}")
+        return "\n".join(lines) + "\n"
+
     # -- convenience ops ---------------------------------------------------
     def ping(self) -> Dict[str, object]:
         return self.request("ping")
 
     def ingest(self, u: Label, v: Label, t: float) -> int:
-        """Ingest one activation; returns its sequence number."""
-        return int(self.request("ingest", u=u, v=v, t=t)["seq"])
+        """Ingest one activation; returns its sequence number.
 
-    def ingest_batch(self, items: Sequence[Tuple[Label, Label, float]]) -> int:
-        """Ingest many activations; returns the last sequence number."""
+        Routed through :meth:`ingest_batch` so the single-activation path
+        gets the same idempotency key and resend safety.
+        """
+        return self.ingest_batch([(u, v, t)])
+
+    def ingest_batch(
+        self,
+        items: Sequence[Tuple[Label, Label, float]],
+        *,
+        key: Optional[str] = None,
+    ) -> int:
+        """Ingest many activations; returns the last sequence number.
+
+        ``key`` is the idempotency key; the default derives one from this
+        client's batch sequence number, making retries (automatic or
+        manual resends of the same call) exactly-once on the server.
+        """
+        if key is None:
+            self._batch_seq += 1
+            key = f"{self._session}:{self._batch_seq}"
         response = self.request(
-            "ingest_batch", items=[[u, v, t] for u, v, t in items]
+            "ingest_batch", items=[[u, v, t] for u, v, t in items], key=key
         )
-        return int(response["seq"])
+        return int(response["seq"])  # type: ignore[arg-type]
 
     def clusters(
         self, level: Optional[int] = None, *, min_size: int = 1
     ) -> List[List[Label]]:
         """All clusters at ``level`` (default √n granularity)."""
-        return self.request("clusters", level=level, min_size=min_size)["clusters"]
+        return self.request("clusters", level=level, min_size=min_size)["clusters"]  # type: ignore[return-value]
 
     def clusters_info(
         self, level: Optional[int] = None, *, min_size: int = 1
@@ -91,39 +444,42 @@ class ServiceClient:
 
     def local(self, node: Label, level: Optional[int] = None) -> List[Label]:
         """The node's cluster at ``level``."""
-        return self.request("local", node=node, level=level)["cluster"]
+        return self.request("local", node=node, level=level)["cluster"]  # type: ignore[return-value]
 
     def zoom_in(self, level: int) -> int:
-        return int(self.request("zoom_in", level=level)["level"])
+        return int(self.request("zoom_in", level=level)["level"])  # type: ignore[arg-type]
 
     def zoom_out(self, level: int) -> int:
-        return int(self.request("zoom_out", level=level)["level"])
+        return int(self.request("zoom_out", level=level)["level"])  # type: ignore[arg-type]
 
     def watch(self, node: Label, level: Optional[int] = None) -> List[Label]:
         """Watch a node's cluster; returns the current cluster."""
-        return self.request("watch", node=node, level=level)["cluster"]
+        return self.request("watch", node=node, level=level)["cluster"]  # type: ignore[return-value]
 
     def unwatch(self, node: Label, level: Optional[int] = None) -> None:
         self.request("unwatch", node=node, level=level)
 
     def changes(self) -> List[Dict[str, object]]:
         """Drain accumulated cluster-change events for watched nodes."""
-        return self.request("changes")["changes"]
+        return self.request("changes")["changes"]  # type: ignore[return-value]
 
     def sync(self) -> int:
         """Block until everything ingested so far is applied and visible."""
-        return int(self.request("sync")["applied"])
+        return int(self.request("sync")["applied"])  # type: ignore[arg-type]
 
     def stats(self) -> Dict[str, object]:
-        return self.request("stats")["stats"]
+        return self.request("stats")["stats"]  # type: ignore[return-value]
 
     def metrics(self, *, rate_key: Optional[str] = None) -> Dict[str, object]:
         """The metrics snapshot (read-only unless a ``rate_key`` is given)."""
         return self.request("metrics", rate_key=rate_key)["metrics"]  # type: ignore[return-value]
 
     def metrics_text(self, *, namespace: Optional[str] = None) -> str:
-        """The registry in Prometheus text exposition format."""
-        return str(self.request("metrics_text", namespace=namespace)["text"])
+        """Server Prometheus exposition plus this client's own samples."""
+        text = str(self.request("metrics_text", namespace=namespace)["text"])
+        return text + self.client_metrics_text(
+            namespace=namespace if namespace is not None else "anc"
+        )
 
     def trace(
         self,

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Tuple, TypeVar
 from ..core.activation import Activation
 from ..core.anc import ANCEngineBase
 from ..monitor import ClusterChange, ClusterWatcher
+from .errors import Overloaded
 from .ingest import MicroBatcher
 from .metrics import MetricsRegistry
 from .snapshots import CheckpointStore, WriteAheadLog, apply_activations
@@ -113,6 +114,13 @@ class EngineHost:
     metrics:
         Optional registry; the host records ingest/apply/flush
         instruments into it.
+    shed_watermark:
+        Queue depth at which :meth:`ingest` *sheds* instead of awaiting
+        queue space: the caller gets a typed
+        :class:`~repro.service.errors.Overloaded` (wire code
+        ``RETRY_AFTER``) immediately.  0 (the default) keeps the
+        pre-existing behavior — pure backpressure, acknowledgements
+        delayed but never refused.
     """
 
     def __init__(
@@ -124,12 +132,14 @@ class EngineHost:
         checkpoints: Optional[CheckpointStore] = None,
         checkpoint_every: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        shed_watermark: int = 0,
     ) -> None:
         self.engine = engine
         self.batcher = batcher
         self.wal = wal
         self.checkpoints = checkpoints
         self.checkpoint_every = checkpoint_every
+        self.shed_watermark = shed_watermark
         self.metrics = metrics or MetricsRegistry()
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="anc-writer"
@@ -152,6 +162,7 @@ class EngineHost:
         self.state: PublishedState = self._materialize()
 
         m = self.metrics
+        self._c_shed = m.counter("ingest_shed")
         self._c_ingested = m.counter("activations_ingested")
         self._c_applied = m.counter("activations_applied")
         self._c_batches = m.counter("batches_applied")
@@ -191,6 +202,16 @@ class EngineHost:
         """
         if self._closed:
             raise RuntimeError("host is closed")
+        if self.shed_watermark > 0 and self.batcher.depth >= self.shed_watermark:
+            # Shed *before* the WAL append and the timestamp clamp: a
+            # refused activation must leave no durable or clock trace,
+            # or the client's retry would double-apply / non-monotonize.
+            self._c_shed.inc()
+            raise Overloaded(
+                f"ingest queue at {self.batcher.depth} >= shed watermark "
+                f"{self.shed_watermark}; retry later",
+                retry_after=max(2 * self.batcher.max_latency, 0.05),
+            )
         if act.t < self._last_t:
             raise ValueError(
                 f"non-monotonic ingest: {act.t} < {self._last_t} "

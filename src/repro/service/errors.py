@@ -1,0 +1,98 @@
+"""Typed protocol errors and the single exception→response mapper.
+
+Every failed request is answered with::
+
+    {"ok": false, "error": "<message>", "error_type": "<CODE>", ...}
+
+where ``error_type`` is a small closed vocabulary clients can branch on
+(``BAD_REQUEST`` / ``UNKNOWN_OP`` / ``RETRY_AFTER`` / ``UNAVAILABLE`` /
+``INTERNAL``) instead of parsing prose.  ``RETRY_AFTER`` additionally
+carries a ``retry_after`` hint in seconds — the overload-shedding
+contract: the server rejected the work *cheaply* and tells the client
+when the queue is likely to have drained (docs/faults.md).
+
+:func:`fault_response` is the only place exceptions become protocol
+envelopes; the ``service-exception-discipline`` lint rule counts a
+handler that routes through it as properly mapped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "BadRequest",
+    "Overloaded",
+    "ServiceFault",
+    "Unavailable",
+    "UnknownOp",
+    "fault_response",
+]
+
+
+class ServiceFault(Exception):
+    """Base of every typed protocol error; ``code`` is the wire vocabulary."""
+
+    code = "INTERNAL"
+
+    def to_response(self) -> Dict[str, object]:
+        """The ``{"ok": false}`` envelope for this fault."""
+        return {
+            "ok": False,
+            "error": f"{type(self).__name__}: {self}",
+            "error_type": self.code,
+        }
+
+
+class BadRequest(ServiceFault):
+    """The request is malformed or references unknown nodes/edges."""
+
+    code = "BAD_REQUEST"
+
+
+class UnknownOp(BadRequest):
+    """The ``op`` field names no handler."""
+
+    code = "UNKNOWN_OP"
+
+
+class Unavailable(ServiceFault):
+    """The server is shutting down and no longer accepts this op."""
+
+    code = "UNAVAILABLE"
+
+
+class Overloaded(ServiceFault):
+    """Ingest queue past the shed watermark: retry later, don't buffer.
+
+    Raised *before* the WAL append, so a shed activation is neither
+    durable nor acknowledged — the client's retry is the only copy.
+    """
+
+    code = "RETRY_AFTER"
+
+    def __init__(self, message: str, *, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+    def to_response(self) -> Dict[str, object]:
+        doc = super().to_response()
+        doc["retry_after"] = self.retry_after
+        return doc
+
+
+def fault_response(exc: BaseException) -> Dict[str, object]:
+    """Map any exception escaping a handler to its error envelope.
+
+    Typed faults carry their own code; ``ValueError`` (argument
+    validation all over the handlers) is client error; anything else is
+    ``INTERNAL`` — reported, never allowed to kill the connection loop.
+    """
+    if isinstance(exc, ServiceFault):
+        return exc.to_response()
+    code = "BAD_REQUEST" if isinstance(exc, ValueError) else "INTERNAL"
+    return {
+        "ok": False,
+        "error": f"{type(exc).__name__}: {exc}",
+        "error_type": code,
+    }

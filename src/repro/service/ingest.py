@@ -19,9 +19,12 @@ to the client.
 from __future__ import annotations
 
 import asyncio
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..core.activation import Activation
+
+if TYPE_CHECKING:  # hook-only dependency (see repro.faults)
+    from ..faults.plan import FaultPlan
 
 __all__ = ["MicroBatcher"]
 
@@ -59,6 +62,8 @@ class MicroBatcher:
             )
         self.batch_size = batch_size
         self.max_latency = max_latency
+        #: Fault-injection hook (:mod:`repro.faults`); ``None`` = disarmed.
+        self.faults: "Optional[FaultPlan]" = None
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=max_pending)
         self._closed = False
         self._drained = False
@@ -81,7 +86,7 @@ class MicroBatcher:
             raise RuntimeError("batcher is closed")
         try:
             self._queue.put_nowait(act)
-        except asyncio.QueueFull:
+        except asyncio.QueueFull:  # anclint: disable=service-exception-discipline — backpressure is this method's return value, not a failure; callers branch on False
             return False
         self.submitted += 1
         return True
@@ -131,4 +136,10 @@ class MicroBatcher:
                 break
             batch.append(item)
         self.batches += 1
+        if self.faults is not None:
+            action = self.faults.hit("ingest.flush", size=len(batch))
+            if action is not None and action.kind == "delay":
+                # A stalled writer: the queue backs up behind this await,
+                # which is what drives the shed watermark in tests.
+                await asyncio.sleep(action.seconds())
         return batch

@@ -25,9 +25,20 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from ..core.activation import Activation
 from ..core.anc import ANCParams, make_engine
@@ -35,9 +46,13 @@ from ..graph.graph import Graph, edge_key
 from ..obs.export import chrome_trace, render_prometheus
 from ..obs.trace import Observability, Tracer
 from .engine_host import EngineHost
+from .errors import Overloaded, UnknownOp, fault_response
 from .ingest import MicroBatcher
 from .metrics import MetricsRegistry
 from .snapshots import CheckpointStore, WriteAheadLog, recover_engine
+
+if TYPE_CHECKING:  # hook-only dependency (see repro.faults)
+    from ..faults.plan import FaultPlan
 
 __all__ = ["ANCServer", "ServerConfig"]
 
@@ -68,6 +83,36 @@ class ServerConfig:
     metrics_interval: float = 30.0
     #: Span ring-buffer capacity of the engine tracer (``trace`` op).
     trace_capacity: int = 8192
+    #: Queue depth at which ingest *sheds* with a typed ``RETRY_AFTER``
+    #: instead of delaying the acknowledgement (0 = never shed).
+    shed_watermark: int = 0
+    #: Evict a connection whose response write does not drain within this
+    #: many seconds — a stalled/slow reader (0 = wait forever).
+    write_timeout: float = 30.0
+    #: How long the ``degraded`` flag stays up after a shed or eviction.
+    degraded_hold: float = 5.0
+    #: Remembered ``ingest_batch`` keys for idempotent resend (LRU bound).
+    dedup_capacity: int = 1024
+    #: Fault-injection plan (:mod:`repro.faults`); ``None`` = disarmed.
+    faults: "Optional[FaultPlan]" = None
+
+
+class _BatchEntry:
+    """Idempotency state of one keyed ``ingest_batch``.
+
+    ``done`` counts the items already ingested under this key, so a
+    retry after a mid-batch failure (reset, shed) *resumes* rather than
+    re-appending the prefix — the exactly-once half of the client's
+    at-least-once resend.  ``future`` resolves to the response so a
+    concurrent duplicate awaits the original instead of racing it.
+    """
+
+    __slots__ = ("done", "last_seq", "future")
+
+    def __init__(self) -> None:
+        self.done = 0
+        self.last_seq = -1
+        self.future: Optional[asyncio.Future] = None
 
 
 class ANCServer:
@@ -105,10 +150,11 @@ class ANCServer:
             else {}
         )
 
+        self._faults = self.config.faults
         store: Optional[CheckpointStore] = None
         wal: Optional[WriteAheadLog] = None
         if self.config.data_dir is not None:
-            store = CheckpointStore(self.config.data_dir)
+            store = CheckpointStore(self.config.data_dir, faults=self._faults)
             engine, replayed = recover_engine(
                 graph,
                 store,
@@ -121,7 +167,7 @@ class ANCServer:
                     engine.activations_processed,
                     replayed,
                 )
-            wal = WriteAheadLog(store.wal_path)
+            wal = WriteAheadLog(store.wal_path, faults=self._faults)
         else:
             engine = make_engine(self.config.engine.upper(), graph, params)
 
@@ -133,11 +179,14 @@ class ANCServer:
         self.tracer = Tracer(enabled=False, capacity=self.config.trace_capacity)
         self.obs = Observability(registry=self.metrics, tracer=self.tracer)
         engine.attach_obs(self.obs)
+        if self._faults is not None:
+            self._faults.attach_obs(self.obs)
         self.batcher = MicroBatcher(
             batch_size=self.config.batch_size,
             max_latency=self.config.max_latency,
             max_pending=self.config.max_pending,
         )
+        self.batcher.faults = self._faults
         self.host = EngineHost(
             engine,
             self.batcher,
@@ -145,12 +194,20 @@ class ANCServer:
             checkpoints=store,
             checkpoint_every=self.config.checkpoint_every,
             metrics=self.metrics,
+            shed_watermark=self.config.shed_watermark,
         )
         self.port: Optional[int] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._run_task: Optional[asyncio.Task] = None
         self._background: List[asyncio.Task] = []
         self._stop = asyncio.Event()
+        # Graceful-degradation state: sticks for ``degraded_hold`` seconds
+        # after the last shed/eviction so operators see transients.
+        self._degraded_until = 0.0
+        self._dedup: "OrderedDict[str, _BatchEntry]" = OrderedDict()
+        self._c_evictions = self.metrics.counter("slow_reader_evictions")
+        self._c_dedup = self.metrics.counter("ingest_dedup_hits")
+        self.metrics.gauge("degraded", lambda: 1.0 if self.degraded else 0.0)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -239,6 +296,24 @@ class ANCServer:
             await self.host.checkpoint()
 
     # ------------------------------------------------------------------
+    # Graceful degradation
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Overloaded now, or shed/evicted within the last ``degraded_hold`` s.
+
+        Surfaced in the ``stats`` op and as the ``degraded`` Prometheus
+        gauge; the contract is in docs/faults.md.
+        """
+        watermark = self.config.shed_watermark
+        if watermark > 0 and self.batcher.depth >= watermark:
+            return True
+        return time.monotonic() < self._degraded_until
+
+    def _note_degraded(self) -> None:
+        self._degraded_until = time.monotonic() + self.config.degraded_hold
+
+    # ------------------------------------------------------------------
     # Protocol plumbing
     # ------------------------------------------------------------------
     def _label(self, v: int) -> Union[str, int]:
@@ -276,6 +351,11 @@ class ANCServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
+            if self._faults is not None:
+                action = self._faults.hit("server.accept")
+                if action is not None and action.kind == "reset":
+                    writer.transport.abort()
+                    return
             while True:
                 line = await reader.readline()
                 if not line:
@@ -283,17 +363,56 @@ class ANCServer:
                 line = line.strip()
                 if not line:
                     continue
+                if self._faults is not None:
+                    action = self._faults.hit("server.request")
+                    if action is not None:
+                        if action.kind == "reset":
+                            writer.transport.abort()
+                            return
+                        if action.kind == "delay":
+                            await asyncio.sleep(action.seconds())
                 response = await self._handle_request(line)
                 writer.write(json.dumps(response).encode() + b"\n")
-                await writer.drain()
-        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+                if not await self._drain(writer):
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):  # anclint: disable=service-exception-discipline — peer went away mid-conversation; no one is left to answer, so closing our side (the finally below) is the handling
             pass
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError):  # anclint: disable=service-exception-discipline — the close handshake racing the peer's reset is how an already-dead connection finishes; nothing to map
                 pass
+
+    async def _drain(self, writer: asyncio.StreamWriter) -> bool:
+        """Flush one response, evicting a reader that will not take it.
+
+        A client that stops reading (the stalled-consumer failure mode)
+        would otherwise pin this handler — and its buffered responses —
+        forever.  ``write_timeout`` bounds the wait; on expiry the
+        connection is aborted and counted (``slow_reader_evictions``),
+        and the server flags itself degraded.  Returns False when the
+        connection was evicted.
+        """
+        timeout = self.config.write_timeout
+        stalled = 0.0
+        if self._faults is not None:
+            action = self._faults.hit("server.send")
+            if action is not None and action.kind == "stall":
+                # Deterministic stand-in for "drain never completes":
+                # hold the handler like a full socket buffer would.
+                stalled = action.seconds()
+        try:
+            if stalled > 0.0:
+                await asyncio.wait_for(asyncio.sleep(stalled), timeout or None)
+            await asyncio.wait_for(writer.drain(), timeout or None)
+        except asyncio.TimeoutError:
+            self._c_evictions.inc()
+            self._note_degraded()
+            log.warning("evicting slow reader (write stalled > %.1fs)", timeout)
+            writer.transport.abort()
+            return False
+        return True
 
     async def _handle_request(self, raw: bytes) -> Dict[str, object]:
         request_id: object = None
@@ -305,11 +424,13 @@ class ANCServer:
             op = request.get("op")
             handler = self._OPS.get(op)
             if handler is None:
-                raise ValueError(f"unknown op {op!r}")
+                raise UnknownOp(f"unknown op {op!r}")
             response = await handler(self, request)
             response.setdefault("ok", True)
-        except Exception as exc:  # protocol boundary: report, don't crash
-            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        except Exception as exc:  # protocol boundary: map to a typed envelope
+            if isinstance(exc, Overloaded):
+                self._note_degraded()
+            response = fault_response(exc)
         if request_id is not None:
             response["id"] = request_id
         return response
@@ -331,11 +452,80 @@ class ANCServer:
         items = request.get("items")
         if not isinstance(items, list):
             raise ValueError("ingest_batch needs a list 'items' of [u, v, t]")
-        seq = -1
-        for item in items:
-            act = self._resolve_activation(item)
-            seq = await self.host.ingest(act)
-        return {"accepted": len(items), "seq": seq}
+        key = request.get("key")
+        if self._faults is not None:
+            action = self._faults.hit("server.ingest_batch", key=key)
+            if action is not None:
+                if action.kind == "delay":
+                    await asyncio.sleep(action.seconds())
+                elif action.kind == "duplicate" and isinstance(key, str):
+                    # Network-level duplication: the same request arrives
+                    # twice; the second pass must dedup against the first.
+                    await self._ingest_batch_keyed(key, items)
+                    return await self._ingest_batch_keyed(key, items)
+        if not isinstance(key, str):
+            # Legacy un-keyed path: at-most-once, no resend safety.
+            seq = -1
+            for item in items:
+                act = self._resolve_activation(item)
+                seq = await self.host.ingest(act)
+            return {"accepted": len(items), "seq": seq}
+        return await self._ingest_batch_keyed(key, items)
+
+    async def _ingest_batch_keyed(
+        self, key: str, items: List[object]
+    ) -> Dict[str, object]:
+        """Idempotent ingest: at-least-once delivery, exactly-once apply.
+
+        The client keys each batch by its own sequence number and resends
+        the *same* key on retry.  Completed keys replay their cached
+        response; an in-flight duplicate awaits the original; a key whose
+        previous attempt failed mid-batch resumes from the first
+        un-ingested item (see :class:`_BatchEntry`).
+        """
+        entry = self._dedup.get(key)
+        if entry is None:
+            entry = self._dedup[key] = _BatchEntry()
+            self._trim_dedup()
+        else:
+            self._dedup.move_to_end(key)
+        future = entry.future
+        if future is not None:
+            if not future.done():
+                self._c_dedup.inc()
+                result = await future
+                return {**result, "deduped": True}
+            if not future.cancelled() and future.exception() is None:
+                self._c_dedup.inc()
+                return {**future.result(), "deduped": True}
+            # The previous attempt failed partway; fall through and resume.
+        entry.future = asyncio.get_running_loop().create_future()
+        try:
+            while entry.done < len(items):
+                act = self._resolve_activation(items[entry.done])  # type: ignore[arg-type]
+                entry.last_seq = await self.host.ingest(act)
+                entry.done += 1
+            response: Dict[str, object] = {
+                "accepted": len(items),
+                "seq": entry.last_seq,
+            }
+        except BaseException as exc:
+            if not entry.future.done():
+                entry.future.set_exception(exc)
+                entry.future.exception()  # mark retrieved; retries re-raise via `raise`
+            raise
+        entry.future.set_result(response)
+        return response
+
+    def _trim_dedup(self) -> None:
+        """Drop the oldest *settled* dedup keys past the capacity bound."""
+        capacity = max(1, self.config.dedup_capacity)
+        for key in list(self._dedup):
+            if len(self._dedup) <= capacity:
+                break
+            entry = self._dedup[key]
+            if entry.future is None or entry.future.done():
+                del self._dedup[key]
 
     async def _op_clusters(self, request: Dict) -> Dict[str, object]:
         level, clusters = await self.host.clusters(request.get("level"))
@@ -398,7 +588,9 @@ class ANCServer:
         return {"applied": state.activations, "t": state.t}
 
     async def _op_stats(self, request: Dict) -> Dict[str, object]:
-        return {"stats": self.host.stats()}
+        stats = self.host.stats()
+        stats["degraded"] = self.degraded
+        return {"stats": stats}
 
     async def _op_metrics(self, request: Dict) -> Dict[str, object]:
         # Read-only by default: a polling client must not reset anyone

@@ -22,15 +22,32 @@ Checkpoints are crash-safe without directory renames: a checkpoint dir
 recovery picks the highest-numbered complete checkpoint and ignores
 torn ones.  A torn final WAL line (the append that was in flight when
 the process died) is skipped on replay.
+
+WAL records carry their own sequence number and a CRC32, so recovery can
+tell the three corruption classes apart instead of replaying garbage:
+
+* a torn/corrupt **final** record is the in-flight append a crash tore —
+  repaired silently (the client never got the ack, so nothing is lost);
+* a corrupt or checksum-failing record **mid-file** is real damage —
+  :class:`WalCorruptError`, never a silent skip;
+* a *missing* record (a lost page write: the append was acknowledged but
+  the bytes never hit the platter) shows up as a sequence gap —
+  :class:`WalCorruptError` again, because positional replay after a hole
+  would silently diverge from the acknowledged stream.
+
+Both durability classes expose a ``faults`` attribute (``None`` by
+default) consulted via the :mod:`repro.faults` hook contract: disarmed
+costs one attribute check; the chaos matrix (``tests/chaos/``) arms it.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..core.activation import Activation
 from ..core.anc import ANCF, ANCO, ANCOR, ANCEngineBase, ANCParams
@@ -38,18 +55,34 @@ from ..graph.graph import Graph
 from ..index.clustering import ClusterQueryEngine
 from ..index.persistence import load_index, save_index
 
+if TYPE_CHECKING:  # import cycle guard: faults hooks into service, not vice versa
+    from ..faults.plan import FaultPlan
+
 PathLike = Union[str, Path]
 
 ENGINE_STATE_VERSION = 1
 
 __all__ = [
     "WriteAheadLog",
+    "WalCorruptError",
+    "CheckpointCorruptError",
     "CheckpointStore",
     "apply_activations",
     "dump_engine_state",
     "restore_engine",
     "recover_engine",
 ]
+
+
+class WalCorruptError(ValueError):
+    """The WAL is damaged beyond a torn tail (mid-file corruption or a
+    sequence gap).  Typed so operators/harnesses can distinguish "refuse
+    to serve from damaged state" from a programming error."""
+
+
+class CheckpointCorruptError(ValueError):
+    """A checkpoint that claims completeness (MANIFEST present) does not
+    deserialize — bit rot after the fsync, not a torn write."""
 
 
 def apply_activations(engine: ANCEngineBase, acts: List[Activation]) -> None:
@@ -73,17 +106,76 @@ def apply_activations(engine: ANCEngineBase, acts: List[Activation]) -> None:
 # Write-ahead log
 # ----------------------------------------------------------------------
 
+def _file_crc(path: Path) -> int:
+    """CRC32 of a file's bytes (checkpoint MANIFESTs record these)."""
+    with open(path, "rb") as fh:
+        return zlib.crc32(fh.read())
+
+
+def _wal_record(seq: int, act: Activation) -> str:
+    """Render one WAL record: ``seq u v t crc32`` plus newline."""
+    body = f"{seq} {act.u} {act.v} {act.t!r}"
+    return f"{body} {zlib.crc32(body.encode()):08x}\n"
+
+
+def _wal_is_legacy(lines: List[str]) -> bool:
+    """Whether a WAL predates checksumming (no 5-field record anywhere).
+
+    The distinction matters because a *short write* of a checksummed
+    record leaves exactly the leading ``seq u v`` fields — which would
+    otherwise parse as a legacy ``u v t`` record and replay a phantom
+    activation.  A file containing any checksummed record is therefore
+    held to the checksummed format throughout: 3-field lines in it are
+    damage, not legacy data.
+    """
+    return not any(len(line.split()) == 5 for line in lines)
+
+
+def _parse_wal_line(
+    line: str, position: int, *, legacy_ok: bool
+) -> Optional[Tuple[int, Activation]]:
+    """Decode one WAL line to ``(seq, activation)``; ``None`` if damaged.
+
+    Accepts the current 5-field checksummed format always, and the
+    legacy 3-field ``u v t`` format (whose seq is its file position)
+    only when ``legacy_ok`` — see :func:`_wal_is_legacy`.  "Damaged"
+    covers wrong field counts, unparseable numbers and CRC mismatches —
+    the *caller* decides whether damage means a benign torn tail or
+    corruption, based on where the line sits.
+    """
+    parts = line.split()
+    try:
+        if len(parts) == 5:
+            body = " ".join(parts[:4])
+            if int(parts[4], 16) != zlib.crc32(body.encode()):
+                return None
+            return int(parts[0]), Activation(
+                int(parts[1]), int(parts[2]), float(parts[3])
+            )
+        if len(parts) == 3 and legacy_ok:  # record from before checksumming
+            return position, Activation(
+                int(parts[0]), int(parts[1]), float(parts[2])
+            )
+    except ValueError:  # anclint: disable=service-exception-discipline — "damaged" is this parser's None return; the caller (replay) maps mid-file damage to WalCorruptError
+        return None
+    return None
+
+
 class WriteAheadLog:
-    """Append-only ``u v t`` activation log with torn-tail tolerance.
+    """Append-only checksummed activation log with torn-tail tolerance.
 
     Entries are written in ingest order, which the single-writer host
     guarantees equals apply order, so "the first N entries" always means
-    "the N activations the engine has absorbed".
+    "the N activations the engine has absorbed".  Each record is
+    ``seq u v t crc32``; see the module docstring for how the three
+    corruption classes are told apart on replay.
     """
 
-    def __init__(self, path: PathLike) -> None:
+    def __init__(self, path: PathLike, *, faults: "Optional[FaultPlan]" = None) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: Fault-injection hook (:mod:`repro.faults`); ``None`` = disarmed.
+        self.faults = faults
         #: Entries in the log (counted on open so appends continue the seq).
         self.entries = self._repair_tail()
         self._fh = open(self.path, "a", encoding="utf-8")
@@ -99,49 +191,82 @@ class WriteAheadLog:
             return 0
         with open(self.path, "r", encoding="utf-8") as fh:
             lines = fh.read().splitlines()
-        if lines:
-            parts = lines[-1].split()
-            try:
-                int(parts[0]), int(parts[1]), float(parts[2])
-            except (IndexError, ValueError):
-                lines.pop()
-                with open(self.path, "w", encoding="utf-8") as fh:
-                    fh.write("".join(line + "\n" for line in lines))
-        return len(lines)
+        legacy = _wal_is_legacy(lines)
+        if lines and _parse_wal_line(lines[-1], len(lines) - 1, legacy_ok=legacy) is None:
+            lines.pop()
+            with open(self.path, "w", encoding="utf-8") as fh:
+                fh.write("".join(line + "\n" for line in lines))
+        if not lines:
+            return 0
+        last = _parse_wal_line(lines[-1], len(lines) - 1, legacy_ok=legacy)
+        # Continue from the last *recorded* seq: after a lost page write
+        # the line count undercounts acknowledged appends, and reusing a
+        # seq would mask the hole that replay must detect.
+        return len(lines) if last is None else last[0] + 1
 
     def append(self, act: Activation) -> int:
         """Durably append one activation; returns its sequence number."""
-        self._fh.write(f"{act.u} {act.v} {act.t!r}\n")
+        seq = self.entries
+        record = _wal_record(seq, act)
+        if self.faults is not None:
+            action = self.faults.hit("wal.append", seq=seq)
+            if action is not None:
+                return self._append_faulty(action.kind, seq, record)
+        self._fh.write(record)
         self._fh.flush()
-        self.entries += 1
-        return self.entries - 1
+        self.entries = seq + 1
+        return seq
+
+    def _append_faulty(self, kind: str, seq: int, record: str) -> int:
+        """Apply a fired ``wal.append`` injector (see the catalog)."""
+        from ..faults.injectors import corrupt_record
+        from ..faults.plan import InjectedCrash
+
+        data, crash = corrupt_record(kind, record)
+        if data:
+            self._fh.write(data)
+            self._fh.flush()
+        if crash:
+            raise InjectedCrash("wal.append", kind, f"crashed appending seq {seq}")
+        # fsync-loss: acknowledge as if durable; the hole surfaces on replay.
+        self.entries = seq + 1
+        return seq
 
     def close(self) -> None:
         self._fh.close()
 
     @staticmethod
     def replay(path: PathLike, *, skip: int = 0) -> Iterator[Activation]:
-        """Yield activations from entry ``skip`` onward.
+        """Yield activations with seq >= ``skip``, in order.
 
-        A malformed *final* line (torn by a crash mid-append) is ignored;
-        a malformed line elsewhere raises, since that means corruption
-        rather than a torn tail.
+        A damaged *final* line (torn by a crash mid-append) is ignored; a
+        damaged line elsewhere, or a gap in the sequence numbers (a lost
+        page write under an acknowledged append), raises
+        :class:`WalCorruptError` — replaying past either would silently
+        diverge from the acknowledged stream.
         """
         path = Path(path)
         if not path.exists():
             return
         with open(path, "r", encoding="utf-8") as fh:
             lines = fh.read().splitlines()
+        legacy = _wal_is_legacy(lines)
+        expected: Optional[int] = None
         for i, line in enumerate(lines):
-            parts = line.split()
-            try:
-                u, v, t = int(parts[0]), int(parts[1]), float(parts[2])
-            except (IndexError, ValueError):
+            decoded = _parse_wal_line(line, i, legacy_ok=legacy)
+            if decoded is None:
                 if i == len(lines) - 1:
                     return  # torn tail
-                raise ValueError(f"corrupt WAL line {i}: {line!r}")
-            if i >= skip:
-                yield Activation(u, v, t)
+                raise WalCorruptError(f"corrupt WAL line {i}: {line!r}")
+            seq, act = decoded
+            if expected is not None and seq != expected:
+                raise WalCorruptError(
+                    f"WAL sequence gap at line {i}: expected seq {expected}, "
+                    f"found {seq} (a lost write inside the acknowledged stream)"
+                )
+            expected = seq + 1
+            if seq >= skip:
+                yield act
 
 
 # ----------------------------------------------------------------------
@@ -186,7 +311,11 @@ def dump_engine_state(engine: ANCEngineBase) -> Dict[str, object]:
 
 
 def restore_engine(
-    graph: Graph, doc: Dict[str, object], index_path: PathLike
+    graph: Graph,
+    doc: Dict[str, object],
+    index_path: PathLike,
+    *,
+    faults: "Optional[FaultPlan]" = None,
 ) -> ANCEngineBase:
     """Rebuild an engine from :func:`dump_engine_state` + a saved index.
 
@@ -233,7 +362,7 @@ def restore_engine(
     metric._initialized = True
     engine.metric = metric
 
-    engine.index = load_index(graph, index_path)
+    engine.index = load_index(graph, index_path, faults=faults)
     metric.clock.add_rescale_listener(engine.index.on_rescale)
     engine.queries = ClusterQueryEngine(engine.index, method=params.method)
     engine.activations_processed = int(doc["activations"])  # type: ignore[arg-type]
@@ -269,9 +398,11 @@ class CheckpointStore:
             MANIFEST               written last; marks the dir complete
     """
 
-    def __init__(self, data_dir: PathLike) -> None:
+    def __init__(self, data_dir: PathLike, *, faults: "Optional[FaultPlan]" = None) -> None:
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
+        #: Fault-injection hook (:mod:`repro.faults`); ``None`` = disarmed.
+        self.faults = faults
 
     @property
     def wal_path(self) -> Path:
@@ -288,15 +419,58 @@ class CheckpointStore:
         target = self.data_dir / f"checkpoint-{seq}"
         target.mkdir(parents=True, exist_ok=True)
         doc = dump_engine_state(engine)
+        payload = json.dumps(doc)
+        action = (
+            self.faults.hit("checkpoint.write", seq=seq)
+            if self.faults is not None
+            else None
+        )
+        # ``written`` is what reaches the disk; ``payload`` is what the
+        # MANIFEST checksums.  They differ only under the corrupt-engine
+        # injector, which models bit rot *after* a successful write — the
+        # exact case the checksum exists to catch.
+        written = payload
+        if action is not None:
+            from ..faults.injectors import corrupt_payload
+            from ..faults.plan import InjectedCrash
+
+            if action.kind == "truncate-engine":
+                with open(target / "engine.json", "w", encoding="utf-8") as fh:
+                    fh.write(payload[: len(payload) // 2])
+                raise InjectedCrash(
+                    "checkpoint.write", action.kind,
+                    "crashed mid-write of engine.json",
+                )
+            if action.kind == "corrupt-engine":
+                written = corrupt_payload(payload)
         with open(target / "engine.json", "w", encoding="utf-8") as fh:
-            json.dump(doc, fh)
+            fh.write(written)
             fh.flush()
             os.fsync(fh.fileno())
-        save_index(engine.index, target / "index.json")
+        save_index(engine.index, target / "index.json", faults=self.faults)
+        if action is not None and action.kind == "skip-manifest":
+            from ..faults.plan import InjectedCrash
+
+            raise InjectedCrash(
+                "checkpoint.write", action.kind,
+                f"crashed before MANIFEST of checkpoint {seq}",
+            )
+        manifest = {
+            "seq": seq,
+            "engine_crc": zlib.crc32(payload.encode()),
+            "index_crc": _file_crc(target / "index.json"),
+        }
         with open(target / "MANIFEST", "w", encoding="utf-8") as fh:
-            json.dump({"seq": seq}, fh)
+            json.dump(manifest, fh)
             fh.flush()
             os.fsync(fh.fileno())
+        if action is not None and action.kind == "crash":
+            from ..faults.plan import InjectedCrash
+
+            raise InjectedCrash(
+                "checkpoint.write", action.kind,
+                f"crashed after completing checkpoint {seq}",
+            )
         self._prune(keep=seq)
         return target
 
@@ -313,7 +487,7 @@ class CheckpointStore:
         for path in self.data_dir.glob("checkpoint-*"):
             try:
                 seq = int(path.name.split("-", 1)[1])
-            except ValueError:
+            except ValueError:  # anclint: disable=service-exception-discipline — a stray non-checkpoint directory is not ours to judge; recovery only trusts MANIFESTed dirs
                 continue
             out.append((path, seq))
         return sorted(out, key=lambda item: item[1])
@@ -345,15 +519,44 @@ def recover_engine(
     entries applied on top of the checkpoint (0 on a cold start with no
     log).  ``params``/``engine_name`` configure the fresh-start path and
     are ignored when a checkpoint dictates them.
+
+    A checkpoint whose contents fail the MANIFEST checksums or do not
+    deserialize raises :class:`CheckpointCorruptError`; a damaged WAL
+    raises :class:`WalCorruptError` (see :meth:`WriteAheadLog.replay`).
+    Serving silently-wrong clusters is never an option.
     """
     from ..core.anc import make_engine
 
     latest = store.latest_checkpoint()
     if latest is not None:
         path, _ = latest
-        with open(path / "engine.json", "r", encoding="utf-8") as fh:
-            doc = json.load(fh)
-        engine = restore_engine(graph, doc, path / "index.json")
+        try:
+            with open(path / "MANIFEST", "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+            with open(path / "engine.json", "r", encoding="utf-8") as fh:
+                raw = fh.read()
+            engine_crc = manifest.get("engine_crc")
+            if engine_crc is not None and zlib.crc32(raw.encode()) != engine_crc:
+                raise CheckpointCorruptError(
+                    f"checkpoint {path.name}: engine.json fails its "
+                    f"MANIFEST checksum (bit rot after completion)"
+                )
+            index_crc = manifest.get("index_crc")
+            if index_crc is not None and _file_crc(path / "index.json") != index_crc:
+                raise CheckpointCorruptError(
+                    f"checkpoint {path.name}: index.json fails its "
+                    f"MANIFEST checksum (bit rot after completion)"
+                )
+            doc = json.loads(raw)
+            engine = restore_engine(
+                graph, doc, path / "index.json", faults=store.faults
+            )
+        except CheckpointCorruptError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint {path.name} does not deserialize: {exc}"
+            ) from exc
     else:
         engine = make_engine(engine_name, graph, params)
     skip = engine.activations_processed

@@ -1,13 +1,65 @@
-"""Shared fixtures: small canonical graphs and pre-built engines."""
+"""Shared fixtures: small canonical graphs and pre-built engines.
+
+Also the suite's hygiene plumbing:
+
+* every test runs with the **global** :mod:`random` state pinned to a
+  fixed seed and restored afterwards, so tests that (accidentally or
+  deliberately) touch the module-level RNG neither depend on execution
+  order nor perturb later tests — the suite is ``pytest -p randomly``
+  / ``-p no:randomly`` indifferent;
+* the ``chaos`` marker gates the fault-injection matrix
+  (``tests/chaos/``): those tests only run under ``--chaos`` or
+  ``ANC_CHAOS=1``, keeping the tier-1 suite fast.
+"""
 
 from __future__ import annotations
 
+import os
+import random
 
 import pytest
 
 from repro.core.anc import ANCO, ANCParams
 from repro.graph.generators import barbell_graph, grid_graph, path_graph, planted_partition
 from repro.graph.graph import Graph
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--chaos",
+        action="store_true",
+        default=False,
+        help="run the chaos (fault-injection matrix) tests",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection matrix tests (slow; enable with --chaos or ANC_CHAOS=1)",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: "list[pytest.Item]"
+) -> None:
+    if config.getoption("--chaos") or os.environ.get("ANC_CHAOS") == "1":
+        return
+    skip = pytest.mark.skip(reason="chaos tests need --chaos or ANC_CHAOS=1")
+    for item in items:
+        if "chaos" in item.keywords:
+            item.add_marker(skip)
+
+
+@pytest.fixture(autouse=True)
+def pinned_global_random():
+    """Pin the module-level RNG per test; restore the state afterwards."""
+    state = random.getstate()
+    random.seed(0xA17C)
+    try:
+        yield
+    finally:
+        random.setstate(state)
 
 
 @pytest.fixture

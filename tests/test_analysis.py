@@ -42,10 +42,11 @@ RULE_NAMES = {
     "mutable-default-arg",
     "dict-mutation-during-iteration",
     "export-consistency",
+    "service-exception-discipline",
 }
 
 
-def test_all_eight_rules_registered():
+def test_all_rules_registered():
     assert {r.name for r in all_rules()} == RULE_NAMES
 
 
@@ -442,6 +443,67 @@ def test_exports_consistent_module_clean():
     # Modules outside the repro package are out of scope.
     bare = "def api():\n    return 1\n"
     assert not findings_for(bare, "some_script", "export-consistency")
+
+
+# ----------------------------------------------------------------------
+# service-exception-discipline
+# ----------------------------------------------------------------------
+
+SWALLOWED_POSITIVE = """
+    def read_frame(sock):
+        try:
+            return sock.recv(4096)
+        except OSError:
+            return b""
+"""
+
+
+def test_service_exception_swallow_positive():
+    found = findings_for(
+        SWALLOWED_POSITIVE, "repro.service.client", "service-exception-discipline"
+    )
+    assert len(found) == 1
+    assert "typed" in found[0].message
+
+
+def test_service_exception_disciplined_clean():
+    reraise = """
+        def read_frame(sock):
+            try:
+                return sock.recv(4096)
+            except OSError:
+                raise ServiceConnectError("peer gone")
+    """
+    assert not findings_for(
+        reraise, "repro.service.client", "service-exception-discipline"
+    )
+    typed_catch = """
+        def poll(client):
+            try:
+                return client.status()
+            except ServiceTimeout:
+                return None
+    """
+    assert not findings_for(
+        typed_catch, "repro.service.client", "service-exception-discipline"
+    )
+    flow_control = """
+        async def pump(queue):
+            try:
+                await queue.join()
+            except CancelledError:
+                return
+    """
+    assert not findings_for(
+        flow_control, "repro.service.server", "service-exception-discipline"
+    )
+
+
+def test_service_exception_out_of_scope_modules_clean():
+    # The discipline only binds repro.service / repro.faults, not the engine.
+    assert not findings_for(
+        SWALLOWED_POSITIVE, "repro.core.anc", "service-exception-discipline"
+    )
 
 
 # ----------------------------------------------------------------------

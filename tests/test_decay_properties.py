@@ -1,0 +1,200 @@
+"""Property tests for the decay/activeness *algebra* (Section IV-A).
+
+Complements ``tests/test_properties.py`` (which checks the machinery
+against the naive Equation 1 recomputation) with the algebraic laws the
+fault-recovery story leans on:
+
+* **order-insensitivity within a tick** — activations sharing a
+  timestamp commute *exactly* (bit-identical anchored state), because
+  the global factor is frozen while ``t`` stands still and per-edge
+  anchored sums are order-free;
+* **monotonicity under λ** — a larger decay factor never yields larger
+  activeness, for every edge and any stream;
+* **rescale invariance** — where the batched rescale lands (every
+  activation, never, or anywhere in between) does not change the
+  *actual* values the engine observes.
+
+All runs are seed-pinned: ``derandomize=True`` makes hypothesis derive
+its examples from the test body alone, so CI and local runs explore the
+identical example set — no flaky shrink sessions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.activation import Activation, naive_activeness  # noqa: E402
+from repro.core.decay import Activeness, DecayClock  # noqa: E402
+
+PINNED = settings(
+    max_examples=40,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+EDGES = [(0, 1), (1, 2), (0, 2), (2, 3)]
+
+
+@st.composite
+def edge_stream(draw, max_events: int = 25):
+    """A time-ordered activation stream over the 4 fixed edges.
+
+    Deltas of exactly 0.0 are common by construction, so most drawn
+    streams contain at least one multi-activation tick.
+    """
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=len(EDGES) - 1),
+                st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=max_events,
+        )
+    )
+    stream, t = [], 0.0
+    for pick, delta in events:
+        t += delta
+        u, v = EDGES[pick]
+        stream.append(Activation(u, v, t))
+    return stream
+
+
+def _run(stream, lam: float, rescale_every: int = 1 << 30) -> Activeness:
+    clock = DecayClock(lam, rescale_every=rescale_every)
+    act = Activeness(clock)
+    for a in stream:
+        act.on_activation(a.u, a.v, a.t)
+        clock.note_activation()
+    return act
+
+
+def _anchored_state(act: Activeness):
+    """Exact-repr snapshot of (anchor, every anchored value)."""
+    values = sorted((e, repr(x)) for e, x in act.store.items_anchored())
+    return repr(act.clock.anchor), values
+
+
+class TestOrderInsensitivityWithinTick:
+    @PINNED
+    @given(stream=edge_stream(), data=st.data())
+    def test_same_tick_activations_commute_exactly(self, stream, data):
+        """Permuting activations that share a timestamp is a no-op, bit for bit."""
+        # Group the stream into ticks, permute inside each tick only.
+        ticks, shuffled = {}, []
+        for a in stream:
+            ticks.setdefault(a.t, []).append(a)
+        for t in sorted(ticks):
+            group = ticks[t]
+            perm = data.draw(st.permutations(range(len(group))), label=f"perm@{t}")
+            shuffled.extend(group[i] for i in perm)
+        lam = data.draw(st.floats(min_value=0.0, max_value=1.5), label="lam")
+
+        original = _run(stream, lam)
+        permuted = _run(shuffled, lam)
+        assert _anchored_state(original) == _anchored_state(permuted)
+
+    @PINNED
+    @given(
+        lam=st.floats(min_value=0.0, max_value=2.0),
+        t=st.floats(min_value=0.0, max_value=10.0),
+        count=st.integers(min_value=2, max_value=8),
+    )
+    def test_same_tick_impulses_on_one_edge_sum_exactly(self, lam, t, count):
+        """n same-tick impulses equal n * (one impulse), exactly.
+
+        Within a tick the anchored delta ``1/g`` is a constant, so the
+        per-edge sum is ``count`` copies of the same float added in
+        sequence — reassociation never happens.
+        """
+        clock = DecayClock(lam)
+        act = Activeness(clock)
+        for _ in range(count):
+            act.on_activation(0, 1, t)
+        clock.advance(t)
+        delta = 1.0 / clock.global_factor()
+        expected = 0.0
+        for _ in range(count):
+            expected += delta
+        assert repr(act.anchored_value(0, 1)) == repr(expected)
+
+
+class TestMonotoneUnderLambda:
+    @PINNED
+    @given(stream=edge_stream(), data=st.data())
+    def test_larger_lambda_never_increases_activeness(self, stream, data):
+        lam_lo = data.draw(st.floats(min_value=0.0, max_value=1.0), label="lam_lo")
+        bump = data.draw(st.floats(min_value=1e-6, max_value=1.0), label="bump")
+        lam_hi = lam_lo + bump
+
+        lo = _run(stream, lam_lo)
+        hi = _run(stream, lam_hi)
+        for u, v in EDGES:
+            # Equal only when the edge's whole mass sits at the final
+            # tick (then decay has not acted yet); never strictly above.
+            assert hi.value(u, v) <= lo.value(u, v) + 1e-12
+
+    @PINNED
+    @given(
+        t_gap=st.floats(min_value=0.1, max_value=20.0),
+        lam=st.floats(min_value=0.01, max_value=2.0),
+    )
+    def test_lambda_zero_is_a_pure_counter(self, t_gap, lam):
+        """λ=0 never decays; any λ>0 strictly decays across a gap."""
+        frozen = _run([Activation(0, 1, 0.0), Activation(0, 1, t_gap)], 0.0)
+        assert frozen.value(0, 1) == 2.0  # anclint: disable=float-equality — λ=0 makes every factor literally 1.0
+        decayed = _run([Activation(0, 1, 0.0), Activation(0, 1, t_gap)], lam)
+        assert decayed.value(0, 1) < 2.0
+        assert decayed.value(0, 1) > 1.0  # the impulse at t_gap is fresh
+
+
+class TestRescaleInvariance:
+    @PINNED
+    @given(stream=edge_stream(), data=st.data())
+    def test_rescale_schedule_does_not_change_actual_values(self, stream, data):
+        lam = data.draw(st.floats(min_value=0.0, max_value=1.5), label="lam")
+        period = data.draw(st.integers(min_value=1, max_value=6), label="period")
+
+        never = _run(stream, lam)  # rescale_every effectively infinite
+        often = _run(stream, lam, rescale_every=period)
+        assert often.clock.rescale_count >= len(stream) // period
+        for u, v in EDGES:
+            assert often.value(u, v) == pytest.approx(
+                never.value(u, v), rel=1e-9, abs=1e-12
+            )
+
+    @PINNED
+    @given(stream=edge_stream(), data=st.data())
+    def test_rescaled_state_still_matches_equation1(self, stream, data):
+        """Rescale-heavy runs agree with the quadratic ground truth."""
+        lam = data.draw(st.floats(min_value=0.0, max_value=1.0), label="lam")
+        act = _run(stream, lam, rescale_every=1)
+        final_t = stream[-1].t
+        for u, v in EDGES:
+            expected = naive_activeness(stream, (u, v), final_t, lam)
+            assert act.value(u, v) == pytest.approx(expected, rel=1e-8, abs=1e-12)
+
+    @PINNED
+    @given(
+        lam=st.floats(min_value=0.01, max_value=1.0),
+        t=st.floats(min_value=0.1, max_value=30.0),
+    )
+    def test_explicit_rescale_is_idempotent_on_actuals(self, lam, t):
+        clock = DecayClock(lam)
+        act = Activeness(clock)
+        act.on_activation(0, 1, 0.0)
+        clock.advance(t)
+        before = act.value(0, 1)
+        clock.rescale()
+        assert math.isclose(act.value(0, 1), before, rel_tol=1e-12)
+        assert clock.anchor == clock.now  # anclint: disable=float-equality — rescale assigns t* = t verbatim
+        clock.rescale()
+        assert math.isclose(act.value(0, 1), before, rel_tol=1e-12)
