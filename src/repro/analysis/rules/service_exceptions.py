@@ -34,7 +34,7 @@ from ..engine import FileContext
 from ..registry import rule
 
 #: Package prefixes the discipline applies to.
-SERVICE_PACKAGES = ("repro.service", "repro.faults")
+SERVICE_PACKAGES = ("repro.service", "repro.faults", "repro.replica")
 
 #: Terminal identifiers that mark a handler as "maps to a typed error".
 TYPED_ERROR_NAMES = frozenset(
@@ -55,6 +55,10 @@ TYPED_ERROR_NAMES = frozenset(
         "InjectedFault",
         "InjectedCrash",
         "ChaosResult",
+        "Fenced",
+        "ReadOnly",
+        "Diverged",
+        "ReplicationError",
     }
 )
 

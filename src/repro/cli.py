@@ -19,7 +19,11 @@ Installed as the ``repro-anc`` console script (also runnable as
   source tree (the CI gate; see ``docs/static-analysis.md``);
 * ``chaos`` — run the fault-injection matrix (:mod:`repro.faults`)
   against the serving stack and gate on silent divergence
-  (``docs/faults.md``).
+  (``docs/faults.md``);
+* ``promote`` — fail over: fence the old primary and promote a follower
+  to primary under a fresh epoch (``docs/replication.md``);
+* ``replicas`` — one node's view of the replication topology (role,
+  epoch, committed entries, per-follower lag).
 
 Edge lists are whitespace-separated ``u v`` (or ``u v t``) lines; node
 labels may be arbitrary strings and are reported back verbatim.
@@ -29,7 +33,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import IO, List, Optional, Sequence
+from typing import IO, List, Optional, Sequence, Tuple
 
 from .baselines import attractor, louvain, scan
 from .core.anc import ANCF, ANCParams, make_engine
@@ -45,6 +49,8 @@ __all__ = [
     "cmd_stats",
     "cmd_datasets",
     "cmd_lint",
+    "cmd_promote",
+    "cmd_replicas",
     "build_parser",
     "main",
 ]
@@ -236,6 +242,16 @@ def cmd_stats(args: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def _parse_endpoint(spec: str) -> "Tuple[str, int]":
+    """Parse a ``HOST:PORT`` endpoint argument."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {spec!r}"
+        )
+    return host, int(port)
+
+
 def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
     import asyncio
     import logging
@@ -247,6 +263,12 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
         level=logging.INFO,
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
+    primary_host, primary_port = None, 0
+    if args.role == "follower":
+        if args.primary is None:
+            print("error: --role follower requires --primary HOST:PORT", file=out)
+            return 2
+        primary_host, primary_port = _parse_endpoint(args.primary)
     graph, names = read_edge_list(args.edgelist)
     config = ServerConfig(
         host=args.host,
@@ -259,6 +281,12 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
         checkpoint_every=args.checkpoint_every,
         checkpoint_interval=args.checkpoint_interval,
         metrics_interval=args.metrics_interval,
+        role=args.role,
+        primary_host=primary_host,
+        primary_port=primary_port,
+        replica_id=args.replica_id or "",
+        poll_interval=args.poll_interval,
+        audit_interval=args.audit_interval,
     )
     server = ANCServer(graph, names, config=config, params=_params_from(args))
     try:
@@ -331,6 +359,70 @@ def cmd_chaos(args: argparse.Namespace, out: IO[str]) -> int:
     # cell also fails the run so CI catches regressions in the contracts.
     if report["silent_divergence"] or report["ok"] != report["total"]:
         return 1
+    return 0
+
+
+def cmd_promote(args: argparse.Namespace, out: IO[str]) -> int:
+    from .replica import ReplicationError, promote
+    from .service.client import ServiceError
+
+    old = _parse_endpoint(args.old_primary) if args.old_primary else None
+    try:
+        summary = promote(
+            _parse_endpoint(args.follower),
+            old_primary=old,
+            timeout=args.timeout,
+            catchup_timeout=args.catchup_timeout,
+        )
+    except (OSError, ServiceError, ReplicationError) as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    print(
+        f"promoted {summary['promoted']} to primary at epoch "
+        f"{summary['epoch']}",
+        file=out,
+    )
+    if summary["fenced_old"]:
+        print(
+            f"fenced old primary (epoch {summary['old_epoch']}, "
+            f"{summary['old_entries']} committed entries drained)",
+            file=out,
+        )
+    elif old is not None:
+        print(
+            "old primary unreachable (not fenced); keep it down or "
+            "restart it as a follower",
+            file=out,
+        )
+    return 0
+
+
+def cmd_replicas(args: argparse.Namespace, out: IO[str]) -> int:
+    from .replica import replication_status
+    from .service.client import ServiceError
+
+    try:
+        status = replication_status(
+            _parse_endpoint(args.endpoint), timeout=args.timeout
+        )
+    except (OSError, ServiceError) as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    print(
+        f"{status['endpoint']}  role={status['role']} "
+        f"epoch={status['epoch']} entries={status['entries']}",
+        file=out,
+    )
+    replicas = status.get("replicas")
+    if isinstance(replicas, dict) and replicas:
+        for follower, info in sorted(replicas.items()):
+            print(
+                f"  follower {follower}: applied={info.get('applied')} "
+                f"lag={info.get('lag')} age={info.get('age')}s",
+                file=out,
+            )
+    else:
+        print("  no followers have fetched from this node", file=out)
     return 0
 
 
@@ -413,6 +505,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also checkpoint every this many seconds (0 = off)")
     p_serve.add_argument("--metrics-interval", type=float, default=30.0,
                          help="metrics log-line period in seconds (0 = off)")
+    p_serve.add_argument(
+        "--role", choices=("primary", "follower"), default="primary",
+        help="primary = writable; follower = warm standby replicating "
+             "from --primary (docs/replication.md)",
+    )
+    p_serve.add_argument("--primary", default=None, metavar="HOST:PORT",
+                         help="primary endpoint a follower replicates from")
+    p_serve.add_argument("--replica-id", default=None,
+                         help="identity a follower acks under "
+                              "(default: its own host:port)")
+    p_serve.add_argument("--poll-interval", type=float, default=0.02,
+                         help="follower fetch cadence while caught up (seconds)")
+    p_serve.add_argument("--audit-interval", type=float, default=0.25,
+                         help="divergence-audit cadence on a follower "
+                              "(seconds; 0 = off)")
     _add_anc_params(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -482,6 +589,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the scenario catalogue and exit",
     )
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_promote = sub.add_parser(
+        "promote",
+        help="fail over: fence the old primary, promote a follower "
+             "(docs/replication.md)",
+    )
+    p_promote.add_argument(
+        "follower", metavar="HOST:PORT",
+        help="the follower to promote to primary",
+    )
+    p_promote.add_argument(
+        "--old-primary", default=None, metavar="HOST:PORT",
+        help="fence this node first (best-effort; a dead primary is the "
+             "usual failover trigger)",
+    )
+    p_promote.add_argument("--timeout", type=float, default=5.0,
+                           help="per-request timeout in seconds")
+    p_promote.add_argument(
+        "--catchup-timeout", type=float, default=10.0,
+        help="max seconds to wait for the follower to drain a fenced "
+             "primary's committed log",
+    )
+    p_promote.set_defaults(func=cmd_promote)
+
+    p_replicas = sub.add_parser(
+        "replicas",
+        help="one node's replication status (role, epoch, follower lag)",
+    )
+    p_replicas.add_argument(
+        "endpoint", metavar="HOST:PORT", help="node to interrogate"
+    )
+    p_replicas.add_argument("--timeout", type=float, default=5.0,
+                            help="connection timeout in seconds")
+    p_replicas.set_defaults(func=cmd_replicas)
 
     return parser
 

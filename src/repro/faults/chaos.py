@@ -14,7 +14,15 @@ lets it fire, then drives the recovery protocol a real deployment would:
   on a background event loop (:class:`ServerThread`) and push the stream
   through a retrying :class:`~repro.service.client.ServiceClient`, so
   socket resets, duplicated batches, overload shedding and slow-reader
-  eviction hit the actual protocol path.
+  eviction hit the actual protocol path;
+* **replica** scenarios run a primary *and* a WAL-shipping follower
+  (two :class:`ServerThread` instances) and attack the replication
+  layer: stalled/severed/reordered links, a follower hard-crashing
+  mid-apply, a primary killed mid-batch with the follower promoted in
+  its place, and a split brain where the deposed primary keeps running
+  behind an epoch fence (docs/replication.md).  The promoted follower
+  must reach the byte-identical oracle signature and a full session
+  replay must stay exactly-once across the failover.
 
 Every run is classified against the scenario's contract:
 
@@ -36,14 +44,16 @@ import asyncio
 import json
 import tempfile
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.activation import Activation
-from ..core.anc import ANCEngineBase, ANCParams, make_engine
+from ..core.anc import ANCParams, make_engine
 from ..graph.generators import planted_partition
 from ..graph.graph import Graph
+from ..replica.admin import promote
 from ..service.client import RetryPolicy, ServiceClient, ServiceError
 from ..service.server import ANCServer, ServerConfig
 from ..service.snapshots import (
@@ -52,6 +62,7 @@ from ..service.snapshots import (
     WalCorruptError,
     WriteAheadLog,
     apply_activations,
+    engine_signature,
     recover_engine,
 )
 from ..workloads.streams import community_biased_stream
@@ -92,29 +103,10 @@ def _build_workload(seed: int) -> Tuple[Graph, List[Activation]]:
     return graph, list(stream)
 
 
-def engine_signature(engine: ANCEngineBase) -> Dict[str, object]:
-    """Exact state fingerprint: equal signatures ⇒ byte-identical engines.
-
-    Floats go through ``repr`` so 1e-16 drift is a mismatch, and clusters
-    are captured at the bottom, √n and top levels of the pyramid.
-    """
-    metric = engine.metric
-    levels = sorted(
-        {1, engine.queries.sqrt_n_level(), engine.queries.num_levels}
-    )
-    return {
-        "activations": engine.activations_processed,
-        "t": repr(engine.now),
-        "anchor": repr(metric.clock.anchor),
-        "similarity": sorted(
-            (u, v, repr(value))
-            for (u, v), value in metric.similarity.items_anchored()
-        ),
-        "clusters": {
-            str(level): engine.clusters(level) for level in levels
-        },
-    }
-
+# ``engine_signature`` moved to repro.service.snapshots so the server's
+# divergence auditor can use it without importing the chaos harness; it
+# is still re-exported here (and from ``repro.faults``) for callers that
+# know it as the chaos oracle.
 
 @dataclass
 class ChaosResult:
@@ -158,15 +150,24 @@ class Scenario:
     contractual outcome: ``recovered`` (byte-identical state after the
     protocol's own resend/replay) or ``typed-failure`` (recovery must
     *refuse* because acknowledged data is unrecoverable).
+
+    ``flow`` only applies to ``mode="replica"`` and picks the driver:
+    ``steady`` (follower tails a live stream), ``catchup`` (follower
+    starts after the whole stream committed), ``follower-restart``
+    (follower crashes, restarts from its own disk, catches up),
+    ``failover`` (primary dies mid-batch, follower promoted, session
+    replayed) and ``split-brain`` (promotion while the old primary
+    still runs behind the fence).
     """
 
     name: str
-    mode: str  # "pipeline" | "service"
+    mode: str  # "pipeline" | "service" | "replica"
     expect: str
     specs: Callable[[int, int], List[FaultSpec]]
     description: str = ""
     server: Mapping[str, object] = field(default_factory=dict)
     client_attempts: int = 6
+    flow: str = "steady"
 
 
 # ----------------------------------------------------------------------
@@ -349,6 +350,86 @@ SCENARIOS: Tuple[Scenario, ...] = (
             )
         ],
         server={"write_timeout": 0.2},
+        client_attempts=8,
+    ),
+    # -- replica scenarios: WAL shipping, failover, split brain --------
+    Scenario(
+        name="replica-link-stall",
+        mode="replica",
+        expect="recovered",
+        description="wal_fetch stalls repeatedly; follower lags but converges",
+        specs=lambda seed, n: [
+            FaultSpec(
+                "replica.fetch",
+                "stall",
+                at_count=1,
+                args={"seconds": 0.05},
+            ),
+            FaultSpec(
+                "replica.fetch",
+                "stall",
+                at_count=3,
+                args={"seconds": 0.05},
+            ),
+        ],
+    ),
+    Scenario(
+        name="replica-link-drop",
+        mode="replica",
+        flow="catchup",
+        expect="recovered",
+        description="replication connection severed mid-catch-up; link reconnects",
+        specs=lambda seed, n: [
+            FaultSpec("replica.fetch", "drop", at_count=1),
+            FaultSpec("replica.fetch", "drop", at_count=3),
+        ],
+    ),
+    Scenario(
+        name="replica-link-reorder",
+        mode="replica",
+        flow="catchup",
+        expect="recovered",
+        description="fetched chunk arrives reversed; follower discards and refetches",
+        specs=lambda seed, n: [
+            FaultSpec("replica.fetch", "reorder", at_count=1),
+            FaultSpec("replica.fetch", "reorder", at_count=4),
+        ],
+    ),
+    Scenario(
+        name="replica-follower-crash-catchup",
+        mode="replica",
+        flow="follower-restart",
+        expect="recovered",
+        description="follower hard-crashes mid-apply; restarts from disk, catches up",
+        specs=lambda seed, n: [
+            FaultSpec("replica.apply", "crash", at_count=_mid(n))
+        ],
+    ),
+    Scenario(
+        name="replica-failover-mid-batch",
+        mode="replica",
+        flow="failover",
+        expect="recovered",
+        description="primary killed mid-batch; follower promoted, session replayed exactly-once",
+        specs=lambda seed, n: [
+            FaultSpec("wal.append", "crash", at_count=_mid(n))
+        ],
+        client_attempts=8,
+    ),
+    Scenario(
+        name="replica-split-brain",
+        mode="replica",
+        flow="split-brain",
+        expect="recovered",
+        description="follower promoted while the old primary lives; the fence blocks the stale side",
+        specs=lambda seed, n: [
+            FaultSpec(
+                "replica.fetch",
+                "stall",
+                at_count=3,
+                args={"seconds": 0.03},
+            )
+        ],
         client_attempts=8,
     ),
 )
@@ -585,8 +666,317 @@ def _run_service(
 
 
 # ----------------------------------------------------------------------
+# Replica runner: primary + WAL-shipping follower under link faults
+# ----------------------------------------------------------------------
+
+#: Fault sites armed on the *follower* of a replica scenario; everything
+#: else in the spec list arms on the primary (which serves ``wal_fetch``).
+_REPLICA_FOLLOWER_SITES = frozenset({"replica.apply"})
+
+
+def _await(check: Callable[[], bool], *, timeout: float, what: str) -> None:
+    """Poll ``check`` until true or raise after ``timeout`` seconds."""
+    deadline = time.monotonic() + timeout
+    while not check():
+        if time.monotonic() > deadline:
+            raise RuntimeError(f"timed out after {timeout}s waiting for {what}")
+        time.sleep(0.01)
+
+
+def _counters(handle: ServerThread) -> Dict[str, float]:
+    assert handle.server is not None
+    raw = handle.server.metrics.snapshot(rate_key=None).get("counters")
+    return {k: float(v) for k, v in raw.items()} if isinstance(raw, Mapping) else {}
+
+
+def _run_replica(
+    scenario: Scenario, seed: int, workdir: Path
+) -> ChaosResult:
+    graph, acts = _build_workload(seed)
+    oracle = make_engine("ANCO", graph, QUICK_PARAMS)
+    apply_activations(oracle, acts)
+    expected = engine_signature(oracle)
+
+    specs = scenario.specs(seed, len(acts))
+    primary_specs = [s for s in specs if s.site not in _REPLICA_FOLLOWER_SITES]
+    follower_specs = [s for s in specs if s.site in _REPLICA_FOLLOWER_SITES]
+    primary_plan = FaultPlan(primary_specs, seed=seed) if primary_specs else None
+    follower_plan = FaultPlan(follower_specs, seed=seed) if follower_specs else None
+    base = workdir / f"{scenario.name}-s{seed}"
+
+    def _config(
+        plan: Optional[FaultPlan],
+        data_dir: Path,
+        **role_kwargs: object,
+    ) -> ServerConfig:
+        return ServerConfig(
+            port=0,
+            engine="anco",
+            metrics_interval=0.0,
+            data_dir=data_dir,
+            checkpoint_every=CHECKPOINT_EVERY,
+            faults=plan,
+            **role_kwargs,  # type: ignore[arg-type]
+        )
+
+    def _follower_kwargs(primary_port: int) -> Dict[str, object]:
+        return {
+            "role": "follower",
+            "primary_host": "127.0.0.1",
+            "primary_port": primary_port,
+            "replica_id": f"chaos-{seed}",
+            "poll_interval": 0.005,
+            "audit_interval": 0.05,
+        }
+
+    def _start_follower(plan: Optional[FaultPlan], port: int) -> ServerThread:
+        handle = ServerThread(
+            graph,
+            config=_config(plan, base / "follower", **_follower_kwargs(port)),
+            params=QUICK_PARAMS,
+        ).start()
+        threads.append(handle)
+        return handle
+
+    def _caught_up(handle: ServerThread, target: int) -> bool:
+        assert handle.server is not None
+        host = handle.server.host
+        return host.ingested >= target and host.applied >= target
+
+    batches = [
+        [(a.u, a.v, a.t) for a in acts[i : i + CLIENT_BATCH]]
+        for i in range(0, len(acts), CLIENT_BATCH)
+    ]
+    keys = [f"{scenario.name}-{seed}-b{i}" for i in range(len(batches))]
+    retry = RetryPolicy(
+        attempts=scenario.client_attempts,
+        base_delay=0.02,
+        max_delay=0.25,
+        seed=seed,
+    )
+
+    threads: List[ServerThread] = []
+    try:
+        primary = ServerThread(
+            graph,
+            config=_config(
+                primary_plan, base / "primary", **dict(scenario.server)
+            ),
+            params=QUICK_PARAMS,
+        ).start()
+        threads.append(primary)
+        assert primary.port is not None
+        follower: Optional[ServerThread] = None
+        if scenario.flow != "catchup":
+            follower = _start_follower(follower_plan, primary.port)
+
+        detail_extra = ""
+        if scenario.flow in ("steady", "catchup", "follower-restart"):
+            client = ServiceClient(
+                primary.host, primary.port, timeout=5.0, retry=retry
+            )
+            try:
+                for items, key in zip(batches, keys):
+                    client.ingest_batch(items, key=key)
+                applied = client.sync()
+            finally:
+                client.close()
+            if scenario.flow == "catchup":
+                follower = _start_follower(follower_plan, primary.port)
+            if scenario.flow == "follower-restart":
+                assert follower is not None and follower.server is not None
+                _await(
+                    lambda: follower.server.crashed,  # type: ignore[union-attr]
+                    timeout=30.0,
+                    what="the injected follower crash",
+                )
+                follower.stop()
+                threads.remove(follower)
+                follower = _start_follower(None, primary.port)
+                detail_extra = " restarted-after-crash"
+            assert follower is not None and follower.server is not None
+            new_primary = follower
+            _await(
+                lambda: _caught_up(follower, len(acts)),
+                timeout=30.0,
+                what="follower catch-up",
+            )
+            got_primary = engine_signature(primary.server.host.engine)  # type: ignore[union-attr]
+            in_contract = got_primary == expected
+        elif scenario.flow == "failover":
+            assert follower is not None and follower.port is not None
+            client = ServiceClient(
+                primary.host,
+                primary.port,
+                timeout=5.0,
+                retry=retry,
+                failover=[(follower.host, follower.port)],
+            )
+            try:
+                promoted = False
+                i = 0
+                while i < len(batches):
+                    try:
+                        client.ingest_batch(batches[i], key=keys[i])
+                        i += 1
+                        if i == 1 and not promoted:
+                            # Let the follower replicate the first batch
+                            # before the crash-prone tail: the post-failover
+                            # replay below must then resume against the
+                            # dedup map rebuilt from *replicated* records
+                            # (the exactly-once contract), not merely
+                            # re-ingest into an empty promoted log.
+                            _await(
+                                lambda: _caught_up(follower, CLIENT_BATCH),
+                                timeout=30.0,
+                                what="follower replication of the first batch",
+                            )
+                    except ServiceError:
+                        if promoted:
+                            raise
+                        _await(
+                            lambda: primary.server.crashed,  # type: ignore[union-attr]
+                            timeout=10.0,
+                            what="the injected primary crash",
+                        )
+                        promote(
+                            ("127.0.0.1", follower.port),
+                            old_primary=("127.0.0.1", primary.port),
+                            timeout=2.0,
+                        )
+                        promoted = True
+                        # Replay the whole session through the promoted
+                        # follower: exactly-once dedup (rebuilt from the
+                        # replicated WAL) must absorb every duplicate.
+                        i = 0
+                applied = client.sync()
+            finally:
+                client.close()
+            assert follower.server is not None
+            new_primary = follower
+            dedup_hits = _counters(follower).get("ingest_dedup_hits", 0)
+            detail_extra = (
+                f" promoted={promoted} epoch={follower.server.epoch}"
+                f" dedup={dedup_hits:g}"
+            )
+            # The promoted node must outrank the dead primary's epoch 1
+            # (fencing stays strict even when the old node was
+            # unreachable), and the replayed session must have hit the
+            # dedup map rebuilt from replicated records — both silently
+            # degrade to a fresh re-ingest otherwise.
+            in_contract = (
+                promoted
+                and follower.server.role == "primary"
+                and follower.server.epoch > 1
+                and dedup_hits > 0
+            )
+        elif scenario.flow == "split-brain":
+            assert follower is not None and follower.port is not None
+            client = ServiceClient(
+                primary.host,
+                primary.port,
+                timeout=5.0,
+                retry=retry,
+                failover=[(follower.host, follower.port)],
+            )
+            try:
+                half = max(1, len(batches) // 2)
+                for items, key in zip(batches[:half], keys[:half]):
+                    client.ingest_batch(items, key=key)
+                client.sync()
+                promote(
+                    ("127.0.0.1", follower.port),
+                    old_primary=("127.0.0.1", primary.port),
+                    timeout=2.0,
+                )
+                # The deposed primary is still alive: the client must
+                # rotate off it on FENCED and land on the new primary.
+                for items, key in zip(batches[half:], keys[half:]):
+                    client.ingest_batch(items, key=key)
+                applied = client.sync()
+            finally:
+                client.close()
+            probe = ServiceClient(
+                primary.host,
+                primary.port,
+                timeout=2.0,
+                retry=RetryPolicy(attempts=1),
+            )
+            try:
+                probe.request(
+                    "ingest_batch",
+                    items=[list(batches[0][0])],
+                    key="split-brain-probe",
+                    idempotent=False,
+                )
+                stale_refused = False
+            except ServiceError as exc:  # anclint: disable=service-exception-discipline — FENCED here is the scenario's *pass* condition; anything else (or no error) is the split-brain failure the matrix reports
+                stale_refused = exc.code == "FENCED"
+            finally:
+                probe.close()
+            assert follower.server is not None
+            new_primary = follower
+            detail_extra = (
+                f" stale-write-refused={stale_refused}"
+                f" epoch={follower.server.epoch}"
+            )
+            in_contract = stale_refused and follower.server.role == "primary"
+        else:
+            raise ValueError(f"unknown replica flow {scenario.flow!r}")
+
+        assert new_primary.server is not None
+        got_follower = engine_signature(new_primary.server.host.engine)
+        counters = _counters(new_primary)
+        diverged = new_primary.server.diverged
+        status = (
+            "recovered"
+            if (
+                applied == len(acts)
+                and got_follower == expected
+                and diverged is None
+                and in_contract
+            )
+            else "diverged"
+        )
+        detail = (
+            f"applied={applied}/{len(acts)}"
+            f" refetches={counters.get('replica_refetches', 0):g}"
+            f" link_errors={counters.get('replica_link_errors', 0):g}"
+            f" audits={counters.get('replica_audits', 0):g}"
+            f"{detail_extra}"
+        )
+        if diverged is not None:
+            detail += f" diverged={diverged}"
+    finally:
+        # Followers first: their replication links hold connections into
+        # the primary, and stopping the primary under a live link cancels
+        # its handler tasks noisily.
+        for handle in reversed(threads):
+            handle.stop()
+    fired: List[Dict[str, object]] = []
+    for plan in (primary_plan, follower_plan):
+        if plan is not None:
+            fired.extend(plan.fired)
+    return ChaosResult(
+        scenario.name,
+        seed,
+        status,
+        scenario.expect,
+        detail=detail,
+        injected=fired,
+    )
+
+
+# ----------------------------------------------------------------------
 # The matrix
 # ----------------------------------------------------------------------
+
+_RUNNERS: Dict[str, Callable[[Scenario, int, Path], ChaosResult]] = {
+    "pipeline": _run_pipeline,
+    "service": _run_service,
+    "replica": _run_replica,
+}
+
 
 def run_scenario(
     scenario: Union[Scenario, str], seed: int, workdir: Union[str, Path]
@@ -594,7 +984,7 @@ def run_scenario(
     """Run one matrix cell; never raises for in-contract failures."""
     if isinstance(scenario, str):
         scenario = scenario_by_name(scenario)
-    runner = _run_pipeline if scenario.mode == "pipeline" else _run_service
+    runner = _RUNNERS[scenario.mode]
     try:
         return runner(scenario, seed, Path(workdir))
     except Exception as exc:

@@ -58,6 +58,14 @@ CATALOG: Dict[str, Dict[str, str]] = {
         "duplicate": "deliver this batch request twice (network-level duplication)",
         "delay": "hold this batch for args['seconds'] before ingesting",
     },
+    "replica.fetch": {
+        "stall": "hold a follower's wal_fetch response for args['seconds'] (lagging link)",
+        "drop": "sever the replication connection instead of answering the fetch",
+        "reorder": "deliver this fetch's records in reverse order (reordered link)",
+    },
+    "replica.apply": {
+        "crash": "hard-crash the follower while applying a replicated record",
+    },
 }
 
 

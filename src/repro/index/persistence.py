@@ -19,7 +19,7 @@ import json
 import time
 import zlib
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..graph.graph import Graph
 from ..graph.traversal import INF
@@ -29,7 +29,13 @@ from .voronoi import VoronoiPartition
 if TYPE_CHECKING:  # hook-only dependency; repro.faults never imports us back
     from ..faults.plan import FaultPlan
 
-__all__ = ["FORMAT_VERSION", "graph_fingerprint", "save_index", "load_index"]
+__all__ = [
+    "FORMAT_VERSION",
+    "graph_fingerprint",
+    "load_index",
+    "load_index_resume",
+    "save_index",
+]
 
 PathLike = Union[str, Path]
 
@@ -53,15 +59,24 @@ def _decode_dist(raw: List[object]) -> List[float]:
 
 
 def save_index(
-    index: PyramidIndex, path: PathLike, *, faults: "Optional[FaultPlan]" = None
+    index: PyramidIndex,
+    path: PathLike,
+    *,
+    faults: "Optional[FaultPlan]" = None,
+    resume: Optional[Mapping[str, int]] = None,
 ) -> None:
     """Write the index to ``path`` as JSON.
+
+    ``resume`` is opaque recovery metadata (``{"seq": ..., "epoch": ...}``
+    from the checkpoint writer) stored alongside the structural payload
+    so a loader learns its WAL resume point without re-scanning the log;
+    :func:`load_index_resume` hands it back.
 
     ``faults`` is the :mod:`repro.faults` hook (site ``index.save``);
     ``None`` — the default everywhere outside the chaos harness — costs
     a single comparison.
     """
-    doc = {
+    doc: Dict[str, object] = {
         "format": FORMAT_VERSION,
         "graph": graph_fingerprint(index.graph),
         "k": index.k,
@@ -80,6 +95,8 @@ def save_index(
             for pyramid in index.pyramids
         ],
     }
+    if resume is not None:
+        doc["resume"] = {key: int(value) for key, value in resume.items()}
     payload = json.dumps(doc)
     if faults is not None:
         action = faults.hit("index.save", path=str(path))
@@ -106,6 +123,21 @@ def load_index(
 
     ``faults`` is the :mod:`repro.faults` hook (site ``index.load``, the
     slow/stalled snapshot reader); ``None`` costs a single comparison.
+    """
+    index, _ = load_index_resume(graph, path, faults=faults)
+    return index
+
+
+def load_index_resume(
+    graph: Graph, path: PathLike, *, faults: "Optional[FaultPlan]" = None
+) -> Tuple[PyramidIndex, Dict[str, int]]:
+    """:func:`load_index` plus the stored resume metadata.
+
+    Returns ``(index, resume)`` where ``resume`` is the mapping passed to
+    :func:`save_index` (``{}`` for documents written before it existed).
+    Recovery callers — server restart and follower bootstrap both go
+    through ``repro.service.snapshots.recover_to`` — read their WAL
+    resume seq and epoch from here instead of re-scanning the log.
     """
     if faults is not None:
         action = faults.hit("index.load", path=str(path))
@@ -161,4 +193,6 @@ def load_index(
             pyramid.levels[int(level_str)] = partition
         index.pyramids.append(pyramid)
     index.check_consistency()
-    return index
+    raw_resume = doc.get("resume", {})
+    resume = {str(key): int(value) for key, value in raw_resume.items()}
+    return index, resume

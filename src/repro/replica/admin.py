@@ -1,0 +1,120 @@
+"""Failover orchestration: fence the deposed primary, promote a follower.
+
+:func:`promote` is the runbook behind ``repro-anc promote``:
+
+1. **Fence** the old primary at ``epoch + 1`` (best-effort — the usual
+   reason to fail over is that the primary is already dead). A fenced
+   primary refuses every further write down in the WAL itself, so no
+   in-flight handler can commit a record the promoted follower never
+   sees (split-brain prevention).
+2. **Drain**: wait for the follower to apply every record the fenced
+   primary had committed. Skipped when the primary was unreachable —
+   the follower's recovered log is then the authoritative prefix.
+3. **Promote** the follower under an epoch strictly above both nodes';
+   it re-opens its WAL for writes, stamps the new epoch on every
+   subsequent record, and starts answering ingest.
+
+Everything speaks the ordinary blocking :class:`ServiceClient`, so the
+helper works from the CLI, from tests, and from the chaos harness alike.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+from ..service.client import RetryPolicy, ServiceClient, ServiceError
+from .link import ReplicationError
+
+__all__ = ["promote", "replication_status"]
+
+Endpoint = Tuple[str, int]
+
+
+def _client(endpoint: Endpoint, timeout: float) -> ServiceClient:
+    return ServiceClient(
+        endpoint[0],
+        int(endpoint[1]),
+        timeout=timeout,
+        retry=RetryPolicy(attempts=2, base_delay=0.05),
+    )
+
+
+def promote(
+    follower: Endpoint,
+    *,
+    old_primary: Optional[Endpoint] = None,
+    timeout: float = 5.0,
+    catchup_timeout: float = 10.0,
+) -> Dict[str, object]:
+    """Fence ``old_primary`` (if reachable) and promote ``follower``.
+
+    Returns a summary dict: the promoted endpoint, its new epoch,
+    whether the old primary was actually fenced, and the committed
+    entry count the follower was required to reach before promotion.
+
+    Raises :class:`ReplicationError` when the follower cannot drain the
+    fenced primary's committed log within ``catchup_timeout`` — the
+    operator must not promote a follower missing acknowledged writes.
+    """
+    old_epoch = 0
+    old_entries: Optional[int] = None
+    fenced = False
+    if old_primary is not None:
+        try:
+            with _client(old_primary, timeout) as old:
+                ping = old.ping()
+                old_epoch = int(ping.get("epoch", 0))  # type: ignore[arg-type]
+                old.request("fence", epoch=old_epoch + 1, idempotent=False)
+                old_entries = int(  # type: ignore[arg-type]
+                    old.stats().get("wal_entries", 0)
+                )
+                fenced = True
+        except (ServiceError, OSError):  # anclint: disable=service-exception-discipline — a dead primary is the *expected* failover trigger; fencing is best-effort and the summary records fenced_old=False
+            pass
+    with _client(follower, timeout) as target:
+        ping = target.ping()
+        follower_epoch = int(ping.get("epoch", 0))  # type: ignore[arg-type]
+        if fenced and old_entries is not None:
+            _wait_caught_up(target, old_entries, catchup_timeout)
+        new_epoch = max(old_epoch, follower_epoch) + 1
+        resp = target.request("promote", epoch=new_epoch, idempotent=False)
+        return {
+            "promoted": f"{follower[0]}:{follower[1]}",
+            "epoch": int(resp.get("epoch", new_epoch)),  # type: ignore[arg-type]
+            "fenced_old": fenced,
+            "old_epoch": old_epoch,
+            "old_entries": old_entries,
+        }
+
+
+def _wait_caught_up(
+    target: ServiceClient, entries: int, catchup_timeout: float
+) -> None:
+    deadline = time.monotonic() + catchup_timeout
+    while True:
+        stats = target.stats()
+        applied = int(stats.get("wal_entries", stats.get("ingested", 0)))  # type: ignore[arg-type]
+        if applied >= entries:
+            return
+        if time.monotonic() >= deadline:
+            raise ReplicationError(
+                f"follower stuck at {applied}/{entries} committed records "
+                f"after {catchup_timeout:.1f}s; refusing to promote it"
+            )
+        time.sleep(0.05)
+
+
+def replication_status(
+    endpoint: Endpoint, *, timeout: float = 5.0
+) -> Dict[str, object]:
+    """One node's view of the topology (the ``repro-anc replicas`` body)."""
+    with _client(endpoint, timeout) as client:
+        resp = client.request("replicas")
+        return {
+            "endpoint": f"{endpoint[0]}:{endpoint[1]}",
+            "role": resp.get("role"),
+            "epoch": resp.get("epoch"),
+            "entries": resp.get("entries"),
+            "replicas": resp.get("replicas", {}),
+        }

@@ -1,0 +1,289 @@
+"""The follower side of WAL-shipping replication.
+
+:class:`ReplicationLink` runs inside the follower's event loop (started
+by :meth:`ANCServer.start` when the server is configured with
+``role="follower"`` and a primary endpoint). Its whole life is one loop:
+
+    fetch a chunk of committed WAL records from the primary
+      → verify the chunk is a contiguous extension of our log
+      → apply each record through :meth:`ANCServer.apply_replicated`
+      → ack our applied watermark (feeds the primary's lag gauges)
+      → periodically audit our engine signature against the primary's
+
+The link *pulls*: the primary keeps no per-follower cursor beyond the
+lag bookkeeping, so a follower that crashes and restarts simply resumes
+fetching from wherever its own recovered WAL ends. Chunks that arrive
+reordered or gapped (the ``replica.fetch`` fault site exercises both)
+are discarded wholesale and refetched — the WAL's seq contiguity check
+makes partial application impossible, so discarding is always safe.
+
+Divergence auditing compares :func:`~repro.service.snapshots.signature_digest`
+values, but only when both sides report the same applied count — a lagging
+follower is *behind*, not *wrong*. A genuine mismatch trips the server's
+sticky ``diverged`` state: the follower keeps replicating (so the operator
+can inspect how the logs disagree) but refuses snapshot queries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from typing import Dict, List, Optional, Tuple
+
+from ..core.activation import Activation
+from ..service.snapshots import WalRecord
+
+log = logging.getLogger("repro.replica")
+
+__all__ = ["ReplicationError", "ReplicationLink"]
+
+
+class ReplicationError(RuntimeError):
+    """A replication-protocol violation (refused fetch, stale primary...).
+
+    Raised inside the link's session loop and handled there: the session
+    is torn down and retried after ``reconnect_backoff``. It never
+    propagates out of :meth:`ReplicationLink.run`.
+    """
+
+
+def _decode_record(raw: object) -> WalRecord:
+    """Decode one ``wal_fetch`` wire record ``[seq, u, v, t, epoch, key]``."""
+    if not isinstance(raw, (list, tuple)) or len(raw) != 6:
+        raise ReplicationError(f"malformed wal_fetch record: {raw!r}")
+    seq, u, v, t, epoch, key = raw
+    try:
+        return WalRecord(
+            int(seq),  # type: ignore[arg-type]
+            Activation(int(u), int(v), float(t)),  # type: ignore[arg-type]
+            int(epoch),  # type: ignore[arg-type]
+            key if isinstance(key, str) and key else None,
+        )
+    except (TypeError, ValueError) as exc:
+        raise ReplicationError(f"malformed wal_fetch record: {raw!r}") from exc
+
+
+class ReplicationLink:
+    """Pull committed WAL records from a primary into a follower server.
+
+    Parameters
+    ----------
+    server:
+        The follower's :class:`~repro.service.server.ANCServer`. The link
+        reads ``server.role`` / ``server.crashed`` to know when to stop
+        and applies records via ``server.apply_replicated``.
+    primary:
+        ``(host, port)`` of the primary to replicate from.
+    replica_id:
+        Identity sent with every fetch/ack; keys the primary's
+        per-follower lag gauge.
+    """
+
+    def __init__(
+        self,
+        server: "object",
+        primary: Tuple[str, int],
+        *,
+        replica_id: str,
+        poll_interval: float = 0.02,
+        fetch_max: int = 512,
+        audit_interval: float = 0.25,
+        reconnect_backoff: float = 0.2,
+    ) -> None:
+        from ..service.server import ANCServer  # deferred: server imports us lazily
+
+        if not isinstance(server, ANCServer):
+            raise TypeError("ReplicationLink needs an ANCServer")
+        self.server = server
+        self.primary = (str(primary[0]), int(primary[1]))
+        self.replica_id = replica_id
+        self.poll_interval = float(poll_interval)
+        self.fetch_max = max(1, int(fetch_max))
+        self.audit_interval = float(audit_interval)
+        self.reconnect_backoff = float(reconnect_backoff)
+        self._stopped = False
+        self._last_audit = 0.0
+        self._primary_entries = 0
+        m = server.metrics
+        self._c_applied = m.counter("replica_records_applied")
+        self._c_refetches = m.counter("replica_refetches")
+        self._c_errors = m.counter("replica_link_errors")
+        self._c_audits = m.counter("replica_audits")
+        m.gauge("replication_lag", self._lag)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Ask the link to exit its loop (promotion calls this)."""
+        self._stopped = True
+
+    def _active(self) -> bool:
+        return (
+            not self._stopped
+            and self.server.role == "follower"
+            and not self.server.crashed
+        )
+
+    def _lag(self) -> float:
+        return float(max(0, self._primary_entries - self.server.host.ingested))
+
+    async def run(self) -> None:
+        """Reconnect loop: run sessions until stopped/promoted/crashed."""
+        while self._active():
+            try:
+                await self._session()
+            except asyncio.CancelledError:
+                raise
+            except (
+                OSError,
+                ConnectionError,
+                EOFError,
+                asyncio.IncompleteReadError,
+                json.JSONDecodeError,
+                ReplicationError,
+            ) as exc:
+                if not self._active():
+                    break
+                self._c_errors.inc()
+                log.warning(
+                    "replication session to %s:%d failed (%s); reconnecting",
+                    self.primary[0],
+                    self.primary[1],
+                    exc,
+                )
+            except Exception as exc:  # anclint: disable=service-exception-discipline — an injected crash in apply_replicated already crashed the server (checked below); anything else is logged and retried because a follower must outlive a flaky primary
+                if not self._active():
+                    break
+                self._c_errors.inc()
+                log.warning("replication session error (%s); reconnecting", exc)
+            if self._active():
+                await asyncio.sleep(self.reconnect_backoff)
+        log.info("replication link to %s:%d stopped", *self.primary)
+
+    # ------------------------------------------------------------------
+    # One connection's worth of work
+    # ------------------------------------------------------------------
+    async def _session(self) -> None:
+        reader, writer = await asyncio.open_connection(*self.primary)
+        try:
+            while self._active():
+                progressed = await self._fetch_once(reader, writer)
+                await self._maybe_audit(reader, writer)
+                if not progressed and self._active():
+                    await asyncio.sleep(self.poll_interval)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):  # anclint: disable=service-exception-discipline — the peer may have reset first; the socket is gone either way
+                pass
+
+    async def _request(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        doc: Dict[str, object],
+    ) -> Dict[str, object]:
+        writer.write(json.dumps(doc).encode("utf-8") + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ReplicationError("primary closed the connection mid-request")
+        decoded = json.loads(line.decode("utf-8"))
+        if not isinstance(decoded, dict):
+            raise ReplicationError(f"malformed response: {decoded!r}")
+        return decoded
+
+    async def _fetch_once(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Fetch + apply one chunk. Returns True when progress was made."""
+        start = self.server.host.ingested
+        resp = await self._request(
+            reader,
+            writer,
+            {
+                "op": "wal_fetch",
+                "from_seq": start,
+                "max": self.fetch_max,
+                "follower": self.replica_id,
+            },
+        )
+        if not resp.get("ok", False):
+            raise ReplicationError(
+                f"wal_fetch refused: {resp.get('error_type')}: {resp.get('error')}"
+            )
+        self._primary_entries = int(resp.get("entries", 0))  # type: ignore[arg-type]
+        peer_epoch = int(resp.get("epoch", 0))  # type: ignore[arg-type]
+        if peer_epoch and peer_epoch < self.server.epoch:
+            # A deposed primary still answering: its *committed* prefix is
+            # legal to consume, but our own epoch can only come from the
+            # records themselves — refusing here keeps a stale node from
+            # feeding us anything past the fence (apply_replicated would
+            # also refuse, record by record).
+            raise ReplicationError(
+                f"primary at stale epoch {peer_epoch} < ours {self.server.epoch}"
+            )
+        raw = resp.get("records")
+        if not isinstance(raw, list) or not raw:
+            return False
+        records: List[WalRecord] = [_decode_record(r) for r in raw]
+        if [r.seq for r in records] != list(range(start, start + len(records))):
+            # Gapped or reordered chunk (e.g. the replica.fetch "reorder"
+            # injector). Nothing was applied — discard and refetch.
+            self._c_refetches.inc()
+            log.warning(
+                "discarding non-contiguous chunk from seq %d (%d records)",
+                start,
+                len(records),
+            )
+            return True
+        for record in records:
+            await self.server.apply_replicated(record)
+        self._c_applied.inc(len(records))
+        await self._request(
+            reader,
+            writer,
+            {
+                "op": "replica_ack",
+                "follower": self.replica_id,
+                "applied": self.server.host.ingested,
+            },
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Divergence auditing
+    # ------------------------------------------------------------------
+    async def _maybe_audit(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if self.audit_interval <= 0:
+            return
+        now = asyncio.get_running_loop().time()
+        if now - self._last_audit < self.audit_interval:
+            return
+        self._last_audit = now
+        resp = await self._request(reader, writer, {"op": "signature"})
+        if not resp.get("ok", False):
+            # A primary mid-shutdown may refuse; auditing is best-effort.
+            return
+        ours = await self.server.host.signature()
+        self._c_audits.inc()
+        if int(resp.get("applied", -1)) != int(  # type: ignore[arg-type]
+            ours.get("applied", -2)  # type: ignore[arg-type]
+        ):
+            return  # lagging, not diverged — compare only like with like
+        theirs: Optional[object] = resp.get("digest")
+        if isinstance(theirs, str) and theirs != ours.get("digest"):
+            self.server.mark_diverged(
+                f"signature mismatch at applied={ours.get('applied')}: "
+                f"primary {theirs[:12]}… vs follower "
+                f"{str(ours.get('digest'))[:12]}…"
+            )

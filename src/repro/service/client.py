@@ -25,6 +25,14 @@ Resilience semantics (the full contract is in ``docs/faults.md``):
   ``cooldown`` seconds, then a half-open probe decides.  Breaker state
   and client retry counters are appended to :meth:`metrics_text` as
   Prometheus samples next to the server's own.
+* **Failover.**  Given a ``failover`` endpoint list the client rotates
+  to the next endpoint on transport failures and on ``FENCED`` /
+  ``READ_ONLY`` / stale-epoch refusals (a deposed primary, or a
+  follower that has not been promoted yet), so one client object rides
+  out a replica failover (docs/replication.md).  ``RETRY_AFTER`` shed
+  windows are honoured *per endpoint*: an overloaded primary's
+  back-off hint never delays a request that can go to a different
+  node, and rotation skips endpoints still inside their window.
 """
 
 from __future__ import annotations
@@ -190,7 +198,10 @@ class ServiceClient:
     ``timeout`` is the default per-operation (and connect) deadline;
     individual :meth:`request` calls may override it.  ``retry`` and
     ``breaker`` default to :class:`RetryPolicy()` and
-    :class:`CircuitBreaker()`.
+    :class:`CircuitBreaker()`.  ``failover`` lists additional
+    ``(host, port)`` endpoints (typically the standbys of a replicated
+    deployment) the client rotates through when the current endpoint is
+    unreachable, fenced, read-only, or answering from a stale epoch.
     """
 
     def __init__(
@@ -201,17 +212,32 @@ class ServiceClient:
         timeout: float = 30.0,
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
+        failover: Optional[Sequence[Tuple[str, int]]] = None,
     ) -> None:
         self._host = host
-        self._port = port
+        self._port = int(port)
         self._timeout = timeout
         self.retry = retry if retry is not None else RetryPolicy()
         self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._endpoints: List[Tuple[str, int]] = [(str(host), int(port))]
+        for extra_host, extra_port in failover or ():
+            endpoint = (str(extra_host), int(extra_port))
+            if endpoint not in self._endpoints:
+                self._endpoints.append(endpoint)
+        self._cursor = 0
+        #: Per-endpoint monotonic deadline before which the server asked
+        #: us not to resend (RETRY_AFTER).  Keyed by endpoint index so an
+        #: overloaded node's shed window never throttles its peers.
+        self._shed_until: Dict[int, float] = {}
         self._rng = random.Random(self.retry.seed)
         #: Requests re-sent after a transport failure or RETRY_AFTER.
         self.retries = 0
         #: Successful re-connections after losing an established one.
         self.reconnects = 0
+        #: Endpoint rotations (transport failover + fenced/read-only/stale).
+        self.failovers = 0
+        #: Highest replication epoch seen in any response envelope.
+        self.last_epoch = 0
         self._batch_seq = 0
         self._session = f"{os.getpid()}-{next(_CLIENT_IDS)}"
         self._sock: Optional[socket.socket] = None
@@ -219,38 +245,87 @@ class ServiceClient:
         self._connect()
 
     # -- plumbing ---------------------------------------------------------
-    def _connect(self) -> None:
-        """Establish the connection, retrying refusals with backoff.
+    def _advance_endpoint(self) -> None:
+        """Rotate to the next usable endpoint (no-op with a single one).
 
-        Raises :class:`ServiceTimeout` when the connect deadline expires
-        (the server is reachable but not answering — waiting longer is a
-        different failure than "nothing listens there") and
-        :class:`ServiceConnectError` once refusals exhaust the budget.
+        Prefers the first endpoint past its ``RETRY_AFTER`` shed window;
+        when every endpoint is still inside one, plain round-robin — the
+        per-attempt backoff in :meth:`request` provides the waiting.
+        """
+        count = len(self._endpoints)
+        if count <= 1:
+            return
+        now = time.monotonic()
+        chosen = (self._cursor + 1) % count
+        for step in range(1, count):
+            candidate = (self._cursor + step) % count
+            if self._shed_until.get(candidate, 0.0) <= now:
+                chosen = candidate
+                break
+        self._cursor = chosen
+        self._host, self._port = self._endpoints[chosen]
+        self.failovers += 1
+
+    def _observe_epoch(self, response: Dict[str, object]) -> int:
+        """Track the topology's epoch; returns the pre-update watermark."""
+        previous = self.last_epoch
+        for field in ("epoch", "fenced_by"):
+            value = response.get(field)
+            if isinstance(value, int):
+                self.last_epoch = max(self.last_epoch, value)
+        return previous
+
+    def _connect(self) -> None:
+        """Establish a connection, retrying refusals with backoff.
+
+        With one endpoint this raises :class:`ServiceTimeout` when the
+        connect deadline expires (the server is reachable but not
+        answering — waiting longer is a different failure than "nothing
+        listens there") and :class:`ServiceConnectError` once refusals
+        exhaust the budget.  With a failover list every endpoint is
+        tried each attempt (rotating on refusal *and* timeout) before
+        backing off.
         """
         attempts = max(1, self.retry.attempts)
-        last: Optional[OSError] = None
+        single = len(self._endpoints) == 1
+        last: Optional[ServiceError] = None
+        cause: Optional[OSError] = None
         for attempt in range(attempts):
             if attempt > 0:
                 self._sleep(self.retry.delay(attempt - 1, self._rng))
-            try:
-                sock = socket.create_connection(
-                    (self._host, self._port), timeout=self._timeout
-                )
-            except socket.timeout as exc:
-                raise ServiceTimeout(
-                    f"connecting to {self._host}:{self._port} timed out "
-                    f"after {self._timeout}s"
-                ) from exc
-            except OSError as exc:  # anclint: disable=service-exception-discipline — refusal is retried; exhaustion raises ServiceConnectError from the stored cause below
-                last = exc
-                continue
-            self._sock = sock
-            self._file = sock.makefile("rwb")
-            return
+            for _ in range(len(self._endpoints)):
+                host, port = self._endpoints[self._cursor]
+                try:
+                    sock = socket.create_connection(
+                        (host, port), timeout=self._timeout
+                    )
+                except socket.timeout as exc:
+                    timed_out = ServiceTimeout(
+                        f"connecting to {host}:{port} timed out "
+                        f"after {self._timeout}s"
+                    )
+                    if single:
+                        raise timed_out from exc
+                    last, cause = timed_out, exc
+                    self._advance_endpoint()
+                    continue
+                except OSError as exc:  # anclint: disable=service-exception-discipline — refusal is retried (on the next endpoint when there is one); exhaustion raises ServiceConnectError from the stored cause below
+                    last = ServiceConnectError(
+                        f"cannot connect to {host}:{port}: {exc}"
+                    )
+                    cause = exc
+                    self._advance_endpoint()
+                    continue
+                self._sock = sock
+                self._file = sock.makefile("rwb")
+                self._host, self._port = host, port
+                return
+        if isinstance(last, ServiceTimeout):
+            raise last from cause
+        targets = ", ".join(f"{h}:{p}" for h, p in self._endpoints)
         raise ServiceConnectError(
-            f"cannot connect to {self._host}:{self._port} after "
-            f"{attempts} attempts: {last}"
-        ) from last
+            f"cannot connect to {targets} after {attempts} attempts: {cause}"
+        ) from cause
 
     def _teardown(self) -> None:
         """Drop the broken connection (reconnect happens lazily on retry)."""
@@ -300,6 +375,16 @@ class ServiceClient:
         (with backoff) while ``idempotent`` is true; other error
         envelopes raise :class:`ServiceError` immediately with the
         server's ``error_type`` as :attr:`ServiceError.code`.
+
+        With a failover list, transport failures rotate endpoints, and
+        three refusals become retryable by rotating instead of raising:
+        ``FENCED`` / ``READ_ONLY`` (this node cannot take writes — some
+        peer presumably can) and an ``ok`` answer stamped with an epoch
+        below the highest this client has seen (a deposed primary still
+        answering; its reads may be arbitrarily stale).  ``RETRY_AFTER``
+        is honoured per endpoint: the shed node's window is recorded,
+        and the request goes immediately to a peer outside its own
+        window when one exists.
         """
         if not self.breaker.allow():
             raise ServiceUnavailable(
@@ -330,15 +415,34 @@ class ServiceClient:
                 response = self._round_trip(payload, timeout)
             except socket.timeout:
                 self._teardown()
+                self._advance_endpoint()
                 last_error = ServiceTimeout(
                     f"{op} timed out after {timeout or self._timeout}s"
                 )
                 continue
             except (ConnectionError, OSError) as exc:
                 self._teardown()
+                self._advance_endpoint()
                 last_error = ServiceConnectError(f"connection lost during {op}: {exc}")
                 continue
+            epoch_seen = self._observe_epoch(response)
             if response.get("ok"):
+                epoch = response.get("epoch")
+                if (
+                    len(self._endpoints) > 1
+                    and isinstance(epoch, int)
+                    and 0 < epoch < epoch_seen
+                ):
+                    # A deposed node still answering: its data predates
+                    # the fence.  Ask a peer instead.
+                    last_error = ServiceError(
+                        f"{op} answered from stale epoch {epoch} "
+                        f"(newest seen: {epoch_seen})",
+                        code="STALE_EPOCH",
+                    )
+                    self._teardown()
+                    self._advance_endpoint()
+                    continue
                 self.breaker.record_success()
                 return response
             error_type = str(response.get("error_type", "INTERNAL"))
@@ -351,7 +455,24 @@ class ServiceClient:
                     else self.retry.base_delay
                 )
                 last_error = ServiceRetryAfter(message, retry_after=retry_after)
-                next_delay = min(retry_after, self.retry.max_delay)
+                shed_endpoint = self._cursor
+                self._shed_until[shed_endpoint] = time.monotonic() + retry_after
+                self._advance_endpoint()
+                if self._cursor != shed_endpoint:
+                    # A peer outside its own shed window can take this
+                    # request now; the overloaded node's hint only
+                    # throttles the overloaded node.
+                    self._teardown()
+                    next_delay = 0.0
+                else:
+                    next_delay = min(retry_after, self.retry.max_delay)
+                continue
+            if error_type in ("FENCED", "READ_ONLY") and len(self._endpoints) > 1:
+                # This node cannot take the write, but a peer (the newly
+                # promoted primary) presumably can.
+                last_error = ServiceError(message, code=error_type)
+                self._teardown()
+                self._advance_endpoint()
                 continue
             # The server answered: it is alive.  Surface its error as-is
             # without moving the breaker or burning retries.
@@ -388,6 +509,8 @@ class ServiceClient:
         samples: List[Tuple[str, str, float]] = [
             ("retries_total", "counter", float(self.retries)),
             ("reconnects_total", "counter", float(self.reconnects)),
+            ("failovers_total", "counter", float(self.failovers)),
+            ("last_epoch", "gauge", float(self.last_epoch)),
             ("breaker_opened_total", "counter", float(self.breaker.opened_total)),
             ("breaker_failures", "gauge", float(self.breaker.failures)),
             ("breaker_state", "gauge", states.get(self.breaker.state, -1.0)),

@@ -27,10 +27,17 @@ from typing import Callable, Dict, List, Optional, Tuple, TypeVar
 from ..core.activation import Activation
 from ..core.anc import ANCEngineBase
 from ..monitor import ClusterChange, ClusterWatcher
-from .errors import Overloaded
+from .errors import Fenced, Overloaded
 from .ingest import MicroBatcher
 from .metrics import MetricsRegistry
-from .snapshots import CheckpointStore, WriteAheadLog, apply_activations
+from .snapshots import (
+    CheckpointStore,
+    WalCorruptError,
+    WalRecord,
+    WriteAheadLog,
+    apply_activations,
+    signature_digest,
+)
 
 __all__ = ["EngineHost", "PublishedState"]
 
@@ -140,6 +147,9 @@ class EngineHost:
         self.checkpoints = checkpoints
         self.checkpoint_every = checkpoint_every
         self.shed_watermark = shed_watermark
+        #: Primary epoch this host serves under; stamped into checkpoints
+        #: and (via the WAL) into records.  The server keeps it in sync.
+        self.epoch = 0
         self.metrics = metrics or MetricsRegistry()
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="anc-writer"
@@ -193,12 +203,15 @@ class EngineHost:
         """Monotonize a client timestamp against the stream clock."""
         return t if t > self._last_t else self._last_t
 
-    async def ingest(self, act: Activation) -> int:
+    async def ingest(self, act: Activation, *, key: Optional[str] = None) -> int:
         """Log + enqueue one activation; returns its sequence number.
 
         The caller must pass a clamped (monotonic) timestamp — see
         :meth:`clamp_time`.  Awaiting the bounded queue is the
         backpressure: acknowledgements are delayed, not dropped.
+        ``key`` is the idempotency key of the keyed batch the activation
+        belongs to (persisted in the WAL record; see
+        :mod:`~repro.service.snapshots`).
         """
         if self._closed:
             raise RuntimeError("host is closed")
@@ -219,12 +232,46 @@ class EngineHost:
             )
         self._last_t = act.t
         if self.wal is not None:
-            self.wal.append(act)
+            self.wal.append(act, key=key)
         seq = self._ingested
         self._ingested += 1
         self._c_ingested.inc()
         await self.batcher.submit(act)
         return seq
+
+    async def apply_replicated(self, record: WalRecord) -> int:
+        """Apply one record shipped from a primary (the follower path).
+
+        The record keeps the *primary's* seq/epoch/key, so the local WAL
+        stays a byte-identical prefix of the primary's; gap and
+        stale-epoch refusal live in
+        :meth:`~repro.service.snapshots.WriteAheadLog.append_record` (or
+        are checked here for a WAL-less host).  Returns the applied seq.
+        """
+        if self._closed:
+            raise RuntimeError("host is closed")
+        if self.wal is not None:
+            self.wal.append_record(record)
+        else:
+            if record.seq != self._ingested:
+                raise WalCorruptError(
+                    f"replication gap: expected seq {self._ingested}, "
+                    f"got {record.seq}"
+                )
+            if record.epoch < self.epoch:
+                raise Fenced(
+                    f"replicated record seq {record.seq} carries epoch "
+                    f"{record.epoch} < {self.epoch}; refusing a deposed "
+                    f"primary's write",
+                    epoch=record.epoch,
+                    fenced_by=self.epoch,
+                )
+        self.epoch = max(self.epoch, record.epoch)
+        self._last_t = max(self._last_t, record.act.t)
+        self._ingested = record.seq + 1
+        self._c_ingested.inc()
+        await self.batcher.submit(record.act)
+        return record.seq
 
     # ------------------------------------------------------------------
     # Writer loop
@@ -441,12 +488,29 @@ class EngineHost:
         """
         if self.checkpoints is None:
             return None
+        checkpoints = self.checkpoints
         path = await self._run_on_writer(
-            self.checkpoints.write_checkpoint, self.engine
+            lambda: checkpoints.write_checkpoint(self.engine, epoch=self.epoch)
         )
         self._since_checkpoint = 0
         self._last_checkpoint_at = time.monotonic()
         return str(path)
+
+    async def signature(self) -> Dict[str, object]:
+        """Digest + applied count, computed quiescently on the writer thread.
+
+        Running on the writer serializes the fingerprint with batch
+        application, so it always captures a between-batches state — the
+        precondition for the divergence auditor's primary/follower
+        comparison (docs/replication.md).
+        """
+        def compute() -> Dict[str, object]:
+            return {
+                "digest": signature_digest(self.engine),
+                "applied": self.engine.activations_processed,
+            }
+
+        return await self._run_on_writer(compute)
 
     async def close(self, run_task: Optional["asyncio.Task"] = None) -> None:
         """Stop ingest, drain the queue, final-checkpoint, shut down.
@@ -464,6 +528,22 @@ class EngineHost:
             await run_task
         if self.checkpoints is not None:
             await self.checkpoint()
+        self._executor.shutdown(wait=True)
+        for _, future in self._applied_waiters:
+            if not future.done():
+                future.cancel()
+        self._applied_waiters.clear()
+
+    async def abort(self) -> None:
+        """Hard-stop (simulated ``kill -9``): no drain, no final checkpoint.
+
+        The chaos harness uses this to model sudden process death on a
+        live server: whatever the queue held is lost from memory and must
+        come back from the WAL, exactly as a real crash would leave it.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._executor.shutdown(wait=True)
         for _, future in self._applied_waiters:
             if not future.done():

@@ -6,10 +6,14 @@ Every failed request is answered with::
 
 where ``error_type`` is a small closed vocabulary clients can branch on
 (``BAD_REQUEST`` / ``UNKNOWN_OP`` / ``RETRY_AFTER`` / ``UNAVAILABLE`` /
-``INTERNAL``) instead of parsing prose.  ``RETRY_AFTER`` additionally
-carries a ``retry_after`` hint in seconds — the overload-shedding
-contract: the server rejected the work *cheaply* and tells the client
-when the queue is likely to have drained (docs/faults.md).
+``FENCED`` / ``READ_ONLY`` / ``DIVERGED`` / ``INTERNAL``) instead of
+parsing prose.  ``RETRY_AFTER`` additionally carries a ``retry_after``
+hint in seconds — the overload-shedding contract: the server rejected
+the work *cheaply* and tells the client when the queue is likely to
+have drained (docs/faults.md).  ``FENCED`` / ``READ_ONLY`` /
+``DIVERGED`` are the replication vocabulary (docs/replication.md): a
+deposed primary, a follower asked to write, and a follower whose state
+no longer matches its primary.
 
 :func:`fault_response` is the only place exceptions become protocol
 envelopes; the ``service-exception-discipline`` lint rule counts a
@@ -22,7 +26,10 @@ from typing import Dict
 
 __all__ = [
     "BadRequest",
+    "Diverged",
+    "Fenced",
     "Overloaded",
+    "ReadOnly",
     "ServiceFault",
     "Unavailable",
     "UnknownOp",
@@ -79,6 +86,48 @@ class Overloaded(ServiceFault):
         doc = super().to_response()
         doc["retry_after"] = self.retry_after
         return doc
+
+
+class Fenced(ServiceFault):
+    """This node's epoch has been superseded: its writes must be refused.
+
+    Raised on the old primary's write path after a promotion stamped a
+    higher ``fenced_by`` epoch into its WAL (docs/replication.md).  The
+    envelope carries both epochs so a client can tell a fenced node from
+    a merely-confused one and rotate to the new primary.
+    """
+
+    code = "FENCED"
+
+    def __init__(self, message: str, *, epoch: int = 0, fenced_by: int = 0) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+        self.fenced_by = fenced_by
+
+    def to_response(self) -> Dict[str, object]:
+        doc = super().to_response()
+        doc["epoch"] = self.epoch
+        doc["fenced_by"] = self.fenced_by
+        return doc
+
+
+class ReadOnly(ServiceFault):
+    """A follower refuses writes: only the primary appends to the WAL."""
+
+    code = "READ_ONLY"
+
+
+class Diverged(ServiceFault):
+    """The divergence auditor found this follower's state is wrong.
+
+    Sticky by design — once a follower's engine signature disagrees with
+    its primary at the same applied count, serving clusters from it
+    would be serving silently-wrong answers, which the chaos contract
+    forbids.  Stats and health ops still answer so operators can see the
+    condition.
+    """
+
+    code = "DIVERGED"
 
 
 def fault_response(exc: BaseException) -> Dict[str, object]:

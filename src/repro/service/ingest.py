@@ -128,8 +128,16 @@ class MicroBatcher:
             if remaining <= 0:
                 break
             try:
-                item = await asyncio.wait_for(self._queue.get(), remaining)
-            except asyncio.TimeoutError:
+                # asyncio.timeout (not wait_for): wait_for wraps the get in
+                # an inner task, and on 3.11 an *external* cancel that races
+                # an available item is swallowed (wait_for returns the item
+                # and the CancelledError is lost) — the writer task would
+                # then out-live the server's crash-path ``cancel()`` forever.
+                # timeout() keeps the get in this task, so cancellation
+                # always propagates and no dequeued item can be stranded.
+                async with asyncio.timeout(remaining):
+                    item = await self._queue.get()
+            except TimeoutError:
                 break
             if item is _SENTINEL:
                 self._drained = True

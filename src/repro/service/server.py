@@ -18,25 +18,37 @@ On startup with a ``data_dir`` the server first recovers: newest
 complete checkpoint + WAL tail replay (see
 :mod:`~repro.service.snapshots`), so a ``kill -9`` loses nothing that
 was acknowledged.
+
+A server runs as the ``primary`` (writable) or as a ``follower`` — a
+warm standby that pulls committed WAL records from its primary
+(``wal_fetch``/``replica_ack`` ops, driven by
+:class:`repro.replica.link.ReplicationLink`), serves read-only snapshot
+queries and can be promoted on failover.  Every response envelope is
+stamped with the node's ``epoch`` and ``role``; epoch fencing and the
+divergence auditor are documented in ``docs/replication.md``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import logging
+import re
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
     Callable,
+    Deque,
     Dict,
     Hashable,
     List,
     Optional,
     Sequence,
+    Set,
     Union,
 )
 
@@ -46,10 +58,17 @@ from ..graph.graph import Graph, edge_key
 from ..obs.export import chrome_trace, render_prometheus
 from ..obs.trace import Observability, Tracer
 from .engine_host import EngineHost
-from .errors import Overloaded, UnknownOp, fault_response
+from .errors import (
+    Diverged,
+    Fenced,
+    Overloaded,
+    ReadOnly,
+    UnknownOp,
+    fault_response,
+)
 from .ingest import MicroBatcher
 from .metrics import MetricsRegistry
-from .snapshots import CheckpointStore, WriteAheadLog, recover_engine
+from .snapshots import CheckpointStore, WalRecord, WriteAheadLog, recover_to
 
 if TYPE_CHECKING:  # hook-only dependency (see repro.faults)
     from ..faults.plan import FaultPlan
@@ -93,6 +112,21 @@ class ServerConfig:
     degraded_hold: float = 5.0
     #: Remembered ``ingest_batch`` keys for idempotent resend (LRU bound).
     dedup_capacity: int = 1024
+    #: Role of this node: ``primary`` (writable) or ``follower`` (a
+    #: read-only replica; pair with ``primary_host``/``primary_port``).
+    role: str = "primary"
+    #: Endpoint of the primary a follower replicates from.
+    primary_host: Optional[str] = None
+    primary_port: int = 0
+    #: Identity under which a follower acks (default ``host:port``).
+    replica_id: str = ""
+    #: In-memory WAL tail kept for followers, so ``wal_fetch`` is served
+    #: without touching the disk until a follower falls far behind.
+    wal_tail_capacity: int = 4096
+    #: Follower fetch cadence while caught up (seconds).
+    poll_interval: float = 0.02
+    #: Divergence-audit cadence on a follower (seconds; 0 = disabled).
+    audit_interval: float = 0.25
     #: Fault-injection plan (:mod:`repro.faults`); ``None`` = disarmed.
     faults: "Optional[FaultPlan]" = None
 
@@ -150,22 +184,46 @@ class ANCServer:
             else {}
         )
 
+        if self.config.role not in ("primary", "follower"):
+            raise ValueError(
+                f"unknown role {self.config.role!r}; expected "
+                f"'primary' or 'follower'"
+            )
+
         self._faults = self.config.faults
         store: Optional[CheckpointStore] = None
         wal: Optional[WriteAheadLog] = None
+        recovered_epoch = 0
+        recovered_dedup: "OrderedDict[str, _BatchEntry]" = OrderedDict()
         if self.config.data_dir is not None:
             store = CheckpointStore(self.config.data_dir, faults=self._faults)
-            engine, replayed = recover_engine(
+            recovery = recover_to(
                 graph,
                 store,
                 params=params,
                 engine_name=self.config.engine.upper(),
             )
-            if replayed or engine.activations_processed:
+            engine = recovery.engine
+            recovered_epoch = recovery.epoch
+            # Rebuild the exactly-once dedup map from the keyed WAL
+            # records (capped to the newest ``dedup_capacity`` keys), so
+            # a client resend that straddles the restart resumes instead
+            # of double-applying.
+            for key, (done, last_seq) in list(recovery.dedup.items())[
+                -max(1, self.config.dedup_capacity):
+            ]:
+                entry = _BatchEntry()
+                entry.done = done
+                entry.last_seq = last_seq
+                recovered_dedup[key] = entry
+            if recovery.replayed or engine.activations_processed:
                 log.info(
-                    "recovered engine at %d activations (%d replayed from WAL)",
+                    "recovered engine at %d activations (%d replayed from "
+                    "WAL, epoch %d, %d dedup keys)",
                     engine.activations_processed,
-                    replayed,
+                    recovery.replayed,
+                    recovery.epoch,
+                    len(recovered_dedup),
                 )
             wal = WriteAheadLog(store.wal_path, faults=self._faults)
         else:
@@ -204,10 +262,47 @@ class ANCServer:
         # Graceful-degradation state: sticks for ``degraded_hold`` seconds
         # after the last shed/eviction so operators see transients.
         self._degraded_until = 0.0
-        self._dedup: "OrderedDict[str, _BatchEntry]" = OrderedDict()
+        self._dedup: "OrderedDict[str, _BatchEntry]" = recovered_dedup
+
+        # -- replication state (docs/replication.md) -------------------
+        #: ``primary`` | ``follower`` (promote flips a follower live).
+        self.role = self.config.role
+        #: This node's primary epoch — the fencing token.  A fresh
+        #: primary starts at 1 (0 marks pre-replication data); followers
+        #: adopt the epochs of the records they apply.
+        self.epoch = (
+            max(recovered_epoch, 1)
+            if self.role == "primary"
+            else recovered_epoch
+        )
+        #: Highest epoch a ``fence`` op stamped on this node; writes are
+        #: refused while ``fenced_by > epoch`` (the deposed primary).
+        self.fenced_by = 0
+        #: Sticky divergence-audit verdict; ``None`` = consistent.
+        self.diverged: Optional[str] = None
+        #: The follower's replication link (started by :meth:`start`).
+        self.replication: Optional[object] = None
+        self.host.epoch = self.epoch
+        if wal is not None:
+            wal.epoch = self.epoch
+            wal.on_append = self._on_wal_append
+        #: Recent committed records served to followers without a file scan.
+        self._wal_tail: Deque[WalRecord] = deque(
+            maxlen=max(1, self.config.wal_tail_capacity)
+        )
+        #: follower id -> {"applied": int, "last_seen": monotonic seconds}.
+        self._replicas: Dict[str, Dict[str, float]] = {}
+        self._crashed = False
+        self._conns: Set[asyncio.StreamWriter] = set()
+
         self._c_evictions = self.metrics.counter("slow_reader_evictions")
         self._c_dedup = self.metrics.counter("ingest_dedup_hits")
+        self._c_fetch = self.metrics.counter("wal_fetch_served")
         self.metrics.gauge("degraded", lambda: 1.0 if self.degraded else 0.0)
+        self.metrics.gauge("epoch", lambda: float(self.epoch))
+        self.metrics.gauge(
+            "replica_diverged", lambda: 1.0 if self.diverged else 0.0
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -232,7 +327,27 @@ class ANCServer:
                     self._checkpoint_loop(self.config.checkpoint_interval)
                 )
             )
-        log.info("serving on %s:%d", self.config.host, self.port)
+        if self.role == "follower" and self.config.primary_host is not None:
+            # Deferred import: repro.replica builds on this module.
+            from ..replica.link import ReplicationLink
+
+            link = ReplicationLink(
+                self,
+                (self.config.primary_host, int(self.config.primary_port)),
+                replica_id=self.config.replica_id
+                or f"{self.config.host}:{self.port}",
+                poll_interval=self.config.poll_interval,
+                audit_interval=self.config.audit_interval,
+            )
+            self.replication = link
+            self._background.append(asyncio.create_task(link.run()))
+        log.info(
+            "serving on %s:%d as %s (epoch %d)",
+            self.config.host,
+            self.port,
+            self.role,
+            self.epoch,
+        )
 
     async def serve_forever(self) -> None:
         """Run until :meth:`stop` (or a client ``shutdown``), then drain."""
@@ -265,6 +380,22 @@ class ANCServer:
         if self._server is not None:
             await self._shutdown()
 
+    def _crash(self) -> None:
+        """Simulated ``kill -9`` (chaos only): die *now*, clean up nothing.
+
+        Every connection is aborted mid-conversation, the queue is
+        dropped on the floor and no final checkpoint is cut — recovery
+        must come from the WAL plus the last complete checkpoint alone,
+        exactly like a real sudden process death.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        log.warning("injected crash: hard-stopping the server")
+        for writer in list(self._conns):
+            writer.transport.abort()
+        self.request_stop()
+
     async def _shutdown(self) -> None:
         if self._server is None:
             return
@@ -279,11 +410,24 @@ class ANCServer:
             except asyncio.CancelledError:
                 pass
         self._background.clear()
-        # Drain the queue, cut a final checkpoint, stop the writer.
-        await self.host.close(self._run_task)
+        if self._crashed:
+            # kill -9 semantics: no drain, no final checkpoint.
+            if self._run_task is not None:
+                self._run_task.cancel()
+                try:
+                    await self._run_task
+                except asyncio.CancelledError:
+                    pass
+            await self.host.abort()
+        else:
+            # Drain the queue, cut a final checkpoint, stop the writer.
+            await self.host.close(self._run_task)
         if self.host.wal is not None:
             self.host.wal.close()
-        log.info("shut down cleanly at %d activations", self.host.applied)
+        if self._crashed:
+            log.info("crashed hard at %d applied activations", self.host.applied)
+        else:
+            log.info("shut down cleanly at %d activations", self.host.applied)
 
     async def _metrics_loop(self, interval: float) -> None:
         while True:
@@ -312,6 +456,126 @@ class ANCServer:
 
     def _note_degraded(self) -> None:
         self._degraded_until = time.monotonic() + self.config.degraded_hold
+
+    # ------------------------------------------------------------------
+    # Replication plumbing (docs/replication.md)
+    # ------------------------------------------------------------------
+    @property
+    def fenced(self) -> bool:
+        """True once a newer primary's fence deposed this node."""
+        return self.fenced_by > self.epoch
+
+    @property
+    def crashed(self) -> bool:
+        """True after an injected hard crash; the replication link exits."""
+        return self._crashed
+
+    def _require_writable(self) -> None:
+        """Refuse writes on any node that is not the live primary."""
+        if self.role != "primary":
+            raise ReadOnly(
+                f"this node is a {self.role}; ingest goes to the primary"
+            )
+        if self.fenced:
+            raise Fenced(
+                f"this primary (epoch {self.epoch}) was deposed by epoch "
+                f"{self.fenced_by}; ingest goes to the new primary",
+                epoch=self.epoch,
+                fenced_by=self.fenced_by,
+            )
+
+    def _require_queryable(self) -> None:
+        """Refuse cluster queries once the divergence auditor tripped."""
+        if self.diverged is not None:
+            raise Diverged(
+                f"refusing cluster queries on diverged state: {self.diverged}"
+            )
+
+    def mark_diverged(self, detail: str) -> None:
+        """Trip the sticky ``diverged`` state (divergence auditor verdict)."""
+        if self.diverged is None:
+            self.diverged = detail
+            self._note_degraded()
+            log.error("replica diverged: %s", detail)
+
+    def _on_wal_append(self, record: WalRecord) -> None:
+        # Fires on the event-loop thread (both host.ingest and
+        # apply_replicated run there), so the deque needs no lock.
+        self._wal_tail.append(record)
+
+    def _wal_entries(self) -> int:
+        """Committed records in this node's log (the replication head)."""
+        wal = self.host.wal
+        return wal.entries if wal is not None else self.host.ingested
+
+    def _wal_slice(self, from_seq: int, limit: int) -> List[WalRecord]:
+        """Records ``[from_seq, from_seq + limit)`` — tail buffer first.
+
+        Falls back to a file scan when the follower is further behind
+        than the in-memory tail reaches; a WAL-less (in-memory) node can
+        only serve what its tail buffer still holds.
+        """
+        tail = self._wal_tail
+        if tail and tail[0].seq <= from_seq:
+            return [r for r in tail if r.seq >= from_seq][:limit]
+        if from_seq >= self._wal_entries() or self.host.wal is None:
+            return []
+        return list(
+            itertools.islice(
+                WriteAheadLog.replay_records(self.host.wal.path, skip=from_seq),
+                limit,
+            )
+        )
+
+    def _note_replica(self, follower: str, applied: int) -> None:
+        """Record a follower's progress; lazily register its lag gauge."""
+        info = self._replicas.get(follower)
+        if info is None:
+            info = self._replicas[follower] = {"applied": 0.0, "last_seen": 0.0}
+            gauge = "replica_lag_" + re.sub(r"\W", "_", follower)
+            self.metrics.gauge(
+                gauge,
+                lambda f=follower: float(
+                    max(0, self._wal_entries() - int(self._replicas[f]["applied"]))
+                ),
+            )
+        info["applied"] = max(info["applied"], float(applied))
+        info["last_seen"] = time.monotonic()
+
+    async def apply_replicated(self, record: WalRecord) -> int:
+        """Apply one fetched primary record (called by the follower link).
+
+        Beyond the host's WAL-level gap/epoch refusal this maintains the
+        server-side exactly-once dedup map, so a client batch resent
+        across a failover resumes on the promoted follower exactly where
+        the old primary's replicated records left it.
+        """
+        if self.role != "follower":
+            raise ReadOnly("only a follower applies replicated records")
+        if self._faults is not None:
+            action = self._faults.hit("replica.apply", seq=record.seq)
+            if action is not None and action.kind == "crash":
+                from ..faults.plan import InjectedCrash
+
+                self._crash()
+                raise InjectedCrash(
+                    "replica.apply",
+                    action.kind,
+                    f"crashed applying replicated seq {record.seq}",
+                )
+        seq = await self.host.apply_replicated(record)
+        self.epoch = max(self.epoch, record.epoch)
+        self.host.epoch = self.epoch
+        if record.key is not None:
+            entry = self._dedup.get(record.key)
+            if entry is None:
+                entry = self._dedup[record.key] = _BatchEntry()
+                self._trim_dedup()
+            else:
+                self._dedup.move_to_end(record.key)
+            entry.done += 1
+            entry.last_seq = seq
+        return seq
 
     # ------------------------------------------------------------------
     # Protocol plumbing
@@ -350,6 +614,7 @@ class ANCServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._conns.add(writer)
         try:
             if self._faults is not None:
                 action = self._faults.hit("server.accept")
@@ -372,12 +637,17 @@ class ANCServer:
                         if action.kind == "delay":
                             await asyncio.sleep(action.seconds())
                 response = await self._handle_request(line)
+                if response is None:
+                    # Injected link drop or crash: sever, never answer.
+                    writer.transport.abort()
+                    return
                 writer.write(json.dumps(response).encode() + b"\n")
                 if not await self._drain(writer):
                     return
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):  # anclint: disable=service-exception-discipline — peer went away mid-conversation; no one is left to answer, so closing our side (the finally below) is the handling
             pass
         finally:
+            self._conns.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -414,7 +684,20 @@ class ANCServer:
             return False
         return True
 
-    async def _handle_request(self, raw: bytes) -> Dict[str, object]:
+    def _is_injected_crash(self, exc: BaseException) -> bool:
+        if self._faults is None:
+            return False
+        from ..faults.plan import InjectedCrash
+
+        return isinstance(exc, InjectedCrash)
+
+    async def _handle_request(self, raw: bytes) -> Optional[Dict[str, object]]:
+        """Answer one request; ``None`` means "sever the connection".
+
+        Every envelope is stamped with this node's ``epoch`` and ``role``
+        so clients can reject answers from a deposed primary (the
+        stale-read half of fencing; docs/replication.md).
+        """
         request_id: object = None
         try:
             request = json.loads(raw)
@@ -427,10 +710,19 @@ class ANCServer:
                 raise UnknownOp(f"unknown op {op!r}")
             response = await handler(self, request)
             response.setdefault("ok", True)
+        except ConnectionResetError:  # anclint: disable=service-exception-discipline — the injected replication-link drop: the contract is *no* answer, so the connection is severed instead of mapped
+            return None
         except Exception as exc:  # protocol boundary: map to a typed envelope
+            if self._is_injected_crash(exc):
+                # Simulated kill -9 escaping a handler: the process is
+                # gone; nobody is left to send a response.
+                self._crash()
+                return None
             if isinstance(exc, Overloaded):
                 self._note_degraded()
             response = fault_response(exc)
+        response["epoch"] = self.epoch
+        response["role"] = self.role
         if request_id is not None:
             response["id"] = request_id
         return response
@@ -442,6 +734,7 @@ class ANCServer:
         return {"t": self.host.state.t, "applied": self.host.applied}
 
     async def _op_ingest(self, request: Dict) -> Dict[str, object]:
+        self._require_writable()
         act = self._resolve_activation(
             [request.get("u"), request.get("v"), request.get("t", self.host.state.t)]
         )
@@ -449,10 +742,16 @@ class ANCServer:
         return {"seq": seq, "t": act.t}
 
     async def _op_ingest_batch(self, request: Dict) -> Dict[str, object]:
+        self._require_writable()
         items = request.get("items")
         if not isinstance(items, list):
             raise ValueError("ingest_batch needs a list 'items' of [u, v, t]")
         key = request.get("key")
+        if isinstance(key, str) and (not key or any(ch.isspace() for ch in key)):
+            # Keys are persisted inside space-delimited WAL records.
+            raise ValueError(
+                "ingest_batch key must be non-empty and whitespace-free"
+            )
         if self._faults is not None:
             action = self._faults.hit("server.ingest_batch", key=key)
             if action is not None:
@@ -499,11 +798,17 @@ class ANCServer:
                 self._c_dedup.inc()
                 return {**future.result(), "deduped": True}
             # The previous attempt failed partway; fall through and resume.
+        if entry.done:
+            # Resuming a key whose prefix is already applied — by this
+            # node's own failed attempt, or by records replicated from a
+            # deposed primary before a failover. Either way the resend
+            # is being absorbed by the dedup map, not re-ingested.
+            self._c_dedup.inc()
         entry.future = asyncio.get_running_loop().create_future()
         try:
             while entry.done < len(items):
                 act = self._resolve_activation(items[entry.done])  # type: ignore[arg-type]
-                entry.last_seq = await self.host.ingest(act)
+                entry.last_seq = await self.host.ingest(act, key=key)
                 entry.done += 1
             response: Dict[str, object] = {
                 "accepted": len(items),
@@ -528,6 +833,7 @@ class ANCServer:
                 del self._dedup[key]
 
     async def _op_clusters(self, request: Dict) -> Dict[str, object]:
+        self._require_queryable()
         level, clusters = await self.host.clusters(request.get("level"))
         min_size = int(request.get("min_size", 1))
         state = self.host.state
@@ -542,6 +848,7 @@ class ANCServer:
         }
 
     async def _op_local(self, request: Dict) -> Dict[str, object]:
+        self._require_queryable()
         node = self._resolve_node(request.get("node"))
         level, cluster = await self.host.cluster_of(node, request.get("level"))
         state = self.host.state
@@ -559,6 +866,7 @@ class ANCServer:
         return {"level": self.host.zoom_out(int(request.get("level", 0)))}
 
     async def _op_watch(self, request: Dict) -> Dict[str, object]:
+        self._require_queryable()
         node = self._resolve_node(request.get("node"))
         cluster = await self.host.watch(node, request.get("level"))
         return {"cluster": self._labels(cluster)}
@@ -590,6 +898,12 @@ class ANCServer:
     async def _op_stats(self, request: Dict) -> Dict[str, object]:
         stats = self.host.stats()
         stats["degraded"] = self.degraded
+        stats["role"] = self.role
+        stats["epoch"] = self.epoch
+        stats["fenced_by"] = self.fenced_by
+        stats["diverged"] = self.diverged
+        stats["wal_entries"] = self._wal_entries()
+        stats["replicas"] = len(self._replicas)
         return {"stats": stats}
 
     async def _op_metrics(self, request: Dict) -> Dict[str, object]:
@@ -642,6 +956,108 @@ class ANCServer:
         self.request_stop()
         return {"stopping": True}
 
+    # -- replication ops (docs/replication.md) -------------------------
+    async def _op_wal_fetch(self, request: Dict) -> Dict[str, object]:
+        """Serve committed WAL records to a follower (pull replication).
+
+        A *fenced* node still answers — a behind follower may legally
+        finish catching up from a deposed primary's committed prefix.
+        """
+        from_seq = int(request.get("from_seq", 0))
+        if from_seq < 0:
+            raise ValueError(f"from_seq must be >= 0, got {from_seq}")
+        limit = max(1, min(int(request.get("max", 512)), 4096))
+        follower = request.get("follower")
+        if isinstance(follower, str) and follower:
+            self._note_replica(follower, from_seq)
+        records = self._wal_slice(from_seq, limit)
+        if self._faults is not None:
+            action = self._faults.hit("replica.fetch", from_seq=from_seq)
+            if action is not None:
+                if action.kind == "stall":
+                    await asyncio.sleep(action.seconds())
+                elif action.kind == "drop":
+                    raise ConnectionResetError("injected replication-link drop")
+                elif action.kind == "reorder" and len(records) > 1:
+                    records = records[::-1]
+        self._c_fetch.inc(len(records))
+        return {
+            "records": [
+                [r.seq, r.act.u, r.act.v, r.act.t, r.epoch, r.key]
+                for r in records
+            ],
+            "entries": self._wal_entries(),
+        }
+
+    async def _op_replica_ack(self, request: Dict) -> Dict[str, object]:
+        follower = request.get("follower")
+        if not isinstance(follower, str) or not follower:
+            raise ValueError("replica_ack needs a non-empty 'follower' id")
+        applied = int(request.get("applied", 0))
+        self._note_replica(follower, applied)
+        return {"entries": self._wal_entries()}
+
+    async def _op_replicas(self, request: Dict) -> Dict[str, object]:
+        now = time.monotonic()
+        entries = self._wal_entries()
+        return {
+            "entries": entries,
+            "replicas": {
+                follower: {
+                    "applied": int(info["applied"]),
+                    "lag": max(0, entries - int(info["applied"])),
+                    "age": round(now - info["last_seen"], 3),
+                }
+                for follower, info in sorted(self._replicas.items())
+            },
+        }
+
+    async def _op_signature(self, request: Dict) -> Dict[str, object]:
+        return dict(await self.host.signature())
+
+    async def _op_fence(self, request: Dict) -> Dict[str, object]:
+        """Depose this node: refuse writes below ``epoch`` from now on.
+
+        The fence reaches the WAL itself, so even a handler already past
+        the role check cannot complete a write (the last-moment refusal
+        the split-brain chaos scenario exercises).
+        """
+        epoch = int(request.get("epoch", self.epoch + 1))
+        if epoch <= self.epoch:
+            raise ValueError(
+                f"fence epoch {epoch} must exceed this node's epoch "
+                f"{self.epoch}"
+            )
+        self.fenced_by = max(self.fenced_by, epoch)
+        if self.host.wal is not None:
+            self.host.wal.fence(epoch)
+        log.warning("fenced at epoch %d (own epoch %d)", self.fenced_by, self.epoch)
+        return {"fenced_by": self.fenced_by}
+
+    async def _op_promote(self, request: Dict) -> Dict[str, object]:
+        """Make this node the primary under a fresh (higher) epoch."""
+        if self.diverged is not None:
+            raise Diverged(
+                f"refusing to promote a diverged follower: {self.diverged}"
+            )
+        requested = request.get("epoch")
+        new_epoch = max(
+            self.epoch + 1,
+            int(requested) if requested is not None else 0,
+            self.fenced_by + 1 if self.fenced_by > self.epoch else 0,
+        )
+        link = self.replication
+        if link is not None:
+            link.stop()  # type: ignore[attr-defined]
+            self.replication = None
+        self.role = "primary"
+        self.epoch = new_epoch
+        self.host.epoch = new_epoch
+        if self.host.wal is not None:
+            self.host.wal.epoch = new_epoch
+        log.info("promoted to primary at epoch %d", new_epoch)
+        return {"promoted": True}
+
     _OPS = {
         "ping": _op_ping,
         "ingest": _op_ingest,
@@ -660,4 +1076,10 @@ class ANCServer:
         "trace": _op_trace,
         "snapshot": _op_snapshot,
         "shutdown": _op_shutdown,
+        "wal_fetch": _op_wal_fetch,
+        "replica_ack": _op_replica_ack,
+        "replicas": _op_replicas,
+        "signature": _op_signature,
+        "fence": _op_fence,
+        "promote": _op_promote,
     }

@@ -35,6 +35,18 @@ tell the three corruption classes apart instead of replaying garbage:
   :class:`WalCorruptError` again, because positional replay after a hole
   would silently diverge from the acknowledged stream.
 
+Since the replication subsystem (:mod:`repro.replica`,
+``docs/replication.md``) records additionally carry the **primary epoch**
+under which they were written and the client **idempotency key** of the
+keyed batch they belong to.  The epoch is the fencing token: a deposed
+primary's appends are refused once :meth:`WriteAheadLog.fence` has been
+called with a newer epoch, and followers refuse to apply records from an
+epoch older than the newest they have seen.  The key lets a restarted
+node (or a promoted follower) rebuild the exactly-once dedup map from
+its own log, so a client resend straddling a failover never
+double-applies an activation.  Both fields ride in the same checksummed
+line format; logs written by older builds still replay.
+
 Both durability classes expose a ``faults`` attribute (``None`` by
 default) consulted via the :mod:`repro.faults` hook contract: disarmed
 costs one attribute check; the chaos matrix (``tests/chaos/``) arms it.
@@ -42,18 +54,31 @@ costs one attribute check; the chaos matrix (``tests/chaos/``) arms it.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import zlib
-from dataclasses import asdict
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..core.activation import Activation
 from ..core.anc import ANCF, ANCO, ANCOR, ANCEngineBase, ANCParams
 from ..graph.graph import Graph
 from ..index.clustering import ClusterQueryEngine
-from ..index.persistence import load_index, save_index
+from ..index.persistence import load_index_resume, save_index
+from .errors import Fenced
 
 if TYPE_CHECKING:  # import cycle guard: faults hooks into service, not vice versa
     from ..faults.plan import FaultPlan
@@ -65,12 +90,17 @@ ENGINE_STATE_VERSION = 1
 __all__ = [
     "WriteAheadLog",
     "WalCorruptError",
+    "WalRecord",
     "CheckpointCorruptError",
     "CheckpointStore",
+    "Recovery",
     "apply_activations",
     "dump_engine_state",
+    "engine_signature",
     "restore_engine",
     "recover_engine",
+    "recover_to",
+    "signature_digest",
 ]
 
 
@@ -112,49 +142,93 @@ def _file_crc(path: Path) -> int:
         return zlib.crc32(fh.read())
 
 
-def _wal_record(seq: int, act: Activation) -> str:
-    """Render one WAL record: ``seq u v t crc32`` plus newline."""
-    body = f"{seq} {act.u} {act.v} {act.t!r}"
+class WalRecord(NamedTuple):
+    """One decoded WAL entry: the activation plus its replication context.
+
+    ``epoch`` is the primary epoch the record was written under (0 for
+    logs predating replication); ``key`` is the idempotency key of the
+    keyed client batch it belongs to (``None`` for un-keyed ingest and
+    for records written before keys were logged).
+    """
+
+    seq: int
+    act: Activation
+    epoch: int
+    key: Optional[str]
+
+
+#: Placeholder for "no idempotency key" inside a record (keys themselves
+#: are validated to be non-empty and whitespace-free at the protocol
+#: boundary, so the bare dash can never collide with a real key).
+_NO_KEY = "-"
+
+
+def _wal_record(
+    seq: int, act: Activation, *, epoch: int = 0, key: Optional[str] = None
+) -> str:
+    """Render one WAL record: ``seq u v t e<epoch> <key> crc32`` + newline."""
+    body = f"{seq} {act.u} {act.v} {act.t!r} e{epoch} {key or _NO_KEY}"
     return f"{body} {zlib.crc32(body.encode()):08x}\n"
 
 
 def _wal_is_legacy(lines: List[str]) -> bool:
-    """Whether a WAL predates checksumming (no 5-field record anywhere).
+    """Whether a WAL predates checksumming (no checksummed record anywhere).
 
     The distinction matters because a *short write* of a checksummed
     record leaves exactly the leading ``seq u v`` fields — which would
     otherwise parse as a legacy ``u v t`` record and replay a phantom
-    activation.  A file containing any checksummed record is therefore
+    activation.  A file containing any checksummed record (the 5-field
+    pre-replication format or the 7-field epoch/key format) is therefore
     held to the checksummed format throughout: 3-field lines in it are
     damage, not legacy data.
     """
-    return not any(len(line.split()) == 5 for line in lines)
+    return not any(len(line.split()) in (5, 7) for line in lines)
 
 
 def _parse_wal_line(
     line: str, position: int, *, legacy_ok: bool
-) -> Optional[Tuple[int, Activation]]:
-    """Decode one WAL line to ``(seq, activation)``; ``None`` if damaged.
+) -> Optional[WalRecord]:
+    """Decode one WAL line to a :class:`WalRecord`; ``None`` if damaged.
 
-    Accepts the current 5-field checksummed format always, and the
-    legacy 3-field ``u v t`` format (whose seq is its file position)
-    only when ``legacy_ok`` — see :func:`_wal_is_legacy`.  "Damaged"
-    covers wrong field counts, unparseable numbers and CRC mismatches —
-    the *caller* decides whether damage means a benign torn tail or
-    corruption, based on where the line sits.
+    Accepts the current 7-field epoch/key format and the two older
+    formats: 5-field checksummed (``seq u v t crc``, epoch 0, no key)
+    always, and the legacy 3-field ``u v t`` (whose seq is its file
+    position) only when ``legacy_ok`` — see :func:`_wal_is_legacy`.
+    "Damaged" covers wrong field counts, unparseable numbers and CRC
+    mismatches — the *caller* decides whether damage means a benign torn
+    tail or corruption, based on where the line sits.
     """
     parts = line.split()
     try:
+        if len(parts) == 7:
+            body = " ".join(parts[:6])
+            if int(parts[6], 16) != zlib.crc32(body.encode()):
+                return None
+            if not parts[4].startswith("e"):
+                return None
+            key = None if parts[5] == _NO_KEY else parts[5]
+            return WalRecord(
+                int(parts[0]),
+                Activation(int(parts[1]), int(parts[2]), float(parts[3])),
+                int(parts[4][1:]),
+                key,
+            )
         if len(parts) == 5:
             body = " ".join(parts[:4])
             if int(parts[4], 16) != zlib.crc32(body.encode()):
                 return None
-            return int(parts[0]), Activation(
-                int(parts[1]), int(parts[2]), float(parts[3])
+            return WalRecord(
+                int(parts[0]),
+                Activation(int(parts[1]), int(parts[2]), float(parts[3])),
+                0,
+                None,
             )
         if len(parts) == 3 and legacy_ok:  # record from before checksumming
-            return position, Activation(
-                int(parts[0]), int(parts[1]), float(parts[2])
+            return WalRecord(
+                position,
+                Activation(int(parts[0]), int(parts[1]), float(parts[2])),
+                0,
+                None,
             )
     except ValueError:  # anclint: disable=service-exception-discipline — "damaged" is this parser's None return; the caller (replay) maps mid-file damage to WalCorruptError
         return None
@@ -176,6 +250,13 @@ class WriteAheadLog:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         #: Fault-injection hook (:mod:`repro.faults`); ``None`` = disarmed.
         self.faults = faults
+        #: Primary epoch stamped into new records (owners bump on promote).
+        self.epoch = 0
+        #: Appends are refused below this epoch once :meth:`fence` is called.
+        self.fence_epoch = 0
+        #: Called with each durably appended :class:`WalRecord` (the
+        #: replication tail buffer subscribes here); ``None`` = disarmed.
+        self.on_append: Optional[Callable[[WalRecord], None]] = None
         #: Entries in the log (counted on open so appends continue the seq).
         self.entries = self._repair_tail()
         self._fh = open(self.path, "a", encoding="utf-8")
@@ -185,7 +266,8 @@ class WriteAheadLog:
 
         Without this, the first append after recovery would land *after*
         the torn fragment and turn a benign torn tail into mid-file
-        corruption.
+        corruption.  Also adopts the tail record's epoch so a restarted
+        node keeps stamping the epoch it last wrote under.
         """
         if not self.path.exists():
             return 0
@@ -199,15 +281,40 @@ class WriteAheadLog:
         if not lines:
             return 0
         last = _parse_wal_line(lines[-1], len(lines) - 1, legacy_ok=legacy)
+        if last is None:
+            return len(lines)
+        self.epoch = last.epoch
         # Continue from the last *recorded* seq: after a lost page write
         # the line count undercounts acknowledged appends, and reusing a
         # seq would mask the hole that replay must detect.
-        return len(lines) if last is None else last[0] + 1
+        return last.seq + 1
 
-    def append(self, act: Activation) -> int:
-        """Durably append one activation; returns its sequence number."""
+    def fence(self, epoch: int) -> None:
+        """Refuse future appends below ``epoch`` (the deposed-primary fence).
+
+        Idempotent and monotone: fencing at an older epoch than an
+        existing fence is a no-op.  An in-flight handler that already
+        passed the server's role check still cannot write — the refusal
+        happens at the last possible moment, on the log itself.
+        """
+        self.fence_epoch = max(self.fence_epoch, epoch)
+
+    def append(self, act: Activation, *, key: Optional[str] = None) -> int:
+        """Durably append one activation; returns its sequence number.
+
+        ``key`` is the idempotency key of the keyed batch the activation
+        belongs to; it is persisted in the record so the exactly-once
+        dedup map survives restarts and replicates to followers.
+        """
+        if self.epoch < self.fence_epoch:
+            raise Fenced(
+                f"WAL fenced at epoch {self.fence_epoch}; this writer is "
+                f"still at epoch {self.epoch} (deposed primary)",
+                epoch=self.epoch,
+                fenced_by=self.fence_epoch,
+            )
         seq = self.entries
-        record = _wal_record(seq, act)
+        record = _wal_record(seq, act, epoch=self.epoch, key=key)
         if self.faults is not None:
             action = self.faults.hit("wal.append", seq=seq)
             if action is not None:
@@ -215,7 +322,44 @@ class WriteAheadLog:
         self._fh.write(record)
         self._fh.flush()
         self.entries = seq + 1
+        if self.on_append is not None:
+            self.on_append(WalRecord(seq, act, self.epoch, key))
         return seq
+
+    def append_record(self, record: WalRecord) -> int:
+        """Durably append a record copied *verbatim* from a primary.
+
+        The follower apply path: seq, epoch and key are the primary's,
+        so a follower's log is a byte-identical prefix of its primary's
+        and a promoted follower continues the same sequence.  A seq that
+        does not continue this log is a replication gap
+        (:class:`WalCorruptError` — the link discards the chunk and
+        refetches); a record from an epoch *older* than the newest this
+        log has seen is a deposed primary's write
+        (:class:`~repro.service.errors.Fenced` — split-brain protection).
+        """
+        if record.seq != self.entries:
+            raise WalCorruptError(
+                f"replication gap: expected seq {self.entries}, "
+                f"got {record.seq}"
+            )
+        floor = max(self.epoch, self.fence_epoch)
+        if record.epoch < floor:
+            raise Fenced(
+                f"replicated record seq {record.seq} carries epoch "
+                f"{record.epoch} < {floor}; refusing a deposed primary's write",
+                epoch=record.epoch,
+                fenced_by=floor,
+            )
+        self._fh.write(
+            _wal_record(record.seq, record.act, epoch=record.epoch, key=record.key)
+        )
+        self._fh.flush()
+        self.epoch = record.epoch
+        self.entries = record.seq + 1
+        if self.on_append is not None:
+            self.on_append(record)
+        return record.seq
 
     def _append_faulty(self, kind: str, seq: int, record: str) -> int:
         """Apply a fired ``wal.append`` injector (see the catalog)."""
@@ -236,8 +380,8 @@ class WriteAheadLog:
         self._fh.close()
 
     @staticmethod
-    def replay(path: PathLike, *, skip: int = 0) -> Iterator[Activation]:
-        """Yield activations with seq >= ``skip``, in order.
+    def replay_records(path: PathLike, *, skip: int = 0) -> Iterator[WalRecord]:
+        """Yield full records with seq >= ``skip``, in order.
 
         A damaged *final* line (torn by a crash mid-append) is ignored; a
         damaged line elsewhere, or a gap in the sequence numbers (a lost
@@ -258,15 +402,21 @@ class WriteAheadLog:
                 if i == len(lines) - 1:
                     return  # torn tail
                 raise WalCorruptError(f"corrupt WAL line {i}: {line!r}")
-            seq, act = decoded
-            if expected is not None and seq != expected:
+            if expected is not None and decoded.seq != expected:
                 raise WalCorruptError(
                     f"WAL sequence gap at line {i}: expected seq {expected}, "
-                    f"found {seq} (a lost write inside the acknowledged stream)"
+                    f"found {decoded.seq} (a lost write inside the "
+                    f"acknowledged stream)"
                 )
-            expected = seq + 1
-            if seq >= skip:
-                yield act
+            expected = decoded.seq + 1
+            if decoded.seq >= skip:
+                yield decoded
+
+    @staticmethod
+    def replay(path: PathLike, *, skip: int = 0) -> Iterator[Activation]:
+        """Yield activations with seq >= ``skip`` (see :meth:`replay_records`)."""
+        for record in WriteAheadLog.replay_records(path, skip=skip):
+            yield record.act
 
 
 # ----------------------------------------------------------------------
@@ -362,7 +512,14 @@ def restore_engine(
     metric._initialized = True
     engine.metric = metric
 
-    engine.index = load_index(graph, index_path, faults=faults)
+    engine.index, resume = load_index_resume(graph, index_path, faults=faults)
+    if resume and resume.get("seq") is not None:
+        stored = int(resume["seq"])  # type: ignore[arg-type]
+        if stored != int(doc["activations"]):  # type: ignore[arg-type]
+            raise ValueError(
+                f"checkpoint internally inconsistent: index resume seq "
+                f"{stored} != engine activations {doc['activations']}"
+            )
     metric.clock.add_rescale_listener(engine.index.on_rescale)
     engine.queries = ClusterQueryEngine(engine.index, method=params.method)
     engine.activations_processed = int(doc["activations"])  # type: ignore[arg-type]
@@ -409,11 +566,16 @@ class CheckpointStore:
         return self.data_dir / "wal.log"
 
     # -- writing -----------------------------------------------------------
-    def write_checkpoint(self, engine: ANCEngineBase) -> Path:
+    def write_checkpoint(self, engine: ANCEngineBase, *, epoch: int = 0) -> Path:
         """Dump ``engine`` as checkpoint ``<activations_processed>``.
 
         Call from the writer thread only (needs a quiescent engine).
         Older checkpoints are pruned after the new one is complete.
+        ``epoch`` is the primary epoch the node is serving under; it is
+        recorded in the MANIFEST and the index resume metadata so a
+        restart (or a follower bootstrapping from this directory) knows
+        both the WAL resume point and the fencing token without
+        re-scanning the log.
         """
         seq = engine.activations_processed
         target = self.data_dir / f"checkpoint-{seq}"
@@ -447,7 +609,12 @@ class CheckpointStore:
             fh.write(written)
             fh.flush()
             os.fsync(fh.fileno())
-        save_index(engine.index, target / "index.json", faults=self.faults)
+        save_index(
+            engine.index,
+            target / "index.json",
+            faults=self.faults,
+            resume={"seq": seq, "epoch": epoch},
+        )
         if action is not None and action.kind == "skip-manifest":
             from ..faults.plan import InjectedCrash
 
@@ -457,6 +624,7 @@ class CheckpointStore:
             )
         manifest = {
             "seq": seq,
+            "epoch": epoch,
             "engine_crc": zlib.crc32(payload.encode()),
             "index_crc": _file_crc(target / "index.json"),
         }
@@ -502,31 +670,58 @@ class CheckpointStore:
         return complete[-1] if complete else None
 
 
-def recover_engine(
+@dataclass
+class Recovery:
+    """Everything :func:`recover_to` reconstructed from one data directory.
+
+    ``epoch`` is the highest primary epoch seen across the checkpoint
+    MANIFEST and the replayed WAL tail — the fencing token a restarted
+    node must resume under.  ``dedup`` maps idempotency keys (newest
+    last) to ``(done, last_seq)`` progress, rebuilt from the keyed WAL
+    records, so a client resend that straddles the restart resumes
+    exactly-once instead of double-applying.
+    """
+
+    engine: ANCEngineBase
+    #: WAL records applied on top of the checkpoint.
+    replayed: int = 0
+    #: Highest epoch found in the MANIFEST or the WAL.
+    epoch: int = 0
+    #: key -> (items applied under the key, last WAL seq of the key).
+    dedup: "OrderedDict[str, Tuple[int, int]]" = field(default_factory=OrderedDict)
+
+
+def recover_to(
     graph: Graph,
     store: CheckpointStore,
     *,
     params: Optional[ANCParams] = None,
     engine_name: str = "ANCO",
-) -> Tuple[ANCEngineBase, int]:
+    upto_seq: Optional[int] = None,
+) -> Recovery:
     """Build the serving engine from whatever ``store`` holds.
 
     * complete checkpoint found → restore it, then replay the WAL tail;
     * no checkpoint but a WAL → fresh engine, replay the whole WAL;
     * empty directory → fresh engine.
 
-    Returns ``(engine, replayed)`` where ``replayed`` counts the WAL
-    entries applied on top of the checkpoint (0 on a cold start with no
-    log).  ``params``/``engine_name`` configure the fresh-start path and
-    are ignored when a checkpoint dictates them.
+    The single recovery path shared by server restart and follower
+    bootstrap (:mod:`repro.replica`): the checkpoint's resume seq/epoch
+    come from its MANIFEST and index resume metadata, so no caller ever
+    re-scans the WAL to find its own resume point.  ``upto_seq`` bounds
+    the replay (exclusive) for point-in-time recovery; the default
+    replays the whole tail.
 
-    A checkpoint whose contents fail the MANIFEST checksums or do not
-    deserialize raises :class:`CheckpointCorruptError`; a damaged WAL
-    raises :class:`WalCorruptError` (see :meth:`WriteAheadLog.replay`).
+    ``params``/``engine_name`` configure the fresh-start path and are
+    ignored when a checkpoint dictates them.  A checkpoint whose
+    contents fail the MANIFEST checksums or do not deserialize raises
+    :class:`CheckpointCorruptError`; a damaged WAL raises
+    :class:`WalCorruptError` (see :meth:`WriteAheadLog.replay_records`).
     Serving silently-wrong clusters is never an option.
     """
     from ..core.anc import make_engine
 
+    epoch = 0
     latest = store.latest_checkpoint()
     if latest is not None:
         path, _ = latest
@@ -551,6 +746,7 @@ def recover_engine(
             engine = restore_engine(
                 graph, doc, path / "index.json", faults=store.faults
             )
+            epoch = int(manifest.get("epoch", 0))
         except CheckpointCorruptError:
             raise
         except (KeyError, TypeError, ValueError) as exc:
@@ -560,6 +756,82 @@ def recover_engine(
     else:
         engine = make_engine(engine_name, graph, params)
     skip = engine.activations_processed
-    tail = list(WriteAheadLog.replay(store.wal_path, skip=skip))
+    # One pass over the log rebuilds both the engine tail and the
+    # exactly-once dedup map.  The dedup scan starts at seq 0 (not the
+    # checkpoint) because a keyed batch completed *before* the checkpoint
+    # may still be resent by a client that never saw its ack.
+    dedup: "OrderedDict[str, Tuple[int, int]]" = OrderedDict()
+    tail: List[Activation] = []
+    replayed = 0
+    for record in WriteAheadLog.replay_records(store.wal_path):
+        if upto_seq is not None and record.seq >= upto_seq:
+            break
+        epoch = max(epoch, record.epoch)
+        if record.key is not None:
+            done, _ = dedup.get(record.key, (0, -1))
+            dedup[record.key] = (done + 1, record.seq)
+            dedup.move_to_end(record.key)
+        if record.seq >= skip:
+            tail.append(record.act)
+            replayed += 1
     apply_activations(engine, tail)
-    return engine, len(tail)
+    return Recovery(engine=engine, replayed=replayed, epoch=epoch, dedup=dedup)
+
+
+def recover_engine(
+    graph: Graph,
+    store: CheckpointStore,
+    *,
+    params: Optional[ANCParams] = None,
+    engine_name: str = "ANCO",
+) -> Tuple[ANCEngineBase, int]:
+    """Compatibility wrapper over :func:`recover_to`.
+
+    Returns ``(engine, replayed)`` — the pre-replication recovery
+    surface.  New callers that need the epoch or the dedup map use
+    :func:`recover_to` directly.
+    """
+    recovery = recover_to(graph, store, params=params, engine_name=engine_name)
+    return recovery.engine, recovery.replayed
+
+
+# ----------------------------------------------------------------------
+# State fingerprinting (the divergence oracle)
+# ----------------------------------------------------------------------
+
+def engine_signature(engine: ANCEngineBase) -> Dict[str, object]:
+    """Exact state fingerprint: equal signatures ⇒ byte-identical engines.
+
+    Floats go through ``repr`` so 1e-16 drift is a mismatch, and clusters
+    are captured at the bottom, √n and top levels of the pyramid.  The
+    chaos matrix compares faulted runs against a fault-free oracle with
+    it, and the replication auditor (:mod:`repro.replica`) compares
+    primary against followers continuously.
+    """
+    metric = engine.metric
+    levels = sorted(
+        {1, engine.queries.sqrt_n_level(), engine.queries.num_levels}
+    )
+    return {
+        "activations": engine.activations_processed,
+        "t": repr(engine.now),
+        "anchor": repr(metric.clock.anchor),
+        "similarity": sorted(
+            (u, v, repr(value))
+            for (u, v), value in metric.similarity.items_anchored()
+        ),
+        "clusters": {
+            str(level): engine.clusters(level) for level in levels
+        },
+    }
+
+
+def signature_digest(engine: ANCEngineBase) -> str:
+    """A wire-friendly SHA-256 over the canonical JSON of the signature.
+
+    ``json.dumps`` renders tuples and lists identically, so a digest
+    computed locally compares equal to one computed from a signature
+    that round-tripped through the protocol.
+    """
+    doc = json.dumps(engine_signature(engine), sort_keys=True)
+    return hashlib.sha256(doc.encode()).hexdigest()

@@ -1,0 +1,407 @@
+"""repro.replica: WAL-shipping replication, failover, divergence audit.
+
+End-to-end tests drive a real primary/follower pair of
+:class:`~repro.service.server.ANCServer` processes (each on its own
+event loop via the chaos harness's :class:`ServerThread`) through the
+blocking client — the same path ``repro-anc serve --role follower`` and
+``repro-anc promote`` take.  The contracts under test are the ones
+docs/replication.md states:
+
+* a caught-up follower's engine is byte-identical to the primary's;
+* followers refuse writes (``READ_ONLY``), deposed primaries refuse
+  writes (``FENCED``) — the split-brain regression;
+* promotion picks an epoch strictly above both nodes';
+* a keyed batch replicated before a failover is absorbed by the
+  promoted follower's dedup map on resend (exactly once);
+* reordered/gapped fetch chunks are discarded wholesale and refetched.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.anc import make_engine
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    ServerThread,
+    engine_signature,
+)
+from repro.faults.chaos import QUICK_PARAMS
+from repro.graph.generators import planted_partition
+from repro.replica import ReplicationError, promote, replication_status
+from repro.replica.link import _decode_record
+from repro.service.client import RetryPolicy, ServiceClient, ServiceError
+from repro.service.server import ServerConfig
+from repro.service.snapshots import apply_activations
+from repro.workloads.streams import community_biased_stream
+
+
+def make_workload(seed=3, *, nodes=30, timestamps=8):
+    graph, labels = planted_partition(nodes, 3, p_in=0.5, p_out=0.05, seed=seed + 7)
+    stream = community_biased_stream(
+        graph, labels, timestamps=timestamps, fraction=0.1, seed=seed
+    )
+    return graph, list(stream)
+
+
+def serve(graph, plan=None, **config_kwargs):
+    config = ServerConfig(
+        port=0, engine="anco", metrics_interval=0.0, faults=plan, **config_kwargs
+    )
+    return ServerThread(graph, config=config, params=QUICK_PARAMS)
+
+
+def follower_kwargs(primary_port, replica_id="test-follower"):
+    return dict(
+        role="follower",
+        primary_host="127.0.0.1",
+        primary_port=primary_port,
+        replica_id=replica_id,
+        poll_interval=0.005,
+        audit_interval=0.05,
+    )
+
+
+def wait_for(cond, *, timeout=15.0, what="condition"):
+    deadline = time.monotonic() + timeout
+    while not cond():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out after {timeout}s waiting for {what}")
+        time.sleep(0.01)
+
+
+def caught_up(handle, target):
+    host = handle.server.host
+    return host.ingested >= target and host.applied >= target
+
+
+def counters(handle):
+    return handle.server.metrics.snapshot(rate_key=None)["counters"]
+
+
+def batches_of(stream, size=25):
+    items = [(a.u, a.v, a.t) for a in stream]
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+# ----------------------------------------------------------------------
+# Steady-state replication
+# ----------------------------------------------------------------------
+
+class TestReplication:
+    def test_follower_replicates_to_identical_state(self, tmp_path):
+        """A caught-up follower holds the byte-identical engine, serves
+        reads, refuses writes, and shows up in the primary's lag map."""
+        graph, stream = make_workload(11)
+        oracle = make_engine("ANCO", graph, QUICK_PARAMS)
+        apply_activations(oracle, stream)
+
+        with serve(graph, data_dir=tmp_path / "p") as primary:
+            with serve(
+                graph,
+                data_dir=tmp_path / "f",
+                **follower_kwargs(primary.port),
+            ) as follower:
+                client = ServiceClient(primary.host, primary.port, timeout=5.0)
+                try:
+                    for i, items in enumerate(batches_of(stream)):
+                        client.ingest_batch(items, key=f"rep-{i}")
+                    assert client.sync() == len(stream)
+                finally:
+                    client.close()
+                wait_for(
+                    lambda: caught_up(follower, len(stream)),
+                    what="follower catch-up",
+                )
+                assert engine_signature(
+                    follower.server.host.engine
+                ) == engine_signature(oracle)
+                assert follower.server.epoch == primary.server.epoch == 1
+                assert follower.server.diverged is None
+
+                # Reads are served; writes are refused with the typed code.
+                reader = ServiceClient(follower.host, follower.port, timeout=5.0)
+                try:
+                    doc = reader.request("clusters")
+                    assert doc["applied"] == len(stream)
+                    assert doc["role"] == "follower"
+                    with pytest.raises(ServiceError) as exc:
+                        reader.request("ingest", u=0, v=1, t=99.0, idempotent=False)
+                    assert exc.value.code == "READ_ONLY"
+                finally:
+                    reader.close()
+
+                status = replication_status(("127.0.0.1", primary.port))
+                assert status["role"] == "primary"
+                assert status["entries"] == len(stream)
+                lag = status["replicas"]["test-follower"]
+                assert lag["applied"] == len(stream) and lag["lag"] == 0
+
+    def test_reordered_chunk_is_discarded_and_refetched(self, tmp_path):
+        """A reordered wal_fetch chunk (the ``replica.fetch`` injector)
+        never half-applies: the follower drops it wholesale, refetches,
+        and still converges to the identical engine."""
+        graph, stream = make_workload(12)
+        oracle = make_engine("ANCO", graph, QUICK_PARAMS)
+        apply_activations(oracle, stream)
+
+        plan = FaultPlan([FaultSpec("replica.fetch", "reorder", at_count=1)])
+        with serve(graph, plan, data_dir=tmp_path / "p") as primary:
+            client = ServiceClient(primary.host, primary.port, timeout=5.0)
+            try:
+                for i, items in enumerate(batches_of(stream)):
+                    client.ingest_batch(items, key=f"ro-{i}")
+                client.sync()
+            finally:
+                client.close()
+            # Follower starts *after* the data exists, so its very first
+            # fetch returns a multi-record chunk — which the injector
+            # reverses.
+            with serve(
+                graph,
+                data_dir=tmp_path / "f",
+                **follower_kwargs(primary.port),
+            ) as follower:
+                wait_for(
+                    lambda: caught_up(follower, len(stream)),
+                    what="follower catch-up after reordered chunk",
+                )
+                assert engine_signature(
+                    follower.server.host.engine
+                ) == engine_signature(oracle)
+                assert counters(follower)["replica_refetches"] >= 1
+                assert follower.server.diverged is None
+        assert plan.fired and plan.fired[0]["kind"] == "reorder"
+
+
+# ----------------------------------------------------------------------
+# Failover, fencing, split brain
+# ----------------------------------------------------------------------
+
+class TestFailover:
+    def test_promote_fences_old_primary(self, tmp_path):
+        """Split-brain regression: after promotion the *old* primary
+        refuses writes with ``FENCED`` while the promoted follower
+        accepts them under a strictly higher epoch."""
+        graph, stream = make_workload(13)
+        half = len(stream) // 2
+
+        with serve(graph, data_dir=tmp_path / "p") as primary:
+            with serve(
+                graph,
+                data_dir=tmp_path / "f",
+                **follower_kwargs(primary.port),
+            ) as follower:
+                client = ServiceClient(primary.host, primary.port, timeout=5.0)
+                try:
+                    client.ingest_batch(
+                        [(a.u, a.v, a.t) for a in stream[:half]], key="sb-0"
+                    )
+                    client.sync()
+                finally:
+                    client.close()
+                wait_for(
+                    lambda: caught_up(follower, half), what="follower catch-up"
+                )
+
+                summary = promote(
+                    ("127.0.0.1", follower.port),
+                    old_primary=("127.0.0.1", primary.port),
+                )
+                assert summary["fenced_old"] is True
+                assert summary["epoch"] == 2
+                assert follower.server.role == "primary"
+                assert follower.server.epoch == 2
+
+                # The deposed primary is alive but must refuse writes.
+                stale = ServiceClient(
+                    primary.host,
+                    primary.port,
+                    timeout=5.0,
+                    retry=RetryPolicy(attempts=1),
+                )
+                try:
+                    with pytest.raises(ServiceError) as exc:
+                        stale.request(
+                            "ingest",
+                            u=stream[0].u,
+                            v=stream[0].v,
+                            t=999.0,
+                            idempotent=False,
+                        )
+                    assert exc.value.code == "FENCED"
+                finally:
+                    stale.close()
+
+                # The promoted follower ingests the rest under epoch 2.
+                fresh = ServiceClient(follower.host, follower.port, timeout=5.0)
+                try:
+                    resp = fresh.request(
+                        "ingest_batch",
+                        items=[[a.u, a.v, a.t] for a in stream[half:]],
+                        key="sb-1",
+                    )
+                    assert resp["epoch"] == 2 and resp["role"] == "primary"
+                    assert fresh.sync() == len(stream)
+                finally:
+                    fresh.close()
+
+                oracle = make_engine("ANCO", graph, QUICK_PARAMS)
+                apply_activations(oracle, stream)
+                assert engine_signature(
+                    follower.server.host.engine
+                ) == engine_signature(oracle)
+
+    def test_replicated_batch_dedups_after_failover(self, tmp_path):
+        """Exactly once across failover: a keyed batch the follower only
+        ever saw as *replicated* WAL records is absorbed by its dedup
+        map when the client resends it after promotion."""
+        graph, stream = make_workload(14)
+
+        with serve(graph, data_dir=tmp_path / "p") as primary:
+            with serve(
+                graph,
+                data_dir=tmp_path / "f",
+                **follower_kwargs(primary.port),
+            ) as follower:
+                items = [(a.u, a.v, a.t) for a in stream]
+                client = ServiceClient(primary.host, primary.port, timeout=5.0)
+                try:
+                    client.ingest_batch(items, key="once-0")
+                    client.sync()
+                finally:
+                    client.close()
+                wait_for(
+                    lambda: caught_up(follower, len(stream)),
+                    what="follower catch-up",
+                )
+                promote(
+                    ("127.0.0.1", follower.port),
+                    old_primary=("127.0.0.1", primary.port),
+                )
+
+                before = follower.server.host.ingested
+                fresh = ServiceClient(follower.host, follower.port, timeout=5.0)
+                try:
+                    resp = fresh.request(
+                        "ingest_batch",
+                        items=[list(item) for item in items],
+                        key="once-0",
+                    )
+                    assert resp["accepted"] == len(items)
+                finally:
+                    fresh.close()
+                assert follower.server.host.ingested == before
+                assert counters(follower)["ingest_dedup_hits"] >= 1
+
+    def test_promote_with_dead_primary(self, tmp_path):
+        """The usual failover: the primary is gone.  Fencing is
+        best-effort (``fenced_old=False``) and the promoted epoch still
+        strictly exceeds every record the follower replicated."""
+        graph, stream = make_workload(15)
+
+        with serve(graph, data_dir=tmp_path / "p") as primary:
+            follower = serve(
+                graph, data_dir=tmp_path / "f", **follower_kwargs(primary.port)
+            ).start()
+            try:
+                client = ServiceClient(primary.host, primary.port, timeout=5.0)
+                try:
+                    client.ingest_batch(
+                        [(a.u, a.v, a.t) for a in stream], key="dead-0"
+                    )
+                    client.sync()
+                finally:
+                    client.close()
+                wait_for(
+                    lambda: caught_up(follower, len(stream)),
+                    what="follower catch-up",
+                )
+                dead_port = primary.port
+                primary.stop()
+
+                summary = promote(
+                    ("127.0.0.1", follower.port),
+                    old_primary=("127.0.0.1", dead_port),
+                )
+                assert summary["fenced_old"] is False
+                # Replicated records carried epoch 1, so 2 still outranks
+                # anything the dead primary could have written.
+                assert summary["epoch"] == 2
+                assert follower.server.role == "primary"
+            finally:
+                follower.stop()
+
+    def test_client_fails_over_to_promoted_follower(self, tmp_path):
+        """A client holding both endpoints rotates off the fenced old
+        primary and lands its writes on the promoted follower."""
+        graph, stream = make_workload(16)
+        half = len(stream) // 2
+
+        with serve(graph, data_dir=tmp_path / "p") as primary:
+            with serve(
+                graph,
+                data_dir=tmp_path / "f",
+                **follower_kwargs(primary.port),
+            ) as follower:
+                client = ServiceClient(
+                    primary.host,
+                    primary.port,
+                    timeout=5.0,
+                    retry=RetryPolicy(attempts=6, base_delay=0.02),
+                    failover=[(follower.host, follower.port)],
+                )
+                try:
+                    client.ingest_batch(
+                        [(a.u, a.v, a.t) for a in stream[:half]], key="fo-0"
+                    )
+                    client.sync()
+                    wait_for(
+                        lambda: caught_up(follower, half),
+                        what="follower catch-up",
+                    )
+                    promote(
+                        ("127.0.0.1", follower.port),
+                        old_primary=("127.0.0.1", primary.port),
+                    )
+                    # Next write hits the fenced primary, rotates, lands.
+                    client.ingest_batch(
+                        [(a.u, a.v, a.t) for a in stream[half:]], key="fo-1"
+                    )
+                    assert client.sync() == len(stream)
+                    assert client.failovers >= 1
+                    assert client.last_epoch == 2
+                finally:
+                    client.close()
+                assert follower.server.host.ingested == len(stream)
+
+
+# ----------------------------------------------------------------------
+# Wire-format hygiene
+# ----------------------------------------------------------------------
+
+class TestDecodeRecord:
+    def test_roundtrip(self):
+        record = _decode_record([7, 1, 2, 3.5, 2, "batch-9"])
+        assert record.seq == 7
+        assert (record.act.u, record.act.v, record.act.t) == (1, 2, 3.5)
+        assert record.epoch == 2 and record.key == "batch-9"
+
+    def test_empty_key_is_none(self):
+        assert _decode_record([0, 1, 2, 3.0, 1, ""]).key is None
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "not-a-list",
+            [1, 2, 3],  # wrong arity
+            [1, 2, "x", 3.0, 1, None],  # non-numeric node
+            None,
+        ],
+    )
+    def test_malformed_raises_typed_error(self, raw):
+        with pytest.raises(ReplicationError):
+            _decode_record(raw)

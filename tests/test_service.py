@@ -821,7 +821,11 @@ class TestServerProtocol:
         assert snapshot["ok"] is True
         assert snapshot["applied"] == len(acts)
         assert Path(snapshot["path"]).name == f"checkpoint-{len(acts)}"
-        assert shutdown == {"ok": True, "stopping": True}
+        assert shutdown["ok"] is True
+        assert shutdown["stopping"] is True
+        # Every envelope is stamped with the node's replication identity.
+        assert shutdown["role"] == "primary"
+        assert shutdown["epoch"] >= 1
         # The graceful shutdown left a recoverable store behind.
         recovered, replayed = recover_engine(
             graph, CheckpointStore(tmp_path), params=quick_params
