@@ -7,8 +7,13 @@ methods; every other service path reads immutable ``PublishedState``
 snapshots.  This rule flags calls to known mutators from service modules
 outside the writer paths (``engine_host`` itself and ``snapshots``,
 whose WAL-replay drives the engine during recovery *before* the host
-starts).  Non-service code — benchmarks, CLI, tests, the library API —
-owns its engines outright and may mutate freely.
+starts).  The sharded tier (:mod:`repro.shard`) inherits the same
+contract: each worker process embeds a full service stack, and the
+router/merge/admin modules are pure readers — only ``repro.shard.worker``
+may touch an engine (it rebuilds the shard's graph before handing it to
+the in-process ``ANCServer``).  Non-service code — benchmarks, CLI,
+tests, the library API — owns its engines outright and may mutate
+freely.
 
 The mutator registry is **derived from the source of truth**: the method
 sets of :class:`~repro.core.anc.ANCEngineBase` and its subclasses, of
@@ -33,9 +38,16 @@ from ..astutils import dotted
 from ..engine import FileContext
 from ..registry import rule
 
-#: Service modules allowed to drive engine mutation.
+#: Service/shard modules allowed to drive engine mutation.  The shard
+#: worker hosts a full in-process ``ANCServer`` (its own writer thread);
+#: everything else in ``repro.shard`` — router, merge, admin — must stay
+#: read-only.
 WRITER_MODULES = frozenset(
-    {"repro.service.engine_host", "repro.service.snapshots"}
+    {
+        "repro.service.engine_host",
+        "repro.service.snapshots",
+        "repro.shard.worker",
+    }
 )
 
 #: Engine/index methods that only *read* — never part of the registry.
@@ -156,7 +168,9 @@ def mutator_registry() -> Tuple[FrozenSet[str], FrozenSet[str]]:
     "engine/index mutators may only be called from the service writer paths",
 )
 def check(ctx: FileContext) -> Iterable[Tuple[ast.AST, str]]:
-    if not ctx.in_package("repro.service") or ctx.module in WRITER_MODULES:
+    if not ctx.in_package("repro.service", "repro.shard"):
+        return
+    if ctx.module in WRITER_MODULES:
         return
     method_mutators, function_mutators = mutator_registry()
     for node in ast.walk(ctx.tree):

@@ -23,7 +23,12 @@ Installed as the ``repro-anc`` console script (also runnable as
 * ``promote`` — fail over: fence the old primary and promote a follower
   to primary under a fresh epoch (``docs/replication.md``);
 * ``replicas`` — one node's view of the replication topology (role,
-  epoch, committed entries, per-follower lag).
+  epoch, committed entries, per-follower lag);
+* ``shard-serve`` — run N partitioned engine workers behind a
+  scatter-gather router speaking the single-server protocol
+  (``docs/sharding.md``);
+* ``shardmap`` — show how a relation graph partitions across shards
+  (offline from an edge list, or live from a running router).
 
 Edge lists are whitespace-separated ``u v`` (or ``u v t``) lines; node
 labels may be arbitrary strings and are reported back verbatim.
@@ -51,6 +56,8 @@ __all__ = [
     "cmd_lint",
     "cmd_promote",
     "cmd_replicas",
+    "cmd_shard_serve",
+    "cmd_shardmap",
     "build_parser",
     "main",
 ]
@@ -66,8 +73,10 @@ def _add_anc_params(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="index RNG seed")
     parser.add_argument(
         "--update-workers", type=int, default=0,
-        help="threads for parallel index maintenance (Lemma 13); "
-             "0 = sequential (see the GIL caveat in docs/usage.md)",
+        help="threads for parallel index maintenance inside this process "
+             "(Lemma 13); 0 = sequential. Thread-level parallelism is "
+             "GIL-bound (docs/usage.md); for process-level scale-out run "
+             "'repro-anc shard-serve --shards N' instead (docs/sharding.md)",
     )
 
 
@@ -298,6 +307,82 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def cmd_shard_serve(args: argparse.Namespace, out: IO[str]) -> int:
+    import asyncio
+    import logging
+
+    from .shard import RouterConfig, ShardDeployment, ShardRouter
+
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=out)
+        return 2
+    graph, names = read_edge_list(args.edgelist)
+    deployment = ShardDeployment(
+        graph,
+        names,
+        shards=args.shards,
+        seed=args.map_seed,
+        engine=args.engine,
+        params=_params_from(args),
+        data_dir=args.data_dir,
+        batch_size=args.batch_size,
+        max_latency=args.max_latency,
+        max_pending=args.max_pending,
+        checkpoint_every=args.checkpoint_every,
+    )
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        fanout_timeout=args.fanout_timeout,
+        stats_poll_interval=args.stats_poll_interval,
+    )
+    router = ShardRouter(deployment, config=config)
+    try:
+        asyncio.run(
+            router.run(announce=lambda line: print(line, file=out, flush=True))
+        )
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+def cmd_shardmap(args: argparse.Namespace, out: IO[str]) -> int:
+    import json
+
+    from .service.client import ServiceError
+    from .shard import ShardMap, format_shard_doc, format_shardmap, shard_status
+
+    if args.endpoint is not None:
+        host, port = _parse_endpoint(args.endpoint)
+        try:
+            doc = shard_status(host, port, timeout=args.timeout)
+        except (ServiceError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=out)
+            return 1
+        if args.format == "json":
+            print(json.dumps(doc, indent=2, sort_keys=True), file=out)
+        else:
+            for line in format_shard_doc(doc):
+                print(line, file=out)
+        return 0
+    if args.edgelist is None:
+        print("error: provide an edge list or --from HOST:PORT", file=out)
+        return 2
+    graph, _names = read_edge_list(args.edgelist)
+    smap = ShardMap.build(graph, args.shards, seed=args.map_seed)
+    if args.format == "json":
+        print(json.dumps(smap.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        for line in format_shardmap(smap):
+            print(line, file=out)
+    return 0
+
+
 def cmd_datasets(args: argparse.Namespace, out: IO[str]) -> int:
     from .bench.reporting import format_table
     from .workloads.datasets import table1_rows
@@ -522,6 +607,60 @@ def build_parser() -> argparse.ArgumentParser:
                               "(seconds; 0 = off)")
     _add_anc_params(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_shard = sub.add_parser(
+        "shard-serve",
+        help="run N partitioned engine workers behind a scatter-gather "
+             "router (docs/sharding.md)",
+    )
+    p_shard.add_argument("edgelist", help="relation network: u v (or u v t) lines")
+    p_shard.add_argument("--host", default="127.0.0.1")
+    p_shard.add_argument("--port", type=int, default=7700,
+                         help="router TCP port (0 picks a free port; "
+                              "announced on stdout)")
+    p_shard.add_argument("--shards", type=int, default=2,
+                         help="number of engine worker processes")
+    p_shard.add_argument("--map-seed", type=int, default=0,
+                         help="shard-map seed (same graph + seed => same map)")
+    p_shard.add_argument(
+        "--engine", choices=("anco", "ancor", "ancf"), default="anco"
+    )
+    p_shard.add_argument("--batch-size", type=int, default=64,
+                         help="per-worker micro-batch flush size")
+    p_shard.add_argument("--max-latency", type=float, default=0.05,
+                         help="per-worker micro-batch flush latency bound (seconds)")
+    p_shard.add_argument("--max-pending", type=int, default=4096,
+                         help="per-worker intake queue bound (backpressure limit)")
+    p_shard.add_argument("--data-dir", default=None,
+                         help="durability root; each shard persists under "
+                              "<data-dir>/shard-<i> (omit for in-memory workers)")
+    p_shard.add_argument("--checkpoint-every", type=int, default=2000,
+                         help="per-worker checkpoint period (applied activations)")
+    p_shard.add_argument("--fanout-timeout", type=float, default=10.0,
+                         help="scatter-gather deadline per request "
+                              "(seconds; 0 = wait forever)")
+    p_shard.add_argument("--stats-poll-interval", type=float, default=0.0,
+                         help="background per-shard lag/queue polling period "
+                              "(seconds; 0 = off)")
+    _add_anc_params(p_shard)
+    p_shard.set_defaults(func=cmd_shard_serve)
+
+    p_map = sub.add_parser(
+        "shardmap",
+        help="show how a relation graph partitions across shards",
+    )
+    p_map.add_argument("edgelist", nargs="?", default=None,
+                       help="relation network to partition offline")
+    p_map.add_argument("--shards", type=int, default=2,
+                       help="number of shards for the offline plan")
+    p_map.add_argument("--map-seed", type=int, default=0,
+                       help="shard-map seed for the offline plan")
+    p_map.add_argument("--from", dest="endpoint", default=None, metavar="HOST:PORT",
+                       help="query a running router instead of planning offline")
+    p_map.add_argument("--timeout", type=float, default=10.0,
+                       help="request timeout when querying a router (seconds)")
+    p_map.add_argument("--format", choices=("text", "json"), default="text")
+    p_map.set_defaults(func=cmd_shardmap)
 
     p_stats = sub.add_parser(
         "stats",

@@ -74,7 +74,12 @@ class ANCParams:
         :class:`~repro.index.parallel.ParallelUpdater` with that many
         workers; 0 (default) repairs partitions sequentially.  Results
         are identical either way; see the GIL caveat in
-        ``docs/usage.md`` before expecting wall-clock speedups.
+        ``docs/usage.md`` before expecting wall-clock speedups.  This
+        knob parallelises *within* one engine process; the scale-out
+        path that sidesteps the GIL entirely is :mod:`repro.shard`,
+        which partitions the relation graph across engine worker
+        *processes* (``repro-anc shard-serve --shards N``; see
+        ``docs/sharding.md``).
     """
 
     lam: float = 0.1

@@ -18,8 +18,10 @@ fault-free oracle.  ``repro-anc chaos`` runs it from the CLI;
 from .chaos import (
     SCENARIOS,
     ChaosResult,
+    RouterThread,
     Scenario,
     ServerThread,
+    build_shard_workload,
     engine_signature,
     report_lines,
     run_matrix,
@@ -38,9 +40,11 @@ __all__ = [
     "FaultSpec",
     "InjectedCrash",
     "InjectedFault",
+    "RouterThread",
     "Scenario",
     "SCENARIOS",
     "ServerThread",
+    "build_shard_workload",
     "engine_signature",
     "report_lines",
     "run_matrix",

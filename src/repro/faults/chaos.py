@@ -15,6 +15,14 @@ lets it fire, then drives the recovery protocol a real deployment would:
   through a retrying :class:`~repro.service.client.ServiceClient`, so
   socket resets, duplicated batches, overload shedding and slow-reader
   eviction hit the actual protocol path;
+* **shard** scenarios run a real 2-shard deployment — worker processes
+  behind a :class:`~repro.shard.router.ShardRouter` on a background
+  loop (:class:`RouterThread`) — and attack the scatter-gather tier: a
+  worker hard-crashing mid-batch (supervised respawn + WAL recovery +
+  idempotent resend), the router→worker link dropping with requests in
+  flight, and one shard stalling a scatter past the fanout deadline.
+  The merged answers must match a single-engine oracle and every
+  worker's signature must match its per-shard oracle (docs/sharding.md);
 * **replica** scenarios run a primary *and* a WAL-shipping follower
   (two :class:`ServerThread` instances) and attack the replication
   layer: stalled/severed/reordered links, a follower hard-crashing
@@ -47,7 +55,22 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # runtime import is deferred: repro.shard imports repro.faults
+    from ..shard.router import RouterConfig, ShardRouter
+    from ..shard.worker import ShardDeployment
 
 from ..core.activation import Activation
 from ..core.anc import ANCParams, make_engine
@@ -64,15 +87,18 @@ from ..service.snapshots import (
     apply_activations,
     engine_signature,
     recover_engine,
+    signature_digest,
 )
 from ..workloads.streams import community_biased_stream
 from .plan import FaultPlan, FaultSpec, InjectedCrash
 
 __all__ = [
     "ChaosResult",
+    "RouterThread",
     "Scenario",
     "SCENARIOS",
     "ServerThread",
+    "build_shard_workload",
     "engine_signature",
     "report_lines",
     "run_matrix",
@@ -101,6 +127,62 @@ def _build_workload(seed: int) -> Tuple[Graph, List[Activation]]:
         graph, labels, timestamps=10, fraction=0.08, seed=seed
     )
     return graph, list(stream)
+
+
+#: Engine parameters of the shard scenarios (and the shard tests and
+#: ``bench_shard_scaling``): identical to :data:`QUICK_PARAMS` except
+#: that periodic rescaling is disabled, so a worker's engine state
+#: depends only on the activations *it* ingested — the property that
+#: makes per-shard oracles byte-comparable (docs/sharding.md).
+SHARD_PARAMS = ANCParams(rep=1, k=2, seed=0, rescale_every=10**9)
+
+#: Shard scenarios run this many engine workers behind the router.
+SHARD_COUNT = 2
+
+
+def build_shard_workload(
+    seed: int,
+    *,
+    blocks: int = 2,
+    nodes_per_block: int = 24,
+    communities: int = 2,
+    timestamps: int = 10,
+    fraction: float = 0.1,
+) -> Tuple[Graph, List[Activation]]:
+    """Disjoint union of planted-partition blocks + interleaved streams.
+
+    Each block is one (or a few) connected components small enough to
+    pack whole onto a shard, so every activation stays intra-shard and
+    scatter-gather answers must be *exact* — the oracle contract the
+    shard scenarios, ``tests/test_shard.py`` and
+    ``benchmarks/bench_shard_scaling.py`` all pin down.
+    """
+    edges: List[Tuple[int, int]] = []
+    acts: List[Activation] = []
+    offset = 0
+    for block in range(blocks):
+        block_graph, labels = planted_partition(
+            nodes_per_block,
+            communities,
+            p_in=0.5,
+            p_out=0.05,
+            seed=seed + 13 + 101 * block,
+        )
+        stream = community_biased_stream(
+            block_graph,
+            labels,
+            timestamps=timestamps,
+            fraction=fraction,
+            seed=seed + 7 * block,
+        )
+        for u, v in block_graph.edges():
+            edges.append((u + offset, v + offset))
+        for act in stream:
+            acts.append(Activation(act.u + offset, act.v + offset, act.t))
+        offset += block_graph.n
+    graph = Graph(offset, edges)
+    acts.sort(key=lambda a: (a.t, a.u, a.v))
+    return graph, acts
 
 
 # ``engine_signature`` moved to repro.service.snapshots so the server's
@@ -430,6 +512,53 @@ SCENARIOS: Tuple[Scenario, ...] = (
                 args={"seconds": 0.03},
             )
         ],
+        client_attempts=8,
+    ),
+    # -- shard scenarios: the scatter-gather tier under fire -----------
+    Scenario(
+        name="shard-worker-crash-mid-batch",
+        mode="shard",
+        expect="recovered",
+        description=(
+            "shard-0 worker hard-crashes mid-batch; the supervisor respawns "
+            "it from its own WAL and the router resends the in-flight key"
+        ),
+        specs=lambda seed, n: [
+            FaultSpec("wal.append", "crash", at_count=max(2, n // 2))
+        ],
+        client_attempts=8,
+    ),
+    Scenario(
+        name="shard-router-worker-partition",
+        mode="shard",
+        expect="recovered",
+        description=(
+            "router→worker link drops twice with requests in flight; the "
+            "retry resends the same key and worker dedup keeps exactly-once"
+        ),
+        specs=lambda seed, n: [
+            FaultSpec("router.forward", "drop", at_count=2),
+            FaultSpec("router.forward", "drop", at_count=5),
+        ],
+        client_attempts=8,
+    ),
+    Scenario(
+        name="shard-scatter-timeout",
+        mode="shard",
+        expect="recovered",
+        description=(
+            "one shard stalls a scatter past the fanout deadline; the client "
+            "gets a typed RETRY_AFTER and its retry succeeds"
+        ),
+        specs=lambda seed, n: [
+            FaultSpec(
+                "router.scatter",
+                "stall",
+                at_count=1,
+                args={"seconds": 2.0, "shard": 0},
+            )
+        ],
+        server={"fanout_timeout": 0.5, "shed_retry_after": 0.1},
         client_attempts=8,
     ),
 )
@@ -968,6 +1097,264 @@ def _run_replica(
 
 
 # ----------------------------------------------------------------------
+# Shard runner: the scatter-gather tier over real worker processes
+# ----------------------------------------------------------------------
+
+class RouterThread:
+    """A :class:`~repro.shard.router.ShardRouter` on a private event loop.
+
+    The shard analogue of :class:`ServerThread`: spawns the deployment's
+    worker processes, binds the router and serves until ``stop()``, so
+    blocking clients can drive a real multi-process topology from a
+    test.  Startup is slower than one server (one process spawn plus
+    recovery per shard), hence the longer timeouts.
+    """
+
+    def __init__(
+        self,
+        deployment: "ShardDeployment",
+        *,
+        config: Optional["RouterConfig"] = None,
+    ) -> None:
+        self._deployment = deployment
+        self._config = config
+        self.router: Optional["ShardRouter"] = None
+        self.port: Optional[int] = None
+        self.host: str = config.host if config is not None else "127.0.0.1"
+        self.error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="anc-chaos-router", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # anclint: disable=service-exception-discipline — a thread boundary cannot propagate; start()/stop() re-raise from ``self.error`` on the caller's thread
+            self.error = exc
+        finally:
+            self._started.set()
+
+    async def _main(self) -> None:
+        from ..shard.router import RouterConfig, ShardRouter
+
+        self._loop = asyncio.get_running_loop()
+        self.router = ShardRouter(
+            self._deployment, config=self._config or RouterConfig()
+        )
+        await self.router.start()
+        self.port = self.router.port
+        self._started.set()
+        await self.router.serve_forever()
+
+    def start(self) -> "RouterThread":
+        self._thread.start()
+        if not self._started.wait(timeout=120.0):
+            raise RuntimeError("router thread did not start within 120s")
+        if self.error is not None:
+            raise RuntimeError("router thread failed on startup") from self.error
+        assert self.port is not None
+        return self
+
+    def stop(self) -> None:
+        """Request a graceful shutdown (router + workers) and join."""
+        if self._loop is not None and self.router is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.router.request_stop)
+            except RuntimeError:  # anclint: disable=service-exception-discipline — the loop already exited (router shut down on its own); joining below is the only remaining work
+                pass
+        self._thread.join(timeout=120.0)
+        if self._thread.is_alive():  # pragma: no cover - hang diagnostics
+            raise RuntimeError("router thread did not shut down within 120s")
+
+    def __enter__(self) -> "RouterThread":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def _normalized_clusters(clusters: Sequence[Sequence[object]]) -> Tuple[Tuple[int, ...], ...]:
+    """Order-free canonical form of a clustering (int labels)."""
+    return tuple(
+        sorted(tuple(sorted(int(v) for v in cluster)) for cluster in clusters)  # type: ignore[arg-type]
+    )
+
+
+def _run_shard(
+    scenario: Scenario, seed: int, workdir: Path
+) -> ChaosResult:
+    from ..shard.router import RouterConfig
+    from ..shard.shardmap import ShardMap
+    from ..shard.worker import ShardDeployment
+
+    graph, acts = build_shard_workload(seed)
+    smap = ShardMap.build(graph, SHARD_COUNT, seed=0)
+    shard_acts: Dict[int, List[Activation]] = {s: [] for s in range(SHARD_COUNT)}
+    for act in acts:
+        shard_acts[smap.shard_of_edge(act.u, act.v)].append(act)
+
+    # The oracle a correct deployment must merge back to: one engine over
+    # the whole graph and the whole stream.
+    oracle = make_engine("ANCO", graph, SHARD_PARAMS)
+    apply_activations(oracle, acts)
+
+    # Sites under ``router.`` arm in the router process; everything else
+    # travels to shard 0's worker via its picklable spec (the plan — and
+    # its fired log — then lives in the child).
+    specs = scenario.specs(seed, len(shard_acts[0]))
+    router_specs = [s for s in specs if s.site.startswith("router.")]
+    worker_specs = [s for s in specs if not s.site.startswith("router.")]
+    router_plan = FaultPlan(router_specs, seed=seed) if router_specs else None
+
+    deployment = ShardDeployment(
+        graph,
+        shards=SHARD_COUNT,
+        seed=0,
+        params=SHARD_PARAMS,
+        data_dir=workdir / f"{scenario.name}-s{seed}",
+        checkpoint_every=CHECKPOINT_EVERY,
+        fault_specs={0: worker_specs} if worker_specs else None,
+        fault_seed=seed,
+    )
+    router_config = RouterConfig(
+        faults=router_plan,
+        **scenario.server,  # type: ignore[arg-type]
+    )
+    retry = RetryPolicy(
+        attempts=scenario.client_attempts,
+        base_delay=0.02,
+        max_delay=0.25,
+        seed=seed,
+    )
+    batches = [
+        acts[i : i + CLIENT_BATCH] for i in range(0, len(acts), CLIENT_BATCH)
+    ]
+    half = max(1, len(batches) // 2)
+    with RouterThread(deployment, config=router_config) as handle:
+        router = handle.router
+        assert router is not None and handle.port is not None
+        try:
+            client = ServiceClient(
+                handle.host, handle.port, timeout=15.0, retry=retry
+            )
+            try:
+                for i, chunk in enumerate(batches[:half]):
+                    client.ingest_batch(
+                        [(a.u, a.v, a.t) for a in chunk],
+                        key=f"{scenario.name}-{seed}-b{i}",
+                    )
+                # First scatter mid-stream: the stall scenario fires here
+                # and the client must recover through its typed retry.
+                client.request("clusters")
+                for i, chunk in enumerate(batches[half:], start=half):
+                    client.ingest_batch(
+                        [(a.u, a.v, a.t) for a in chunk],
+                        key=f"{scenario.name}-{seed}-b{i}",
+                    )
+                applied = client.sync()
+                merged = client.request("clusters")
+            finally:
+                client.close()
+        except ServiceError as exc:
+            fired = list(router_plan.fired) if router_plan is not None else []
+            return ChaosResult(
+                scenario.name,
+                seed,
+                "typed-failure",
+                scenario.expect,
+                detail=f"{type(exc).__name__}: {exc}",
+                injected=fired,
+            )
+
+        # Per-shard byte-identity: each worker's signature must equal an
+        # oracle engine fed only that shard's slice of the stream.
+        sig_mismatches: List[int] = []
+        for shard in range(SHARD_COUNT):
+            worker = deployment.workers[shard]
+            assert worker.port is not None
+            with ServiceClient(
+                handle.host,
+                worker.port,
+                timeout=15.0,
+                retry=RetryPolicy(attempts=4, base_delay=0.02, seed=seed),
+            ) as worker_client:
+                signature = worker_client.request("signature")
+            shard_oracle = make_engine(
+                "ANCO", smap.shard_graph(shard), SHARD_PARAMS
+            )
+            apply_activations(shard_oracle, shard_acts[shard])
+            if signature.get("digest") != signature_digest(shard_oracle):
+                sig_mismatches.append(shard)
+
+        restarts = deployment.total_restarts()
+        router_counters = {
+            name: counter.value
+            for name, counter in router.metrics.counters().items()
+        }
+
+    # Merged answer versus the whole-graph oracle at the level the
+    # deployment actually answered.
+    level = int(merged["level"])
+    clusters_match = _normalized_clusters(
+        merged["clusters"]
+    ) == _normalized_clusters(oracle.clusters(level))
+
+    # Scenario-specific evidence that the armed fault actually bit.
+    retries = router_counters.get("router_forward_retries", 0.0)
+    timeouts = router_counters.get("router_scatter_timeouts", 0.0)
+    contract_ok = True
+    if scenario.name == "shard-worker-crash-mid-batch":
+        contract_ok = restarts >= 1
+    elif scenario.name == "shard-router-worker-partition":
+        contract_ok = retries >= 2
+    elif scenario.name == "shard-scatter-timeout":
+        contract_ok = timeouts >= 1
+
+    status = (
+        "recovered"
+        if (
+            applied == len(acts)
+            and not sig_mismatches
+            and clusters_match
+            and contract_ok
+        )
+        else "diverged"
+    )
+    detail = (
+        f"applied={applied}/{len(acts)} restarts={restarts}"
+        f" forward_retries={retries:g} scatter_timeouts={timeouts:g}"
+        f" clusters_match={clusters_match}"
+    )
+    if sig_mismatches:
+        detail += f" sig_mismatch={sig_mismatches}"
+
+    fired = list(router_plan.fired) if router_plan is not None else []
+    if worker_specs and restarts >= 1:
+        # The worker's plan (and its fired log) died with the child
+        # process; reconstruct the entries from the observed crash.
+        for spec in worker_specs:
+            fired.append(
+                {
+                    "site": spec.site,
+                    "kind": spec.kind,
+                    "hit": spec.at_count,
+                    "shard": 0,
+                    "reconstructed": True,
+                }
+            )
+    return ChaosResult(
+        scenario.name,
+        seed,
+        status,
+        scenario.expect,
+        detail=detail,
+        injected=fired,
+    )
+
+
+# ----------------------------------------------------------------------
 # The matrix
 # ----------------------------------------------------------------------
 
@@ -975,6 +1362,7 @@ _RUNNERS: Dict[str, Callable[[Scenario, int, Path], ChaosResult]] = {
     "pipeline": _run_pipeline,
     "service": _run_service,
     "replica": _run_replica,
+    "shard": _run_shard,
 }
 
 

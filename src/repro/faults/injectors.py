@@ -66,6 +66,13 @@ CATALOG: Dict[str, Dict[str, str]] = {
     "replica.apply": {
         "crash": "hard-crash the follower while applying a replicated record",
     },
+    "router.forward": {
+        "drop": "sever the router→worker link after the request bytes leave (in-flight partition)",
+        "delay": "hold the forward for args['seconds'] before sending",
+    },
+    "router.scatter": {
+        "stall": "hold shard args['shard']'s scatter arm for args['seconds'] (one slow shard)",
+    },
 }
 
 

@@ -127,6 +127,10 @@ class ServerConfig:
     poll_interval: float = 0.02
     #: Divergence-audit cadence on a follower (seconds; 0 = disabled).
     audit_interval: float = 0.25
+    #: Shard id when this server runs as a :mod:`repro.shard` worker;
+    #: stamped on every response envelope (and ``stats``) so routers and
+    #: operators can attribute answers.  ``None`` = unsharded.
+    shard_id: Optional[int] = None
     #: Fault-injection plan (:mod:`repro.faults`); ``None`` = disarmed.
     faults: "Optional[FaultPlan]" = None
 
@@ -723,6 +727,8 @@ class ANCServer:
             response = fault_response(exc)
         response["epoch"] = self.epoch
         response["role"] = self.role
+        if self.config.shard_id is not None:
+            response["shard"] = self.config.shard_id
         if request_id is not None:
             response["id"] = request_id
         return response
@@ -904,6 +910,8 @@ class ANCServer:
         stats["diverged"] = self.diverged
         stats["wal_entries"] = self._wal_entries()
         stats["replicas"] = len(self._replicas)
+        if self.config.shard_id is not None:
+            stats["shard"] = self.config.shard_id
         return {"stats": stats}
 
     async def _op_metrics(self, request: Dict) -> Dict[str, object]:

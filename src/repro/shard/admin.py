@@ -1,0 +1,77 @@
+"""Operator-facing introspection of a sharded deployment.
+
+Thin wrappers over the router's ``shard_map`` admin op plus the
+formatting the ``repro-anc shardmap`` CLI command prints.  Kept apart
+from :mod:`repro.shard.router` so the CLI can render a *planned*
+topology (build the map locally, no deployment needed) and a *live*
+one (query a running router) through the same formatter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from ..service.client import RetryPolicy, ServiceClient
+from .shardmap import ShardMap
+
+__all__ = ["format_shard_doc", "format_shardmap", "shard_status"]
+
+
+def shard_status(host: str, port: int, *, timeout: float = 10.0) -> Dict[str, object]:
+    """Fetch the ``shard_map`` document from a running router."""
+    with ServiceClient(
+        host, port, timeout=timeout, retry=RetryPolicy(attempts=2)
+    ) as client:
+        response = client.request("shard_map")
+    doc = response.get("shard_map")
+    if not isinstance(doc, dict):
+        raise ValueError(f"router at {host}:{port} sent no shard_map document")
+    return doc
+
+
+def format_shard_doc(doc: Mapping[str, object]) -> List[str]:
+    """Human-readable lines for a ``shard_map`` document (live or planned)."""
+    shards = int(doc.get("shards", 0))  # type: ignore[arg-type]
+    nodes = doc.get("nodes_per_shard")
+    edges = doc.get("edges_per_shard")
+    workers = doc.get("workers")
+    lines = [
+        f"shard map over n={doc.get('n')} nodes, {shards} shards "
+        f"(seed {doc.get('seed')})",
+        f"digest: {doc.get('digest')}",
+    ]
+    for shard in range(shards):
+        node_count = nodes[shard] if isinstance(nodes, list) else "?"
+        edge_count = edges[shard] if isinstance(edges, list) else "?"
+        line = f"  shard {shard}: {node_count} nodes, {edge_count} edges"
+        if isinstance(workers, dict):
+            info = workers.get(str(shard))
+            if isinstance(info, dict):
+                state = "up" if info.get("alive") else "DOWN"
+                line += (
+                    f" — worker {info.get('host')}:{info.get('port')} {state}"
+                    f" ({info.get('restarts', 0)} restarts)"
+                )
+        lines.append(line)
+    cross = int(doc.get("cross_edge_count", 0))  # type: ignore[arg-type]
+    lines.append(
+        f"cross-shard edges: {cross}"
+        + (" (scatter-gather answers are exact)" if cross == 0 else "")
+    )
+    if cross:
+        sample = doc.get("cross_edges")
+        if isinstance(sample, list) and sample:
+            shown = ", ".join(
+                f"({e[0]},{e[1]})→s{e[2]}" for e in sample[:8] if isinstance(e, list)
+            )
+            suffix = ", …" if cross > 8 else ""
+            lines.append(f"  e.g. {shown}{suffix}")
+    return lines
+
+
+def format_shardmap(smap: ShardMap, *, workers: Optional[Mapping[str, object]] = None) -> List[str]:
+    """Format a locally built :class:`ShardMap` (the planning path)."""
+    doc = smap.to_dict()
+    if workers is not None:
+        doc["workers"] = dict(workers)
+    return format_shard_doc(doc)

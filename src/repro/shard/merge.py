@@ -1,0 +1,113 @@
+"""Merging scatter-gather results from shard workers into one answer.
+
+Pure functions — no I/O, no router state — so merge semantics are unit
+testable and documented in one place (docs/sharding.md):
+
+* every node is reported by its **home shard** exactly once: each
+  shard's clusters are filtered to its home nodes, which makes the
+  merged output a partition of the node space even though every worker
+  serves the full node space (see :mod:`repro.shard.shardmap`);
+* merged cluster ids are namespaced ``s<shard>:<index>`` so a cluster
+  is traceable to the worker that produced it;
+* granularity levels must agree across shards — all workers share
+  ``(n, seed)`` so the pyramid geometry is identical by construction,
+  and a mismatch means misconfigured workers, not a mergeable answer;
+* a cluster spanning a cross-shard edge appears once per endpoint's
+  home shard (the documented partition artifact); the registry count
+  rides along in the merged payload so callers can tell exact answers
+  (``cross_edges == 0``) from approximations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["merge_clusters", "merge_stats", "namespaced_id"]
+
+#: Per-shard stats fields that add up across the deployment.
+_SUM_KEYS = ("ingested", "applied", "queue_depth", "wal_entries", "replicas")
+#: Fields where the deployment-wide value is the max (the stream clock).
+_MAX_KEYS = ("t",)
+#: Fields that are true if any shard reports true.
+_ANY_KEYS = ("degraded",)
+
+
+def namespaced_id(shard: int, index: int) -> str:
+    """The merged id of worker ``shard``'s ``index``-th cluster."""
+    return f"s{shard}:{index}"
+
+
+def merge_clusters(
+    payloads: Mapping[int, Mapping[str, object]],
+    home_shard: Mapping[object, int],
+    *,
+    min_size: int = 1,
+    cross_edge_count: int = 0,
+) -> Dict[str, object]:
+    """Merge per-shard ``clusters`` responses into one deployment answer.
+
+    ``payloads`` maps shard id → the worker's ``clusters`` op response
+    (queried with ``min_size=1``; the floor is applied *after* home
+    filtering, or a cluster straddling the floor would flicker with
+    shard count).  ``home_shard`` maps a protocol node label to its
+    home shard.  Raises ``ValueError`` when shards disagree on the
+    granularity geometry.
+    """
+    if not payloads:
+        raise ValueError("merge_clusters needs at least one shard payload")
+    levels = {int(p["level"]) for p in payloads.values()}  # type: ignore[arg-type]
+    num_levels = {int(p["num_levels"]) for p in payloads.values()}  # type: ignore[arg-type]
+    if len(levels) != 1 or len(num_levels) != 1:
+        raise ValueError(
+            f"shards disagree on granularity: levels={sorted(levels)} "
+            f"num_levels={sorted(num_levels)}; identical (n, seed) should "
+            f"make these equal — check worker configuration"
+        )
+    clusters: List[List[object]] = []
+    cluster_ids: List[str] = []
+    cluster_shards: List[int] = []
+    for shard in sorted(payloads):
+        raw = payloads[shard].get("clusters")
+        if not isinstance(raw, list):
+            raise ValueError(f"shard {shard} returned no cluster list")
+        for index, cluster in enumerate(raw):
+            assert isinstance(cluster, Sequence)
+            homed = [label for label in cluster if home_shard.get(label) == shard]
+            if len(homed) >= min_size and homed:
+                clusters.append(list(homed))
+                cluster_ids.append(namespaced_id(shard, index))
+                cluster_shards.append(shard)
+    return {
+        "level": levels.pop(),
+        "num_levels": num_levels.pop(),
+        "t": max(float(p.get("t", 0.0)) for p in payloads.values()),  # type: ignore[arg-type]
+        "applied": sum(int(p.get("applied", 0)) for p in payloads.values()),  # type: ignore[arg-type]
+        "clusters": clusters,
+        "cluster_ids": cluster_ids,
+        "cluster_shards": cluster_shards,
+        "cross_edges": cross_edge_count,
+    }
+
+
+def merge_stats(per_shard: Mapping[int, Mapping[str, object]]) -> Dict[str, object]:
+    """Aggregate per-shard ``stats`` into one deployment view.
+
+    Counts sum, the stream clock is the max, ``degraded`` is sticky
+    across shards, and the raw per-shard documents ride along under
+    ``"shards"`` keyed by shard id.
+    """
+    merged: Dict[str, object] = {}
+    for key in _SUM_KEYS:
+        merged[key] = sum(
+            int(doc.get(key, 0) or 0)  # type: ignore[arg-type]
+            for doc in per_shard.values()
+        )
+    for key in _MAX_KEYS:
+        merged[key] = max(
+            (float(doc.get(key, 0.0) or 0.0) for doc in per_shard.values()),  # type: ignore[arg-type]
+            default=0.0,
+        )
+    for key in _ANY_KEYS:
+        merged[key] = any(bool(doc.get(key)) for doc in per_shard.values())
+    merged["shards"] = {str(s): dict(per_shard[s]) for s in sorted(per_shard)}
+    return merged

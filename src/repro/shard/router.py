@@ -1,0 +1,803 @@
+"""The scatter-gather front tier: one router over N shard workers.
+
+The router speaks the **same TCP/JSON-lines protocol** as a single
+:class:`~repro.service.server.ANCServer` — clients built against
+:mod:`repro.service.client` work unchanged against a sharded
+deployment.  Per request it either *routes* (ingest goes to the shard
+that owns the activation's edge, ``local_cluster`` to the node's home
+shard) or *scatter-gathers* (``clusters``/``stats``/``metrics``/``sync``
+fan out to every worker and the answers are merged by
+:mod:`repro.shard.merge`).
+
+Envelope conventions: responses are stamped ``role="router"``,
+``shards=N`` and ``epoch=0``.  Epoch 0 is deliberate — the client's
+stale-epoch rotation only arms for ``0 < epoch``, so a router in an
+endpoint list never trips replica fencing heuristics.
+
+Failure handling per forward: transport errors are retried with
+exponential backoff under the shard's link lock; between attempts the
+router checks whether the worker *process* died and respawns it on the
+same data directory (WAL recovery + the resent idempotency key make the
+crash invisible to the client beyond latency).  A scatter that misses
+``fanout_timeout`` turns into a typed ``RETRY_AFTER`` so clients back
+off instead of hanging on one slow shard.
+
+Chaos hook points (see :mod:`repro.faults.injectors`):
+
+* ``router.forward`` — ingest-path forwards; ``drop`` severs the link
+  *after* the request bytes leave (the genuinely ambiguous in-flight
+  partition: the retry resends the same key and the worker's dedup map
+  decides), ``delay`` stalls the send.
+* ``router.scatter`` — fan-out queries; ``stall`` holds one shard's arm
+  (``args: {"shard", "seconds"}``) so the scatter deadline trips.
+
+The background stats poll (``stats_poll_interval``) bypasses both hooks
+and is disabled in chaos runs, keeping ``at_count`` triggers
+deterministic with respect to client-visible traffic only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import logging
+import os
+import time
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..graph.graph import edge_key
+from ..obs.export import chrome_trace, render_prometheus
+from ..obs.instruments import MetricsRegistry
+from ..obs.trace import Observability, Tracer
+from ..service.errors import (
+    BadRequest,
+    Overloaded,
+    ServiceFault,
+    Unavailable,
+    UnknownOp,
+    fault_response,
+)
+from .merge import merge_clusters, merge_stats
+from .worker import ShardDeployment, ShardWorker
+
+if TYPE_CHECKING:  # hook-only dependency (see repro.faults)
+    from ..faults.plan import FaultAction, FaultPlan
+
+__all__ = ["RouterConfig", "ShardRouter", "WorkerLink"]
+
+log = logging.getLogger("repro.shard")
+
+_LIMIT = 4 * 1024 * 1024
+
+#: Transport-layer failures a forward retries through.
+_TRANSPORT_ERRORS = (OSError, asyncio.IncompleteReadError, json.JSONDecodeError)
+
+
+@dataclass
+class RouterConfig:
+    """Operational knobs of the router tier."""
+
+    host: str = "127.0.0.1"
+    #: Port to bind; 0 picks a free port (read :attr:`ShardRouter.port`).
+    port: int = 0
+    #: Deadline for a full scatter (all shards answered); 0 = no deadline.
+    fanout_timeout: float = 10.0
+    #: Per-attempt deadline of one worker request; 0 = no deadline.
+    forward_timeout: float = 30.0
+    #: Transport-failure retries per forward (worker respawn in between).
+    forward_attempts: int = 4
+    #: Base of the exponential backoff between forward attempts.
+    retry_backoff: float = 0.05
+    #: ``retry_after`` hint handed to clients when a scatter times out.
+    shed_retry_after: float = 0.25
+    #: Period of the background per-shard gauge refresh (0 = disabled;
+    #: chaos runs disable it so fault triggers stay deterministic).
+    stats_poll_interval: float = 0.0
+    #: Evict a client whose response write does not drain in time (0 = never).
+    write_timeout: float = 30.0
+    #: Span ring-buffer capacity of the router tracer (``trace`` op).
+    trace_capacity: int = 8192
+    #: Chaos hooks for the router tier (worker plans travel in specs).
+    faults: Optional["FaultPlan"] = None
+
+
+class WorkerLink:
+    """One serialized JSON-lines connection to one shard worker.
+
+    Requests are funneled through a lock (the protocol is strictly
+    request/response per connection), retried across transport failures
+    and — when the worker process itself died — across a supervised
+    respawn.  A request cancelled mid-flight (scatter deadline) aborts
+    the connection: a response may already be in the pipe, and the next
+    request must not read it as its own.
+    """
+
+    def __init__(
+        self,
+        worker: ShardWorker,
+        config: RouterConfig,
+        *,
+        on_retry: Callable[[], None],
+        on_restart: Callable[[], None],
+    ) -> None:
+        self.worker = worker
+        self.shard_id = worker.shard_id
+        self._config = config
+        self._on_retry = on_retry
+        self._on_restart = on_restart
+        self._lock = asyncio.Lock()
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    def abort(self) -> None:
+        """Drop the connection now (no handshake)."""
+        if self._writer is not None:
+            self._writer.transport.abort()
+        self._reader = None
+        self._writer = None
+
+    async def aclose(self) -> None:
+        writer = self._writer
+        self._reader = None
+        self._writer = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:  # anclint: disable=service-exception-discipline — close handshake racing a dead worker; the link is being discarded either way
+                pass
+
+    async def _connect(self) -> None:
+        if self._writer is not None and not self._writer.is_closing():
+            return
+        port = self.worker.port
+        if port is None:
+            raise ConnectionError(f"shard {self.shard_id} worker has no port")
+        self._reader, self._writer = await asyncio.open_connection(
+            self.worker.spec.host, port, limit=_LIMIT
+        )
+
+    async def _respawn_if_dead(self) -> None:
+        """Restart the worker process if it died (blocking → executor)."""
+        loop = asyncio.get_running_loop()
+        restarted = await loop.run_in_executor(None, self.worker.restart_if_dead)
+        if restarted:
+            self._on_restart()
+
+    async def request(
+        self,
+        payload: Mapping[str, object],
+        *,
+        action: Optional["FaultAction"] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Send one request; return the decoded response envelope.
+
+        ``action`` is a fired ``router.forward`` fault to apply to the
+        *first* attempt only (retries model the recovery path, not the
+        fault).  Raises :class:`Unavailable` once attempts are spent.
+        """
+        data = json.dumps(payload).encode() + b"\n"
+        deadline = timeout if timeout is not None else self._config.forward_timeout
+        last_exc: Optional[BaseException] = None
+        async with self._lock:
+            for attempt in range(max(1, self._config.forward_attempts)):
+                if attempt > 0:
+                    self._on_retry()
+                    await self._respawn_if_dead()
+                    await asyncio.sleep(
+                        self._config.retry_backoff * (2 ** (attempt - 1))
+                    )
+                try:
+                    return await asyncio.wait_for(
+                        self._attempt(data, action), deadline or None
+                    )
+                except asyncio.TimeoutError as exc:
+                    self.abort()
+                    last_exc = exc
+                except _TRANSPORT_ERRORS as exc:
+                    self.abort()
+                    last_exc = exc
+                except asyncio.CancelledError:
+                    # A response may be in flight; never let the next
+                    # request on this link read it.
+                    self.abort()
+                    raise
+                action = None  # the injected fault fired; retries run clean
+        raise Unavailable(
+            f"shard {self.shard_id} unreachable after "
+            f"{self._config.forward_attempts} attempts: "
+            f"{type(last_exc).__name__}: {last_exc}"
+        )
+
+    async def _attempt(
+        self, data: bytes, action: Optional["FaultAction"]
+    ) -> Dict[str, object]:
+        await self._connect()
+        assert self._reader is not None and self._writer is not None
+        if action is not None and action.kind == "delay":
+            await asyncio.sleep(action.seconds())
+        self._writer.write(data)
+        await self._writer.drain()
+        if action is not None and action.kind == "drop":
+            # Partition after the bytes left: ambiguous in-flight write.
+            self.abort()
+            raise ConnectionResetError("injected router-worker partition")
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionResetError(
+                f"shard {self.shard_id} closed the connection mid-request"
+            )
+        response = json.loads(line)
+        if not isinstance(response, dict):
+            raise ValueError(f"shard {self.shard_id} sent a non-object response")
+        return response
+
+
+class ShardRouter:
+    """Asyncio front tier multiplexing clients over a :class:`ShardDeployment`."""
+
+    def __init__(
+        self,
+        deployment: ShardDeployment,
+        *,
+        config: Optional[RouterConfig] = None,
+    ) -> None:
+        self.deployment = deployment
+        self.shard_map = deployment.shard_map
+        self.config = config or RouterConfig()
+        self._faults = self.config.faults
+
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(enabled=False, capacity=self.config.trace_capacity)
+        self.obs = Observability(registry=self.metrics, tracer=self.tracer)
+        if self._faults is not None:
+            self._faults.attach_obs(self.obs)
+
+        self._c_requests = self.metrics.counter("router_requests")
+        self._c_ingested = self.metrics.counter("router_ingested")
+        self._c_retries = self.metrics.counter("router_forward_retries")
+        self._c_timeouts = self.metrics.counter("router_scatter_timeouts")
+        self._c_restarts = self.metrics.counter("router_worker_restarts")
+        self._h_fanout = self.metrics.histogram("router_fanout_seconds")
+        self._h_forward = self.metrics.histogram("router_forward_seconds")
+
+        names = deployment.names
+        self.names = list(names) if names is not None else None
+        self._label_to_id: Dict[str, int] = (
+            {str(name): i for i, name in enumerate(self.names)}
+            if self.names is not None
+            else {}
+        )
+        #: Protocol label → home shard, for the cluster merge.
+        self._label_home: Dict[object, int] = {
+            self._label(v): self.shard_map.shard_of(v)
+            for v in range(self.shard_map.n)
+        }
+
+        self.links: List[WorkerLink] = [
+            WorkerLink(
+                worker,
+                self.config,
+                on_retry=self._c_retries.inc,
+                on_restart=self._c_restarts.inc,
+            )
+            for worker in deployment.workers
+        ]
+        # Per-shard freshness gauges, refreshed from every scatter answer
+        # (and the optional poll loop): applied, queue depth, and lag =
+        # activations routed to the shard minus activations it applied.
+        self._shard_applied: Dict[int, float] = {}
+        self._shard_queue: Dict[int, float] = {}
+        self._routed: Dict[int, int] = {s: 0 for s in range(self.shards)}
+        for s in range(self.shards):
+            self.metrics.gauge(
+                f"shard{s}_applied",
+                lambda s=s: self._shard_applied.get(s, 0.0),  # type: ignore[misc]
+            )
+            self.metrics.gauge(
+                f"shard{s}_queue_depth",
+                lambda s=s: self._shard_queue.get(s, 0.0),  # type: ignore[misc]
+            )
+            self.metrics.gauge(
+                f"shard{s}_lag",
+                lambda s=s: max(  # type: ignore[misc]
+                    0.0, self._routed[s] - self._shard_applied.get(s, 0.0)
+                ),
+            )
+
+        # Router-generated idempotency keys for unkeyed batches: a
+        # forward retry after an in-flight failure must not double-apply.
+        self._key_prefix = f"r:{os.getpid():x}-{int(time.time() * 1000) & 0xFFFFFF:x}"
+        self._key_counter = itertools.count()
+
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._background: List[asyncio.Task] = []
+        self._stop = asyncio.Event()
+        self._conns: Set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle (mirrors ANCServer so CLI/bench harnesses carry over)
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return self.shard_map.shards
+
+    async def start(self) -> None:
+        """Spawn the workers (if needed) and bind the router socket."""
+        if not self.deployment.started:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self.deployment.start)
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=_LIMIT,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.stats_poll_interval > 0:
+            self._background.append(
+                asyncio.create_task(self._poll_loop(self.config.stats_poll_interval))
+            )
+        log.info(
+            "router serving on %s:%d over %d shards",
+            self.config.host,
+            self.port,
+            self.shards,
+        )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._stop.wait()
+        await self._shutdown()
+
+    async def run(self, *, announce: Optional[Callable[[str], object]] = None) -> None:
+        """Start, announce shard endpoints + ``SERVING``, serve until stopped."""
+        await self.start()
+        emit = announce if announce is not None else lambda line: print(line, flush=True)
+        for shard, (host, port) in sorted(self.deployment.endpoints().items()):
+            emit(f"SHARD {shard} {host} {port}")
+        emit(f"SERVING {self.config.host} {self.port}")
+        await self.serve_forever()
+
+    def request_stop(self) -> None:
+        self._stop.set()
+
+    async def stop(self) -> None:
+        self.request_stop()
+        if self._server is not None:
+            await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        server.close()
+        await server.wait_closed()
+        for task in self._background:
+            task.cancel()
+        for task in self._background:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._background.clear()
+        for link in self.links:
+            await link.aclose()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.deployment.stop)
+        for writer in list(self._conns):
+            writer.transport.abort()
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conns.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                response = await self._handle_request(line)
+                writer.write(json.dumps(response).encode() + b"\n")
+                try:
+                    await asyncio.wait_for(
+                        writer.drain(), self.config.write_timeout or None
+                    )
+                except asyncio.TimeoutError:
+                    log.warning("evicting slow router client")
+                    writer.transport.abort()
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):  # anclint: disable=service-exception-discipline — peer went away mid-conversation; closing our side below is the handling
+            pass
+        finally:
+            self._conns.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # anclint: disable=service-exception-discipline — close handshake racing the peer's reset; nothing to map
+                pass
+
+    async def _handle_request(self, raw: bytes) -> Dict[str, object]:
+        request_id: object = None
+        self._c_requests.inc()
+        try:
+            request = json.loads(raw)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op")
+            handler = self._OPS.get(op)
+            if handler is None:
+                raise UnknownOp(f"unknown op {op!r}")
+            response = await handler(self, request)
+            response.setdefault("ok", True)
+        except Exception as exc:  # protocol boundary: map to a typed envelope
+            response = fault_response(exc)
+        # Router envelope: epoch 0 never trips client fencing heuristics
+        # (module docstring); ``shards`` advertises the topology width.
+        response["epoch"] = 0
+        response["role"] = "router"
+        response["shards"] = self.shards
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def _worker_fault(self, shard: int, response: Mapping[str, object]) -> ServiceFault:
+        """Map a worker's error envelope to the fault the client should see."""
+        code = str(response.get("error_type", "INTERNAL"))
+        message = f"shard {shard}: {response.get('error')}"
+        if code == "RETRY_AFTER":
+            hint = response.get("retry_after", 0.05)
+            retry_after = (
+                float(hint) if isinstance(hint, (int, float)) else 0.05
+            )
+            return Overloaded(message, retry_after=retry_after)
+        if code in ("BAD_REQUEST", "UNKNOWN_OP"):
+            return BadRequest(message)
+        return Unavailable(message)
+
+    def _note_answer(self, shard: int, response: Mapping[str, object]) -> None:
+        applied = response.get("applied")
+        if isinstance(applied, (int, float)):
+            self._shard_applied[shard] = float(applied)
+
+    async def _forward(
+        self,
+        shard: int,
+        payload: Mapping[str, object],
+        *,
+        action: Optional["FaultAction"] = None,
+    ) -> Dict[str, object]:
+        """One routed worker call; raises the mapped typed fault on error."""
+        start = time.monotonic()
+        with self.tracer.span("router.forward", shard=shard, op=str(payload.get("op"))):
+            response = await self.links[shard].request(payload, action=action)
+        self._h_forward.observe(time.monotonic() - start)
+        if not response.get("ok", False):
+            raise self._worker_fault(shard, response)
+        self._note_answer(shard, response)
+        return response
+
+    async def _scatter(
+        self, op: str, payload: Mapping[str, object]
+    ) -> Dict[int, Dict[str, object]]:
+        """Fan ``payload`` out to every shard; all must answer in time."""
+        stall_shard: Optional[int] = None
+        stall_seconds = 0.0
+        if self._faults is not None:
+            action = self._faults.hit("router.scatter", op=op)
+            if action is not None and action.kind == "stall":
+                raw_shard = action.args.get("shard", 0)
+                stall_shard = int(raw_shard) if isinstance(raw_shard, (int, str)) else 0
+                stall_seconds = action.seconds(2.0)
+
+        async def arm(shard: int) -> Dict[str, object]:
+            if shard == stall_shard and stall_seconds > 0:
+                # One shard gone slow: hold its arm past the deadline.
+                await asyncio.sleep(stall_seconds)
+            return await self._forward(shard, payload)
+
+        start = time.monotonic()
+        timeout = self.config.fanout_timeout or None
+        with self.tracer.span("router.scatter", op=op, shards=self.shards):
+            tasks = [asyncio.create_task(arm(s)) for s in range(self.shards)]
+            try:
+                answers = await asyncio.wait_for(asyncio.gather(*tasks), timeout)
+            except asyncio.TimeoutError:
+                self._c_timeouts.inc()
+                raise Overloaded(
+                    f"scatter {op!r} missed the {self.config.fanout_timeout}s "
+                    f"deadline; one or more shards are slow",
+                    retry_after=self.config.shed_retry_after,
+                ) from None
+            finally:
+                for task in tasks:
+                    if not task.done():
+                        task.cancel()
+        self._h_fanout.observe(time.monotonic() - start)
+        return {shard: answer for shard, answer in enumerate(answers)}
+
+    # ------------------------------------------------------------------
+    # Node/edge resolution (router-side copy of the server's rules)
+    # ------------------------------------------------------------------
+    def _label(self, v: int) -> Union[str, int]:
+        return str(self.names[v]) if self.names is not None else v
+
+    def _resolve_node(self, raw: object) -> int:
+        if self.names is not None:
+            v = self._label_to_id.get(str(raw))
+            if v is not None:
+                return v
+        if isinstance(raw, int) or (isinstance(raw, str) and raw.lstrip("-").isdigit()):
+            v = int(raw)
+            if 0 <= v < self.shard_map.n:
+                return v
+        raise ValueError(f"unknown node {raw!r}")
+
+    def _resolve_item(self, item: object) -> Tuple[int, int, float]:
+        if not isinstance(item, Sequence) or len(item) != 3:
+            raise ValueError(f"activation must be [u, v, t], got {item!r}")
+        u = self._resolve_node(item[0])
+        v = self._resolve_node(item[1])
+        if u == v:
+            raise ValueError(f"self-activation on node {item[0]!r}")
+        u, v = edge_key(u, v)
+        return u, v, float(item[2])  # type: ignore[arg-type]
+
+    def _ingest_action(self, shard: int) -> Optional["FaultAction"]:
+        if self._faults is None:
+            return None
+        return self._faults.hit("router.forward", shard=shard)
+
+    # ------------------------------------------------------------------
+    # Op handlers
+    # ------------------------------------------------------------------
+    async def _op_ping(self, request: Dict) -> Dict[str, object]:
+        answers = await self._scatter("ping", {"op": "ping"})
+        return {
+            "t": max(float(a.get("t", 0.0)) for a in answers.values()),  # type: ignore[arg-type]
+            "applied": sum(int(a.get("applied", 0)) for a in answers.values()),  # type: ignore[arg-type]
+        }
+
+    async def _op_ingest(self, request: Dict) -> Dict[str, object]:
+        u, v, t = self._resolve_item(
+            [request.get("u"), request.get("v"), request.get("t", 0.0)]
+        )
+        shard = self.shard_map.shard_of_edge(u, v)  # ValueError if not an edge
+        payload = {"op": "ingest", "u": u, "v": v, "t": t}
+        response = await self._forward(
+            shard, payload, action=self._ingest_action(shard)
+        )
+        self._c_ingested.inc()
+        self._routed[shard] += 1
+        out = {k: response[k] for k in ("seq", "t", "applied") if k in response}
+        out["shard"] = shard
+        return out
+
+    async def _op_ingest_batch(self, request: Dict) -> Dict[str, object]:
+        items = request.get("items")
+        if not isinstance(items, list):
+            raise ValueError("ingest_batch needs an 'items' list")
+        key = request.get("key")
+        if key is not None and not isinstance(key, str):
+            raise ValueError("ingest_batch 'key' must be a string")
+        # Validate and route *every* item before forwarding *any*: a bad
+        # activation rejects the whole batch, same as a single server.
+        by_shard: Dict[int, List[List[object]]] = {}
+        for item in items:
+            u, v, t = self._resolve_item(item)
+            shard = self.shard_map.shard_of_edge(u, v)
+            by_shard.setdefault(shard, []).append([u, v, t])
+        if not by_shard:
+            return {"accepted": 0, "seq": -1, "per_shard": {}}
+        base_key = key if key is not None else (
+            f"{self._key_prefix}:{next(self._key_counter)}"
+        )
+
+        async def send(shard: int, sub: List[List[object]]) -> Dict[str, object]:
+            # Derived per-shard keys keep the client's exactly-once
+            # guarantee: a retry of the same batch re-derives the same
+            # sub-keys, and each worker dedups its own slice.
+            payload = {
+                "op": "ingest_batch",
+                "items": sub,
+                "key": f"{base_key}@s{shard}",
+            }
+            return await self._forward(
+                shard, payload, action=self._ingest_action(shard)
+            )
+
+        shards = sorted(by_shard)
+        results = await asyncio.gather(*(send(s, by_shard[s]) for s in shards))
+        per_shard: Dict[str, object] = {}
+        accepted = 0
+        seq = -1
+        for shard, response in zip(shards, results):
+            count = len(by_shard[shard])
+            self._routed[shard] += count
+            accepted += int(response.get("accepted", count))  # type: ignore[arg-type]
+            seq = max(seq, int(response.get("seq", -1)))  # type: ignore[arg-type]
+            per_shard[str(shard)] = {
+                "accepted": response.get("accepted", count),
+                "seq": response.get("seq"),
+            }
+        self._c_ingested.inc(accepted)
+        return {"accepted": accepted, "seq": seq, "per_shard": per_shard}
+
+    async def _op_clusters(self, request: Dict) -> Dict[str, object]:
+        min_size = int(request.get("min_size", 1))
+        payload: Dict[str, object] = {"op": "clusters", "min_size": 1}
+        if request.get("level") is not None:
+            payload["level"] = request.get("level")
+        answers = await self._scatter("clusters", payload)
+        return merge_clusters(
+            answers,
+            self._label_home,
+            min_size=min_size,
+            cross_edge_count=len(self.shard_map.cross_edges),
+        )
+
+    async def _op_local(self, request: Dict) -> Dict[str, object]:
+        node = self._resolve_node(request.get("node"))
+        shard = self.shard_map.shard_of(node)
+        payload: Dict[str, object] = {"op": "local", "node": node}
+        if request.get("level") is not None:
+            payload["level"] = request.get("level")
+        response = await self._forward(shard, payload)
+        out = {
+            k: response[k]
+            for k in ("level", "t", "applied", "cluster")
+            if k in response
+        }
+        out["shard"] = shard
+        return out
+
+    async def _op_sync(self, request: Dict) -> Dict[str, object]:
+        answers = await self._scatter("sync", {"op": "sync"})
+        return {
+            "applied": sum(int(a.get("applied", 0)) for a in answers.values()),  # type: ignore[arg-type]
+            "t": max(float(a.get("t", 0.0)) for a in answers.values()),  # type: ignore[arg-type]
+        }
+
+    async def _op_stats(self, request: Dict) -> Dict[str, object]:
+        answers = await self._scatter("stats", {"op": "stats"})
+        docs: Dict[int, Mapping[str, object]] = {}
+        for shard, answer in answers.items():
+            doc = answer.get("stats")
+            docs[shard] = doc if isinstance(doc, Mapping) else {}
+            if isinstance(doc, Mapping):
+                depth = doc.get("queue_depth")
+                if isinstance(depth, (int, float)):
+                    self._shard_queue[shard] = float(depth)
+                applied = doc.get("applied")
+                if isinstance(applied, (int, float)):
+                    self._shard_applied[shard] = float(applied)
+        merged = merge_stats(docs)
+        merged["cross_edges"] = len(self.shard_map.cross_edges)
+        merged["worker_restarts"] = self.deployment.total_restarts()
+        merged["shard_map_digest"] = self.shard_map.digest()
+        return {"stats": merged}
+
+    async def _op_metrics(self, request: Dict) -> Dict[str, object]:
+        rate_key = request.get("rate_key")
+        answers = await self._scatter(
+            "metrics",
+            {"op": "metrics", "rate_key": rate_key},
+        )
+        per_shard = {
+            str(shard): answer.get("metrics", {})
+            for shard, answer in answers.items()
+        }
+        return {
+            "metrics": self.metrics.snapshot(
+                rate_key=str(rate_key) if rate_key is not None else None
+            ),
+            "per_shard": per_shard,
+        }
+
+    async def _op_metrics_text(self, request: Dict) -> Dict[str, object]:
+        namespace = str(request.get("namespace", "anc_router"))
+        return {"text": render_prometheus(self.metrics, namespace=namespace)}
+
+    async def _op_trace(self, request: Dict) -> Dict[str, object]:
+        tracer = self.tracer
+        action = str(request.get("action", "status"))
+        if action == "start":
+            sample = request.get("sample")
+            if sample is not None:
+                tracer.set_sample(float(sample))
+            tracer.enable()
+        elif action == "stop":
+            tracer.disable()
+        elif action == "clear":
+            tracer.drain()
+        elif action == "dump":
+            spans = (
+                tracer.drain() if bool(request.get("drain", True)) else tracer.spans()
+            )
+            return {"trace": chrome_trace(spans), **tracer.status()}
+        elif action != "status":
+            raise ValueError(
+                f"unknown trace action {action!r}; expected "
+                f"start/stop/status/dump/clear"
+            )
+        return dict(tracer.status())
+
+    async def _op_shard_map(self, request: Dict) -> Dict[str, object]:
+        doc = self.shard_map.to_dict()
+        doc["workers"] = {
+            str(worker.shard_id): {
+                "host": worker.spec.host,
+                "port": worker.port,
+                "alive": worker.alive,
+                "restarts": worker.restarts,
+                "data_dir": worker.spec.data_dir,
+            }
+            for worker in self.deployment.workers
+        }
+        return {"shard_map": doc}
+
+    async def _op_shutdown(self, request: Dict) -> Dict[str, object]:
+        self.request_stop()
+        return {"stopping": True}
+
+    _OPS = {
+        "ping": _op_ping,
+        "ingest": _op_ingest,
+        "ingest_batch": _op_ingest_batch,
+        "clusters": _op_clusters,
+        "local": _op_local,
+        "sync": _op_sync,
+        "stats": _op_stats,
+        "metrics": _op_metrics,
+        "metrics_text": _op_metrics_text,
+        "trace": _op_trace,
+        "shard_map": _op_shard_map,
+        "shutdown": _op_shutdown,
+    }
+
+    # ------------------------------------------------------------------
+    # Background freshness poll
+    # ------------------------------------------------------------------
+    async def _poll_loop(self, interval: float) -> None:
+        """Refresh per-shard gauges off the client path (no fault hooks)."""
+        while True:
+            await asyncio.sleep(interval)
+            for link in self.links:
+                try:
+                    response = await link.request({"op": "stats"})
+                except ServiceFault:  # anclint: disable=service-exception-discipline — best-effort gauge refresh; the next tick retries and client traffic reports real faults
+                    continue
+                doc = response.get("stats")
+                if isinstance(doc, Mapping):
+                    applied = doc.get("applied")
+                    if isinstance(applied, (int, float)):
+                        self._shard_applied[link.shard_id] = float(applied)
+                    depth = doc.get("queue_depth")
+                    if isinstance(depth, (int, float)):
+                        self._shard_queue[link.shard_id] = float(depth)

@@ -1,0 +1,339 @@
+"""Shard workers: one :class:`~repro.service.server.ANCServer` per process.
+
+Each worker is a full serving stack — engine, micro-batcher, WAL,
+checkpoints, even a replica chain if configured — running the shard's
+graph (full node space, owned edges only; see
+:mod:`repro.shard.shardmap`) in its **own OS process**.  Process
+isolation is the point: N shards give N independent GILs, N independent
+writer threads and N independent durability directories, so the
+single-writer discipline the service layer enforces per process now
+scales horizontally instead of being the ceiling.
+
+:class:`WorkerSpec` is a picklable bundle of primitives (the spawn
+start method re-imports everything in the child, so the spec carries
+edge lists and parameter fields, never live objects).  Fault specs ride
+along the same way and the child rebuilds its own
+:class:`~repro.faults.plan.FaultPlan` — that is how the chaos matrix
+reaches into a worker process.
+
+:class:`ShardWorker` is the parent-side supervisor handle: it spawns
+the process, waits for the port announcement, and can restart a dead
+worker on the same data directory (WAL + checkpoint recovery brings the
+engine back; the router resends in-flight batches under their original
+idempotency keys, so a crash-respawn cycle stays exactly-once).
+Restarts drop the spec's fault specs — an injected fault models a
+transient failure, and re-arming it in the respawned process would
+crash-loop the shard.
+
+:class:`ShardDeployment` builds the :class:`~repro.shard.shardmap.ShardMap`
+and owns the full set of workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import multiprocessing
+import socket
+import sys
+from dataclasses import dataclass, replace
+from pathlib import Path
+from queue import Empty
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.anc import ANCParams
+from ..faults.plan import FaultPlan, FaultSpec
+from ..graph.graph import Edge, Graph
+from ..service.server import ANCServer, ServerConfig
+from .shardmap import ShardMap
+
+__all__ = ["ShardDeployment", "ShardWorker", "WorkerSpec", "worker_main"]
+
+log = logging.getLogger("repro.shard")
+
+#: ``(shard_id, port, error)`` announced by a child once its socket is
+#: bound; ``port < 0`` carries a startup failure in ``error``.
+WorkerAnnounce = Tuple[int, int, str]
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a spawned worker process needs, as plain picklables."""
+
+    shard_id: int
+    n: int
+    edges: Tuple[Edge, ...]
+    names: Optional[Tuple[Hashable, ...]]
+    engine: str = "anco"
+    params: Optional[ANCParams] = None
+    host: str = "127.0.0.1"
+    data_dir: Optional[str] = None
+    batch_size: int = 64
+    max_latency: float = 0.05
+    max_pending: int = 4096
+    checkpoint_every: int = 2000
+    shed_watermark: int = 0
+    write_timeout: float = 30.0
+    metrics_interval: float = 0.0
+    fault_specs: Tuple[FaultSpec, ...] = ()
+    fault_seed: int = 0
+
+    def server_config(self, faults: Optional[FaultPlan]) -> ServerConfig:
+        """The :class:`ServerConfig` this spec describes (port 0 = pick)."""
+        return ServerConfig(
+            host=self.host,
+            port=0,
+            engine=self.engine,
+            batch_size=self.batch_size,
+            max_latency=self.max_latency,
+            max_pending=self.max_pending,
+            data_dir=self.data_dir,
+            checkpoint_every=self.checkpoint_every,
+            metrics_interval=self.metrics_interval,
+            shed_watermark=self.shed_watermark,
+            write_timeout=self.write_timeout,
+            shard_id=self.shard_id,
+            faults=faults,
+        )
+
+
+def worker_main(spec: WorkerSpec, ready: "multiprocessing.queues.Queue[WorkerAnnounce]") -> None:
+    """Child-process entry point: build the stack, announce, serve.
+
+    Must stay importable at module top level (the spawn start method
+    pickles the function reference, not the code).
+    """
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=logging.WARNING,
+        format=f"%(asctime)s shard-{spec.shard_id} %(name)s %(levelname)s %(message)s",
+    )
+    try:
+        graph = Graph(spec.n, spec.edges)
+        plan = (
+            FaultPlan(list(spec.fault_specs), seed=spec.fault_seed)
+            if spec.fault_specs
+            else None
+        )
+        server = ANCServer(
+            graph,
+            spec.names,
+            config=spec.server_config(plan),
+            params=spec.params,
+        )
+    except Exception as exc:
+        ready.put((spec.shard_id, -1, f"{type(exc).__name__}: {exc}"))
+        raise
+
+    async def _main() -> None:
+        try:
+            await server.start()
+        except Exception as exc:
+            ready.put((spec.shard_id, -1, f"{type(exc).__name__}: {exc}"))
+            raise
+        assert server.port is not None
+        ready.put((spec.shard_id, server.port, ""))
+        await server.serve_forever()
+
+    asyncio.run(_main())
+
+
+def _request_shutdown(host: str, port: int, *, timeout: float) -> bool:
+    """Best-effort graceful ``shutdown`` op over a raw socket."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            sock.sendall(json.dumps({"op": "shutdown"}).encode() + b"\n")
+            sock.makefile("rb").readline()
+        return True
+    except OSError:
+        return False
+
+
+class ShardWorker:
+    """Parent-side handle of one shard's worker process."""
+
+    def __init__(self, spec: WorkerSpec, *, spawn_timeout: float = 60.0) -> None:
+        self.spec = spec
+        self.shard_id = spec.shard_id
+        self.port: Optional[int] = None
+        #: Times this worker was respawned after dying (supervisor metric).
+        self.restarts = 0
+        self._spawn_timeout = spawn_timeout
+        self._ctx = multiprocessing.get_context("spawn")
+        self._proc: Optional[multiprocessing.process.BaseProcess] = None
+
+    @property
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.is_alive()
+
+    def start(self) -> "ShardWorker":
+        """Spawn the process and wait for its port announcement."""
+        queue: "multiprocessing.queues.Queue[WorkerAnnounce]" = self._ctx.Queue(1)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(self.spec, queue),
+            name=f"anc-shard-{self.shard_id}",
+            daemon=True,
+        )
+        proc.start()
+        try:
+            shard_id, port, error = queue.get(timeout=self._spawn_timeout)
+        except Empty:
+            proc.terminate()
+            proc.join(timeout=5.0)
+            raise RuntimeError(
+                f"shard {self.shard_id} worker did not announce within "
+                f"{self._spawn_timeout}s"
+            ) from None
+        finally:
+            queue.close()
+        if port < 0:
+            proc.join(timeout=5.0)
+            raise RuntimeError(f"shard {shard_id} worker failed to start: {error}")
+        self._proc = proc
+        self.port = port
+        log.info("shard %d worker up on %s:%d", self.shard_id, self.spec.host, port)
+        return self
+
+    def restart_if_dead(self) -> bool:
+        """Respawn a dead worker on its data dir; True when a restart ran.
+
+        Fault specs are dropped from the respawned spec (module
+        docstring); recovery comes from the WAL + checkpoints under the
+        unchanged ``data_dir``.  A worker that is still alive is left
+        alone — the caller saw a connection failure, not a death.
+        """
+        proc = self._proc
+        if proc is not None:
+            proc.join(timeout=0.5)
+            if proc.is_alive():
+                return False
+        if self.spec.fault_specs:
+            self.spec = replace(self.spec, fault_specs=())
+        self.restarts += 1
+        log.warning(
+            "shard %d worker died; respawning (restart #%d)",
+            self.shard_id,
+            self.restarts,
+        )
+        self.start()
+        return True
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        """Graceful shutdown (protocol op), escalating to terminate."""
+        proc = self._proc
+        if proc is None:
+            return
+        if proc.is_alive() and self.port is not None:
+            _request_shutdown(self.spec.host, self.port, timeout=min(timeout, 5.0))
+        proc.join(timeout=timeout)
+        if proc.is_alive():
+            log.warning("shard %d worker ignored shutdown; terminating", self.shard_id)
+            proc.terminate()
+            proc.join(timeout=5.0)
+        self._proc = None
+
+
+class ShardDeployment:
+    """The :class:`ShardMap` plus one supervised worker per shard."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        names: Optional[Sequence[Hashable]] = None,
+        *,
+        shards: int,
+        seed: int = 0,
+        engine: str = "anco",
+        params: Optional[ANCParams] = None,
+        data_dir: Optional[Union[str, Path]] = None,
+        host: str = "127.0.0.1",
+        batch_size: int = 64,
+        max_latency: float = 0.05,
+        max_pending: int = 4096,
+        checkpoint_every: int = 2000,
+        shed_watermark: int = 0,
+        write_timeout: float = 30.0,
+        fault_specs: Optional[Mapping[int, Sequence[FaultSpec]]] = None,
+        fault_seed: int = 0,
+        spawn_timeout: float = 60.0,
+    ) -> None:
+        self.shard_map = ShardMap.build(graph, shards, seed=seed)
+        self.names: Optional[Tuple[Hashable, ...]] = (
+            tuple(names) if names is not None else None
+        )
+        self.workers: List[ShardWorker] = []
+        for shard in range(shards):
+            shard_dir = (
+                str(Path(data_dir) / f"shard-{shard}") if data_dir is not None else None
+            )
+            armed = tuple(fault_specs.get(shard, ())) if fault_specs else ()
+            spec = WorkerSpec(
+                shard_id=shard,
+                n=graph.n,
+                edges=self.shard_map.shard_edges[shard],
+                names=self.names,
+                engine=engine,
+                params=params,
+                host=host,
+                data_dir=shard_dir,
+                batch_size=batch_size,
+                max_latency=max_latency,
+                max_pending=max_pending,
+                checkpoint_every=checkpoint_every,
+                shed_watermark=shed_watermark,
+                write_timeout=write_timeout,
+                fault_specs=armed,
+                fault_seed=fault_seed,
+            )
+            self.workers.append(ShardWorker(spec, spawn_timeout=spawn_timeout))
+        self._started = False
+
+    @property
+    def shards(self) -> int:
+        return self.shard_map.shards
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def start(self) -> "ShardDeployment":
+        """Spawn every worker (idempotent); all ports known on return."""
+        if self._started:
+            return self
+        started: List[ShardWorker] = []
+        try:
+            for worker in self.workers:
+                worker.start()
+                started.append(worker)
+        except Exception:
+            for worker in started:
+                worker.stop(timeout=5.0)
+            raise
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Stop every worker (graceful, then terminate)."""
+        for worker in self.workers:
+            worker.stop()
+        self._started = False
+
+    def endpoints(self) -> Dict[int, Tuple[str, int]]:
+        """shard id → ``(host, port)`` of each live worker."""
+        out: Dict[int, Tuple[str, int]] = {}
+        for worker in self.workers:
+            if worker.port is not None:
+                out[worker.shard_id] = (worker.spec.host, worker.port)
+        return out
+
+    def total_restarts(self) -> int:
+        return sum(worker.restarts for worker in self.workers)
+
+    def __enter__(self) -> "ShardDeployment":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

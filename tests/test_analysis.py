@@ -113,6 +113,26 @@ def test_writer_discipline_allows_writer_and_nonservice_code():
     assert not findings_for(read_only, "repro.service.server", "writer-discipline")
 
 
+def test_writer_discipline_covers_shard_modules():
+    # The shard router/merge/admin tier is a pure reader: mutating an
+    # engine there breaks the per-worker single-writer contract.
+    for module in ("repro.shard.router", "repro.shard.merge", "repro.shard.admin"):
+        found = findings_for(WRITER_POSITIVE, module, "writer-discipline")
+        assert len(found) == 1, module
+        assert "process_batch" in found[0].message
+    # The worker module hosts the in-process ANCServer (its own writer
+    # thread) and may drive the engine.
+    assert not findings_for(
+        WRITER_POSITIVE, "repro.shard.worker", "writer-discipline"
+    )
+    # Read-only scatter-gather queries stay fine anywhere in the tier.
+    read_only = """
+        def peek(host, level):
+            return host.engine.clusters(level)
+    """
+    assert not findings_for(read_only, "repro.shard.router", "writer-discipline")
+
+
 def test_mutator_registry_derived_from_sources():
     methods, functions = mutator_registry()
     assert {"process", "process_batch", "refresh", "update_edge_weight"} <= methods

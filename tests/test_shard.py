@@ -1,0 +1,298 @@
+"""Tests for repro.shard: shard map, merge semantics, router oracle.
+
+The load-bearing property (docs/sharding.md) is pinned end to end here:
+on a stream whose activations stay intra-shard, a 2-shard scatter-gather
+``clusters`` answer must equal — exactly, not approximately — what one
+engine over the whole graph and the whole stream would say.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.anc import make_engine
+from repro.faults.chaos import (
+    SHARD_PARAMS,
+    build_shard_workload,
+    RouterThread,
+)
+from repro.graph.generators import barbell_graph, planted_partition
+from repro.graph.graph import Graph
+from repro.graph.io import write_edge_list
+from repro.service.client import ServiceClient
+from repro.shard import ShardMap, ShardDeployment, merge_clusters, merge_stats
+
+
+def _disjoint_blocks(blocks=4, size=10, seed=3):
+    """Disjoint union of small connected blocks (all packable)."""
+    edges = []
+    offset = 0
+    for b in range(blocks):
+        g, _ = planted_partition(size, 2, p_in=0.7, p_out=0.2, seed=seed + b)
+        edges.extend((u + offset, v + offset) for u, v in g.edges())
+        offset += size
+    return Graph(offset, edges)
+
+
+# ----------------------------------------------------------------------
+# ShardMap
+# ----------------------------------------------------------------------
+
+
+class TestShardMap:
+    def test_same_seed_same_map(self):
+        graph = _disjoint_blocks()
+        a = ShardMap.build(graph, 3, seed=7)
+        b = ShardMap.build(graph, 3, seed=7)
+        assert a == b
+        assert a.digest() == b.digest()
+
+    def test_digest_tracks_inputs(self):
+        graph = _disjoint_blocks()
+        base = ShardMap.build(graph, 3, seed=7)
+        assert base.digest() != ShardMap.build(graph, 2, seed=7).digest()
+
+    def test_every_node_and_edge_assigned(self):
+        graph = _disjoint_blocks()
+        smap = ShardMap.build(graph, 3, seed=0)
+        assert len(smap.assignment) == graph.n
+        assert all(0 <= s < 3 for s in smap.assignment)
+        assert sum(smap.edge_counts()) == graph.m
+        for u, v in graph.edges():
+            assert 0 <= smap.shard_of_edge(u, v) < 3
+
+    def test_components_packed_whole(self):
+        # Disjoint 10-node blocks across 4 shards: every component is
+        # packable, so no cross-shard edges and each block is atomic.
+        graph = _disjoint_blocks(blocks=4, size=10)
+        smap = ShardMap.build(graph, 4, seed=0)
+        assert smap.cross_edges == ()
+        for block in range(4):
+            homes = {smap.shard_of(v) for v in range(block * 10, (block + 1) * 10)}
+            assert len(homes) == 1
+
+    def test_oversized_component_hash_scatters(self):
+        # One connected 20-node component over 2 shards cannot pack
+        # whole: the fallback scatters nodes and registers cross edges.
+        graph = barbell_graph(10, bridge=1)
+        smap = ShardMap.build(graph, 2, seed=0)
+        assert len(set(smap.assignment)) == 2
+        assert len(smap.cross_edges) > 0
+        # Every cross edge is owned by one of its endpoints' shards ...
+        for u, v, owner in smap.cross_edges:
+            assert owner in (smap.shard_of(u), smap.shard_of(v))
+            assert smap.shard_of(u) != smap.shard_of(v)
+            assert smap.shard_of_edge(u, v) == owner
+        # ... and the registry is exactly the set of straddling edges.
+        straddling = {
+            (u, v) for u, v in graph.edges()
+            if smap.shard_of(u) != smap.shard_of(v)
+        }
+        assert {(u, v) for u, v, _ in smap.cross_edges} == straddling
+
+    def test_shard_graph_full_node_space(self):
+        graph = _disjoint_blocks()
+        smap = ShardMap.build(graph, 2, seed=0)
+        for shard in range(2):
+            sub = smap.shard_graph(shard)
+            assert sub.n == graph.n
+            assert sub.m == smap.edge_counts()[shard]
+
+    def test_non_edge_rejected(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        smap = ShardMap.build(graph, 2, seed=0)
+        with pytest.raises(ValueError, match="not a relation edge"):
+            smap.shard_of_edge(0, 3)
+        with pytest.raises(ValueError, match="out of range"):
+            smap.shard_of(99)
+
+    def test_single_shard_owns_everything(self):
+        graph = barbell_graph(6, bridge=1)
+        smap = ShardMap.build(graph, 1, seed=0)
+        assert set(smap.assignment) == {0}
+        assert smap.cross_edges == ()
+        assert smap.edge_counts() == [graph.m]
+
+    def test_to_dict_truncates_registry_not_count(self):
+        graph = barbell_graph(10, bridge=1)
+        smap = ShardMap.build(graph, 2, seed=0)
+        doc = smap.to_dict(max_cross=1)
+        assert doc["cross_edge_count"] == len(smap.cross_edges)
+        assert len(doc["cross_edges"]) == 1
+        assert doc["cross_edges_truncated"] is True
+
+
+# ----------------------------------------------------------------------
+# Merge semantics
+# ----------------------------------------------------------------------
+
+
+class TestMerge:
+    HOME = {"a": 0, "b": 0, "c": 1, "d": 1}
+
+    @staticmethod
+    def _payload(clusters, level=2, num_levels=4, t=1.0, applied=5):
+        return {
+            "level": level,
+            "num_levels": num_levels,
+            "t": t,
+            "applied": applied,
+            "clusters": clusters,
+        }
+
+    def test_home_filter_partitions_nodes(self):
+        # "c" shows up in shard 0's answer (it serves the full node
+        # space) but is only reported by its home shard 1.
+        merged = merge_clusters(
+            {
+                0: self._payload([["a", "b", "c"]]),
+                1: self._payload([["c", "d"]]),
+            },
+            self.HOME,
+        )
+        assert merged["clusters"] == [["a", "b"], ["c", "d"]]
+        assert merged["cluster_ids"] == ["s0:0", "s1:0"]
+        assert merged["cluster_shards"] == [0, 1]
+        assert merged["applied"] == 10
+        flat = [v for c in merged["clusters"] for v in c]
+        assert sorted(flat) == ["a", "b", "c", "d"]
+
+    def test_min_size_applies_after_home_filter(self):
+        merged = merge_clusters(
+            {
+                0: self._payload([["a", "b", "c", "d"]]),
+                1: self._payload([["c"], ["d"]]),
+            },
+            self.HOME,
+            min_size=2,
+        )
+        # Shard 0's cluster is size 4 raw but only {a, b} are homed;
+        # shard 1's singletons fall under the floor after filtering.
+        assert merged["clusters"] == [["a", "b"]]
+
+    def test_level_mismatch_raises(self):
+        with pytest.raises(ValueError, match="disagree on granularity"):
+            merge_clusters(
+                {
+                    0: self._payload([["a"]], level=1),
+                    1: self._payload([["c"]], level=2),
+                },
+                self.HOME,
+            )
+
+    def test_t_is_max_and_cross_edges_ride_along(self):
+        merged = merge_clusters(
+            {
+                0: self._payload([["a"]], t=3.0),
+                1: self._payload([["c"]], t=7.0),
+            },
+            self.HOME,
+            cross_edge_count=4,
+        )
+        assert merged["t"] == 7.0
+        assert merged["cross_edges"] == 4
+
+    def test_empty_payloads_rejected(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            merge_clusters({}, self.HOME)
+
+    def test_merge_stats(self):
+        merged = merge_stats(
+            {
+                0: {"ingested": 3, "applied": 3, "t": 2.0, "degraded": False},
+                1: {"ingested": 5, "applied": 4, "t": 9.0, "degraded": True},
+            }
+        )
+        assert merged["ingested"] == 8
+        assert merged["applied"] == 7
+        assert merged["t"] == 9.0
+        assert merged["degraded"] is True
+        assert sorted(merged["shards"]) == ["0", "1"]
+
+
+# ----------------------------------------------------------------------
+# CLI: shardmap planning mode
+# ----------------------------------------------------------------------
+
+
+class TestShardmapCli:
+    def test_offline_plan(self, tmp_path):
+        graph = _disjoint_blocks(blocks=2, size=8)
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path)
+        out = io.StringIO()
+        code = cli_main(["shardmap", str(path), "--shards", "2"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "2 shards" in text
+        assert "cross-shard edges: 0" in text
+        assert ShardMap.build(graph, 2, seed=0).digest() in text
+
+    def test_requires_edgelist_or_endpoint(self):
+        out = io.StringIO()
+        assert cli_main(["shardmap"], out=out) == 2
+        assert "edge list or --from" in out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# End to end: 2-shard scatter-gather vs the single-engine oracle
+# ----------------------------------------------------------------------
+
+
+def _normalize(clusters):
+    return sorted(sorted(int(v) for v in c) for c in clusters)
+
+
+class TestScatterGatherOracle:
+    def test_two_shard_clusters_match_single_engine(self, tmp_path):
+        graph, acts = build_shard_workload(0)
+        smap = ShardMap.build(graph, 2, seed=0)
+        # The workload is intra-shard by construction: the oracle
+        # contract below is only promised when cross_edges == 0.
+        assert smap.cross_edges == ()
+
+        oracle = make_engine("ANCO", graph, SHARD_PARAMS)
+        for act in acts:
+            oracle.process(act)
+
+        deployment = ShardDeployment(
+            graph,
+            shards=2,
+            seed=0,
+            engine="anco",
+            params=SHARD_PARAMS,
+            data_dir=str(tmp_path / "shards"),
+        )
+        with RouterThread(deployment) as router:
+            assert router.port is not None
+            with ServiceClient("127.0.0.1", router.port, timeout=60) as client:
+                batch = [[act.u, act.v, act.t] for act in acts]
+                accepted = 0
+                for i in range(0, len(batch), 40):
+                    r = client.request(
+                        "ingest_batch", items=batch[i:i + 40], key=f"oracle-b{i}"
+                    )
+                    accepted += int(r["accepted"])
+                assert accepted == len(acts)
+                assert client.sync() == len(acts)
+
+                merged = client.request("clusters")
+                assert merged["cross_edges"] == 0
+                assert merged["applied"] == len(acts)
+                expected = oracle.clusters(int(merged["level"]))
+                assert _normalize(merged["clusters"]) == _normalize(expected)
+                # Every cluster id is namespaced to a live shard.
+                assert all(
+                    cid.startswith(("s0:", "s1:")) for cid in merged["cluster_ids"]
+                )
+
+                # The merged answer partitions the node space exactly once.
+                flat = [int(v) for c in merged["clusters"] for v in c]
+                assert sorted(flat) == sorted(set(flat))
+
+                stats = client.request("stats")["stats"]
+                assert stats["applied"] == len(acts)
+                assert sorted(stats["shards"]) == ["0", "1"]
