@@ -1,23 +1,32 @@
-"""Lint-speed benchmark — a full-repo ``repro-anc lint`` run, timed.
+"""Lint-speed benchmark — full-repo lint plus the incremental cache.
 
 The static-analysis gate (docs/static-analysis.md) runs on every PR and
 is meant to be cheap enough for a pre-commit hook: parse each file once,
-run all eight rules over the same tree.  This bench times a full lint of
-``src``, ``tests``, ``benchmarks`` and ``examples``, records per-file
-cost, and asserts the repository itself is clean (the same invariant
-``tests/test_analysis.py`` pins).
+run all per-file rules over the same tree, then the whole-program pass
+over the stitched summaries.  This bench times a full lint of ``src``,
+``tests``, ``benchmarks`` and ``examples``, then a cold-vs-warm
+``--cache`` pair over ``src``, and asserts the repository itself is
+clean (the same invariant ``tests/test_analysis.py`` pins) and that the
+cache actually pays: warm under half of cold, cold < 10 s, warm < 5 s.
 """
 
 import time
 from pathlib import Path
 
-from repro.analysis import all_rules, lint_paths
+from repro.analysis import (
+    LintCache,
+    all_rules,
+    all_whole_program_rules,
+    lint_paths,
+    rules_digest,
+)
 from repro.bench.reporting import format_table, save_result
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 LINT_TARGETS = [
     REPO_ROOT / name for name in ("src", "tests", "benchmarks", "examples")
 ]
+SRC = REPO_ROOT / "src"
 
 
 def run_lint():
@@ -27,7 +36,13 @@ def run_lint():
     return result, elapsed
 
 
-def test_full_repo_lint(benchmark):
+def timed_src_lint(cache):
+    start = time.perf_counter()
+    result = lint_paths([SRC], cache=cache)
+    return result, time.perf_counter() - start
+
+
+def test_full_repo_lint(benchmark, tmp_path):
     rows = []
 
     def sweep():
@@ -35,7 +50,7 @@ def test_full_repo_lint(benchmark):
         rows.append(
             {
                 "files": result.files,
-                "rules": len(all_rules()),
+                "rules": len(all_rules()) + len(all_whole_program_rules()),
                 "findings": len(result.findings),
                 "suppressed": sum(result.suppressed.values()),
                 "total_s": elapsed,
@@ -44,10 +59,39 @@ def test_full_repo_lint(benchmark):
         )
 
     benchmark.pedantic(sweep, rounds=3, iterations=1)
+
+    # Cold vs warm through the incremental cache, over src only (the CI
+    # gate's target).  Cold populates the cache file; warm replays it.
+    cache_path = tmp_path / "lint-cache.json"
+    names = [r.name for r in all_rules()] + [
+        r.name for r in all_whole_program_rules()
+    ]
+    cold_result, cold_s = timed_src_lint(LintCache(cache_path, rules_digest(names)))
+    warm_cache = LintCache(cache_path, rules_digest(names))
+    warm_result, warm_s = timed_src_lint(warm_cache)
+    cache_rows = [
+        {"run": "cold", "files": cold_result.files, "total_s": cold_s},
+        {"run": "warm", "files": warm_result.files, "total_s": warm_s},
+    ]
+
     print()
     print(format_table(rows, title="Full-repo lint (all rules)"))
+    print(format_table(cache_rows, title="src lint: cold vs warm cache"))
     best = min(rows, key=lambda r: r["total_s"])
-    save_result("analysis_lint", {"rows": rows, "best": best})
+    save_result(
+        "analysis_lint",
+        {
+            "rows": rows,
+            "best": best,
+            "cache": {"cold_s": cold_s, "warm_s": warm_s, "rows": cache_rows},
+        },
+    )
     # The repo lints clean, and a full run stays hook-friendly.
     assert all(r["findings"] == 0 for r in rows)
     assert best["total_s"] < 30.0
+    # The warm cache hit every file and halved (at least) the lint time.
+    assert warm_cache.stats()[1] == 0
+    assert len(cold_result.findings) == len(warm_result.findings) == 0
+    assert cold_s < 10.0
+    assert warm_s < 5.0
+    assert warm_s < 0.5 * cold_s

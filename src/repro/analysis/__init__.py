@@ -23,11 +23,29 @@ Suppressions are counted and reported, never silent.  Everything here is
 pure stdlib ``ast`` — no new runtime dependencies.
 """
 
-from .engine import FileContext, LintResult, iter_python_files, lint_paths, lint_source
+from .baseline import apply_baseline, load_baseline, save_baseline
+from .cache import LintCache, rules_digest
+from .engine import (
+    FileContext,
+    LintResult,
+    build_project,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
 from .findings import Finding
 from .pragmas import Suppressions, parse_pragmas
-from .registry import Rule, all_rules, get_rule, rule
-from .reporters import render_json, render_text
+from .project import ModuleSummary, ProjectModel, summarize_module
+from .registry import (
+    Rule,
+    WholeProgramRule,
+    all_rules,
+    all_whole_program_rules,
+    get_rule,
+    rule,
+    whole_program_rule,
+)
+from .reporters import render_json, render_sarif, render_text
 
 # Importing the rule modules registers every built-in rule.
 from . import rules as _rules  # noqa: F401  (import for side effect)
@@ -35,16 +53,29 @@ from . import rules as _rules  # noqa: F401  (import for side effect)
 __all__ = [
     "FileContext",
     "Finding",
+    "LintCache",
     "LintResult",
+    "ModuleSummary",
+    "ProjectModel",
     "Rule",
     "Suppressions",
+    "WholeProgramRule",
     "all_rules",
+    "all_whole_program_rules",
+    "apply_baseline",
+    "build_project",
     "get_rule",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "parse_pragmas",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule",
+    "rules_digest",
+    "save_baseline",
+    "summarize_module",
+    "whole_program_rule",
 ]

@@ -1,0 +1,114 @@
+"""Finding baselines: gate CI on regressions, not pre-existing debt.
+
+A baseline file records fingerprints of accepted findings.  With
+``repro-anc lint --baseline FILE``, findings that match a fingerprint are
+suppressed (counted, reported in the summary) and the exit code goes to 0
+when nothing *new* remains.  Baselined fingerprints that no longer match
+any finding are *stale* — they become ``stale-baseline`` findings so the
+file cannot rot: fix the code, regenerate with ``--update-baseline``.
+
+Fingerprints are ``rule|path|message`` with a count, deliberately
+line-insensitive so that unrelated edits shifting a finding by a few
+lines do not churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .engine import LintResult
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Pseudo-rule for baseline entries that match nothing anymore.
+STALE_BASELINE = "stale-baseline"
+
+__all__ = [
+    "BASELINE_VERSION",
+    "STALE_BASELINE",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "save_baseline",
+]
+
+
+def fingerprint(finding: Finding) -> str:
+    """The line-insensitive identity of a finding."""
+    return f"{finding.rule}|{finding.path}|{finding.message}"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """fingerprint -> accepted count.  Raises ``ValueError`` on bad files."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise ValueError(f"baseline {path} has an unsupported format")
+    out: Dict[str, int] = {}
+    for entry in raw.get("findings", []):
+        print_key = entry.get("fingerprint")
+        count = entry.get("count", 1)
+        if isinstance(print_key, str) and isinstance(count, int) and count > 0:
+            out[print_key] = out.get(print_key, 0) + count
+    return out
+
+
+def save_baseline(path: Path, result: LintResult) -> None:
+    """Write the current findings as the new accepted baseline."""
+    counts = Counter(fingerprint(f) for f in result.findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"fingerprint": key, "count": count}
+            for key, count in sorted(counts.items())
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    result: LintResult, baseline: Dict[str, int]
+) -> Tuple[LintResult, Dict[str, int], List[str]]:
+    """Split findings into (new, baselined, stale).
+
+    Returns the filtered result (new findings plus one ``stale-baseline``
+    finding per unmatched baseline entry), the per-rule counts of
+    baseline-suppressed findings, and the stale fingerprints.
+    """
+    budget = dict(baseline)
+    kept: List[Finding] = []
+    suppressed: Dict[str, int] = {}
+    for finding in result.findings:
+        key = fingerprint(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed[finding.rule] = suppressed.get(finding.rule, 0) + 1
+        else:
+            kept.append(finding)
+    stale = sorted(key for key, count in budget.items() if count > 0)
+    for key in stale:
+        rule, path, message = key.split("|", 2)
+        kept.append(
+            Finding(
+                path=path,
+                line=1,
+                col=0,
+                rule=STALE_BASELINE,
+                message=(
+                    f"baseline entry no longer matches any finding "
+                    f"({rule}: {message!r}); regenerate with --update-baseline"
+                ),
+            )
+        )
+    filtered = LintResult(
+        findings=kept, suppressed=dict(result.suppressed), files=result.files
+    )
+    return filtered.finalize(), suppressed, stale

@@ -5,12 +5,14 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .astutils import import_map, link_parents
+from .cache import LintCache
 from .findings import Finding
-from .pragmas import Suppressions, parse_pragmas
-from .registry import Rule, all_rules, get_rule
+from .pragmas import Pragma, Suppressions, parse_pragmas
+from .project import ModuleSummary, ProjectModel, summarize_module
+from .registry import Rule, all_rules, get_rule, split_selection
 
 PathLike = Union[str, Path]
 
@@ -201,16 +203,145 @@ def check_file(
     )
 
 
+def _lint_file_full(
+    file_path: Path, package: str
+) -> Tuple[List[Finding], Suppressions, Optional[ModuleSummary]]:
+    """Run *all* per-file rules on one file and summarize it.
+
+    The full-rule product is what the incremental cache stores; callers
+    filter findings/suppressions down to the selected rule set.
+    """
+    path = str(file_path)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        finding = Finding(
+            path=path, line=1, col=0, rule=PARSE_ERROR,
+            message=f"cannot read file: {exc}",
+        )
+        return [finding], Suppressions(), None
+    suppressions = parse_pragmas(source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule=PARSE_ERROR,
+            message=f"file does not parse: {exc.msg}",
+        )
+        return [finding], suppressions, None
+    module = module_name_for(file_path, package=package)
+    ctx = FileContext(path=path, module=module, source=source, tree=tree)
+    findings: List[Finding] = []
+    for rule in all_rules():
+        for node, message in rule.check(ctx):
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+            if suppressions.suppress(rule.name, line):
+                continue
+            findings.append(
+                Finding(path=path, line=line, col=col, rule=rule.name, message=message)
+            )
+    for pragma in suppressions.missing_reasons():
+        findings.append(
+            Finding(
+                path=path,
+                line=pragma.line,
+                col=0,
+                rule=BAD_PRAGMA,
+                message=(
+                    "exemption pragma must carry a reason: "
+                    "# anclint: disable=RULE — why this is safe"
+                ),
+            )
+        )
+    summary = summarize_module(module, path, tree)
+    return findings, suppressions, summary
+
+
+def build_project(
+    paths: Sequence[PathLike], *, package: str = "repro"
+) -> ProjectModel:
+    """Parse and summarize every file under ``paths`` into a ProjectModel."""
+    summaries: List[ModuleSummary] = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file_path))
+        except (OSError, SyntaxError):
+            continue
+        module = module_name_for(file_path, package=package)
+        summaries.append(summarize_module(module, str(file_path), tree))
+    return ProjectModel(summaries)
+
+
+#: Pseudo-rules are always reported regardless of ``--select``.
+_PSEUDO_RULES = frozenset({PARSE_ERROR, BAD_PRAGMA})
+
+
 def lint_paths(
     paths: Sequence[PathLike],
     *,
     select: Optional[Sequence[str]] = None,
     package: str = "repro",
+    cache: Optional["LintCache"] = None,
 ) -> LintResult:
-    """Lint every Python file under ``paths``; the CLI's workhorse."""
+    """Lint every Python file under ``paths``; the CLI's workhorse.
+
+    Runs the per-file rules (through the incremental ``cache`` when one is
+    given), then stitches the per-module summaries into a
+    :class:`ProjectModel` and runs the selected whole-program rules over
+    it.  ``select`` may name rules from either catalogue.
+    """
+    per_file_rules, wp_rules = split_selection(select)
+    selected_names = {r.name for r in per_file_rules} | _PSEUDO_RULES
     total = LintResult()
+    summaries: List[ModuleSummary] = []
+    pragmas_by_path: Dict[str, Suppressions] = {}
     for file_path in iter_python_files(paths):
-        total.merge(check_file(file_path, select=select, package=package))
+        entry = cache.lookup(file_path) if cache is not None else None
+        if entry is not None:
+            findings = entry.findings
+            suppressed = entry.suppressed
+            pragmas: List[Pragma] = entry.pragmas
+            summary = entry.summary
+        else:
+            findings, live_supp, summary = _lint_file_full(file_path, package)
+            suppressed = dict(live_supp.applied)
+            pragmas = list(live_supp.pragmas)
+            if cache is not None:
+                cache.store(file_path, findings, suppressed, pragmas, summary)
+        part = LintResult(files=1)
+        part.findings = [f for f in findings if f.rule in selected_names]
+        part.suppressed = {
+            name: count
+            for name, count in suppressed.items()
+            if name in selected_names
+        }
+        total.merge(part)
+        if summary is not None:
+            summaries.append(summary)
+            pragmas_by_path[summary.path] = Suppressions(pragmas=list(pragmas))
+    if wp_rules:
+        model = ProjectModel(summaries)
+        for wp_rule in wp_rules:
+            for path, line, col, message in wp_rule.check(model):
+                supp = pragmas_by_path.get(path)
+                if supp is not None and supp.suppress(wp_rule.name, line):
+                    continue
+                total.findings.append(
+                    Finding(
+                        path=path, line=line, col=col,
+                        rule=wp_rule.name, message=message,
+                    )
+                )
+        for supp in pragmas_by_path.values():
+            for name, count in supp.applied.items():
+                total.suppressed[name] = total.suppressed.get(name, 0) + count
+    if cache is not None:
+        cache.save()
     return total.finalize()
 
 
@@ -219,6 +350,7 @@ __all__ = [
     "FileContext",
     "LintResult",
     "PARSE_ERROR",
+    "build_project",
     "check_file",
     "check_source",
     "iter_python_files",

@@ -11,12 +11,19 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .engine import FileContext
+    from .project import ProjectModel
 
 CheckFn = Callable[["FileContext"], Iterable[Tuple[ast.AST, str]]]
+
+#: A whole-program check yields ``(path, line, col, message)`` — findings
+#: are anchored to arbitrary files, so AST nodes alone cannot carry them.
+WholeProgramCheckFn = Callable[
+    ["ProjectModel"], Iterable[Tuple[str, int, int, str]]
+]
 
 
 @dataclass(frozen=True)
@@ -57,4 +64,69 @@ def get_rule(name: str) -> Rule:
         raise KeyError(f"unknown rule {name!r}; known rules: {known}") from None
 
 
-__all__ = ["CheckFn", "Rule", "all_rules", "get_rule", "rule"]
+@dataclass(frozen=True)
+class WholeProgramRule:
+    """A rule that runs once over the stitched :class:`ProjectModel`."""
+
+    name: str
+    summary: str
+    check: WholeProgramCheckFn
+
+
+_WP_REGISTRY: Dict[str, WholeProgramRule] = {}
+
+
+def whole_program_rule(
+    name: str, summary: str
+) -> Callable[[WholeProgramCheckFn], WholeProgramCheckFn]:
+    """Register a whole-program check under ``name`` (decorator)."""
+
+    def decorate(check: WholeProgramCheckFn) -> WholeProgramCheckFn:
+        if name in _WP_REGISTRY or name in _REGISTRY:
+            raise ValueError(f"duplicate rule name {name!r}")
+        _WP_REGISTRY[name] = WholeProgramRule(name=name, summary=summary, check=check)
+        return check
+
+    return decorate
+
+
+def all_whole_program_rules() -> List[WholeProgramRule]:
+    """Every registered whole-program rule, sorted by name."""
+    return sorted(_WP_REGISTRY.values(), key=lambda r: r.name)
+
+
+def split_selection(
+    select: Optional[Sequence[str]],
+) -> Tuple[List[Rule], List[WholeProgramRule]]:
+    """Partition a ``--select`` list into per-file and whole-program rules.
+
+    ``None`` selects everything.  Unknown names raise ``KeyError`` naming
+    both catalogues.
+    """
+    if select is None:
+        return all_rules(), all_whole_program_rules()
+    per_file: List[Rule] = []
+    whole: List[WholeProgramRule] = []
+    for name in select:
+        if name in _REGISTRY:
+            per_file.append(_REGISTRY[name])
+        elif name in _WP_REGISTRY:
+            whole.append(_WP_REGISTRY[name])
+        else:
+            known = ", ".join(sorted(set(_REGISTRY) | set(_WP_REGISTRY)))
+            raise KeyError(f"unknown rule {name!r}; known rules: {known}")
+    return per_file, whole
+
+
+__all__ = [
+    "CheckFn",
+    "Rule",
+    "WholeProgramCheckFn",
+    "WholeProgramRule",
+    "all_rules",
+    "all_whole_program_rules",
+    "get_rule",
+    "rule",
+    "split_selection",
+    "whole_program_rule",
+]

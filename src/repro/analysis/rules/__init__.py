@@ -2,10 +2,13 @@
 
 from . import (  # noqa: F401  (imports register the rules)
     async_blocking,
+    async_races,
     dict_iteration,
     exports,
+    fault_hooks,
     float_equality,
     mutable_defaults,
+    protocol,
     service_exceptions,
     snapshot_immutability,
     wall_clock,
@@ -14,10 +17,13 @@ from . import (  # noqa: F401  (imports register the rules)
 
 __all__ = [
     "async_blocking",
+    "async_races",
     "dict_iteration",
     "exports",
+    "fault_hooks",
     "float_equality",
     "mutable_defaults",
+    "protocol",
     "service_exceptions",
     "snapshot_immutability",
     "wall_clock",

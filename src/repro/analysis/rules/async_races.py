@@ -1,0 +1,154 @@
+"""Whole-program rule: asyncio/thread/process interaction hazards.
+
+Three hazards the per-file rules cannot see because the evidence spans
+files and the call graph:
+
+* **multi-context attribute writes** — an instance attribute written
+  (assignment, item write or mutating method call) from more than one
+  execution context — the event loop, a thread target, a multiprocessing
+  child — without a lock guard.  Contexts come from
+  :meth:`ProjectModel.contexts`, which seeds async defs as loop code and
+  ``Thread(target=)`` / ``run_in_executor`` / ``Process(target=)``
+  targets as thread/process code, then propagates along call edges with
+  an async barrier (crossing into a coroutine means an event loop runs
+  it, so thread taint stops there);
+* **await under a sync lock** — ``await`` inside ``with self.<lock>:``
+  where ``<lock>`` is a ``threading.Lock``-family attribute of the same
+  class.  The coroutine parks holding a lock the loop thread itself may
+  next try to take: a deadlock that only fires under contention;
+* **fire-and-forget tasks** — ``create_task`` / ``ensure_future`` as a
+  bare expression statement.  Nothing retains the handle, so the task
+  can be garbage-collected mid-flight and its exception is silently
+  dropped; keep a reference and observe the result.
+
+The multi-context check is scoped to the distributed-system packages
+(any module with a ``service`` / ``shard`` / ``replica`` path segment):
+that is where the loop/thread/process mix actually lives, and where a
+torn read corrupts served state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from ..project import AttrWrite, ModuleSummary, ProjectModel
+from ..registry import whole_program_rule
+
+__all__ = ["check"]
+
+_SCOPED_SEGMENTS = frozenset({"service", "shard", "replica"})
+
+
+def _in_scope(summ: ModuleSummary) -> bool:
+    return bool(_SCOPED_SEGMENTS & set(summ.segments()))
+
+
+def _check_unretained_tasks(
+    model: ProjectModel,
+) -> Iterator[Tuple[str, int, int, str]]:
+    for summ in model.modules.values():
+        for spawn in summ.spawns:
+            if spawn.kind == "task" and not spawn.retained:
+                yield (
+                    summ.path,
+                    spawn.line,
+                    spawn.col,
+                    "fire-and-forget create_task: the handle is not "
+                    "retained, so the task can be collected mid-flight and "
+                    "its exception silently dropped; keep a reference and "
+                    "observe the result",
+                )
+
+
+def _check_locked_awaits(
+    model: ProjectModel,
+) -> Iterator[Tuple[str, int, int, str]]:
+    for summ in model.modules.values():
+        sync_locks: Set[Tuple[str, str]] = {
+            (lk.cls, lk.attr) for lk in summ.locks if lk.sync
+        }
+        if not sync_locks:
+            continue
+        for la in summ.locked_awaits:
+            if la.cls is not None and (la.cls, la.lock_attr) in sync_locks:
+                yield (
+                    summ.path,
+                    la.line,
+                    la.col,
+                    f"await while holding sync lock self.{la.lock_attr} in "
+                    f"{la.cls}.{la.func}: the coroutine parks with the lock "
+                    "held and can deadlock the loop; use asyncio.Lock or "
+                    "release before awaiting",
+                )
+
+
+def _context_of_write(
+    write: AttrWrite,
+    summ: ModuleSummary,
+    ctx: Dict[str, Set[str]],
+    model: ProjectModel,
+) -> Set[str]:
+    key = f"{summ.module}:{write.func}"
+    kinds = set(ctx.get(key, ()))
+    info = model.functions.get(key)
+    if info is not None and info[1].is_async:
+        kinds.add("loop")
+    return kinds
+
+
+def _check_multi_context_writes(
+    model: ProjectModel,
+) -> Iterator[Tuple[str, int, int, str]]:
+    ctx = model.contexts()
+    for summ in model.modules.values():
+        if not _in_scope(summ):
+            continue
+        locked_attrs: Set[Tuple[str, str]] = {
+            (lk.cls, lk.attr) for lk in summ.locks
+        }
+        by_attr: Dict[Tuple[str, str], List[Tuple[AttrWrite, Set[str]]]] = {}
+        for write in summ.attr_writes:
+            if write.in_init or write.guarded:
+                continue
+            if (write.cls, write.attr) in locked_attrs:
+                continue  # the lock attribute itself
+            kinds = _context_of_write(write, summ, ctx, model)
+            if kinds:
+                by_attr.setdefault((write.cls, write.attr), []).append(
+                    (write, kinds)
+                )
+        for (cls, attr), writes in sorted(by_attr.items()):
+            all_kinds: Set[str] = set()
+            for _w, kinds in writes:
+                all_kinds.update(kinds)
+            if len(all_kinds) < 2:
+                continue
+            first = min(writes, key=lambda wk: (wk[0].line, wk[0].col))[0]
+            where = ", ".join(
+                sorted(
+                    {
+                        f"{w.func} ({'/'.join(sorted(k))})"
+                        for w, k in writes
+                    }
+                )
+            )
+            yield (
+                summ.path,
+                first.line,
+                first.col,
+                f"{cls}.{attr} is written from more than one execution "
+                f"context ({'/'.join(sorted(all_kinds))}) without a lock: "
+                f"{where}; guard it, funnel writes through a queue, or keep "
+                "a single writer",
+            )
+
+
+@whole_program_rule(
+    "async-task-race",
+    "attributes shared across loop/thread/process contexts, awaits "
+    "under sync locks, and unretained tasks",
+)
+def check(model: ProjectModel) -> Iterable[Tuple[str, int, int, str]]:
+    yield from _check_unretained_tasks(model)
+    yield from _check_locked_awaits(model)
+    yield from _check_multi_context_writes(model)

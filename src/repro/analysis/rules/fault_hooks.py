@@ -1,0 +1,75 @@
+"""Whole-program rule: fault-injection hook coverage.
+
+The chaos matrix (docs/faults.md) only exercises what the hook points
+expose: every injector site in the faults ``CATALOG`` must correspond to
+at least one ``hooks.hit("<site>", ...)`` call in code reachable from the
+project's entry points, and every hook call must name a cataloged site.
+A catalog entry without a live hook is chaos coverage that silently
+rotted; a hook without a catalog entry can never be armed, so the code
+path it guards is untested by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from ..project import ProjectModel
+from ..registry import whole_program_rule
+
+__all__ = ["check"]
+
+
+def _gather(
+    model: ProjectModel,
+) -> Tuple[Dict[str, Tuple[str, int, int]], Set[str]]:
+    catalog: Dict[str, Tuple[str, int, int]] = {}
+    for summ in model.modules.values():
+        for site, (line, col) in summ.catalog_sites.items():
+            catalog[site] = (summ.path, line, col)
+    return catalog, set(catalog)
+
+
+@whole_program_rule(
+    "fault-hook-coverage",
+    "every faults CATALOG site needs a reachable hook call site and "
+    "vice versa",
+)
+def check(model: ProjectModel) -> Iterable[Tuple[str, int, int, str]]:
+    catalog, sites = _gather(model)
+    if not catalog:
+        return
+    reachable = model.reachable(model.default_roots())
+    hit_sites: Set[str] = set()
+    for summ in model.modules.values():
+        for hook in summ.hook_sites:
+            key = f"{summ.module}:{hook.func}"
+            if hook.site not in sites:
+                yield (
+                    summ.path,
+                    hook.line,
+                    hook.col,
+                    f"hook site {hook.site!r} is not in the faults CATALOG; "
+                    "it can never be armed, so this failure path is "
+                    "untestable — add a catalog entry or fix the name",
+                )
+                continue
+            hit_sites.add(hook.site)
+            if key in model.functions and key not in reachable:
+                yield (
+                    summ.path,
+                    hook.line,
+                    hook.col,
+                    f"hook for {hook.site!r} sits in {hook.func}, which is "
+                    "unreachable from any entry point; the chaos matrix "
+                    "cannot exercise it",
+                )
+    for site, (path, line, col) in sorted(catalog.items()):
+        if site not in hit_sites:
+            yield (
+                path,
+                line,
+                col,
+                f"CATALOG site {site!r} has no hooks.hit() call anywhere; "
+                "chaos scenarios that arm it are no-ops — wire the hook or "
+                "retire the entry",
+            )

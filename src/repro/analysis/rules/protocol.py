@@ -1,0 +1,197 @@
+"""Whole-program rule: wire-protocol conformance.
+
+The service protocol lives in conventions spread over many files: the
+server's ``_OPS`` dispatch table, the client's ``request("op", ...)``
+calls, the router's forward/scatter tables, the typed error-code
+vocabulary in ``errors`` modules, and the response-envelope keys each
+side reads and writes.  This rule cross-checks them:
+
+* an op emitted anywhere (client request, payload literal, scatter) with
+  no handler in any ``_OPS`` table — the request can only 404;
+* a ``request("op")`` emission from a ``*client`` module that no router
+  table covers — the op silently dies at the shard tier even though the
+  server would handle it;
+* an error class defined in an ``errors`` module that nothing ever
+  raises or subclasses, and an ``error_type``/``code`` comparison against
+  a string outside the defined vocabulary;
+* a response key read straight off a ``request(...)`` result that no
+  op-table module (or its direct imports) ever writes.
+
+Every check is silent when the project lacks the relevant structure, so
+the rule only engages in codebases that actually speak the protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from ..project import ModuleSummary, ProjectModel
+from ..registry import whole_program_rule
+
+__all__ = ["check", "op_inventory"]
+
+
+def _emit_modules(model: ProjectModel) -> Iterator[ModuleSummary]:
+    for summ in model.modules.values():
+        if summ.op_emits:
+            yield summ
+
+
+def _response_key_pool(model: ProjectModel) -> Set[str]:
+    """String keys written by op-table modules and their direct imports."""
+    pool: Set[str] = set()
+    for summ, _table in model.op_tables():
+        pool.update(summ.str_keys)
+        for mod in model.import_graph.get(summ.module, ()):
+            pool.update(model.modules[mod].str_keys)
+    return pool
+
+
+def _check_emitted_ops(
+    model: ProjectModel,
+) -> Iterator[Tuple[str, int, int, str]]:
+    all_ops = model.server_ops() | model.router_ops()
+    if not all_ops:
+        return
+    router_ops = model.router_ops()
+    has_router = model.has_router()
+    for summ in _emit_modules(model):
+        in_table_module = bool(summ.op_tables)
+        for emit in summ.op_emits:
+            if emit.op not in all_ops:
+                yield (
+                    summ.path,
+                    emit.line,
+                    emit.col,
+                    f"op {emit.op!r} is sent ({emit.channel}) but no _OPS "
+                    "table handles it; the request can only fail with "
+                    "UNKNOWN_OP",
+                )
+                continue
+            if (
+                has_router
+                and emit.channel == "request"
+                and summ.last_segment == "client"
+                and not in_table_module
+                and emit.op not in router_ops
+            ):
+                yield (
+                    summ.path,
+                    emit.line,
+                    emit.col,
+                    f"client op {emit.op!r} has a server handler but the "
+                    "router neither forwards nor handles it — it 404s "
+                    "through the shard tier; add it to the router _OPS",
+                )
+
+
+def _check_error_codes(
+    model: ProjectModel,
+) -> Iterator[Tuple[str, int, int, str]]:
+    vocab = model.error_vocabulary()
+    if not vocab:
+        return
+    called = model.instantiated_names()
+    subclassed = model.subclassed_names()
+    for summ in model.modules.values():
+        for err in summ.error_classes:
+            if err.name not in called and err.name not in subclassed:
+                yield (
+                    summ.path,
+                    err.line,
+                    err.col,
+                    f"error class {err.name} maps code {err.code!r} but is "
+                    "never raised or subclassed anywhere in the project; "
+                    "dead vocabulary misleads clients",
+                )
+        for code, line, col in summ.code_compares:
+            if code not in vocab:
+                yield (
+                    summ.path,
+                    line,
+                    col,
+                    f"comparison against error code {code!r} which no error "
+                    "class or code= kwarg defines; this branch can never "
+                    "match",
+                )
+
+
+def _check_response_reads(
+    model: ProjectModel,
+) -> Iterator[Tuple[str, int, int, str]]:
+    if not model.op_tables():
+        return
+    pool = _response_key_pool(model)
+    if not pool:
+        return
+    for summ in model.modules.values():
+        for read in summ.response_reads:
+            if read.key not in pool:
+                yield (
+                    summ.path,
+                    read.line,
+                    read.col,
+                    f"response key {read.key!r} is read off a request() "
+                    "result but no op-table module ever writes it; the "
+                    "read can only raise KeyError",
+                )
+
+
+@whole_program_rule(
+    "protocol-conformance",
+    "wire ops, error codes and response keys must agree across "
+    "client, server and router",
+)
+def check(model: ProjectModel) -> Iterable[Tuple[str, int, int, str]]:
+    yield from _check_emitted_ops(model)
+    yield from _check_error_codes(model)
+    yield from _check_response_reads(model)
+
+
+def op_inventory(model: ProjectModel) -> List[Dict[str, str]]:
+    """The protocol-op table behind ``repro-anc lint --list-ops``.
+
+    One row per known op: which dispatch classes handle it, how the
+    router treats it (scatter / forwarded / local / absent), and which
+    functions emit it.
+    """
+    handlers: Dict[str, List[str]] = {}
+    for summ, table in model.op_tables():
+        for op, _line, _col, _handler in table.ops:
+            handlers.setdefault(op, []).append(table.cls)
+    scatter_ops: Set[str] = set()
+    payload_ops: Set[str] = set()
+    emitters: Dict[str, Set[str]] = {}
+    router_modules = {
+        summ.module for summ, table in model.op_tables() if table.is_router
+    }
+    for summ in model.modules.values():
+        for emit in summ.op_emits:
+            if emit.channel == "scatter":
+                scatter_ops.add(emit.op)
+            elif emit.channel == "payload" and summ.module in router_modules:
+                payload_ops.add(emit.op)
+            if emit.channel == "request":
+                emitters.setdefault(emit.op, set()).add(
+                    f"{summ.last_segment}.{emit.func}"
+                )
+    router_ops = model.router_ops()
+    rows: List[Dict[str, str]] = []
+    for op in sorted(handlers):
+        if op in scatter_ops:
+            routing = "scatter"
+        elif op in payload_ops:
+            routing = "forwarded"
+        elif op in router_ops:
+            routing = "local"
+        else:
+            routing = "—" if router_ops else "n/a"
+        rows.append(
+            {
+                "op": op,
+                "handlers": ", ".join(sorted(set(handlers[op]))),
+                "routing": routing,
+                "emitters": ", ".join(sorted(emitters.get(op, ()))) or "—",
+            }
+        )
+    return rows

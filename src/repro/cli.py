@@ -392,19 +392,99 @@ def cmd_datasets(args: argparse.Namespace, out: IO[str]) -> int:
 
 
 def cmd_lint(args: argparse.Namespace, out: IO[str]) -> int:
-    from .analysis import all_rules, lint_paths, render_json, render_text
+    from pathlib import Path
+
+    from .analysis import (
+        LintCache,
+        all_rules,
+        all_whole_program_rules,
+        apply_baseline,
+        build_project,
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_sarif,
+        render_text,
+        rules_digest,
+        save_baseline,
+    )
 
     if args.list_rules:
-        width = max(len(r.name) for r in all_rules())
-        for rule in all_rules():
-            print(f"{rule.name.ljust(width)}  {rule.summary}", file=out)
+        catalogue = [(r.name, r.summary) for r in all_rules()]
+        catalogue += [
+            (r.name, f"[whole-program] {r.summary}")
+            for r in all_whole_program_rules()
+        ]
+        width = max(len(name) for name, _ in catalogue)
+        for name, summary in sorted(catalogue):
+            print(f"{name.ljust(width)}  {summary}", file=out)
         return 0
+    if args.list_ops:
+        from .analysis.rules.protocol import op_inventory
+
+        rows = op_inventory(build_project(args.paths))
+        print("| op | handlers | router | emitters |", file=out)
+        print("|---|---|---|---|", file=out)
+        for row in rows:
+            print(
+                f"| `{row['op']}` | {row['handlers']} | {row['routing']} "
+                f"| {row['emitters']} |",
+                file=out,
+            )
+        return 0
+    # Comma-joined values compose with repeated flags:
+    # --select a,b --select c  ->  [a, b, c].
+    select = None
+    if args.select is not None:
+        select = [
+            name.strip()
+            for chunk in args.select
+            for name in chunk.split(",")
+            if name.strip()
+        ]
+    cache = None
+    if args.cache is not None:
+        names = [r.name for r in all_rules()]
+        names += [r.name for r in all_whole_program_rules()]
+        cache = LintCache(Path(args.cache), rules_digest(names))
     try:
-        result = lint_paths(args.paths, select=args.select)
+        result = lint_paths(args.paths, select=select, cache=cache)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=out)
         return 2
-    rendered = render_json(result) if args.format == "json" else render_text(result)
+    baseline_note = ""
+    if args.update_baseline:
+        if args.baseline is None:
+            print("error: --update-baseline requires --baseline FILE", file=out)
+            return 2
+        save_baseline(Path(args.baseline), result)
+        baseline_note = (
+            f"baseline updated: {len(result.findings)} accepted findings "
+            f"written to {args.baseline}"
+        )
+        result.findings = []
+    elif args.baseline is not None:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        result, matched, stale = apply_baseline(result, baseline)
+        matched_total = sum(matched.values())
+        if matched_total or stale:
+            baseline_note = (
+                f"baseline: {matched_total} finding"
+                f"{'' if matched_total == 1 else 's'} suppressed"
+                + (f", {len(stale)} stale entries" if stale else "")
+            )
+    if args.format == "json":
+        rendered = render_json(result)
+    elif args.format == "sarif":
+        rendered = render_sarif(result)
+    else:
+        rendered = render_text(result)
+        if baseline_note:
+            rendered += f"\n{baseline_note}"
     print(rendered, file=out)
     return 0 if result.ok else 1
 
@@ -690,16 +770,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     p_lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format",
     )
     p_lint.add_argument(
         "--select", action="append", default=None, metavar="RULE",
-        help="run only this rule (repeatable; default: all rules)",
+        help="run only these rules (repeatable, comma-separable; "
+        "default: all rules)",
     )
     p_lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
+    )
+    p_lint.add_argument(
+        "--list-ops", action="store_true",
+        help="print the protocol-op inventory table and exit",
+    )
+    p_lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress findings recorded in FILE; stale entries fail",
+    )
+    p_lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline FILE from the current findings",
+    )
+    p_lint.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help="incremental cache file (mtime+hash keyed)",
     )
     p_lint.set_defaults(func=cmd_lint)
 

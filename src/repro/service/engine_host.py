@@ -284,9 +284,12 @@ class EngineHost:
             if batch is None:
                 break
             started = time.perf_counter()
-            state = await loop.run_in_executor(
+            state, events = await loop.run_in_executor(
                 self._executor, self._apply_and_materialize, batch
             )
+            # Buffer watch events here, on the loop thread: extending from
+            # the writer thread raced drain_watch_events' swap-and-clear.
+            self._watch_events.extend(events)
             self._publish(state)
             self._h_flush.observe(time.perf_counter() - started)
             self._c_applied.inc(len(batch))
@@ -299,19 +302,23 @@ class EngineHost:
             ):
                 await self.checkpoint()
 
-    def _apply_and_materialize(self, batch: List[Activation]) -> PublishedState:
+    def _apply_and_materialize(
+        self, batch: List[Activation]
+    ) -> Tuple[PublishedState, List[ClusterChange]]:
         """Writer thread: mutate the engine, then build the next state.
 
         The engine is always driven through
         :func:`~repro.service.snapshots.apply_activations` so batch-end
         hooks fire at data-derived timestamp boundaries — identically
         live and during crash recovery.  The watcher only *observes* the
-        applied batch afterwards.
+        applied batch afterwards; its events are returned rather than
+        buffered so ``_watch_events`` stays loop-thread-only.
         """
         apply_activations(self.engine, batch)
+        events: List[ClusterChange] = []
         if self._watcher is not None:
-            self._watch_events.extend(self._watcher.observe_applied(batch))
-        return self._materialize()
+            events = list(self._watcher.observe_applied(batch))
+        return self._materialize(), events
 
     def _materialize(self) -> PublishedState:
         queries = self.engine.queries

@@ -677,6 +677,68 @@ class ShardRouter:
         out["shard"] = shard
         return out
 
+    async def _op_zoom_in(self, request: Dict) -> Dict[str, object]:
+        level = int(request.get("level", 0))
+        answers = await self._scatter("zoom_in", {"op": "zoom_in", "level": level})
+        # Every worker starts tracking its own clamped level; answer with
+        # the shallowest of them — the deepest level *all* shards serve.
+        return {
+            "level": min(int(a.get("level", level)) for a in answers.values())  # type: ignore[arg-type]
+        }
+
+    async def _op_zoom_out(self, request: Dict) -> Dict[str, object]:
+        level = int(request.get("level", 0))
+        answers = await self._scatter("zoom_out", {"op": "zoom_out", "level": level})
+        return {
+            "level": min(int(a.get("level", level)) for a in answers.values())  # type: ignore[arg-type]
+        }
+
+    async def _op_watch(self, request: Dict) -> Dict[str, object]:
+        node = self._resolve_node(request.get("node"))
+        shard = self.shard_map.shard_of(node)
+        payload: Dict[str, object] = {"op": "watch", "node": node}
+        if request.get("level") is not None:
+            payload["level"] = request.get("level")
+        response = await self._forward(shard, payload)
+        out: Dict[str, object] = {
+            k: response[k] for k in ("cluster",) if k in response
+        }
+        out["shard"] = shard
+        return out
+
+    async def _op_unwatch(self, request: Dict) -> Dict[str, object]:
+        node = self._resolve_node(request.get("node"))
+        shard = self.shard_map.shard_of(node)
+        payload: Dict[str, object] = {"op": "unwatch", "node": node}
+        if request.get("level") is not None:
+            payload["level"] = request.get("level")
+        await self._forward(shard, payload)
+        return {"shard": shard}
+
+    async def _op_changes(self, request: Dict) -> Dict[str, object]:
+        answers = await self._scatter("changes", {"op": "changes"})
+        merged: List[Dict[str, object]] = []
+        for shard in sorted(answers):
+            changes = answers[shard].get("changes")
+            if isinstance(changes, list):
+                merged.extend(c for c in changes if isinstance(c, dict))
+        merged.sort(
+            key=lambda c: (float(c.get("t", 0.0)), str(c.get("node", "")))  # type: ignore[arg-type]
+        )
+        return {"changes": merged}
+
+    async def _op_snapshot(self, request: Dict) -> Dict[str, object]:
+        answers = await self._scatter("snapshot", {"op": "snapshot"})
+        return {
+            "path": {
+                str(shard): answer.get("path")
+                for shard, answer in answers.items()
+            },
+            "applied": sum(
+                int(a.get("applied", 0)) for a in answers.values()  # type: ignore[arg-type]
+            ),
+        }
+
     async def _op_sync(self, request: Dict) -> Dict[str, object]:
         answers = await self._scatter("sync", {"op": "sync"})
         return {
@@ -772,6 +834,12 @@ class ShardRouter:
         "ingest_batch": _op_ingest_batch,
         "clusters": _op_clusters,
         "local": _op_local,
+        "zoom_in": _op_zoom_in,
+        "zoom_out": _op_zoom_out,
+        "watch": _op_watch,
+        "unwatch": _op_unwatch,
+        "changes": _op_changes,
+        "snapshot": _op_snapshot,
         "sync": _op_sync,
         "stats": _op_stats,
         "metrics": _op_metrics,

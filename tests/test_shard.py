@@ -296,3 +296,58 @@ class TestScatterGatherOracle:
                 stats = client.request("stats")["stats"]
                 assert stats["applied"] == len(acts)
                 assert sorted(stats["shards"]) == ["0", "1"]
+
+    def test_router_routes_watch_zoom_changes_snapshot(self, tmp_path):
+        """The six query/watch ops route through the shard tier.
+
+        These were router 404s before the whole-program linter's
+        protocol-conformance rule flagged them: the client emitted them
+        and every worker handled them, but the router table had no entry.
+        """
+        graph, acts = build_shard_workload(0)
+        smap = ShardMap.build(graph, 2, seed=0)
+        deployment = ShardDeployment(
+            graph,
+            shards=2,
+            seed=0,
+            engine="anco",
+            params=SHARD_PARAMS,
+            data_dir=str(tmp_path / "shards"),
+        )
+        with RouterThread(deployment) as router:
+            assert router.port is not None
+            with ServiceClient("127.0.0.1", router.port, timeout=60) as client:
+                batch = [[act.u, act.v, act.t] for act in acts]
+                half = len(batch) // 2
+                client.request("ingest_batch", items=batch[:half], key="ops-a")
+                client.sync()
+
+                node = acts[0].u
+                home = smap.shard_of(node)
+                watched = client.request("watch", node=node)
+                assert watched["shard"] == home
+                assert node in {int(v) for v in watched["cluster"]}
+
+                # zoom_* scatter to every worker and answer with the
+                # deepest level all shards serve (clamped to >= 1).
+                deeper = client.request("zoom_in", level=1)["level"]
+                assert isinstance(deeper, int) and deeper >= 1
+                shallower = client.request("zoom_out", level=deeper)["level"]
+                assert 1 <= shallower <= deeper
+
+                client.request("ingest_batch", items=batch[half:], key="ops-b")
+                client.sync()
+
+                changes = client.request("changes")["changes"]
+                assert isinstance(changes, list)
+                for change in changes:
+                    assert {"node", "level", "t", "joined", "left"} <= set(change)
+                times = [float(c["t"]) for c in changes]
+                assert times == sorted(times)
+
+                assert client.request("unwatch", node=node)["shard"] == home
+
+                snap = client.request("snapshot")
+                assert sorted(snap["path"]) == ["0", "1"]
+                assert all(isinstance(p, str) for p in snap["path"].values())
+                assert snap["applied"] == len(acts)
