@@ -117,6 +117,10 @@ class FunctionInfo:
     trampoline: bool
     calls: Tuple[CallSite, ...]
     params: Tuple[str, ...] = ()
+    #: True when the body reads an ``_OPS`` attribute — the signature of
+    #: a dispatcher (``self._OPS.get(op)``), which the op-span-coverage
+    #: rule treats as covering every handler in the class's table.
+    reads_ops: bool = False
 
     @property
     def name(self) -> str:
@@ -131,6 +135,7 @@ class FunctionInfo:
             "trampoline": self.trampoline,
             "calls": [c.to_dict() for c in self.calls],
             "params": list(self.params),
+            "reads_ops": self.reads_ops,
         }
 
     @classmethod
@@ -143,6 +148,7 @@ class FunctionInfo:
             trampoline=data["trampoline"],
             calls=tuple(CallSite.from_dict(c) for c in data["calls"]),
             params=tuple(data["params"]),
+            reads_ops=data.get("reads_ops", False),
         )
 
 
@@ -609,11 +615,14 @@ class _Summarizer:
 
         calls: List[CallSite] = []
         trampoline = False
+        reads_ops = False
         nodes = list(self._function_body_nodes(fn))
         # Methods of a ClassDef nested in module body are walked when fn
         # is each method; class-level statements count toward "<module>".
         for node in nodes:
             self._record_str_keys(node)
+            if isinstance(node, ast.Attribute) and node.attr == "_OPS":
+                reads_ops = True
             if isinstance(node, ast.Call):
                 callee = _encode_callable(node.func, self.imports)
                 if callee is None:
@@ -724,6 +733,7 @@ class _Summarizer:
             trampoline=trampoline,
             calls=tuple(calls),
             params=params,
+            reads_ops=reads_ops,
         )
 
     def _spawn_target(self, node: ast.Call, kind: str) -> Optional[str]:

@@ -8,6 +8,7 @@ from . import (  # noqa: F401  (imports register the rules)
     fault_hooks,
     float_equality,
     mutable_defaults,
+    op_span_coverage,
     protocol,
     service_exceptions,
     snapshot_immutability,
@@ -23,6 +24,7 @@ __all__ = [
     "fault_hooks",
     "float_equality",
     "mutable_defaults",
+    "op_span_coverage",
     "protocol",
     "service_exceptions",
     "snapshot_immutability",

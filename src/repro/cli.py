@@ -13,7 +13,12 @@ Installed as the ``repro-anc`` console script (also runnable as
   capture a Chrome trace and a metrics snapshot of the replay
   (``docs/observability.md``);
 * ``stats`` — fetch a running server's metrics in Prometheus text (or
-  JSON) over the service protocol;
+  JSON) over the service protocol; ``--fleet`` scrapes a router's
+  federated, per-shard-labeled exposition (``docs/observability.md``);
+* ``trace`` — assemble a merged multi-process Chrome trace from a live
+  deployment's span buffers (``--follow`` keeps collecting; ``--probe``
+  sends traced read-only requests first so an idle fleet still yields
+  a connected client → router → worker trace);
 * ``datasets`` — the Table I stand-in catalogue;
 * ``lint`` — run the :mod:`repro.analysis` invariant linter over the
   source tree (the CI gate; see ``docs/static-analysis.md``);
@@ -52,6 +57,7 @@ __all__ = [
     "cmd_serve",
     "cmd_chaos",
     "cmd_stats",
+    "cmd_trace",
     "cmd_datasets",
     "cmd_lint",
     "cmd_promote",
@@ -239,6 +245,17 @@ def cmd_stats(args: argparse.Namespace, out: IO[str]) -> int:
 
                 doc = {"stats": client.stats(), "metrics": client.metrics()}
                 print(json.dumps(doc, indent=2, sort_keys=True), file=out)
+            elif args.fleet:
+                # The pure federated scrape (against a router: every
+                # source labeled shard="N"/role, gauges never summed) —
+                # no client-side samples appended, so the output is
+                # exactly what a Prometheus scraper would ingest.
+                text = str(
+                    client.request("metrics_text", namespace=args.namespace)[
+                        "text"
+                    ]
+                )
+                print(text, end="", file=out)
             else:
                 print(
                     client.metrics_text(namespace=args.namespace),
@@ -248,6 +265,95 @@ def cmd_stats(args: argparse.Namespace, out: IO[str]) -> int:
     except (OSError, ServiceError) as exc:
         print(f"error: {exc}", file=out)
         return 1
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace, out: IO[str]) -> int:
+    """Assemble a fleet Chrome trace from a live deployment."""
+    import json
+    import os
+    import time
+
+    from .obs.export import fleet_chrome_trace, fleet_trace_summary
+    from .service.client import ServiceClient, ServiceError
+
+    merged: dict = {}
+
+    def absorb(processes: "List[dict]") -> None:
+        for proc in processes:
+            if not isinstance(proc, dict):
+                continue
+            pid = proc.get("pid")
+            entry = merged.setdefault(
+                pid, {"pid": pid, "process": proc.get("process"), "spans": []}
+            )
+            spans = proc.get("spans")
+            if isinstance(spans, list):
+                entry["spans"].extend(spans)
+
+    try:
+        with ServiceClient(
+            args.host,
+            args.port,
+            timeout=args.timeout,
+            trace_sample=1.0 if args.probe else 0.0,
+        ) as client:
+            for _ in range(args.probe):
+                client.clusters()  # read-only traced round trip
+            deadline = time.monotonic() + (args.duration if args.follow else 0.0)
+            while True:
+                response = client.trace_fetch(drain=args.follow)
+                processes = response.get("processes")
+                if isinstance(processes, list):
+                    absorb(processes)
+                else:  # a single unsharded server
+                    absorb([response])
+                if not args.follow or time.monotonic() >= deadline:
+                    break
+                time.sleep(args.interval)
+            absorb(
+                [
+                    {
+                        "pid": os.getpid(),
+                        "process": "client",
+                        "spans": client.trace_spans(),
+                    }
+                ]
+            )
+    except (OSError, ServiceError) as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    processes = sorted(
+        merged.values(), key=lambda p: (str(p.get("process")), str(p.get("pid")))
+    )
+    summary = fleet_trace_summary(processes)
+    doc = fleet_chrome_trace(processes, trace_id=args.trace_id)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+            fh.write("\n")
+        print(
+            f"wrote fleet trace ({len(doc['traceEvents'])} events, "
+            f"{len(processes)} processes) to {args.out}",
+            file=out,
+        )
+    for trace_id in sorted(summary):
+        info = summary[trace_id]
+        status = "connected" if info["connected"] else "DISCONNECTED"
+        print(
+            f"trace {trace_id}: {info['spans']} spans across "
+            f"{len(info['pids'])} processes, roots={info['roots']} "
+            f"[{status}]",
+            file=out,
+        )
+    if not summary:
+        print(
+            "no traced spans buffered; send traced requests "
+            "(trace_sample > 0) or use --probe",
+            file=out,
+        )
+    if args.out is None and summary:
+        print(json.dumps(doc), file=out)
     return 0
 
 
@@ -296,6 +402,8 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
         replica_id=args.replica_id or "",
         poll_interval=args.poll_interval,
         audit_interval=args.audit_interval,
+        profile=args.profile,
+        profile_hz=args.profile_hz,
     )
     server = ANCServer(graph, names, config=config, params=_params_from(args))
     try:
@@ -685,6 +793,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--audit-interval", type=float, default=0.25,
                          help="divergence-audit cadence on a follower "
                               "(seconds; 0 = off)")
+    p_serve.add_argument("--profile", action="store_true",
+                         help="run the sampling wall-clock profiler from "
+                              "boot (query via the 'profile' op; "
+                              "docs/observability.md)")
+    p_serve.add_argument("--profile-hz", type=float, default=97.0,
+                         help="profiler sampling frequency (default 97)")
     _add_anc_params(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -754,9 +868,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("--namespace", default=None,
                          help="metric name prefix (default: anc)")
+    p_stats.add_argument("--fleet", action="store_true",
+                         help="print the pure federated scrape (per-shard "
+                              "labels, no client-side samples); meaningful "
+                              "against a shard router")
     p_stats.add_argument("--timeout", type=float, default=10.0,
                          help="connection timeout in seconds")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="assemble a merged fleet Chrome trace from a live "
+             "deployment (docs/observability.md)",
+    )
+    p_trace.add_argument("--host", default="127.0.0.1")
+    p_trace.add_argument("--port", type=int, default=7700)
+    p_trace.add_argument("--out", default=None, metavar="FILE",
+                         help="write the Chrome trace_event JSON here "
+                              "(default: print to stdout)")
+    p_trace.add_argument("--follow", action="store_true",
+                         help="keep draining span buffers for --duration "
+                              "seconds instead of one fetch")
+    p_trace.add_argument("--duration", type=float, default=5.0,
+                         help="how long --follow collects (seconds)")
+    p_trace.add_argument("--interval", type=float, default=0.5,
+                         help="--follow polling period (seconds)")
+    p_trace.add_argument("--probe", type=int, default=0, metavar="N",
+                         help="send N traced read-only requests first so "
+                              "an idle fleet still yields a trace")
+    p_trace.add_argument("--trace-id", default=None,
+                         help="keep only this trace id in the merged doc")
+    p_trace.add_argument("--timeout", type=float, default=10.0,
+                         help="connection timeout in seconds")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_data = sub.add_parser("datasets", help="list the Table I stand-ins")
     p_data.set_defaults(func=cmd_datasets)

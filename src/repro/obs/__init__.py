@@ -21,12 +21,18 @@ from __future__ import annotations
 
 from .export import (
     chrome_trace,
+    fleet_chrome_trace,
+    fleet_trace_summary,
     phase_breakdown,
     render_json,
     render_prometheus,
+    span_dicts,
     write_chrome_trace,
 )
-from .instruments import Counter, Gauge, Histogram, MetricsRegistry
+from .federate import federate_snapshots, render_prometheus_federated
+from .instruments import BUCKET_BOUNDS, Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import SamplingProfiler
+from .propagate import TraceContext, bind_context, current_context, new_span_id
 from .trace import (
     DISABLED_OBS,
     NULL_TRACER,
@@ -37,6 +43,7 @@ from .trace import (
 )
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "Counter",
     "DISABLED_OBS",
     "Gauge",
@@ -44,12 +51,22 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "Observability",
+    "SamplingProfiler",
     "Span",
+    "TraceContext",
     "Tracer",
+    "bind_context",
     "chrome_trace",
+    "current_context",
+    "federate_snapshots",
+    "fleet_chrome_trace",
+    "fleet_trace_summary",
+    "new_span_id",
     "perf_counter",
     "phase_breakdown",
     "render_json",
     "render_prometheus",
+    "render_prometheus_federated",
+    "span_dicts",
     "write_chrome_trace",
 ]

@@ -28,9 +28,12 @@ from .trace import Span, Tracer
 
 __all__ = [
     "chrome_trace",
+    "fleet_chrome_trace",
+    "fleet_trace_summary",
     "phase_breakdown",
     "render_json",
     "render_prometheus",
+    "span_dicts",
     "write_chrome_trace",
 ]
 
@@ -104,6 +107,11 @@ def chrome_trace(
         spans = spans.spans()
     events: List[Dict[str, object]] = []
     for span in spans:
+        args: Dict[str, object] = {**span.args, "depth": span.depth}
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
+            args["span_id"] = span.span_id
+            args["parent_id"] = span.parent_id
         events.append(
             {
                 "name": span.name,
@@ -112,7 +120,7 @@ def chrome_trace(
                 "tid": span.tid,
                 "ts": span.start * 1e6,
                 "dur": span.duration * 1e6,
-                "args": {**span.args, "depth": span.depth},
+                "args": args,
             }
         )
     events.sort(key=lambda e: (e["tid"], e["ts"]))  # type: ignore[index]
@@ -127,6 +135,183 @@ def write_chrome_trace(
     with open(target, "w", encoding="utf-8") as fh:
         json.dump(chrome_trace(spans, pid=pid), fh, indent=2, sort_keys=True)
     return target
+
+
+def span_dicts(
+    spans: Union[Tracer, Iterable[Span]], *, epoch_unix: float = 0.0
+) -> List[Dict[str, object]]:
+    """Spans as JSON-able dicts with *absolute* unix start times.
+
+    This is the ``trace_fetch`` wire format: each process converts its
+    tracer-epoch-relative starts to wall-clock seconds using the
+    tracer's ``epoch_unix``, so per-process buffers land on one shared
+    timeline (same machine, same clock) and the fleet merge needs no
+    further alignment.  Wire spans carry their trace/span/parent ids.
+    """
+    if isinstance(spans, Tracer):
+        epoch_unix = spans.epoch_unix
+        spans = spans.spans()
+    out: List[Dict[str, object]] = []
+    for span in spans:
+        doc: Dict[str, object] = {
+            "name": span.name,
+            "start": epoch_unix + span.start,
+            "dur": span.duration,
+            "depth": span.depth,
+            "tid": span.tid,
+            "args": dict(span.args),
+        }
+        if span.trace_id is not None:
+            doc["trace"] = span.trace_id
+            doc["span"] = span.span_id
+            doc["parent"] = span.parent_id
+        out.append(doc)
+    return out
+
+
+def fleet_chrome_trace(
+    processes: Iterable[Dict[str, object]], *, trace_id: Optional[str] = None
+) -> Dict[str, object]:
+    """Merge per-process span buffers into one Chrome trace document.
+
+    ``processes`` is what the router's ``trace_fetch`` gather returns:
+    each entry holds a display ``name`` (``client`` / ``router`` /
+    ``shard-0`` / ``replica:<id>``), the OS ``pid``, and
+    :func:`span_dicts`-encoded ``spans``.  The merged document gives
+    every process its own pid lane (named via ``process_name`` metadata
+    events), places all spans on a common timeline anchored at the
+    earliest span, and draws Chrome flow arrows between every wire
+    span and its parent — the client→router→worker→replica causality,
+    visible in one Perfetto view.  ``trace_id`` filters to one request
+    tree (engine spans, which carry no trace id, are kept only when no
+    filter is given).
+    """
+    procs: List[Dict[str, object]] = []
+    t_min: Optional[float] = None
+    for proc in processes:
+        spans = [
+            s
+            for s in proc.get("spans", ())  # type: ignore[union-attr]
+            if trace_id is None or s.get("trace") == trace_id
+        ]
+        for span in spans:
+            start = float(span["start"])  # type: ignore[arg-type]
+            t_min = start if t_min is None else min(t_min, start)
+        procs.append({**proc, "spans": spans})
+    origin = t_min or 0.0
+    events: List[Dict[str, object]] = []
+    slice_of: Dict[str, Dict[str, object]] = {}
+    for index, proc in enumerate(procs):
+        pid = int(proc.get("pid", index))  # type: ignore[arg-type]
+        name = str(proc.get("name", f"process-{index}"))
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+        events.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": index},
+            }
+        )
+        for span in proc["spans"]:  # type: ignore[union-attr]
+            args = dict(span.get("args") or {})
+            args["depth"] = span.get("depth", 0)
+            for key, arg_key in (("trace", "trace_id"), ("span", "span_id"), ("parent", "parent_id")):
+                if span.get(key):
+                    args[arg_key] = span[key]
+            event = {
+                "name": span["name"],
+                "ph": "X",
+                "pid": pid,
+                "tid": span.get("tid", 0),
+                "ts": (float(span["start"]) - origin) * 1e6,  # type: ignore[arg-type]
+                "dur": float(span["dur"]) * 1e6,  # type: ignore[arg-type]
+                "args": args,
+            }
+            events.append(event)
+            span_id = span.get("span")
+            if isinstance(span_id, str) and span_id:
+                slice_of[span_id] = event
+    # Flow arrows: child wire span points back at its parent's slice.
+    flows: List[Dict[str, object]] = []
+    for span_id, event in sorted(slice_of.items()):
+        parent_id = event["args"].get("parent_id")  # type: ignore[union-attr]
+        parent = slice_of.get(parent_id) if isinstance(parent_id, str) else None
+        if parent is None:
+            continue
+        flow_id = f"{parent_id}->{span_id}"
+        flows.append(
+            {
+                "name": "trace",
+                "cat": "trace",
+                "ph": "s",
+                "id": flow_id,
+                "pid": parent["pid"],
+                "tid": parent["tid"],
+                "ts": parent["ts"],
+            }
+        )
+        flows.append(
+            {
+                "name": "trace",
+                "cat": "trace",
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "pid": event["pid"],
+                "tid": event["tid"],
+                "ts": event["ts"],
+            }
+        )
+    events.extend(flows)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def fleet_trace_summary(
+    processes: Iterable[Dict[str, object]]
+) -> Dict[str, Dict[str, object]]:
+    """Per-trace-id connectivity summary of a ``trace_fetch`` gather.
+
+    For each trace id seen across the fleet: the span count, the set of
+    pids it touched, the root span names (no parent within the trace),
+    and whether the spans form one connected tree — the property the
+    end-to-end propagation test (and ``repro-anc trace``) asserts.
+    """
+    by_trace: Dict[str, List[Dict[str, object]]] = {}
+    pid_of: Dict[str, int] = {}
+    for index, proc in enumerate(processes):
+        pid = int(proc.get("pid", index))  # type: ignore[arg-type]
+        for span in proc.get("spans", ()):  # type: ignore[union-attr]
+            tid = span.get("trace")
+            if not isinstance(tid, str):
+                continue
+            by_trace.setdefault(tid, []).append(span)
+            span_id = span.get("span")
+            if isinstance(span_id, str):
+                pid_of[span_id] = pid
+    out: Dict[str, Dict[str, object]] = {}
+    for trace_id, spans in sorted(by_trace.items()):
+        ids = {s["span"] for s in spans if isinstance(s.get("span"), str)}
+        roots = [s for s in spans if s.get("parent") not in ids]
+        pids = sorted(
+            {pid_of[s["span"]] for s in spans if s.get("span") in pid_of}
+        )
+        out[trace_id] = {
+            "spans": len(spans),
+            "pids": pids,
+            "roots": sorted(str(s["name"]) for s in roots),
+            "connected": len(roots) == 1,
+        }
+    return out
 
 
 def phase_breakdown(

@@ -1,0 +1,193 @@
+"""Labeled metrics federation: one fleet view, no summed gauges.
+
+The shard router used to answer its ``metrics`` op by summing every
+number it scattered — which is correct for counters, and nonsense for
+gauges: a "queue depth" of 7 that is really shard 0's 6 plus shard 1's
+1 tells an operator nothing, and summing two followers' ``replication_lag``
+invents a lag nobody has.  This module implements the aggregation rules
+that are actually sound per instrument kind:
+
+* **counters** — summed across sources (events are events);
+* **gauges** — kept per-source, each tagged with its source labels
+  (``shard="0"``, ``role="router"``), *never* summed;
+* **histograms** — merged bucket-wise over the shared log-scale bucket
+  grid (:data:`repro.obs.instruments.BUCKET_BOUNDS`): bucket counts and
+  lifetime count/sum add element-wise, and fleet quantiles are
+  re-derived from the merged cumulative distribution.
+
+Inputs are plain registry snapshots (``MetricsRegistry.snapshot()``
+dicts, exactly what the ``metrics`` op returns), so the router
+federates worker responses straight off the wire.
+:func:`render_prometheus_federated` is the text form behind the
+router's ``metrics_text`` — a single scrape endpoint for the fleet,
+every sample carrying its source labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .export import _fmt, _metric_name
+from .instruments import BUCKET_BOUNDS
+
+__all__ = [
+    "bucket_quantile",
+    "federate_snapshots",
+    "merge_histograms",
+    "render_prometheus_federated",
+]
+
+#: A federation input: (source labels, registry snapshot document).
+Source = Tuple[Mapping[str, str], Mapping[str, object]]
+
+_QUANTILES = ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"))
+
+
+def _label_str(labels: Mapping[str, str]) -> str:
+    """Labels as the canonical ``k="v",...`` string (sorted, stable)."""
+    return ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+
+
+def bucket_quantile(counts: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) from per-bucket counts (upper-bound rule).
+
+    Nearest-rank over the cumulative distribution; the estimate is the
+    upper bound of the bucket the rank lands in — conservative, and
+    consistent with how Prometheus evaluates ``histogram_quantile``.
+    The +Inf overflow slot reports the largest finite bound.
+    """
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    cum = 0.0
+    for i, count in enumerate(counts):
+        cum += count
+        if cum >= rank:
+            return BUCKET_BOUNDS[min(i, len(BUCKET_BOUNDS) - 1)]
+    return BUCKET_BOUNDS[-1]
+
+
+def merge_histograms(
+    docs: Sequence[Mapping[str, object]]
+) -> Dict[str, object]:
+    """Merge per-source histogram snapshot entries bucket-wise.
+
+    Each entry is one source's ``{count, mean, p50, ..., buckets}`` dict
+    from ``MetricsRegistry.snapshot()``.  Counts sum; the merged
+    quantiles come from the summed bucket distribution, not from
+    averaging per-source quantiles (which has no statistical meaning).
+    """
+    buckets = [0.0] * (len(BUCKET_BOUNDS) + 1)
+    count = 0.0
+    total = 0.0
+    maximum = 0.0
+    for doc in docs:
+        count += float(doc.get("count", 0.0))  # type: ignore[arg-type]
+        total += float(doc.get("count", 0.0)) * float(doc.get("mean", 0.0))  # type: ignore[arg-type]
+        maximum = max(maximum, float(doc.get("max", 0.0)))  # type: ignore[arg-type]
+        source_buckets = doc.get("buckets")
+        if isinstance(source_buckets, (list, tuple)):
+            for i, value in enumerate(source_buckets[: len(buckets)]):
+                buckets[i] += float(value)
+    merged: Dict[str, object] = {
+        "count": count,
+        "mean": total / count if count else 0.0,
+        "max": maximum,
+        "buckets": buckets,
+    }
+    for q, key in _QUANTILES:
+        merged[key] = bucket_quantile(buckets, q)
+    return merged
+
+
+def federate_snapshots(sources: Sequence[Source]) -> Dict[str, object]:
+    """Aggregate labeled registry snapshots into one fleet document.
+
+    Returns ``{sources, counters, gauges, histograms}`` where counters
+    are fleet sums, every gauge maps its canonical label string to that
+    source's value (per-source — the whole point), and histograms are
+    bucket-merged (:func:`merge_histograms`).
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, Dict[str, float]] = {}
+    hist_docs: Dict[str, List[Mapping[str, object]]] = {}
+    labels_out: List[Dict[str, str]] = []
+    for labels, snapshot in sources:
+        labels_out.append(dict(labels))
+        key = _label_str(labels)
+        for name, value in (snapshot.get("counters") or {}).items():  # type: ignore[union-attr]
+            counters[name] = counters.get(name, 0.0) + float(value)
+        for name, value in (snapshot.get("gauges") or {}).items():  # type: ignore[union-attr]
+            gauges.setdefault(name, {})[key] = float(value)
+        for name, doc in (snapshot.get("histograms") or {}).items():  # type: ignore[union-attr]
+            hist_docs.setdefault(name, []).append(doc)
+    return {
+        "sources": labels_out,
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": {name: gauges[name] for name in sorted(gauges)},
+        "histograms": {
+            name: merge_histograms(hist_docs[name]) for name in sorted(hist_docs)
+        },
+    }
+
+
+def render_prometheus_federated(
+    sources: Sequence[Source], *, namespace: str = ""
+) -> str:
+    """The fleet as one Prometheus text exposition (version 0.0.4).
+
+    Counter and gauge samples keep their source labels — a scraper sees
+    ``anc_queue_depth{shard="0"}`` and ``{shard="1"}`` as distinct
+    series, exactly as if it had scraped every process itself.
+    Histograms merge bucket-wise into real Prometheus ``histogram``
+    series with cumulative ``_bucket{le=...}`` samples.
+    """
+    # Group samples per metric before rendering: the text format
+    # requires every sample of a metric to follow its ``# TYPE`` line in
+    # one block, so sources are collected first and emitted per metric.
+    counter_samples: Dict[str, List[Tuple[str, float]]] = {}
+    gauge_samples: Dict[str, List[Tuple[str, float]]] = {}
+    hist_docs: Dict[str, List[Mapping[str, object]]] = {}
+    for labels, snapshot in sources:
+        label_str = _label_str(labels)
+        suffix = f"{{{label_str}}}" if label_str else ""
+        for name, value in (snapshot.get("counters") or {}).items():  # type: ignore[union-attr]
+            metric = _metric_name(name, namespace) + "_total"
+            counter_samples.setdefault(metric, []).append(
+                (suffix, float(value))
+            )
+        for name, value in (snapshot.get("gauges") or {}).items():  # type: ignore[union-attr]
+            metric = _metric_name(name, namespace)
+            gauge_samples.setdefault(metric, []).append((suffix, float(value)))
+        for name, doc in (snapshot.get("histograms") or {}).items():  # type: ignore[union-attr]
+            hist_docs.setdefault(name, []).append(doc)
+    counter_lines: List[str] = []
+    for metric in sorted(counter_samples):
+        counter_lines.append(f"# TYPE {metric} counter")
+        for suffix, value in counter_samples[metric]:
+            counter_lines.append(f"{metric}{suffix} {_fmt(value)}")
+    gauge_lines: List[str] = []
+    for metric in sorted(gauge_samples):
+        gauge_lines.append(f"# TYPE {metric} gauge")
+        for suffix, value in gauge_samples[metric]:
+            gauge_lines.append(f"{metric}{suffix} {_fmt(value)}")
+    hist_lines: List[str] = []
+    for name in sorted(hist_docs):
+        merged = merge_histograms(hist_docs[name])
+        metric = _metric_name(name, namespace)
+        hist_lines.append(f"# TYPE {metric} histogram")
+        cum = 0.0
+        buckets = merged["buckets"]
+        assert isinstance(buckets, list)
+        for bound, count in zip(BUCKET_BOUNDS, buckets):
+            cum += count
+            hist_lines.append(f'{metric}_bucket{{le="{bound:g}"}} {_fmt(cum)}')
+        cum += buckets[-1]
+        hist_lines.append(f'{metric}_bucket{{le="+Inf"}} {_fmt(cum)}')
+        mean = float(merged["mean"])  # type: ignore[arg-type]
+        count = float(merged["count"])  # type: ignore[arg-type]
+        hist_lines.append(f"{metric}_sum {_fmt(mean * count)}")
+        hist_lines.append(f"{metric}_count {_fmt(count)}")
+    lines = counter_lines + gauge_lines + hist_lines
+    return "\n".join(lines) + "\n" if lines else ""

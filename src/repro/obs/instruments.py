@@ -22,12 +22,19 @@ lifetime averages (no window state is touched at all).
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["BUCKET_BOUNDS", "Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Shared log-scale histogram bucket upper bounds (seconds): 1 µs up to
+#: ~18 minutes in powers of 4.  Fixed and global so histograms snapshotted
+#: in different processes merge bucket-wise with no negotiation — the
+#: property metrics federation (:mod:`repro.obs.federate`) relies on.
+BUCKET_BOUNDS: Tuple[float, ...] = tuple(1e-6 * 4.0**i for i in range(16))
 
 
 class Counter:
@@ -128,6 +135,20 @@ class Histogram:
             return 0.0
         rank = max(0, min(len(data) - 1, int(round(p / 100.0 * (len(data) - 1)))))
         return data[rank]
+
+    def bucket_counts(self) -> List[float]:
+        """Window observation counts per shared log-scale bucket.
+
+        One slot per :data:`BUCKET_BOUNDS` entry (``value <= bound``)
+        plus a final +Inf overflow slot.  Counts are per-bucket, not
+        cumulative, so federating N processes is element-wise addition.
+        """
+        counts = [0.0] * (len(BUCKET_BOUNDS) + 1)
+        with self._lock:
+            data = list(self._window)
+        for value in data:
+            counts[bisect.bisect_left(BUCKET_BOUNDS, value)] += 1.0
+        return counts
 
     def summary(self) -> Dict[str, float]:
         """count / mean / p50 / p90 / p99 / max of the current window.
@@ -240,7 +261,8 @@ class MetricsRegistry:
             name: gauge.value for name, gauge in sorted(self._gauges.items())
         }
         doc["histograms"] = {
-            name: hist.summary() for name, hist in sorted(self._histograms.items())
+            name: {**hist.summary(), "buckets": hist.bucket_counts()}
+            for name, hist in sorted(self._histograms.items())
         }
         return doc
 

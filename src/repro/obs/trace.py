@@ -37,9 +37,18 @@ from __future__ import annotations
 import threading
 from collections import deque
 from time import perf_counter
-from typing import ContextManager, Deque, Dict, List, Optional
+from time import time as _wall_time
+from typing import ContextManager, Deque, Dict, List, Optional, Tuple
 
 from .instruments import MetricsRegistry
+from .propagate import (
+    TraceContext,
+    _DEPTH,
+    bind_context,
+    current_context,
+    new_span_id,
+    unbind_context,
+)
 
 __all__ = [
     "DISABLED_OBS",
@@ -52,9 +61,26 @@ __all__ = [
 
 
 class Span:
-    """One completed phase timing (immutable once recorded)."""
+    """One completed phase timing (immutable once recorded).
 
-    __slots__ = ("name", "start", "duration", "depth", "tid", "args")
+    ``trace_id`` / ``span_id`` / ``parent_id`` are ``None`` for
+    engine-internal spans; wire spans
+    (:meth:`Tracer.wire_span`) carry all three so the fleet-trace merge
+    (:func:`repro.obs.export.fleet_chrome_trace`) can stitch one
+    request's hops across processes.
+    """
+
+    __slots__ = (
+        "name",
+        "start",
+        "duration",
+        "depth",
+        "tid",
+        "args",
+        "trace_id",
+        "span_id",
+        "parent_id",
+    )
 
     def __init__(
         self,
@@ -64,6 +90,9 @@ class Span:
         depth: int,
         tid: int,
         args: Dict[str, object],
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
     ) -> None:
         self.name = name
         #: Seconds since the tracer's epoch.
@@ -74,6 +103,9 @@ class Span:
         #: Recording thread id.
         self.tid = tid
         self.args = args
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -139,15 +171,92 @@ class _LiveSpan:
         local = self._local
         self.depth = getattr(local, "depth", 0)
         local.depth = self.depth + 1
+        open_map = self._tracer._open
+        if open_map is not None:
+            open_map.setdefault(threading.get_ident(), []).append(self.name)
         self._t0 = perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> bool:
         end = perf_counter()
         self._local.depth = self.depth
+        open_map = self._tracer._open
+        if open_map is not None:
+            stack = open_map.get(threading.get_ident())
+            if stack:
+                stack.pop()
         self._tracer._record(
             self.name, self._t0, end - self._t0, self.depth, self.args
         )
+        return False
+
+
+class _WireSpan:
+    """A protocol-boundary span carrying distributed trace identity.
+
+    Opened around one hop of a traced request (client request, router
+    forward/scatter, server handler, replica fetch).  On entry it binds
+    the *child* context — so payloads stamped inside (and nested wire
+    spans) parent correctly — and on exit records a :class:`Span` with
+    trace/span/parent ids.  Depth is tracked in a ``ContextVar``, never
+    a thread-local: concurrent asyncio requests interleave on one loop
+    thread.
+    """
+
+    __slots__ = ("_tracer", "name", "args", "_child", "_parent_id", "_tokens", "_t0")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        args: Dict[str, object],
+        child: TraceContext,
+        parent_id: str,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._child = child
+        self._parent_id = parent_id
+
+    def __enter__(self) -> "_WireSpan":
+        self._tokens = (bind_context(self._child), _DEPTH.set(_DEPTH.get() + 1))
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = perf_counter()
+        ctx_token, depth_token = self._tokens
+        depth = _DEPTH.get() - 1
+        _DEPTH.reset(depth_token)
+        unbind_context(ctx_token)
+        self._tracer._record(
+            self.name,
+            self._t0,
+            end - self._t0,
+            depth,
+            self.args,
+            trace_id=self._child.trace_id,
+            span_id=self._child.span_id,
+            parent_id=self._parent_id,
+        )
+        return False
+
+
+class _PropagateSpan:
+    """Bind-only guard for an unsampled context: propagate, record nothing."""
+
+    __slots__ = ("_ctx", "_token")
+
+    def __init__(self, ctx: TraceContext) -> None:
+        self._ctx = ctx
+
+    def __enter__(self) -> "_PropagateSpan":
+        self._token = bind_context(self._ctx)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        unbind_context(self._token)
         return False
 
 
@@ -177,9 +286,17 @@ class Tracer:
         self.sample = 1.0
         self.set_sample(sample)
         self._epoch = perf_counter()
+        #: Wall-clock time of the tracer's epoch — captured back-to-back
+        #: with ``_epoch`` so exported spans can be placed on an absolute
+        #: timeline shared by every process on the machine (the
+        #: fleet-trace merge aligns lanes with it).
+        self.epoch_unix = _wall_time()
         self._spans: Deque[Span] = deque(maxlen=capacity)
         self._lock = threading.Lock()
         self._local = threading.local()
+        #: tid -> names of currently open spans, maintained only while a
+        #: profiler has called :meth:`track_open` (dark otherwise).
+        self._open: Optional[Dict[int, List[str]]] = None
         #: Spans recorded over the tracer's lifetime (ring-buffer evictions
         #: do not decrement this).
         self.recorded = 0
@@ -200,6 +317,22 @@ class Tracer:
         if not 0.0 < sample <= 1.0:
             raise ValueError(f"sample must be in (0, 1], got {sample}")
         self.sample = sample
+
+    def track_open(self, enabled: bool) -> None:
+        """Maintain (or stop maintaining) the per-thread open-span stack.
+
+        The sampling profiler (:mod:`repro.obs.profiler`) turns this on
+        to attribute stack samples to engine phases; it is off by
+        default so the live-span hot path pays only a ``None`` check.
+        """
+        self._open = {} if enabled else None
+
+    def open_stack(self, tid: int) -> Tuple[str, ...]:
+        """Names of the spans currently open on thread ``tid``."""
+        open_map = self._open
+        if not open_map:
+            return ()
+        return tuple(open_map.get(tid, ()))
 
     # -- recording --------------------------------------------------------
     def span(self, name: str, **args: object) -> ContextManager[object]:
@@ -223,6 +356,39 @@ class Tracer:
                 return _MutedSpan(local)
             local.acc = acc - 1.0
         return _LiveSpan(self, local, name, args)
+
+    def wire_span(
+        self,
+        name: str,
+        ctx: Optional[TraceContext] = None,
+        **args: object,
+    ) -> ContextManager[object]:
+        """A protocol-boundary span joined to a distributed trace.
+
+        ``ctx`` is the trace context that arrived on the wire; when
+        omitted, the task's current binding
+        (:func:`repro.obs.propagate.current_context`) is used, which is
+        how a router's forward spans nest under its request span.
+
+        Semantics differ from :meth:`span` in two deliberate ways:
+
+        * **The sampled flag is the switch, not ``self.enabled``.**  A
+          sampled context records on every hop even if this process
+          never ran ``trace start`` — the fleet trace must not require
+          coordinating N processes' tracer states.  An unsampled
+          context binds (so downstream stamps stay correct) and records
+          nothing; no context at all is a shared no-op.
+        * **Task-safe, not thread-scoped.**  Binding and depth live in
+          ``ContextVar``s because concurrent requests interleave as
+          asyncio tasks on one loop thread.
+        """
+        if ctx is None:
+            ctx = current_context()
+            if ctx is None:
+                return _NULL_SPAN
+        if not ctx.sampled:
+            return _PropagateSpan(ctx)
+        return _WireSpan(self, name, args, ctx.child(new_span_id()), ctx.span_id)
 
     def record(
         self,
@@ -253,6 +419,9 @@ class Tracer:
         duration: float,
         depth: int,
         args: Dict[str, object],
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
     ) -> None:
         span = Span(
             name,
@@ -261,6 +430,9 @@ class Tracer:
             depth,
             threading.get_ident(),
             dict(args) if args else {},
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
         )
         with self._lock:
             self._spans.append(span)

@@ -32,6 +32,7 @@ import logging
 from typing import Dict, List, Optional, Tuple
 
 from ..core.activation import Activation
+from ..obs.propagate import TraceContext, current_context, new_span_id
 from ..service.snapshots import WalRecord
 
 log = logging.getLogger("repro.replica")
@@ -105,6 +106,11 @@ class ReplicationLink:
         self._stopped = False
         self._last_audit = 0.0
         self._primary_entries = 0
+        # Deterministic trace roots for the replication lane: one
+        # context per fetch, sampled by the follower tracer's fraction
+        # through an error-diffusion accumulator (no PRNG).
+        self._trace_seq = 0
+        self._trace_acc = 0.0
         m = server.metrics
         self._c_applied = m.counter("replica_records_applied")
         self._c_refetches = m.counter("replica_refetches")
@@ -196,6 +202,26 @@ class ReplicationLink:
             raise ReplicationError(f"malformed response: {decoded!r}")
         return decoded
 
+    def _mint_trace(self) -> Optional[TraceContext]:
+        """A root trace context for one fetch (None = tracing off).
+
+        Armed by enabling the *follower's* tracer: each fetch then
+        carries a ``trace`` envelope sampled at the tracer's fraction,
+        so the primary's ``server.wal_fetch`` span lands in the same
+        trace as the follower's ``replica.wal_fetch`` — the
+        follower → primary lane of a fleet trace.
+        """
+        tracer = self.server.tracer
+        if not tracer.enabled:
+            return None
+        self._trace_seq += 1
+        self._trace_acc += tracer.sample
+        sampled = self._trace_acc >= 1.0 - 1e-12
+        if sampled:
+            self._trace_acc -= 1.0
+        trace_id = f"{self.replica_id}:wal:{self._trace_seq:x}"
+        return TraceContext(trace_id, new_span_id(), sampled)
+
     async def _fetch_once(
         self,
         reader: asyncio.StreamReader,
@@ -203,16 +229,23 @@ class ReplicationLink:
     ) -> bool:
         """Fetch + apply one chunk. Returns True when progress was made."""
         start = self.server.host.ingested
-        resp = await self._request(
-            reader,
-            writer,
-            {
-                "op": "wal_fetch",
-                "from_seq": start,
-                "max": self.fetch_max,
-                "follower": self.replica_id,
-            },
-        )
+        doc: Dict[str, object] = {
+            "op": "wal_fetch",
+            "from_seq": start,
+            "max": self.fetch_max,
+            "follower": self.replica_id,
+        }
+        ctx = self._mint_trace()
+        if ctx is None:
+            resp = await self._request(reader, writer, doc)
+        else:
+            with self.server.tracer.wire_span(
+                "replica.wal_fetch", ctx, from_seq=start
+            ):
+                bound = current_context()
+                if bound is not None:
+                    doc["trace"] = bound.to_wire()
+                resp = await self._request(reader, writer, doc)
         if not resp.get("ok", False):
             raise ReplicationError(
                 f"wal_fetch refused: {resp.get('error_type')}: {resp.get('error')}"

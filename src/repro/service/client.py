@@ -46,6 +46,10 @@ import time
 from dataclasses import dataclass
 from typing import IO, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..obs.export import span_dicts
+from ..obs.propagate import TraceContext, current_context, new_span_id
+from ..obs.trace import Tracer
+
 __all__ = [
     "CircuitBreaker",
     "RetryPolicy",
@@ -202,6 +206,15 @@ class ServiceClient:
     ``(host, port)`` endpoints (typically the standbys of a replicated
     deployment) the client rotates through when the current endpoint is
     unreachable, fenced, read-only, or answering from a stale epoch.
+
+    ``trace_sample`` > 0 turns on distributed tracing: every request is
+    stamped with a ``trace`` envelope (``docs/observability.md``) whose
+    trace id derives from this client's session and request counter —
+    fully deterministic, no PRNG.  The sampled flag follows an
+    accumulator (``trace_sample=0.25`` samples exactly every 4th
+    request); sampled requests additionally record a ``client.<op>``
+    root span in :attr:`tracer`, the client-side lane of the merged
+    fleet trace.
     """
 
     def __init__(
@@ -213,7 +226,12 @@ class ServiceClient:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         failover: Optional[Sequence[Tuple[str, int]]] = None,
+        trace_sample: float = 0.0,
     ) -> None:
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ValueError(
+                f"trace_sample must be in [0, 1], got {trace_sample}"
+            )
         self._host = host
         self._port = int(port)
         self._timeout = timeout
@@ -240,6 +258,13 @@ class ServiceClient:
         self.last_epoch = 0
         self._batch_seq = 0
         self._session = f"{os.getpid()}-{next(_CLIENT_IDS)}"
+        self._trace_sample = trace_sample
+        self._trace_seq = 0
+        self._trace_acc = 0.0
+        #: Client-side span buffer; sampled requests record their
+        #: ``client.<op>`` root spans here (the client lane of a fleet
+        #: trace — see :meth:`trace_spans`).
+        self.tracer = Tracer(enabled=False, capacity=4096)
         self._sock: Optional[socket.socket] = None
         self._file: Optional[IO[bytes]] = None
         self._connect()
@@ -361,6 +386,25 @@ class ServiceClient:
             raise ServiceError(f"malformed response: {response!r}")
         return response
 
+    def _mint_trace(self) -> Optional[TraceContext]:
+        """The next request's root trace context (None = tracing off).
+
+        Both halves are deterministic: the trace id derives from the
+        client session and a request counter, and the sampled flag
+        follows an error-diffusion accumulator — ``trace_sample=0.25``
+        samples exactly requests 4, 8, 12, ... with no PRNG, so a test
+        (or an incident replay) sees the same traces every run.
+        """
+        if self._trace_sample <= 0.0:
+            return None
+        self._trace_seq += 1
+        self._trace_acc += self._trace_sample
+        sampled = self._trace_acc >= 1.0 - 1e-12
+        if sampled:
+            self._trace_acc -= 1.0
+        trace_id = f"{self._session}:{self._trace_seq:x}"
+        return TraceContext(trace_id, new_span_id(), sampled)
+
     def request(
         self,
         op: str,
@@ -386,14 +430,31 @@ class ServiceClient:
         and the request goes immediately to a peer outside its own
         window when one exists.
         """
+        body = {"op": op, **{k: v for k, v in fields.items() if v is not None}}
+        ctx = self._mint_trace()
+        if ctx is None:
+            return self._send(op, body, timeout=timeout, idempotent=idempotent)
+        with self.tracer.wire_span(f"client.{op}", ctx, op=op):
+            bound = current_context()
+            if bound is not None:
+                body["trace"] = bound.to_wire()
+            return self._send(op, body, timeout=timeout, idempotent=idempotent)
+
+    def _send(
+        self,
+        op: str,
+        body: Dict[str, object],
+        *,
+        timeout: Optional[float],
+        idempotent: bool,
+    ) -> Dict[str, object]:
+        """The retry/failover loop behind :meth:`request`."""
         if not self.breaker.allow():
             raise ServiceUnavailable(
                 f"circuit breaker open after {self.breaker.failures} "
                 f"consecutive failures; cooling down {self.breaker.cooldown}s"
             )
-        payload = json.dumps(
-            {"op": op, **{k: v for k, v in fields.items() if v is not None}}
-        ).encode() + b"\n"
+        payload = json.dumps(body).encode() + b"\n"
         attempts = max(1, self.retry.attempts) if idempotent else 1
         last_error: Optional[ServiceError] = None
         next_delay: Optional[float] = None
@@ -618,6 +679,29 @@ class ServiceClient:
         under ``"trace"``.
         """
         return self.request("trace", action=action, sample=sample, drain=drain)
+
+    def trace_spans(self, *, drain: bool = False) -> List[Dict[str, object]]:
+        """This client's own recorded spans in wire form.
+
+        The client lane of a fleet trace: merge with the processes a
+        ``trace_fetch`` returns (:func:`repro.obs.export.fleet_chrome_trace`).
+        """
+        spans = self.tracer.drain() if drain else self.tracer.spans()
+        return span_dicts(spans, epoch_unix=self.tracer.epoch_unix)
+
+    def trace_fetch(self, *, drain: bool = False) -> Dict[str, object]:
+        """Fetch the server's (or, via a router, the fleet's) span buffers."""
+        return self.request("trace_fetch", drain=drain or None)
+
+    def profile(
+        self, action: str = "status", *, hz: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Drive the server-side sampling profiler (docs/observability.md).
+
+        ``action``: ``start`` / ``stop`` / ``status`` / ``report``;
+        ``report`` returns the profile document under ``"profile"``.
+        """
+        return self.request("profile", action=action, hz=hz)
 
     def snapshot(self) -> str:
         """Force a durable checkpoint; returns its path on the server."""

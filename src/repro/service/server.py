@@ -34,6 +34,7 @@ import asyncio
 import itertools
 import json
 import logging
+import os
 import re
 import time
 from collections import OrderedDict, deque
@@ -55,7 +56,9 @@ from typing import (
 from ..core.activation import Activation
 from ..core.anc import ANCParams, make_engine
 from ..graph.graph import Graph, edge_key
-from ..obs.export import chrome_trace, render_prometheus
+from ..obs.export import chrome_trace, render_prometheus, span_dicts
+from ..obs.profiler import SamplingProfiler
+from ..obs.propagate import TraceContext
 from ..obs.trace import Observability, Tracer
 from .engine_host import EngineHost
 from .errors import (
@@ -127,6 +130,12 @@ class ServerConfig:
     poll_interval: float = 0.02
     #: Divergence-audit cadence on a follower (seconds; 0 = disabled).
     audit_interval: float = 0.25
+    #: Start the sampling profiler at boot (``serve --profile``); the
+    #: ``profile`` op starts/stops it live either way.
+    profile: bool = False
+    #: Sampling cadence of the wall-clock profiler (prime by default so
+    #: the cadence cannot phase-lock with periodic work).
+    profile_hz: float = 97.0
     #: Shard id when this server runs as a :mod:`repro.shard` worker;
     #: stamped on every response envelope (and ``stats``) so routers and
     #: operators can attribute answers.  ``None`` = unsharded.
@@ -239,6 +248,7 @@ class ANCServer:
         # tracer starts disabled (the no-op fast path); the ``trace`` op
         # turns it on live.
         self.tracer = Tracer(enabled=False, capacity=self.config.trace_capacity)
+        self.profiler = SamplingProfiler(self.config.profile_hz, tracer=self.tracer)
         self.obs = Observability(registry=self.metrics, tracer=self.tracer)
         engine.attach_obs(self.obs)
         if self._faults is not None:
@@ -320,6 +330,8 @@ class ANCServer:
             limit=4 * 1024 * 1024,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.profile:
+            self.profiler.start()
         self._run_task = asyncio.create_task(self.host.run())
         if self.config.metrics_interval > 0:
             self._background.append(
@@ -428,6 +440,7 @@ class ANCServer:
             await self.host.close(self._run_task)
         if self.host.wal is not None:
             self.host.wal.close()
+        self.profiler.stop()
         if self._crashed:
             log.info("crashed hard at %d applied activations", self.host.applied)
         else:
@@ -712,7 +725,13 @@ class ANCServer:
             handler = self._OPS.get(op)
             if handler is None:
                 raise UnknownOp(f"unknown op {op!r}")
-            response = await handler(self, request)
+            # Bind the request's trace context (when the client sent one)
+            # around the whole dispatch: a sampled request records one
+            # ``server.<op>`` span parented to the caller's span, and any
+            # request this handler makes downstream inherits the context.
+            ctx = TraceContext.from_wire(request.get("trace"))
+            with self.tracer.wire_span(f"server.{op}", ctx, op=str(op)):
+                response = await handler(self, request)
             response.setdefault("ok", True)
         except ConnectionResetError:  # anclint: disable=service-exception-discipline — the injected replication-link drop: the contract is *no* answer, so the connection is severed instead of mapped
             return None
@@ -953,6 +972,55 @@ class ANCServer:
             )
         return dict(tracer.status())
 
+    async def _op_trace_fetch(self, request: Dict) -> Dict[str, object]:
+        """This process's span buffer in wire form (fleet trace assembly).
+
+        The router scatters this op to every worker and merges the
+        answers — plus its own buffer — into one multi-process Chrome
+        trace (:func:`repro.obs.export.fleet_chrome_trace`).  Span start
+        times are absolute unix seconds (the tracer's ``epoch_unix``
+        anchor), so buffers from different processes land on one shared
+        timeline without clock negotiation.
+        """
+        spans = (
+            self.tracer.drain()
+            if bool(request.get("drain", False))
+            else self.tracer.spans()
+        )
+        name = (
+            f"shard-{self.config.shard_id}"
+            if self.config.shard_id is not None
+            else self.role
+        )
+        return {
+            "pid": os.getpid(),
+            "process": name,
+            "spans": span_dicts(spans, epoch_unix=self.tracer.epoch_unix),
+        }
+
+    async def _op_profile(self, request: Dict) -> Dict[str, object]:
+        """Drive the sampling profiler: start / stop / status / report."""
+        action = str(request.get("action", "status"))
+        profiler = self.profiler
+        if action == "start":
+            hz = request.get("hz")
+            if hz is not None and not profiler.running:
+                # A fresh profiler: a new cadence must not dilute the
+                # previous run's sample counts.
+                profiler = SamplingProfiler(float(hz), tracer=self.tracer)
+                self.profiler = profiler
+            profiler.start()
+        elif action == "stop":
+            profiler.stop()
+        elif action == "report":
+            return {"profile": profiler.report(), **profiler.status()}
+        elif action != "status":
+            raise ValueError(
+                f"unknown profile action {action!r}; expected "
+                f"start/stop/status/report"
+            )
+        return dict(profiler.status())
+
     async def _op_snapshot(self, request: Dict) -> Dict[str, object]:
         await self.host.wait_applied()
         path = await self.host.checkpoint()
@@ -1082,6 +1150,8 @@ class ANCServer:
         "metrics": _op_metrics,
         "metrics_text": _op_metrics_text,
         "trace": _op_trace,
+        "trace_fetch": _op_trace_fetch,
+        "profile": _op_profile,
         "snapshot": _op_snapshot,
         "shutdown": _op_shutdown,
         "wal_fetch": _op_wal_fetch,

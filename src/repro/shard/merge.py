@@ -24,12 +24,18 @@ from typing import Dict, List, Mapping, Sequence
 
 __all__ = ["merge_clusters", "merge_stats", "namespaced_id"]
 
-#: Per-shard stats fields that add up across the deployment.
-_SUM_KEYS = ("ingested", "applied", "queue_depth", "wal_entries", "replicas")
+#: Per-shard stats fields that add up across the deployment.  Counters
+#: only: events are events no matter which shard saw them.
+_SUM_KEYS = ("ingested", "applied", "wal_entries", "replicas")
 #: Fields where the deployment-wide value is the max (the stream clock).
 _MAX_KEYS = ("t",)
 #: Fields that are true if any shard reports true.
 _ANY_KEYS = ("degraded",)
+#: Gauge fields: point-in-time values that are meaningless summed (a
+#: "queue depth of 7" that is really 6+1 describes no real queue), so
+#: the merged view keeps them per-shard under ``<key>_per_shard`` and
+#: reports the fleet-wide worst case under the plain key.
+_GAUGE_KEYS = ("queue_depth",)
 
 
 def namespaced_id(shard: int, index: int) -> str:
@@ -93,8 +99,10 @@ def merge_stats(per_shard: Mapping[int, Mapping[str, object]]) -> Dict[str, obje
     """Aggregate per-shard ``stats`` into one deployment view.
 
     Counts sum, the stream clock is the max, ``degraded`` is sticky
-    across shards, and the raw per-shard documents ride along under
-    ``"shards"`` keyed by shard id.
+    across shards, gauges (``queue_depth``) are **never summed** — the
+    plain key carries the worst single shard and ``<key>_per_shard``
+    the labeled breakdown — and the raw per-shard documents ride along
+    under ``"shards"`` keyed by shard id.
     """
     merged: Dict[str, object] = {}
     for key in _SUM_KEYS:
@@ -102,6 +110,13 @@ def merge_stats(per_shard: Mapping[int, Mapping[str, object]]) -> Dict[str, obje
             int(doc.get(key, 0) or 0)  # type: ignore[arg-type]
             for doc in per_shard.values()
         )
+    for key in _GAUGE_KEYS:
+        values = {
+            str(shard): int(doc.get(key, 0) or 0)  # type: ignore[arg-type]
+            for shard, doc in sorted(per_shard.items())
+        }
+        merged[key] = max(values.values(), default=0)
+        merged[key + "_per_shard"] = values
     for key in _MAX_KEYS:
         merged[key] = max(
             (float(doc.get(key, 0.0) or 0.0) for doc in per_shard.values()),  # type: ignore[arg-type]

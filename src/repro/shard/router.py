@@ -59,8 +59,14 @@ from typing import (
 )
 
 from ..graph.graph import edge_key
-from ..obs.export import chrome_trace, render_prometheus
+from ..obs.export import chrome_trace, span_dicts
+from ..obs.federate import (
+    Source,
+    federate_snapshots,
+    render_prometheus_federated,
+)
 from ..obs.instruments import MetricsRegistry
+from ..obs.propagate import TraceContext, current_context
 from ..obs.trace import Observability, Tracer
 from ..service.errors import (
     BadRequest,
@@ -451,7 +457,14 @@ class ShardRouter:
             handler = self._OPS.get(op)
             if handler is None:
                 raise UnknownOp(f"unknown op {op!r}")
-            response = await handler(self, request)
+            # Bind the client's trace context around the whole dispatch:
+            # a sampled request records one ``router.<op>`` span, and the
+            # forwards it triggers stamp child contexts onto the worker
+            # payloads (:meth:`_forward`) — the middle of the
+            # client → router → worker causality chain.
+            ctx = TraceContext.from_wire(request.get("trace"))
+            with self.tracer.wire_span(f"router.{op}", ctx, op=str(op)):
+                response = await handler(self, request)
             response.setdefault("ok", True)
         except Exception as exc:  # protocol boundary: map to a typed envelope
             response = fault_response(exc)
@@ -495,8 +508,17 @@ class ShardRouter:
     ) -> Dict[str, object]:
         """One routed worker call; raises the mapped typed fault on error."""
         start = time.monotonic()
-        with self.tracer.span("router.forward", shard=shard, op=str(payload.get("op"))):
-            response = await self.links[shard].request(payload, action=action)
+        op = str(payload.get("op"))
+        with self.tracer.span("router.forward", shard=shard, op=op):
+            # Propagate the request's trace context into the worker hop:
+            # a sampled context records a ``router.forward`` wire span
+            # and the stamped child makes the worker's ``server.<op>``
+            # span its child; an unsampled one propagates ids only.
+            with self.tracer.wire_span("router.forward", op=op, shard=shard):
+                bound = current_context()
+                if bound is not None:
+                    payload = {**payload, "trace": bound.to_wire()}
+                response = await self.links[shard].request(payload, action=action)
         self._h_forward.observe(time.monotonic() - start)
         if not response.get("ok", False):
             raise self._worker_fault(shard, response)
@@ -765,26 +787,51 @@ class ShardRouter:
         merged["shard_map_digest"] = self.shard_map.digest()
         return {"stats": merged}
 
-    async def _op_metrics(self, request: Dict) -> Dict[str, object]:
-        rate_key = request.get("rate_key")
+    async def _metric_sources(
+        self, rate_key: object
+    ) -> Tuple[List[Source], Dict[str, object]]:
+        """Labeled registry snapshots of the whole fleet (router first).
+
+        The labels are what makes the federation sound: each worker's
+        gauges stay distinct series (``shard="0"``, ``shard="1"``)
+        instead of collapsing into a meaningless sum — see
+        :mod:`repro.obs.federate`.
+        """
         answers = await self._scatter(
             "metrics",
             {"op": "metrics", "rate_key": rate_key},
         )
-        per_shard = {
-            str(shard): answer.get("metrics", {})
-            for shard, answer in answers.items()
-        }
+        sources: List[Source] = [
+            (
+                {"role": "router"},
+                self.metrics.snapshot(
+                    rate_key=str(rate_key) if rate_key is not None else None
+                ),
+            )
+        ]
+        per_shard: Dict[str, object] = {}
+        for shard in sorted(answers):
+            doc = answers[shard].get("metrics")
+            if isinstance(doc, Mapping):
+                sources.append(({"role": "worker", "shard": str(shard)}, doc))
+                per_shard[str(shard)] = doc
+        return sources, per_shard
+
+    async def _op_metrics(self, request: Dict) -> Dict[str, object]:
+        rate_key = request.get("rate_key")
+        sources, per_shard = await self._metric_sources(rate_key)
         return {
-            "metrics": self.metrics.snapshot(
-                rate_key=str(rate_key) if rate_key is not None else None
-            ),
+            "metrics": federate_snapshots(sources),
             "per_shard": per_shard,
         }
 
     async def _op_metrics_text(self, request: Dict) -> Dict[str, object]:
-        namespace = str(request.get("namespace", "anc_router"))
-        return {"text": render_prometheus(self.metrics, namespace=namespace)}
+        """One federated Prometheus scrape for the whole fleet."""
+        namespace = str(request.get("namespace", "anc"))
+        sources, _ = await self._metric_sources(request.get("rate_key"))
+        return {
+            "text": render_prometheus_federated(sources, namespace=namespace)
+        }
 
     async def _op_trace(self, request: Dict) -> Dict[str, object]:
         tracer = self.tracer
@@ -808,7 +855,63 @@ class ShardRouter:
                 f"unknown trace action {action!r}; expected "
                 f"start/stop/status/dump/clear"
             )
+        if action in ("start", "stop", "clear"):
+            # Engine-span control is fleet-wide through the router: one
+            # ``trace start`` arms every worker's tracer too.  (Wire
+            # spans need none of this — the sampled flag in the request
+            # envelope is their only switch.)
+            await self._scatter("trace", dict(request, op="trace"))
         return dict(tracer.status())
+
+    async def _op_trace_fetch(self, request: Dict) -> Dict[str, object]:
+        """Every process's span buffer, merged-ready (fleet tracing).
+
+        Returns ``{"processes": [...]}``: the router's own buffer plus
+        one entry per worker, each ``{pid, process, spans}`` — exactly
+        the input :func:`repro.obs.export.fleet_chrome_trace` takes.
+        """
+        drain = bool(request.get("drain", False))
+        answers = await self._scatter(
+            "trace_fetch", {"op": "trace_fetch", "drain": drain}
+        )
+        spans = self.tracer.drain() if drain else self.tracer.spans()
+        processes: List[Dict[str, object]] = [
+            {
+                "pid": os.getpid(),
+                "process": "router",
+                "spans": span_dicts(spans, epoch_unix=self.tracer.epoch_unix),
+            }
+        ]
+        for shard in sorted(answers):
+            answer = answers[shard]
+            processes.append(
+                {
+                    "pid": answer.get("pid"),
+                    "process": answer.get("process", f"shard-{shard}"),
+                    "spans": answer.get("spans", []),
+                }
+            )
+        return {"processes": processes}
+
+    async def _op_profile(self, request: Dict) -> Dict[str, object]:
+        """Fan the profiler op out to every worker (status per shard)."""
+        payload: Dict[str, object] = {
+            "op": "profile",
+            "action": str(request.get("action", "status")),
+        }
+        if request.get("hz") is not None:
+            payload["hz"] = request.get("hz")
+        answers = await self._scatter("profile", payload)
+        return {
+            "shards": {
+                str(shard): {
+                    key: answer[key]
+                    for key in ("running", "hz", "samples", "stacks", "profile")
+                    if key in answer
+                }
+                for shard, answer in answers.items()
+            }
+        }
 
     async def _op_shard_map(self, request: Dict) -> Dict[str, object]:
         doc = self.shard_map.to_dict()
@@ -845,6 +948,8 @@ class ShardRouter:
         "metrics": _op_metrics,
         "metrics_text": _op_metrics_text,
         "trace": _op_trace,
+        "trace_fetch": _op_trace_fetch,
+        "profile": _op_profile,
         "shard_map": _op_shard_map,
         "shutdown": _op_shutdown,
     }

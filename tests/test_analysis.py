@@ -696,6 +696,7 @@ WP_RULE_NAMES = {
     "protocol-conformance",
     "async-task-race",
     "fault-hook-coverage",
+    "op-span-coverage",
 }
 
 
@@ -1160,6 +1161,82 @@ def test_fault_hook_without_catalog_entry(tmp_path):
     assert "server.requets" in messages and "not in the faults CATALOG" in messages
     # ... and the catalog entry the typo orphaned is reported too.
     assert "server.request" in messages.replace("server.requets", "")
+
+
+def write_span_fixture(tmp_path, *, dispatcher_span=True, handler_span=False):
+    """A server package that traces: handlers + an _OPS dispatcher."""
+    pkg = tmp_path / "pkg" / "service"
+    pkg.mkdir(parents=True)
+    dispatch_body = (
+        '        with self.tracer.wire_span(f"server.{op}", None):\n'
+        "            return await handler(self, request)\n"
+        if dispatcher_span
+        else "        return await handler(self, request)\n"
+    )
+    fetch_body = (
+        '        with self.tracer.span("engine.fetch"):\n'
+        "            return {}\n"
+        if handler_span
+        else "        return {}\n"
+    )
+    (pkg / "server.py").write_text(
+        "class SpanServer:\n"
+        "    async def _op_ping(self, request):\n"
+        '        with self.tracer.span("server.ping"):\n'
+        '            return {"t": 1.0}\n'
+        "\n"
+        "    async def _op_fetch(self, request):\n"
+        + fetch_body
+        + "\n"
+        "    async def _handle(self, op, request):\n"
+        "        handler = self._OPS.get(op)\n"
+        + dispatch_body
+        + '\n    _OPS = {"ping": _op_ping, "fetch": _op_fetch}\n'
+    )
+    return pkg
+
+
+def test_op_span_coverage_dispatcher_covers(tmp_path):
+    # The _handle_request pattern: one span around the dispatch loop
+    # covers every handler, even span-less ones.
+    write_span_fixture(tmp_path, dispatcher_span=True, handler_span=False)
+    assert wp_lint(tmp_path, select=["op-span-coverage"]).findings == []
+
+
+def test_op_span_coverage_uncovered_handler(tmp_path):
+    # No dispatcher span, and _op_fetch neither opens a span nor reaches
+    # one through its calls — that handler alone is flagged.
+    write_span_fixture(tmp_path, dispatcher_span=False, handler_span=False)
+    findings = wp_lint(tmp_path, select=["op-span-coverage"]).findings
+    assert len(findings) == 1, [f.message for f in findings]
+    assert "'fetch'" in findings[0].message
+    assert "SpanServer._op_fetch" in findings[0].message
+
+
+def test_op_span_coverage_handler_span_counts(tmp_path):
+    write_span_fixture(tmp_path, dispatcher_span=False, handler_span=True)
+    assert wp_lint(tmp_path, select=["op-span-coverage"]).findings == []
+
+
+def test_op_span_coverage_silent_without_tracing(tmp_path):
+    # The plain fixture tree never opens a span anywhere: a project with
+    # no tracing layer is not nagged about uncovered handlers.
+    write_fixture_tree(tmp_path)
+    assert wp_lint(tmp_path, select=["op-span-coverage"]).findings == []
+
+
+def test_op_span_coverage_pragma_suppresses(tmp_path):
+    write_span_fixture(tmp_path, dispatcher_span=False, handler_span=False)
+    server = tmp_path / "pkg" / "service" / "server.py"
+    server.write_text(
+        server.read_text().replace(
+            "async def _op_fetch(self, request):",
+            "async def _op_fetch(self, request):  # anclint: disable=op-span-coverage — pure metadata read, not worth a span",
+        )
+    )
+    result = wp_lint(tmp_path, select=["op-span-coverage"])
+    assert result.findings == []
+    assert result.suppressed.get("op-span-coverage") == 1
 
 
 def test_baseline_roundtrip_and_stale(tmp_path):

@@ -32,13 +32,21 @@ from repro.obs import (
     NULL_TRACER,
     MetricsRegistry,
     Observability,
+    SamplingProfiler,
+    TraceContext,
     Tracer,
     chrome_trace,
+    current_context,
+    federate_snapshots,
+    fleet_chrome_trace,
+    fleet_trace_summary,
     phase_breakdown,
     render_prometheus,
+    render_prometheus_federated,
+    span_dicts,
     write_chrome_trace,
 )
-from repro.obs.instruments import Histogram
+from repro.obs.instruments import BUCKET_BOUNDS, Histogram
 from repro.service import ServerConfig
 from test_service import make_stream, rpc, run_server_scenario
 
@@ -572,3 +580,295 @@ class TestCliTracing:
         metrics = json.loads(metrics_path.read_text())
         assert metrics["gauges"]["engine_activations"] == 7.0
         assert "wrote Chrome trace" in out.getvalue()
+
+# ----------------------------------------------------------------------
+# Cross-process trace propagation
+# ----------------------------------------------------------------------
+
+class TestPropagation:
+    def test_wire_round_trip(self):
+        ctx = TraceContext("trace-1", "a.1", True)
+        back = TraceContext.from_wire(ctx.to_wire())
+        assert (back.trace_id, back.span_id, back.sampled) == (
+            "trace-1", "a.1", True,
+        )
+
+    def test_malformed_envelopes_dropped_not_rejected(self):
+        for bad in (None, 7, "x", [], {}, {"span": "s"}, {"id": ""}, {"id": 3}):
+            assert TraceContext.from_wire(bad) is None
+        # A missing/garbled span id degrades to "", not a rejection.
+        ctx = TraceContext.from_wire({"id": "t", "span": 42, "sampled": 1})
+        assert ctx is not None
+        assert ctx.span_id == "" and ctx.sampled is True
+
+    def test_child_keeps_trace_id_and_sampling(self):
+        child = TraceContext("t", "p.1", True).child("p.2")
+        assert (child.trace_id, child.span_id, child.sampled) == ("t", "p.2", True)
+
+    def test_sampled_wire_span_records_and_parents(self):
+        # The sampled flag is the switch: tracer.enabled stays False.
+        tracer = Tracer(enabled=False, capacity=16)
+        root = TraceContext("t", "root.1", True)
+        with tracer.wire_span("server.clusters", root, op="clusters"):
+            bound = current_context()
+            assert bound is not None and bound.trace_id == "t"
+            assert bound.span_id != "root.1"  # a fresh child id
+        assert current_context() is None  # unbound on exit
+        (span,) = tracer.spans()
+        assert span.name == "server.clusters"
+        assert span.trace_id == "t"
+        assert span.parent_id == "root.1"
+        assert span.span_id == bound.span_id
+        assert span.args["op"] == "clusters"
+
+    def test_unsampled_wire_span_binds_but_records_nothing(self):
+        tracer = Tracer(enabled=False, capacity=16)
+        root = TraceContext("t", "root.1", False)
+        with tracer.wire_span("server.clusters", root):
+            assert current_context() is root  # propagated verbatim
+        assert current_context() is None
+        assert tracer.spans() == []
+
+    def test_no_context_anywhere_is_a_noop(self):
+        tracer = Tracer(enabled=False, capacity=16)
+        with tracer.wire_span("server.clusters"):
+            assert current_context() is None
+        assert tracer.spans() == []
+
+    def test_nested_wire_spans_form_a_chain(self):
+        # router request span -> forward span, linked parent to child,
+        # the forward picking up the bound context implicitly.
+        tracer = Tracer(enabled=False, capacity=16)
+        root = TraceContext("t", "client.1", True)
+        with tracer.wire_span("router.clusters", root):
+            with tracer.wire_span("router.forward", shard=0):
+                pass
+        request, forward = sorted(tracer.spans(), key=lambda s: s.start)
+        assert request.parent_id == "client.1"
+        assert forward.parent_id == request.span_id
+        # One root: the whole chain is a connected tree.
+        summary = fleet_trace_summary(
+            [{"pid": 1, "process": "router", "spans": span_dicts([request, forward])}]
+        )
+        assert summary["t"]["connected"] is True
+        assert summary["t"]["roots"] == ["router.clusters"]
+
+
+# ----------------------------------------------------------------------
+# Metrics federation
+# ----------------------------------------------------------------------
+
+def _hist_doc(values):
+    hist = Histogram("lat", window=128)
+    for v in values:
+        hist.observe(v)
+    return {**hist.summary(), "buckets": hist.bucket_counts()}
+
+
+class TestFederation:
+    def _sources(self):
+        return [
+            (
+                {"role": "worker", "shard": "0"},
+                {
+                    "counters": {"activations_applied": 60.0},
+                    "gauges": {"queue_depth": 6.0},
+                    "histograms": {"ingest_latency": _hist_doc([0.001] * 4)},
+                },
+            ),
+            (
+                {"role": "worker", "shard": "1"},
+                {
+                    "counters": {"activations_applied": 40.0},
+                    "gauges": {"queue_depth": 1.0},
+                    "histograms": {"ingest_latency": _hist_doc([0.004] * 4)},
+                },
+            ),
+        ]
+
+    def test_counters_sum_gauges_never(self):
+        doc = federate_snapshots(self._sources())
+        assert doc["counters"]["activations_applied"] == 100.0
+        # The whole point: 6 + 1 = 7 describes no real queue.
+        gauges = doc["gauges"]["queue_depth"]
+        assert gauges == {
+            'role="worker",shard="0"': 6.0,
+            'role="worker",shard="1"': 1.0,
+        }
+        assert 7.0 not in gauges.values()
+
+    def test_histograms_merge_bucket_wise(self):
+        doc = federate_snapshots(self._sources())
+        merged = doc["histograms"]["ingest_latency"]
+        assert merged["count"] == 8.0
+        assert sum(merged["buckets"]) == 8.0
+        # Quantiles come from the merged distribution: p50 lands in the
+        # 1 ms region, p99 in the 4 ms region.
+        assert merged["p50"] <= 0.004 <= merged["p99"] * 4.001
+
+    def test_federated_prometheus_is_valid_and_grouped(self):
+        text = render_prometheus_federated(self._sources(), namespace="anc")
+        samples, typed = parse_prometheus(text)
+        assert samples['anc_queue_depth{role="worker",shard="0"}'] == 6.0
+        assert samples['anc_queue_depth{role="worker",shard="1"}'] == 1.0
+        assert 'anc_queue_depth 7.0' not in text  # no summed gauge sample
+        assert typed["anc_queue_depth"] == "gauge"
+        assert typed["anc_activations_applied_total"] == "counter"
+        assert typed["anc_ingest_latency"] == "histogram"
+        # Exposition grouping: one TYPE block per metric, all of a
+        # metric's samples contiguous beneath it (the 0.0.4 contract).
+        for metric in ("anc_queue_depth", "anc_activations_applied_total"):
+            assert text.count(f"# TYPE {metric} ") == 1
+        lines = [l for l in text.splitlines() if l]
+        block = None
+        for line in lines:
+            if line.startswith("# TYPE"):
+                block = line.split()[2]
+                continue
+            name = line.split("{", 1)[0].split(" ", 1)[0]
+            stripped = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if block and name == block + suffix:
+                    stripped = block
+            assert stripped == block, f"{line!r} outside its TYPE block"
+        # Histogram buckets are cumulative and end at +Inf == _count.
+        inf = samples['anc_ingest_latency_bucket{le="+Inf"}']
+        assert inf == samples["anc_ingest_latency_count"] == 8.0
+
+    def test_empty_sources(self):
+        assert render_prometheus_federated([]) == ""
+        doc = federate_snapshots([])
+        assert doc["counters"] == {} and doc["gauges"] == {}
+
+
+# ----------------------------------------------------------------------
+# Sampling profiler
+# ----------------------------------------------------------------------
+
+class TestSamplingProfiler:
+    def test_phase_attribution_and_report_shape(self):
+        tracer = Tracer(enabled=True, capacity=64)
+        profiler = SamplingProfiler(hz=500.0, tracer=tracer)
+        stop = threading.Event()
+
+        def burn():
+            with tracer.span("hot_phase"):
+                while not stop.is_set():
+                    sum(i * i for i in range(200))
+
+        worker = threading.Thread(target=burn, daemon=True)
+        with profiler:
+            worker.start()
+            while profiler.samples < 20:
+                pass
+            stop.set()
+            worker.join()
+        report = profiler.report()
+        assert set(report) >= {
+            "hz", "duration_s", "samples", "phases", "top_functions", "collapsed",
+        }
+        assert report["samples"] >= 20
+        assert "hot_phase" in report["phases"]
+        phase = report["phases"]["hot_phase"]
+        assert phase["samples"] > 0 and 0.0 < phase["share"] <= 1.0
+        assert report["top_functions"], "no stacks sampled"
+        # The worker's full stack shows up in the collapsed output.
+        assert any("burn" in line for line in report["collapsed"])
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in report["collapsed"])
+        # track_open is returned to the tracer when the window closes.
+        assert profiler.running is False
+
+    def test_rejects_nonpositive_hz(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0.0)
+
+    def test_status_is_compact(self):
+        profiler = SamplingProfiler(hz=97.0)
+        status = profiler.status()
+        assert status == {
+            "running": False, "hz": 97.0, "samples": 0, "stacks": 0,
+        }
+
+
+# ----------------------------------------------------------------------
+# Fleet trace export
+# ----------------------------------------------------------------------
+
+class TestFleetExport:
+    def _processes(self):
+        # client -> router -> worker, hand-rolled in trace_fetch shape.
+        return [
+            {
+                "pid": 100, "name": "client",
+                "spans": [
+                    {"name": "client.clusters", "start": 10.0, "dur": 0.5,
+                     "depth": 0, "tid": 1, "args": {},
+                     "trace": "t1", "span": "c.1", "parent": "c.0"},
+                ],
+            },
+            {
+                "pid": 200, "name": "router",
+                "spans": [
+                    {"name": "router.clusters", "start": 10.1, "dur": 0.3,
+                     "depth": 0, "tid": 1, "args": {},
+                     "trace": "t1", "span": "r.1", "parent": "c.1"},
+                ],
+            },
+            {
+                "pid": 300, "name": "shard-0",
+                "spans": [
+                    {"name": "server.clusters", "start": 10.2, "dur": 0.1,
+                     "depth": 0, "tid": 1, "args": {},
+                     "trace": "t1", "span": "w.1", "parent": "r.1"},
+                    {"name": "index_repair", "start": 10.25, "dur": 0.01,
+                     "depth": 1, "tid": 2, "args": {}},
+                ],
+            },
+        ]
+
+    def test_pid_lanes_and_flow_arrows(self):
+        doc = fleet_chrome_trace(self._processes())
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M" and e["name"] == "process_name"]
+        assert {m["args"]["name"] for m in meta} == {"client", "router", "shard-0"}
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in slices} == {100, 200, 300}
+        # Timeline anchored at the earliest span.
+        assert min(e["ts"] for e in slices) == 0.0
+        flows = [e for e in events if e["ph"] in ("s", "f")]
+        # Two parent->child links, one "s" + one "f" each.
+        assert len(flows) == 4
+        assert {f["id"] for f in flows} == {"c.1->r.1", "r.1->w.1"}
+
+    def test_trace_id_filter_drops_engine_spans(self):
+        doc = fleet_chrome_trace(self._processes(), trace_id="t1")
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "index_repair" not in names
+        assert {"client.clusters", "router.clusters", "server.clusters"} <= names
+
+    def test_summary_connected_tree(self):
+        summary = fleet_trace_summary(self._processes())
+        assert summary["t1"]["spans"] == 3
+        assert summary["t1"]["pids"] == [100, 200, 300]
+        assert summary["t1"]["roots"] == ["client.clusters"]
+        assert summary["t1"]["connected"] is True
+
+    def test_summary_detects_disconnection(self):
+        processes = self._processes()
+        processes[1]["spans"][0]["parent"] = "nonexistent.9"
+        summary = fleet_trace_summary(processes)
+        assert summary["t1"]["connected"] is False
+        assert len(summary["t1"]["roots"]) == 2
+
+    def test_span_dicts_carry_absolute_time_and_ids(self):
+        tracer = Tracer(enabled=False, capacity=8)
+        with tracer.wire_span("client.ping", TraceContext("t", "r.0", True)):
+            pass
+        (doc,) = span_dicts(tracer)
+        assert doc["start"] > 1e9  # absolute unix seconds, not epoch-relative
+        assert doc["trace"] == "t" and doc["parent"] == "r.0"
+        engine = Tracer(enabled=True, capacity=8)
+        with engine.span("activation"):
+            pass
+        (plain,) = span_dicts(engine)
+        assert "trace" not in plain and plain["name"] == "activation"

@@ -12,17 +12,23 @@ import io
 
 import pytest
 
+import os
+import time
+
 from repro.cli import main as cli_main
 from repro.core.anc import make_engine
 from repro.faults.chaos import (
     SHARD_PARAMS,
     build_shard_workload,
     RouterThread,
+    ServerThread,
 )
 from repro.graph.generators import barbell_graph, planted_partition
 from repro.graph.graph import Graph
 from repro.graph.io import write_edge_list
+from repro.obs import fleet_chrome_trace, fleet_trace_summary
 from repro.service.client import ServiceClient
+from repro.service.server import ServerConfig
 from repro.shard import ShardMap, ShardDeployment, merge_clusters, merge_stats
 
 
@@ -351,3 +357,247 @@ class TestScatterGatherOracle:
                 assert sorted(snap["path"]) == ["0", "1"]
                 assert all(isinstance(p, str) for p in snap["path"].values())
                 assert snap["applied"] == len(acts)
+
+
+# ----------------------------------------------------------------------
+# Fleet observability: labeled federation + trace propagation (PR 8)
+# ----------------------------------------------------------------------
+
+
+def _wait_for(cond, *, timeout=20.0, what="condition"):
+    deadline = time.monotonic() + timeout
+    while not cond():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out after {timeout}s waiting for {what}")
+        time.sleep(0.01)
+
+
+class TestFleetObservability:
+    """The distributed-observability contracts of docs/observability.md.
+
+    Driven end to end against real processes: a 2-shard
+    :class:`ShardDeployment` (each worker its own OS process) behind an
+    in-process router, plus — for the replication lane — a follower
+    attached to worker 0's endpoint.
+    """
+
+    def _deploy(self, tmp_path):
+        graph, acts = build_shard_workload(0)
+        deployment = ShardDeployment(
+            graph,
+            shards=2,
+            seed=0,
+            engine="anco",
+            params=SHARD_PARAMS,
+            data_dir=str(tmp_path / "shards"),
+        )
+        return graph, acts, deployment
+
+    def _ingest(self, client, acts, *, prefix):
+        """Chunked keyed ingest through the router; returns request count."""
+        batch = [[act.u, act.v, act.t] for act in acts]
+        requests = 0
+        for i in range(0, len(batch), 40):
+            client.request(
+                "ingest_batch", items=batch[i:i + 40], key=f"{prefix}-b{i}"
+            )
+            requests += 1
+        return requests
+
+    def test_two_shard_metrics_never_sums_gauges(self, tmp_path):
+        """Regression: the fleet ``metrics`` answer keeps gauges per-source.
+
+        The router used to sum everything it scattered — fine for
+        counters, nonsense for gauges (shard 0's queue depth plus shard
+        1's is nobody's queue depth).  The federated document must keep
+        every gauge as a labeled per-source series and never collapse it
+        to one number.
+        """
+        graph, acts, deployment = self._deploy(tmp_path)
+        with RouterThread(deployment) as router:
+            assert router.port is not None
+            with ServiceClient("127.0.0.1", router.port, timeout=60) as client:
+                self._ingest(client, acts, prefix="fed")
+                assert client.sync() == len(acts)
+
+                doc = client.request("metrics")
+                fed = doc["metrics"]
+                assert {"role": "router"} in fed["sources"]
+                assert {"role": "worker", "shard": "0"} in fed["sources"]
+                assert {"role": "worker", "shard": "1"} in fed["sources"]
+
+                # Every gauge is a {label_str: value} mapping — never a
+                # scalar, which is what a summed gauge would look like.
+                assert fed["gauges"], "fleet document lost its gauges"
+                for name, series in fed["gauges"].items():
+                    assert isinstance(series, dict), (name, series)
+                per_shard = doc["per_shard"]
+                expected_depths = {
+                    f'role="worker",shard="{shard}"': float(
+                        per_shard[shard]["gauges"]["queue_depth"]
+                    )
+                    for shard in ("0", "1")
+                }
+                assert fed["gauges"]["queue_depth"] == expected_depths
+
+                # Counters *are* summed: events are events.
+                assert fed["counters"]["activations_ingested"] == len(acts)
+
+                # The merged stats doc agrees: fleet queue depth is the
+                # max, with the per-shard breakdown alongside.
+                stats = client.request("stats")["stats"]
+                depths = stats["queue_depth_per_shard"]
+                assert sorted(depths) == ["0", "1"]
+                assert stats["queue_depth"] == max(depths.values())
+
+                # And the scrape endpoint renders the same series
+                # labeled, one TYPE block per metric, no bare sample.
+                text = client.request("metrics_text")["text"]
+                assert 'anc_queue_depth{role="worker",shard="0"}' in text
+                assert 'anc_queue_depth{role="worker",shard="1"}' in text
+                assert text.count("# TYPE anc_queue_depth gauge") == 1
+                assert "\nanc_queue_depth " not in text
+
+    def test_traced_round_trip_spans_three_processes(self, tmp_path):
+        """One traced ingest+clusters round-trip → one connected tree.
+
+        Client and router share this test's pid; the two workers are
+        spawned processes — a sampled ``clusters`` scatter therefore
+        spans three distinct pids, rooted at the client span.  Sampling
+        at 0.5 is asserted deterministic (requests 2, 4, 6, ...), and a
+        follower attached to worker 0 contributes the replication lane
+        as its own connected two-process trace.
+        """
+        graph, acts, deployment = self._deploy(tmp_path)
+        with RouterThread(deployment) as router:
+            assert router.port is not None
+            with ServiceClient(
+                "127.0.0.1", router.port, timeout=60, trace_sample=0.5
+            ) as client:
+                requests = self._ingest(client, acts, prefix="trace")
+                assert client.sync() == len(acts)
+                requests += 1
+                if (requests + 1) % 2:
+                    # Burn one request so the clusters call below lands
+                    # on an even sequence number — i.e. is sampled.
+                    client.request("stats")
+                    requests += 1
+                merged = client.request("clusters")
+                requests += 1
+                assert merged["applied"] == len(acts)
+
+                # Deterministic sampling: trace ids are "<session>:<seq
+                # hex>" and exactly the even-numbered requests sampled.
+                client_spans = client.trace_spans()
+                seqs = sorted(
+                    int(str(span["trace"]).rsplit(":", 1)[1], 16)
+                    for span in client_spans
+                )
+                assert seqs == list(range(2, requests + 1, 2))
+
+                # Assemble the fleet trace: router + workers off the
+                # wire, plus this client's own lane.
+                processes = list(client.trace_fetch()["processes"])
+                assert [p["process"] for p in processes] == [
+                    "router",
+                    "shard-0",
+                    "shard-1",
+                ]
+                processes.append(
+                    {
+                        "pid": os.getpid(),
+                        "process": "client",
+                        "spans": client_spans,
+                    }
+                )
+                summary = fleet_trace_summary(processes)
+
+                clusters_tid = next(
+                    str(span["trace"])
+                    for span in client_spans
+                    if span["name"] == "client.clusters"
+                )
+                info = summary[clusters_tid]
+                assert info["connected"] is True
+                assert info["roots"] == ["client.clusters"]
+                assert len(info["pids"]) >= 3
+
+                # A sampled ingest chunk made it through the router to
+                # at least one worker process, likewise connected.
+                ingest_tid = next(
+                    str(span["trace"])
+                    for span in client_spans
+                    if span["name"] == "client.ingest_batch"
+                )
+                assert summary[ingest_tid]["connected"] is True
+                assert len(summary[ingest_tid]["pids"]) >= 2
+
+                # The Chrome export of just this trace keeps the pid
+                # lanes and draws at least one flow arrow per hop.
+                doc = fleet_chrome_trace(processes, trace_id=clusters_tid)
+                slice_pids = {
+                    ev["pid"] for ev in doc["traceEvents"] if ev["ph"] == "X"
+                }
+                assert slice_pids == set(info["pids"])
+                assert sum(
+                    1 for ev in doc["traceEvents"] if ev["ph"] == "s"
+                ) >= 2
+
+            # -- the replication lane: follower → worker 0 ------------
+            host, port = deployment.endpoints()[0]
+            follower_graph = Graph(
+                graph.n, list(deployment.shard_map.shard_edges[0])
+            )
+            config = ServerConfig(
+                port=0,
+                engine="anco",
+                metrics_interval=0.0,
+                role="follower",
+                primary_host=host,
+                primary_port=port,
+                replica_id="trace-follower",
+                poll_interval=0.005,
+                audit_interval=0.05,
+            )
+            with ServerThread(
+                follower_graph, config=config, params=SHARD_PARAMS
+            ) as handle:
+                # Enabling the *follower's* tracer arms its wal_fetch
+                # trace minting (sample defaults to 1.0: every fetch).
+                handle.server.tracer.enable()
+                with ServiceClient("127.0.0.1", port, timeout=60) as primary:
+                    target = int(primary.stats()["ingested"])
+                    assert target > 0
+                    _wait_for(
+                        lambda: handle.server.host.ingested >= target
+                        and any(
+                            span.name == "replica.wal_fetch"
+                            for span in handle.server.tracer.spans()
+                        ),
+                        what="follower catch-up with a traced fetch",
+                    )
+                    worker_doc = primary.trace_fetch()
+                    with ServiceClient(
+                        "127.0.0.1", handle.port, timeout=60
+                    ) as follower:
+                        follower_doc = follower.trace_fetch()
+                lanes = [
+                    {
+                        "pid": doc["pid"],
+                        "process": doc["process"],
+                        "spans": doc["spans"],
+                    }
+                    for doc in (worker_doc, follower_doc)
+                ]
+                wal = {
+                    tid: info
+                    for tid, info in fleet_trace_summary(lanes).items()
+                    if tid.startswith("trace-follower:wal:")
+                }
+                assert wal, "no traced wal_fetch reached the primary"
+                assert any(
+                    info["connected"]
+                    and info["roots"] == ["replica.wal_fetch"]
+                    and len(info["pids"]) == 2
+                    for info in wal.values()
+                ), wal
