@@ -3,6 +3,7 @@
 from . import (  # noqa: F401  (imports register the rules)
     async_blocking,
     async_races,
+    backend_parity,
     dict_iteration,
     exports,
     fault_hooks,
@@ -19,6 +20,7 @@ from . import (  # noqa: F401  (imports register the rules)
 __all__ = [
     "async_blocking",
     "async_races",
+    "backend_parity",
     "dict_iteration",
     "exports",
     "fault_hooks",

@@ -80,6 +80,15 @@ class ANCParams:
         which partitions the relation graph across engine worker
         *processes* (``repro-anc shard-serve --shards N``; see
         ``docs/sharding.md``).
+    engine_backend:
+        ``"dict"`` (default; the pure-Python dict-of-dicts path, kept
+        permanently as the correctness oracle) or ``"array"`` (the
+        structure-of-arrays hot path: flat edge-id-indexed stores,
+        generation-cached σ/roles, inlined pyramid repair).  Both
+        backends produce bit-for-bit identical similarities, clusters
+        and checkpoint bytes — enforced by ``tests/test_engine_parity.py``
+        and the chaos matrix's ``ANC_BACKEND=array`` slice; see
+        ``docs/engine-internals.md``.
     """
 
     lam: float = 0.1
@@ -92,6 +101,7 @@ class ANCParams:
     rescale_every: int = 1024
     method: str = "power"
     update_workers: int = 0
+    engine_backend: str = "dict"
 
 
 class ANCEngineBase:
@@ -107,6 +117,8 @@ class ANCEngineBase:
         self.graph = graph
         self.params = params or ANCParams()
         p = self.params
+        if p.engine_backend not in ("dict", "array"):
+            raise ValueError(f"unknown engine backend {p.engine_backend!r}")
         self.metric = SimilarityFunction(
             graph,
             lam=p.lam,
@@ -114,14 +126,27 @@ class ANCEngineBase:
             mu=p.mu,
             rep=p.rep,
             rescale_every=p.rescale_every,
+            backend=p.engine_backend,
         )
-        self.index = PyramidIndex(
-            graph,
-            self.metric.snapshot_weights(),
-            k=p.k,
-            seed=p.seed,
-            support=p.support,
-        )
+        if self.metric.space is not None:
+            from ..index.array_index import ArrayPyramidIndex
+
+            self.index: PyramidIndex = ArrayPyramidIndex(
+                graph,
+                self.metric.snapshot_weights(),
+                k=p.k,
+                seed=p.seed,
+                support=p.support,
+                space=self.metric.space,
+            )
+        else:
+            self.index = PyramidIndex(
+                graph,
+                self.metric.snapshot_weights(),
+                k=p.k,
+                seed=p.seed,
+                support=p.support,
+            )
         self.metric.clock.add_rescale_listener(self.index.on_rescale)
         self.queries = ClusterQueryEngine(self.index, method=p.method)
         #: Activations processed so far.

@@ -235,12 +235,21 @@ class AnchoredEdgeValues:
 
     # -- bookkeeping -------------------------------------------------------
     def _absorb(self, g: float) -> None:
-        """Fold the factor into every anchored value (called by rescale)."""
+        """Fold the factor into every anchored value (called by rescale).
+
+        Iterates in sorted edge order — not dict insertion order — so the
+        application sequence is a deterministic function of the key set
+        alone.  The per-value multiply/divide is elementwise (no
+        cross-edge accumulation), so results are bitwise identical either
+        way; fixing the order removes the *latent* dependency on
+        insertion history that a future accumulating absorb (or any
+        backend whose storage order differs) would silently inherit.
+        """
         if self.kind is ValueKind.POSITIVE:
-            for key in self._values:
+            for key in sorted(self._values):
                 self._values[key] *= g
         elif self.kind is ValueKind.NEGATIVE:
-            for key in self._values:
+            for key in sorted(self._values):
                 self._values[key] /= g
         # NEUTRAL values are invariant under rescale.
 
@@ -263,9 +272,19 @@ class Activeness:
     activation plus the amortized rescale (Lemma 1).
     """
 
-    def __init__(self, clock: DecayClock, *, initial: Optional[Dict[Edge, float]] = None) -> None:
+    def __init__(
+        self,
+        clock: DecayClock,
+        *,
+        initial: Optional[Dict[Edge, float]] = None,
+        store: Optional[AnchoredEdgeValues] = None,
+    ) -> None:
         self.clock = clock
-        self.store = clock.register(ValueKind.POSITIVE, name="activeness")
+        if store is None:
+            store = clock.register(ValueKind.POSITIVE, name="activeness")
+        elif store.clock is not clock or store.kind is not ValueKind.POSITIVE:
+            raise ValueError("injected activeness store must be PosM on this clock")
+        self.store = store
         if initial:
             for (u, v), value in initial.items():
                 self.store.set_actual(u, v, value)

@@ -35,13 +35,19 @@ iterations).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..graph.graph import Edge, Graph
 from ..graph.traversal import INF, dijkstra, shortest_path
 from ..obs.trace import NULL_TRACER, Tracer
 from .activation import Activation
-from .decay import Activeness, DecayClock, ValueKind
+from .arrays import (
+    ArrayActiveSimilarity,
+    ArrayEdgeValues,
+    ArrayLocalReinforcement,
+    EdgeSpace,
+)
+from .decay import Activeness, AnchoredEdgeValues, DecayClock, ValueKind
 from .reinforcement import SIMILARITY_CAP, SIMILARITY_FLOOR, LocalReinforcement
 from .similarity import ActiveSimilarity
 
@@ -72,6 +78,11 @@ class SimilarityFunction:
     initialize:
         If False the caller drives :meth:`initialize` manually (used by
         tests that inspect the pre-reinforcement state).
+    backend:
+        ``"dict"`` (the pure-Python oracle) or ``"array"`` (the
+        structure-of-arrays hot path over a shared
+        :class:`~repro.core.arrays.EdgeSpace`).  Both produce bitwise
+        identical values; see ``docs/engine-internals.md``.
     """
 
     def __init__(
@@ -86,19 +97,48 @@ class SimilarityFunction:
         floor: float = SIMILARITY_FLOOR,
         cap: float = SIMILARITY_CAP,
         initialize: bool = True,
+        backend: str = "dict",
     ) -> None:
         if rep < 0:
             raise ValueError(f"rep must be >= 0, got {rep}")
+        if backend not in ("dict", "array"):
+            raise ValueError(f"unknown engine backend {backend!r}")
         self.graph = graph
         self.rep = rep
+        self.backend = backend
         self.clock = DecayClock(lam, rescale_every=rescale_every)
-        self.activeness = Activeness(self.clock)
-        self.sigma = ActiveSimilarity(graph, self.activeness, eps=eps, mu=mu)
-        self.clock.add_rescale_listener(self.sigma.on_rescale)
-        self.similarity = self.clock.register(ValueKind.POSITIVE, name="S_t")
-        self.reinforcement = LocalReinforcement(
-            graph, self.sigma, self.similarity, floor=floor, cap=cap
-        )
+        #: Shared edge-id interning table (array backend only; ``None``
+        #: on the dict path so callers can feature-test with one getattr).
+        self.space: Optional[EdgeSpace] = None
+        if backend == "array":
+            self.space = EdgeSpace(graph)
+            store = ArrayEdgeValues(
+                self.clock, ValueKind.POSITIVE, self.space, name="activeness"
+            )
+            self.activeness = Activeness(self.clock, store=store)
+            self.sigma: ActiveSimilarity = ArrayActiveSimilarity(
+                graph, self.activeness, eps=eps, mu=mu, space=self.space
+            )
+            self.clock.add_rescale_listener(self.sigma.on_rescale)
+            self.similarity: AnchoredEdgeValues = ArrayEdgeValues(
+                self.clock, ValueKind.POSITIVE, self.space, name="S_t"
+            )
+            self.reinforcement: LocalReinforcement = ArrayLocalReinforcement(
+                graph,
+                self.sigma,
+                self.similarity,
+                floor=floor,
+                cap=cap,
+                space=self.space,
+            )
+        else:
+            self.activeness = Activeness(self.clock)
+            self.sigma = ActiveSimilarity(graph, self.activeness, eps=eps, mu=mu)
+            self.clock.add_rescale_listener(self.sigma.on_rescale)
+            self.similarity = self.clock.register(ValueKind.POSITIVE, name="S_t")
+            self.reinforcement = LocalReinforcement(
+                graph, self.sigma, self.similarity, floor=floor, cap=cap
+            )
         self._weight_listeners: List[WeightListener] = []
         #: Span tracer for the per-activation phase breakdown; the inert
         #: default costs one attribute check per activation (engines

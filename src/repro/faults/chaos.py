@@ -50,10 +50,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import tempfile
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
@@ -138,6 +139,25 @@ SHARD_PARAMS = ANCParams(rep=1, k=2, seed=0, rescale_every=10**9)
 
 #: Shard scenarios run this many engine workers behind the router.
 SHARD_COUNT = 2
+
+
+def _sut_params(base: ANCParams) -> ANCParams:
+    """Engine parameters for a system-under-test engine.
+
+    ``ANC_BACKEND`` (``dict`` | ``array``) overrides the engine backend
+    of every SUT engine — the pipeline engine, recovery, the service
+    and replica servers, and the shard workers — while every *oracle*
+    keeps ``base`` (dict backend).  With ``ANC_BACKEND=array`` the
+    whole matrix therefore doubles as a dict-vs-array differential
+    harness: each cell's byte-identity contract is now checked across
+    backends, not just across fault injection
+    (``tests/chaos/test_chaos_matrix.py`` runs a pinned slice this way
+    in CI; see docs/engine-internals.md).
+    """
+    backend = os.environ.get("ANC_BACKEND", "").strip()
+    if not backend or backend == base.engine_backend:
+        return base
+    return replace(base, engine_backend=backend)
 
 
 def build_shard_workload(
@@ -591,7 +611,7 @@ def _run_pipeline(
     data_dir = workdir / f"{scenario.name}-s{seed}"
     store = CheckpointStore(data_dir, faults=plan)
     wal = WriteAheadLog(store.wal_path, faults=plan)
-    engine = make_engine("ANCO", graph, QUICK_PARAMS)
+    engine = make_engine("ANCO", graph, _sut_params(QUICK_PARAMS))
     detail = "stream complete; simulated kill -9 at end"
     try:
         for i, act in enumerate(acts):
@@ -608,7 +628,7 @@ def _run_pipeline(
     plan.set_phase("recovery")
     try:
         recovered, replayed = recover_engine(
-            graph, store, params=QUICK_PARAMS
+            graph, store, params=_sut_params(QUICK_PARAMS)
         )
     except (WalCorruptError, CheckpointCorruptError) as exc:
         return ChaosResult(
@@ -746,7 +766,9 @@ def _run_service(
         max_delay=0.25,
         seed=seed,
     )
-    with ServerThread(graph, config=config, params=QUICK_PARAMS) as handle:
+    with ServerThread(
+        graph, config=config, params=_sut_params(QUICK_PARAMS)
+    ) as handle:
         assert handle.server is not None and handle.port is not None
         try:
             client = ServiceClient(
@@ -862,7 +884,7 @@ def _run_replica(
         handle = ServerThread(
             graph,
             config=_config(plan, base / "follower", **_follower_kwargs(port)),
-            params=QUICK_PARAMS,
+            params=_sut_params(QUICK_PARAMS),
         ).start()
         threads.append(handle)
         return handle
@@ -891,7 +913,7 @@ def _run_replica(
             config=_config(
                 primary_plan, base / "primary", **dict(scenario.server)
             ),
-            params=QUICK_PARAMS,
+            params=_sut_params(QUICK_PARAMS),
         ).start()
         threads.append(primary)
         assert primary.port is not None
@@ -1212,7 +1234,7 @@ def _run_shard(
         graph,
         shards=SHARD_COUNT,
         seed=0,
-        params=SHARD_PARAMS,
+        params=_sut_params(SHARD_PARAMS),
         data_dir=workdir / f"{scenario.name}-s{seed}",
         checkpoint_every=CHECKPOINT_EVERY,
         fault_specs={0: worker_specs} if worker_specs else None,

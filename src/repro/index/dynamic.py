@@ -54,7 +54,7 @@ def insert_edge_into_index(
     key = edge_key(u, v)
     if key in index._weights:
         raise ValueError(f"edge {key} already has a weight; use update_edge_weight")
-    index._weights[key] = weight
+    index._store_weight(key, weight)
     touched = 0
     for level, partition in index.partitions_with_levels():
         moved = partition.update_decrease(u, v)
@@ -102,5 +102,10 @@ def add_relation_edge(engine: "ANCEngineBase", u: int, v: int) -> int:
     if engine.graph.has_edge(u, v):
         return 0
     engine.graph.add_edge(u, v)
+    if engine.metric.space is not None:
+        # Array backend: intern the edge id *before* the metric/index
+        # writes so every flat store grows (and σ caches invalidate) in
+        # lockstep with the graph.
+        engine.metric.space.ensure_edge(u, v)
     weight = register_edge_in_metric(engine.metric, u, v)
     return insert_edge_into_index(engine.index, u, v, weight)

@@ -72,7 +72,7 @@ class ParallelUpdater:
             return 0
         # The weight table is written exactly once, before any worker
         # reads it: every partition then sees one consistent new value.
-        self.index._weights[key] = new_weight
+        self.index._store_weight(key, new_weight)
 
         def repair(partition: VoronoiPartition) -> int:
             return partition.apply_weight_change(u, v, old, new_weight)

@@ -27,6 +27,7 @@ from .pyramid import Pyramid, PyramidIndex
 from .voronoi import VoronoiPartition
 
 if TYPE_CHECKING:  # hook-only dependency; repro.faults never imports us back
+    from ..core.arrays import EdgeSpace
     from ..faults.plan import FaultPlan
 
 __all__ = [
@@ -129,7 +130,11 @@ def load_index(
 
 
 def load_index_resume(
-    graph: Graph, path: PathLike, *, faults: "Optional[FaultPlan]" = None
+    graph: Graph,
+    path: PathLike,
+    *,
+    faults: "Optional[FaultPlan]" = None,
+    space: "Optional[EdgeSpace]" = None,
 ) -> Tuple[PyramidIndex, Dict[str, int]]:
     """:func:`load_index` plus the stored resume metadata.
 
@@ -138,6 +143,14 @@ def load_index_resume(
     Recovery callers — server restart and follower bootstrap both go
     through ``repro.service.snapshots.recover_to`` — read their WAL
     resume seq and epoch from here instead of re-scanning the log.
+
+    ``space`` selects the engine backend: ``None`` restores the plain
+    dict-backed :class:`PyramidIndex`; an
+    :class:`~repro.core.arrays.EdgeSpace` (the restoring metric's
+    interning table) restores an
+    :class:`~repro.index.array_index.ArrayPyramidIndex` bound to it.
+    The on-disk document is identical either way — backends round-trip
+    each other's checkpoints byte for byte.
     """
     if faults is not None:
         action = faults.hit("index.load", path=str(path))
@@ -164,7 +177,12 @@ def load_index_resume(
             f"(stored {doc['graph']}, supplied {graph_fingerprint(graph)})"
         )
     weights = {(int(u), int(v)): float(w) for u, v, w in doc["weights"]}
-    index = PyramidIndex.__new__(PyramidIndex)
+    if space is not None:
+        from .array_index import ArrayPyramidIndex
+
+        index: PyramidIndex = ArrayPyramidIndex.__new__(ArrayPyramidIndex)
+    else:
+        index = PyramidIndex.__new__(PyramidIndex)
     index.graph = graph
     index.k = int(doc["k"])
     index.support = float(doc["support"])
@@ -192,6 +210,11 @@ def load_index_resume(
                     partition._children[p].add(v)
             pyramid.levels[int(level_str)] = partition
         index.pyramids.append(pyramid)
+    if space is not None:
+        from .array_index import ArrayPyramidIndex
+
+        assert isinstance(index, ArrayPyramidIndex)
+        index._bind_space(space)
     index.check_consistency()
     raw_resume = doc.get("resume", {})
     resume = {str(key): int(value) for key, value in raw_resume.items()}

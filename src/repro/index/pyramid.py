@@ -155,6 +155,16 @@ class PyramidIndex:
         self.touched_by_level[level] = self.touched_by_level.get(level, 0) + moved
         self.repairs_by_level[level] = self.repairs_by_level.get(level, 0) + 1
 
+    def _store_weight(self, key: Edge, value: float) -> None:
+        """Write one weight-table entry.
+
+        The single mutation point every weight write funnels through
+        (update path, dynamic insert, parallel updater) so that
+        array-backed subclasses can mirror the value into their flat
+        storage by overriding exactly one method.
+        """
+        self._weights[key] = value
+
     def _make_weight_fn(self) -> Callable[[int, int], float]:
         weights = self._weights
 
@@ -209,7 +219,7 @@ class PyramidIndex:
         old = self._weights[key]
         if new_weight == old:
             return 0
-        self._weights[key] = new_weight
+        self._store_weight(key, new_weight)
         touched = 0
         for level, partition in self.partitions_with_levels():
             moved = partition.apply_weight_change(u, v, old, new_weight)

@@ -63,3 +63,34 @@ def test_same_seed_same_outcome(seed, tmp_path):
     second = run_scenario("wal-torn-tail", seed, tmp_path / "b")
     assert first.status == second.status
     assert first.injected == second.injected
+
+
+#: The CI differential slice: with ``ANC_BACKEND=array`` every SUT
+#: engine (pipeline, recovery, servers, shard workers) runs the array
+#: backend while the oracles stay on dict, so each cell's byte-identity
+#: contract doubles as a cross-backend check under faults.  One
+#: scenario per runner family keeps the slice fast; the full matrix
+#: accepts the same override locally.
+ARRAY_SLICE = (
+    "wal-torn-tail",
+    "service-batch-duplicate",
+    "shard-worker-crash-mid-batch",
+)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", ARRAY_SLICE)
+def test_array_backend_cell_in_contract(name, seed, tmp_path, monkeypatch):
+    """Array-backend SUT vs dict-backend oracle, under fault injection."""
+    monkeypatch.setenv("ANC_BACKEND", "array")
+    result = run_scenario(name, seed, tmp_path)
+    assert not result.silent_divergence, (
+        f"BACKEND DIVERGENCE in {name} seed={seed}: {result.detail}"
+    )
+    assert result.status != "error", (
+        f"harness escape in {name} seed={seed}: {result.detail}"
+    )
+    assert result.ok, (
+        f"{name} seed={seed}: expected {result.expect}, "
+        f"got {result.status} ({result.detail})"
+    )

@@ -46,6 +46,7 @@ def findings_for(source, module, rule=None):
 
 
 RULE_NAMES = {
+    "backend-parity-discipline",
     "writer-discipline",
     "no-wall-clock-in-engine",
     "no-blocking-in-async",
@@ -1428,3 +1429,91 @@ def test_mypy_clean():  # pragma: no cover - exercised in CI
         text=True,
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+# ----------------------------------------------------------------------
+# backend-parity-discipline
+# ----------------------------------------------------------------------
+
+def test_backend_parity_flags_unmirrored_writer():
+    """A new direct hot-state writer without an array override is flagged."""
+    src = """
+        class AnchoredEdgeValues:
+            def smuggle(self, key, value):
+                self._values[key] = value
+    """
+    found = findings_for(src, "repro.core.decay", "backend-parity-discipline")
+    assert len(found) == 1
+    assert "ArrayEdgeValues" in found[0].message
+    assert "_values" in found[0].message
+
+
+def test_backend_parity_flags_inplace_container_calls():
+    """clear()/update() on a tracked container count as writes."""
+    src = """
+        class PyramidIndex:
+            def wipe(self):
+                self._weights.clear()
+    """
+    found = findings_for(src, "repro.index.pyramid", "backend-parity-discipline")
+    assert len(found) == 1
+    assert "ArrayPyramidIndex" in found[0].message
+
+
+def test_backend_parity_overridden_writer_is_clean():
+    """Writers the array backend overrides pass (derived override set)."""
+    src = """
+        class AnchoredEdgeValues:
+            def set_anchored(self, u, v, value):
+                self._values[(u, v)] = value
+    """
+    assert not findings_for(
+        src, "repro.core.decay", "backend-parity-discipline"
+    )
+
+
+def test_backend_parity_dispatching_writer_is_clean():
+    """Writes routed through an overridden mutator method are the
+    sanctioned pattern — only *direct* container writes are flagged."""
+    src = """
+        class PyramidIndex:
+            def insert(self, key, value):
+                self._store_weight(key, value)
+    """
+    assert not findings_for(
+        src, "repro.index.pyramid", "backend-parity-discipline"
+    )
+
+
+def test_backend_parity_ignores_untracked_modules():
+    src = """
+        class AnchoredEdgeValues:
+            def smuggle(self, key, value):
+                self._values[key] = value
+    """
+    assert not findings_for(
+        src, "repro.core.reinforcement", "backend-parity-discipline"
+    )
+
+
+def test_backend_parity_pragma_escapes_with_reason():
+    src = """
+        class ActiveSimilarity:
+            def tweak(self, v):  # anclint: disable=backend-parity-discipline — dict-only prototype knob
+                self._strength[v] += 1.0
+    """
+    result = lint_source(textwrap.dedent(src), module="repro.core.similarity")
+    assert not [
+        f for f in result.findings if f.rule == "backend-parity-discipline"
+    ]
+    assert result.suppressed.get("backend-parity-discipline") == 1
+
+
+def test_backend_parity_overrides_derived_from_sources():
+    """The override registry reflects the real array backend modules."""
+    from repro.analysis.rules.backend_parity import array_overrides
+
+    overrides = array_overrides()
+    assert "set_anchored" in overrides["ArrayEdgeValues"]
+    assert "_rebuild_strengths" in overrides["ArrayActiveSimilarity"]
+    assert "_store_weight" in overrides["ArrayPyramidIndex"]

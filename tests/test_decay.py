@@ -189,3 +189,61 @@ class TestActiveness:
         ratio_a = act.value(0, 1) / 2.0
         ratio_b = act.value(2, 3) / 5.0
         assert ratio_a == pytest.approx(ratio_b)
+
+
+class TestRescaleOrderDeterminism:
+    """Regression: the batched rescale applies in *sorted* edge order.
+
+    The dict and array backends store the same values in different
+    physical orders (insertion order vs eid order).  ``_absorb`` must
+    therefore be a deterministic function of the key set alone — sorted
+    iteration — or any future accumulating absorb would silently diverge
+    between backends (the latent drift the parity harness exposed).
+    """
+
+    KEYS = [(3, 7), (0, 1), (2, 9), (0, 5), (1, 2)]
+
+    def test_absorb_visits_keys_in_sorted_order(self):
+        clock = DecayClock(0.1)
+        store = clock.register(ValueKind.POSITIVE)
+        for key in self.KEYS:
+            store.set_anchored(*key, 1.0)
+        visited = []
+
+        class Recorder(dict):
+            def __setitem__(self_inner, key, value):
+                visited.append(key)
+                dict.__setitem__(self_inner, key, value)
+
+        store._values = Recorder(store._values)
+        store._absorb(0.5)
+        assert visited == sorted(self.KEYS)
+
+    def test_rescale_bitwise_independent_of_insertion_order(self):
+        """Same key set, opposite insertion histories, identical bits."""
+        results = []
+        for keys in (self.KEYS, list(reversed(self.KEYS))):
+            clock = DecayClock(0.1)
+            store = clock.register(ValueKind.POSITIVE)
+            for i, key in enumerate(keys):
+                store.set_anchored(*key, 1.0 + 0.1 * key[0] + 0.01 * key[1])
+            clock.advance(3.0)
+            clock.rescale()
+            results.append({k: v.hex() for k, v in store.items_anchored()})
+        assert results[0] == results[1]
+
+    def test_negative_kind_absorbs_sorted_too(self):
+        clock = DecayClock(0.2)
+        store = clock.register(ValueKind.NEGATIVE)
+        visited = []
+
+        class Recorder(dict):
+            def __setitem__(self_inner, key, value):
+                visited.append(key)
+                dict.__setitem__(self_inner, key, value)
+
+        for key in self.KEYS:
+            store.set_anchored(*key, 2.0)
+        store._values = Recorder(store._values)
+        store._absorb(0.25)
+        assert visited == sorted(self.KEYS)

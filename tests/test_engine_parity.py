@@ -1,0 +1,337 @@
+"""Differential parity harness: the array backend vs the dict oracle.
+
+The structure-of-arrays backend (``repro.core.arrays`` +
+``repro.index.array_index``) promises to be *bit-for-bit*
+interchangeable with the dict-of-dicts pipeline — not approximately
+equal, byte-identical: ``engine_signature`` reprs every float, the
+chaos matrix and the replication auditor compare exact digests, and
+checkpoints must restore under either backend.  This suite drives both
+backends through identical workloads and asserts exactly that:
+
+* **property-based stream parity** (hypothesis, ``derandomize=True`` so
+  CI and local runs explore the identical pinned example set): random
+  planted-partition graphs, random activation streams with shared-tick
+  events, random rescale periods — identical signatures, identical
+  cluster maps at *every* pyramid granularity, identical checkpoint
+  documents;
+* **interleaved zooms**: query traffic (clusters / cluster_of /
+  zoom_in / zoom_out) interleaved mid-stream answers identically and
+  perturbs nothing;
+* **rescale boundaries**: streams that land exactly on the batched
+  decay-rescale tick (including ``rescale_every=1``, a rescale per
+  activation);
+* **kill/recover points**: checkpoint + WAL tail written by one
+  backend, recovered by *both* (checkpoints are backend-neutral), and
+  the recovered engines match the never-killed oracle;
+* **engine variants and subsystem paths**: ANCOR's periodic sweep,
+  ANCF's refresh, dynamic edge insertion, the ParallelUpdater index
+  path, the replica follower's WAL-record apply, and the per-shard
+  worker slices of ``repro.shard``.
+
+The dict backend stays the permanent oracle (``docs/engine-internals.md``);
+the fault-injection half of the differential story lives in
+``tests/chaos`` (``ANC_BACKEND=array`` runs every matrix cell against
+the dict oracle).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.activation import Activation  # noqa: E402
+from repro.core.anc import ANCParams, make_engine  # noqa: E402
+from repro.graph.generators import planted_partition  # noqa: E402
+from repro.graph.graph import Graph  # noqa: E402
+from repro.index.dynamic import add_relation_edge  # noqa: E402
+from repro.service.snapshots import (  # noqa: E402
+    CheckpointStore,
+    WriteAheadLog,
+    apply_activations,
+    dump_engine_state,
+    engine_signature,
+    recover_to,
+)
+from repro.shard.shardmap import ShardMap  # noqa: E402
+
+PINNED = settings(
+    max_examples=12,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+BACKENDS = ("dict", "array")
+
+
+def _params(backend: str, **overrides: object) -> ANCParams:
+    base = dict(rep=2, k=2, seed=0, rescale_every=16, eps=0.3, mu=2)
+    base.update(overrides)
+    return ANCParams(engine_backend=backend, **base)  # type: ignore[arg-type]
+
+
+def _pair(name: str, graph: Graph, **overrides: object):
+    return tuple(
+        make_engine(name, graph, _params(backend, **overrides))
+        for backend in BACKENDS
+    )
+
+
+def _checkpoint_doc(engine) -> str:
+    return json.dumps(dump_engine_state(engine), sort_keys=True)
+
+
+def assert_parity(engine_d, engine_a) -> None:
+    """The full oracle: signature, every granularity, checkpoint bytes."""
+    assert engine_signature(engine_d) == engine_signature(engine_a)
+    for level in range(1, engine_d.queries.num_levels + 1):
+        assert engine_d.clusters(level) == engine_a.clusters(level), level
+    assert _checkpoint_doc(engine_d) == _checkpoint_doc(engine_a)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def workload(draw, max_events: int = 50):
+    """A small planted-partition graph plus a time-ordered stream.
+
+    Time deltas of exactly 0.0 are drawn often, so most examples contain
+    multi-activation ticks (the shared-timestamp decay algebra), and the
+    rescale period is drawn down to 1 so batched-rescale boundaries land
+    inside most streams.
+    """
+    graph_seed = draw(st.integers(min_value=0, max_value=50))
+    graph, _labels = planted_partition(
+        24, 3, p_in=0.5, p_out=0.1, seed=graph_seed
+    )
+    edges = list(graph.edges())
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=len(edges) - 1),
+                st.sampled_from([0.0, 0.0, 0.5, 1.0, 2.0]),
+            ),
+            min_size=8,
+            max_size=max_events,
+        )
+    )
+    acts: List[Activation] = []
+    t = 0.0
+    for edge_idx, delta in events:
+        t += delta
+        u, v = edges[edge_idx]
+        acts.append(Activation(u, v, t))
+    rescale_every = draw(st.sampled_from([1, 2, 3, 7, 16, 64]))
+    return graph, acts, rescale_every
+
+
+# ----------------------------------------------------------------------
+# Property-based stream parity
+# ----------------------------------------------------------------------
+
+@PINNED
+@given(workload())
+def test_random_stream_parity(wl):
+    """Arbitrary pinned streams: signatures, all levels, checkpoint doc."""
+    graph, acts, rescale_every = wl
+    engine_d, engine_a = _pair("anco", graph, rescale_every=rescale_every)
+    apply_activations(engine_d, acts)
+    apply_activations(engine_a, acts)
+    assert_parity(engine_d, engine_a)
+
+
+@PINNED
+@given(workload(), st.lists(st.integers(0, 6), min_size=1, max_size=4))
+def test_interleaved_zoom_parity(wl, zoom_points):
+    """Query traffic interleaved mid-stream: identical answers, no drift."""
+    graph, acts, rescale_every = wl
+    engine_d, engine_a = _pair("anco", graph, rescale_every=rescale_every)
+    cut = max(1, len(acts) // 2)
+    for engine in (engine_d, engine_a):
+        apply_activations(engine, acts[:cut])
+    for level in zoom_points:
+        lvl = engine_d.queries.clamp_level(level)
+        assert engine_d.zoom_in(lvl) == engine_a.zoom_in(lvl)
+        assert engine_d.zoom_out(lvl) == engine_a.zoom_out(lvl)
+        assert engine_d.clusters(lvl) == engine_a.clusters(lvl)
+        node = acts[0].u
+        assert engine_d.cluster_of(node, lvl) == engine_a.cluster_of(node, lvl)
+    for engine in (engine_d, engine_a):
+        apply_activations(engine, acts[cut:])
+    assert_parity(engine_d, engine_a)
+
+
+@PINNED
+@given(workload())
+def test_kill_recover_parity(wl):
+    """Checkpoint + WAL tail at a mid-stream kill point, recovered by
+    both backends, from stores written by both backends — all four
+    recovered engines must match the never-killed oracles bitwise."""
+    graph, acts, rescale_every = wl
+    cut = max(1, (2 * len(acts)) // 3)
+    live_d, live_a = _pair("anco", graph, rescale_every=rescale_every)
+    apply_activations(live_d, acts)
+    apply_activations(live_a, acts)
+    expected = engine_signature(live_d)
+    assert expected == engine_signature(live_a)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        for writer_backend in BACKENDS:
+            victim = make_engine(
+                "anco", graph,
+                _params(writer_backend, rescale_every=rescale_every),
+            )
+            store = CheckpointStore(Path(tmp) / writer_backend)
+            wal = WriteAheadLog(store.wal_path)
+            for act in acts:
+                wal.append(act)
+            apply_activations(victim, acts[:cut])
+            store.write_checkpoint(victim)
+            wal.close()
+            del victim  # kill -9: recovery sees only the disk
+            for reader_backend in BACKENDS:
+                recovery = recover_to(
+                    graph, store,
+                    params=_params(reader_backend, rescale_every=rescale_every),
+                )
+                assert engine_signature(recovery.engine) == expected, (
+                    writer_backend, reader_backend,
+                )
+
+
+# ----------------------------------------------------------------------
+# Rescale boundaries (pinned deterministic cases)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("rescale_every", [1, 2, 5])
+def test_rescale_boundary_parity(rescale_every):
+    """Streams sized to land exactly on batched-rescale ticks."""
+    graph, _labels = planted_partition(30, 3, p_in=0.5, p_out=0.08, seed=7)
+    edges = list(graph.edges())
+    # 3 * rescale_every activations: the final event lands on a boundary.
+    acts = [
+        Activation(*edges[(3 * i) % len(edges)], float(i // 4))
+        for i in range(3 * rescale_every)
+    ]
+    engine_d, engine_a = _pair("anco", graph, rescale_every=rescale_every)
+    apply_activations(engine_d, acts)
+    apply_activations(engine_a, acts)
+    assert_parity(engine_d, engine_a)
+
+
+# ----------------------------------------------------------------------
+# Engine variants and subsystem paths
+# ----------------------------------------------------------------------
+
+def _fixed_workload(seed: int = 3) -> Tuple[Graph, List[Activation]]:
+    graph, labels = planted_partition(32, 4, p_in=0.5, p_out=0.06, seed=seed)
+    from repro.workloads.streams import community_biased_stream
+
+    stream = community_biased_stream(
+        graph, labels, timestamps=8, fraction=0.1, seed=seed
+    )
+    return graph, list(stream)
+
+
+@pytest.mark.parametrize("name", ["anco", "ancor", "ancf"])
+def test_engine_variant_parity(name):
+    """ANCO, ANCOR (periodic sweep) and ANCF (refresh) all agree."""
+    graph, acts = _fixed_workload()
+    engine_d, engine_a = _pair(name, graph)
+    apply_activations(engine_d, acts)
+    apply_activations(engine_a, acts)
+    if name == "ancf":
+        engine_d.refresh()
+        engine_a.refresh()
+    assert_parity(engine_d, engine_a)
+
+
+def test_dynamic_edge_insertion_parity():
+    """add_relation_edge mid-stream: interning order is part of parity.
+
+    Each engine gets its own graph instance — ``add_relation_edge``
+    mutates the relation network, so a shared graph would leak the first
+    engine's insertions into the second engine's ``has_edge`` guard.
+    """
+    _graph, acts = _fixed_workload(seed=5)
+    cut = len(acts) // 2
+    engines = []
+    for backend in BACKENDS:
+        graph, _ = planted_partition(32, 4, p_in=0.5, p_out=0.06, seed=5)
+        engine = make_engine("anco", graph, _params(backend))
+        apply_activations(engine, acts[:cut])
+        nodes = sorted(graph.nodes())
+        added = 0
+        for u in nodes:
+            for v in nodes[::-1]:
+                if u < v and not graph.has_edge(u, v) and added < 3:
+                    add_relation_edge(engine, u, v)
+                    added += 1
+        apply_activations(engine, acts[cut:])
+        engines.append(engine)
+    assert_parity(*engines)
+
+
+def test_parallel_updater_parity():
+    """update_workers > 0 routes repairs through the ParallelUpdater."""
+    graph, acts = _fixed_workload(seed=9)
+    engine_d, engine_a = _pair("anco", graph, update_workers=2)
+    apply_activations(engine_d, acts)
+    apply_activations(engine_a, acts)
+    assert_parity(engine_d, engine_a)
+
+
+def test_replica_apply_parity():
+    """The follower apply path: WAL records replayed through
+    ``apply_activations`` reproduce the primary bitwise on both
+    backends (the replication auditor compares these digests live)."""
+    graph, acts = _fixed_workload(seed=11)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CheckpointStore(Path(tmp))
+        wal = WriteAheadLog(store.wal_path)
+        for act in acts:
+            wal.append(act)
+        wal.close()
+        replayed = list(WriteAheadLog.replay(store.wal_path))
+    assert replayed == acts
+    engine_d, engine_a = _pair("anco", graph)
+    apply_activations(engine_d, replayed)
+    apply_activations(engine_a, replayed)
+    assert_parity(engine_d, engine_a)
+
+
+def test_shard_worker_parity():
+    """Per-shard engine slices (the shard-worker state machine) agree
+    backend-to-backend, shard by shard."""
+    from repro.faults.chaos import SHARD_PARAMS, build_shard_workload
+    from dataclasses import replace
+
+    graph, acts = build_shard_workload(17)
+    smap = ShardMap.build(graph, 2, seed=0)
+    for shard in range(2):
+        shard_graph = smap.shard_graph(shard)
+        shard_acts = [
+            a for a in acts if smap.shard_of_edge(a.u, a.v) == shard
+        ]
+        engines = tuple(
+            make_engine(
+                "ANCO",
+                shard_graph,
+                replace(SHARD_PARAMS, engine_backend=backend),
+            )
+            for backend in BACKENDS
+        )
+        for engine in engines:
+            apply_activations(engine, shard_acts)
+        assert engine_signature(engines[0]) == engine_signature(engines[1])
