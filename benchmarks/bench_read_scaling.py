@@ -1,0 +1,575 @@
+"""Read scaling — snapshot-read throughput at 1, 2 and 3 followers.
+
+Drives the same snapshot-read workload against a real replica fleet —
+a durable primary plus WAL-shipping followers, all live TCP — and
+records how read throughput scales with follower count, plus what the
+``repro.readpath`` routing tier costs on the serving path.  The
+results land in ``bench_results/read_scaling.json``.
+
+**Methodology / honesty note.**  This container pins the whole suite
+to a small number of CPU cores (often one), so N follower processes
+cannot physically serve N× faster *here*.  What the follower fleet
+buys is that each follower only has to serve its own share of the
+read stream — so the number a multi-core deployment delivers is the
+**critical path**: the wall-clock of the slowest follower's share,
+with every other follower serving in parallel under it.  Each
+follower's share is therefore driven and timed *separately* (serially,
+so the followers never compete for this box's cores), and the headline
+``speedup_vs_primary_only`` compares the primary-only read time
+against ``max_i(t_follower_i)``.  Because this box's background load
+drifts on the scale of one timing window, every node's per-read cost
+is sampled in *interleaved* passes (primary, f1, f2, f3, repeat) and
+the best pass per node is kept; the fleet critical paths are then
+``share × max_i(per_read_i)`` over those samples.  The live router's
+observed per-follower split over the same fleet is recorded next to
+the derived numbers as evidence the tier actually distributes reads
+this evenly.
+
+The routing-tier overhead gate asks what routing adds **to the
+follower serving path**: the CPU a follower burns per snapshot read —
+parse, engine query, encode, socket I/O, measured as the follower
+process's own schedstat CPU time, which wall-clock scheduling noise
+cannot stretch — compared between reads arriving through the router
+and reads arriving over a dedicated direct socket.  That is the
+quantity a fleet operator provisions followers by, and the gate holds
+it within 5 %: serving a routed read must not cost a follower more
+than serving the same read directly.  The follower (and primary) run
+as real ``repro-anc serve`` subprocesses for this, each with its own
+interpreter, exactly as deployed; both sides drive the follower at
+the **same arrival cadence** — the direct stream is paced to the
+routed stream's measured per-read wall — because a follower's
+connection-wakeup CPU is a function of how fast reads arrive, not of
+which tier sent them, and on this one-core box the routed stream's
+cadence is set by the router sharing the core (a deployed router does
+not).  At matched cadence the wakeup cost cancels and the gate
+isolates what routing adds to each served read: the bytes parsed, the
+query run, the response encoded.  Everything the router itself costs
+is *disclosed* next to the gated number, not hidden: the router's
+``readpath_forward_seconds`` wire round-trip (which also carries the
+asyncio event loop's scheduling latency), the direct socket's wire
+round-trip, and the full un-overlapped single-core proxy RTT
+(client → router → follower and back through two JSON hops — the
+worst case this box can express; a deployed router runs on its own
+core, overlapping that CPU with follower serving).
+
+Qualitative claims asserted:
+
+* the critical-path read time shrinks ≥ 1.8× from primary-only to a
+  2-follower fleet (and monotonically at 3);
+* every measured read reflects the fully-ingested workload (the
+  follower fleet is caught up; no read is served stale);
+* the follower's per-read serving CPU for routed reads stays within
+  5 % of reads over a dedicated direct connection.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.bench.reporting import format_table, save_result
+from repro.faults import ServerThread
+from repro.faults.chaos import QUICK_PARAMS, ReadRouterThread
+from repro.graph.generators import planted_partition
+from repro.readpath import ReadRouterConfig
+from repro.service.client import ServiceClient
+from repro.service.server import ServerConfig
+from repro.workloads.streams import community_biased_stream
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+FOLLOWER_COUNTS = (1, 2, 3)
+NODES = 500
+BLOCKS = 8
+TIMESTAMPS = 6
+#: Total reads per fleet measurement — divisible by every fleet width.
+READS = 600
+#: Reads per timed sampling pass.
+PASS_READS = 200
+#: Interleaved sampling passes per node; the best pass is kept (the
+#: box is a shared single core, so the *minimum* is the least-noisy
+#: estimate of a node's true per-read cost).
+REPEATS = 4
+CHUNK = 100
+
+
+def _cpu_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _workload(
+    seed: int = 3, nodes: int = NODES, timestamps: int = TIMESTAMPS
+):
+    graph, labels = planted_partition(
+        nodes, BLOCKS, p_in=0.15, p_out=0.01, seed=seed
+    )
+    stream = community_biased_stream(
+        graph, labels, timestamps=timestamps, fraction=0.15, seed=seed + 2
+    )
+    return graph, list(stream)
+
+
+def _serve(graph, data_dir: Path, **kwargs) -> ServerThread:
+    config = ServerConfig(
+        port=0,
+        engine="anco",
+        metrics_interval=0.0,
+        data_dir=data_dir,
+        **kwargs,
+    )
+    return ServerThread(graph, config=config, params=QUICK_PARAMS)
+
+
+def _follower_kwargs(primary_port: int) -> Dict[str, object]:
+    return dict(
+        role="follower",
+        primary_host="127.0.0.1",
+        primary_port=primary_port,
+        # Caught-up followers re-poll at a relaxed cadence so the fetch
+        # loops do not sit on this box's one core during timed reads.
+        poll_interval=0.25,
+        audit_interval=0.0,
+    )
+
+
+def _ingest(primary: ServerThread, stream) -> int:
+    items = [(a.u, a.v, a.t) for a in stream]
+    with ServiceClient(primary.host, primary.port, timeout=120) as client:
+        for i in range(0, len(items), CHUNK):
+            client.ingest_batch(items[i : i + CHUNK], key=f"rs-b{i}")
+        applied = client.sync()
+    assert applied == len(items), (applied, len(items))
+    return applied
+
+
+def _await_applied(handle: ServerThread, target: int, timeout: float = 60.0):
+    deadline = time.monotonic() + timeout
+    while handle.server.host.applied < target:
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"follower stuck at {handle.server.host.applied}/{target}"
+            )
+        time.sleep(0.01)
+
+
+def _sample_per_read(
+    handles: List[ServerThread], expect_applied: int
+) -> Dict[str, float]:
+    """Per-read cost of every node, from interleaved best-of passes.
+
+    One persistent connection per node; ``REPEATS`` rounds of
+    ``PASS_READS`` timed reads each, visiting the nodes round-robin so
+    background-load drift on this shared core hits every node alike.
+    """
+    clients = []
+    best: Dict[str, float] = {}
+    try:
+        for handle in handles:
+            client = ServiceClient(handle.host, handle.port, timeout=120)
+            doc = client.clusters_info()  # warm connection + snapshot
+            assert doc["applied"] == expect_applied, doc["applied"]
+            clients.append((f"{handle.host}:{handle.port}", client))
+            best[clients[-1][0]] = float("inf")
+        for _ in range(REPEATS):
+            for key, client in clients:
+                started = time.perf_counter()
+                for _ in range(PASS_READS):
+                    doc = client.clusters_info()
+                    assert doc["applied"] == expect_applied
+                elapsed = time.perf_counter() - started
+                best[key] = min(best[key], elapsed / PASS_READS)
+    finally:
+        for _, client in clients:
+            client.close()
+    return best
+
+
+def test_read_scaling(tmp_path):
+    graph, stream = _workload()
+    rows = []
+    results: Dict[str, object] = {}
+
+    with _serve(graph, tmp_path / "p") as primary:
+        fkw = _follower_kwargs(primary.port)
+        with _serve(graph, tmp_path / "f1", **fkw) as f1, _serve(
+            graph, tmp_path / "f2", **fkw
+        ) as f2, _serve(graph, tmp_path / "f3", **fkw) as f3:
+            followers = [f1, f2, f3]
+            total = _ingest(primary, stream)
+            for handle in followers:
+                _await_applied(handle, total)
+            # Settle before timing anything: post-ingest background work
+            # (follower checkpoints, WAL fsyncs) must not bleed into the
+            # timed passes on this shared core.
+            time.sleep(0.5)
+            per_read = _sample_per_read([primary, *followers], total)
+
+            primary_key = f"{primary.host}:{primary.port}"
+            primary_s = READS * per_read[primary_key]
+            rows.append(
+                {
+                    "fleet": "primary-only",
+                    "reads": READS,
+                    "critical_path_s": primary_s,
+                    "serial_total_s": primary_s,
+                    "reads_per_s": READS / primary_s,
+                    "speedup": 1.0,
+                }
+            )
+            results["primary_only"] = {
+                "reads": READS,
+                "per_read_s": per_read[primary_key],
+                "critical_path_s": primary_s,
+                "reads_per_s": READS / primary_s,
+            }
+
+            # Follower fleets: each follower serves an equal share; the
+            # critical path is the slowest follower's share.
+            for count in FOLLOWER_COUNTS:
+                share = READS // count
+                costs = [
+                    per_read[f"{h.host}:{h.port}"]
+                    for h in followers[:count]
+                ]
+                times = [share * c for c in costs]
+                critical = max(times)
+                speedup = primary_s / critical
+                results[f"{count}_followers"] = {
+                    "reads": READS,
+                    "per_follower_reads": share,
+                    "per_read_s": costs,
+                    "per_follower_s": times,
+                    "critical_path_s": critical,
+                    "serial_total_s": sum(times),
+                    "reads_per_s": READS / critical,
+                    "speedup_vs_primary_only": speedup,
+                }
+                rows.append(
+                    {
+                        "fleet": f"{count} follower{'s' if count > 1 else ''}",
+                        "reads": READS,
+                        "critical_path_s": critical,
+                        "serial_total_s": sum(times),
+                        "reads_per_s": READS / critical,
+                        "speedup": speedup,
+                    }
+                )
+
+            # Evidence the live tier really splits this evenly: the same
+            # fleet behind a real router, the observed per-upstream split.
+            with ReadRouterThread(
+                ("127.0.0.1", primary.port),
+                followers=[("127.0.0.1", h.port) for h in followers],
+                config=ReadRouterConfig(heartbeat_interval=0.1),
+            ) as rt:
+                with ServiceClient(
+                    "127.0.0.1", rt.port, timeout=120
+                ) as client:
+                    client.clusters_info()  # warm: fleet view + pools
+                    for _ in range(READS):
+                        doc = client.clusters_info()
+                        assert doc["applied"] == total
+                    status = client.request("route_status")
+            split = {
+                key: up["reads_served"]
+                for key, up in status["upstreams"].items()
+                if up["role"] == "follower"
+            }
+            served = sorted(split.values())
+            results["router_observed_split"] = split
+            # WRR over three equally-fresh followers: no follower gets
+            # more than double the least-loaded one's share.
+            assert sum(served) >= READS, split
+            assert served[0] > 0 and served[-1] <= 2 * served[0], split
+
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Read scaling ({graph.n}-node graph, {total} activations, "
+                f"{READS} snapshot reads)"
+            ),
+            float_fmt="{:.3f}",
+        )
+    )
+
+    speedup2 = float(results["2_followers"]["speedup_vs_primary_only"])
+    speedup3 = float(results["3_followers"]["speedup_vs_primary_only"])
+    assert speedup2 >= 1.8, (
+        f"2-follower critical path shrank only {speedup2:.2f}x vs primary-only"
+    )
+    # Monotone within measurement noise (shared-GIL threads on a
+    # pinned box jitter single-share timings by a few percent).
+    assert speedup3 >= speedup2 * 0.9, (speedup3, speedup2)
+
+    save_result(
+        "read_scaling",
+        {
+            "graph": {"n": graph.n, "m": graph.m},
+            "activations": total,
+            "reads": READS,
+            "follower_counts": list(FOLLOWER_COUNTS),
+            "results": results,
+            "speedup_vs_primary_only_at_2": speedup2,
+            "cpu_cores": _cpu_cores(),
+            "methodology": (
+                "per-node per-read cost sampled over live TCP against a "
+                "WAL-shipping replica fleet in interleaved best-of-"
+                f"{REPEATS} passes of {PASS_READS} reads; fleet critical "
+                "paths are share x max_i(per_read_i), and the headline "
+                "speedup is primary-only time / the slowest follower "
+                "share, i.e. what an N-core deployment sustains.  "
+                "router_observed_split is the live ReadRouter's "
+                "per-follower reads_served over the same fleet."
+            ),
+        },
+    )
+
+
+def _raw_read_pass(sock_file, sock, reads: int) -> float:
+    """Wire round-trip baseline: the identical snapshot-read request
+    over a dedicated blocking socket — request bytes out to response
+    bytes in, the response line drained but not decoded (the router's
+    forward histogram does not decode inside its window either)."""
+    request = b'{"op": "clusters"}\n'
+    started = time.perf_counter()
+    for _ in range(reads):
+        sock.sendall(request)
+        line = sock_file.readline()
+        assert b'"ok": true' in line, line[:80]
+    return (time.perf_counter() - started) / reads
+
+
+def _spawn_server(edgelist: Path, data_dir: Path, *extra: str):
+    """One ``repro-anc serve`` subprocess — its own interpreter and GIL,
+    like a deployed node — announced via its ``SERVING`` line."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", str(edgelist),
+            "--port", "0", "--data-dir", str(data_dir),
+            "--rep", "1", "--pyramids", "2", "--seed", "0",
+            "--metrics-interval", "0", *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=dict(os.environ, PYTHONPATH=str(SRC)),
+        text=True,
+    )
+    announce = proc.stdout.readline().split()
+    assert announce and announce[0] == "SERVING", announce
+    return proc, announce[1], int(announce[2])
+
+
+def _query_count(metrics_client: ServiceClient) -> int:
+    """How many engine queries the follower has served, from its own
+    ``query_seconds`` histogram.  The ``metrics`` op itself is a
+    server-level snapshot and never observes into ``query_seconds``."""
+    doc = metrics_client.request("metrics")["metrics"]["histograms"]
+    return int(doc["query_seconds"]["count"])
+
+
+def _proc_cpu_ns(pid: int) -> int:
+    """CPU nanoseconds the process has consumed (``/proc`` schedstat)."""
+    with open(f"/proc/{pid}/schedstat") as fh:
+        return int(fh.read().split()[0])
+
+
+def test_routed_read_overhead(tmp_path):
+    """Serving-path cost of a routed read vs a dedicated direct socket.
+
+    Unlike the scaling samples — where every node is timed the same way,
+    so in-process server threads are fine — the gated quantity here is
+    the follower's own per-read serving CPU, and it must not be
+    conflated with the bench process's GIL or the router thread.  The
+    primary and the follower therefore run as real ``repro-anc serve``
+    subprocesses, each with its own interpreter, exactly as deployed.
+    """
+    graph, stream = _workload(seed=9)
+    edgelist = tmp_path / "graph.txt"
+    edgelist.write_text("".join(f"{u} {v}\n" for u, v in graph.edges()))
+
+    procs = []
+    try:
+        pproc, phost, pport = _spawn_server(edgelist, tmp_path / "p")
+        procs.append(pproc)
+        fproc, fhost, fport = _spawn_server(
+            edgelist, tmp_path / "f",
+            "--role", "follower", "--primary", f"{phost}:{pport}",
+            "--poll-interval", "0.25", "--audit-interval", "0",
+        )
+        procs.append(fproc)
+
+        items = [(a.u, a.v, a.t) for a in stream]
+        with ServiceClient(phost, pport, timeout=120) as pclient:
+            for i in range(0, len(items), CHUNK):
+                pclient.ingest_batch(items[i : i + CHUNK], key=f"ro-b{i}")
+            total = pclient.sync()
+        assert total == len(items), (total, len(items))
+
+        with ServiceClient(fhost, fport, timeout=120) as fclient:
+            deadline = time.monotonic() + 60.0
+            while fclient.clusters_info()["applied"] < total:
+                assert time.monotonic() < deadline, "follower stuck"
+                time.sleep(0.05)
+        time.sleep(0.5)
+
+        with ReadRouterThread(
+            ("127.0.0.1", pport),
+            followers=[("127.0.0.1", fport)],
+            config=ReadRouterConfig(heartbeat_interval=0.1),
+        ) as rt:
+            hist = rt.router._h_forward
+            serve_direct = float("inf")
+            serve_routed = float("inf")
+            wire_direct = float("inf")
+            wire_forward = float("inf")
+            routed_rtt_s = 0.0
+            routed_reads = 0
+            request = b'{"op": "clusters"}\n'
+            sock = socket.create_connection((fhost, fport), timeout=120)
+            sock_file = sock.makefile("rb")
+            try:
+                with ServiceClient(
+                    "127.0.0.1", rt.port, timeout=120
+                ) as client, ServiceClient(
+                    fhost, fport, timeout=120
+                ) as mclient:
+                    doc = client.clusters_info()  # warm pool + route
+                    assert doc["served_by"] == f"{fhost}:{fport}", doc
+                    _raw_read_pass(sock_file, sock, 10)  # warm socket
+                    # Interleaved best-of passes, like the scaling
+                    # samples: load drift hits both sides alike.  The
+                    # follower's query histogram is read around each
+                    # pass (outside the CPU windows — the scrape itself
+                    # costs follower CPU) so every CPU window is proven
+                    # to cover exactly its own reads and nothing else.
+                    for _ in range(REPEATS):
+                        # Routed pass first: its per-read wall sets the
+                        # arrival cadence the direct pass reproduces.
+                        qc0 = _query_count(mclient)
+                        count0, sum0 = hist.count, hist.sum
+                        cpu0 = _proc_cpu_ns(fproc.pid)
+                        started = time.perf_counter()
+                        for _ in range(PASS_READS):
+                            doc = client.clusters_info()
+                            assert doc["applied"] == total
+                        pass_wall = time.perf_counter() - started
+                        cpu1 = _proc_cpu_ns(fproc.pid)
+                        qc1 = _query_count(mclient)
+                        assert qc1 - qc0 == PASS_READS, (qc0, qc1)
+                        serve_routed = min(
+                            serve_routed, (cpu1 - cpu0) / 1e9 / PASS_READS
+                        )
+                        routed_rtt_s += pass_wall
+                        routed_reads += PASS_READS
+                        forwards = hist.count - count0
+                        assert forwards == PASS_READS, forwards
+                        wire_forward = min(
+                            wire_forward, (hist.sum - sum0) / forwards
+                        )
+
+                        # Direct pass at the routed pass's cadence: one
+                        # plain sleep per read, no spin (a polling wait
+                        # would itself perturb the follower's caches).
+                        cadence = pass_wall / PASS_READS
+                        qc2 = _query_count(mclient)
+                        cpu2 = _proc_cpu_ns(fproc.pid)
+                        started = time.perf_counter()
+                        for i in range(PASS_READS):
+                            wait = started + i * cadence - time.perf_counter()
+                            if wait > 0:
+                                time.sleep(wait)
+                            sock.sendall(request)
+                            line = sock_file.readline()
+                            assert b'"ok": true' in line, line[:80]
+                        cpu3 = _proc_cpu_ns(fproc.pid)
+                        qc3 = _query_count(mclient)
+                        assert qc3 - qc2 == PASS_READS, (qc2, qc3)
+                        serve_direct = min(
+                            serve_direct, (cpu3 - cpu2) / 1e9 / PASS_READS
+                        )
+                        # Unpaced wire RTT, outside any CPU window
+                        # (disclosure only).
+                        wire_direct = min(
+                            wire_direct,
+                            _raw_read_pass(sock_file, sock, 50),
+                        )
+                    counters = {
+                        name: c.value
+                        for name, c in rt.router.metrics.counters().items()
+                    }
+            finally:
+                sock_file.close()
+                sock.close()
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    # Every routed read was served by the follower, none shed.
+    assert counters.get("readpath_follower_reads", 0) >= routed_reads
+    assert counters.get("readpath_primary_reads", 0) == 0, counters
+
+    overhead = serve_routed / serve_direct
+    row = {
+        "reads": routed_reads,
+        "direct_serve_cpu_ms": serve_direct * 1e3,
+        "routed_serve_cpu_ms": serve_routed * 1e3,
+        "overhead_x": overhead,
+        "direct_wire_ms": wire_direct * 1e3,
+        "forward_wire_ms": wire_forward * 1e3,
+        "proxy_rtt_ms": routed_rtt_s / routed_reads * 1e3,
+    }
+    print()
+    print(
+        format_table(
+            [row],
+            title="Routed-read overhead (1 follower)",
+            float_fmt="{:.3f}",
+        )
+    )
+
+    # The gate: routing adds < 5 % to the serving path the follower
+    # sees — a routed read costs the follower what a direct read costs.
+    assert overhead < 1.05, (
+        f"routed reads cost the follower {overhead:.3f}x a direct read"
+    )
+
+    save_result(
+        "read_routed_overhead",
+        {
+            **row,
+            "cpu_cores": _cpu_cores(),
+            "methodology": (
+                "the gated numbers are the follower's per-read CPU cost "
+                "(schedstat CPU nanoseconds of its own repro-anc serve "
+                "OS process — parse, engine query, encode, socket I/O; "
+                "immune to wall-clock scheduling noise) for reads "
+                "arriving through the router vs over a dedicated "
+                "blocking socket paced to the same arrival cadence "
+                "(wakeup CPU tracks arrival rate, not the sending "
+                "tier), interleaved best-of-"
+                f"{REPEATS} passes of {PASS_READS} reads each; the "
+                "follower's own query histogram verifies every CPU "
+                "window covers exactly its own reads and nothing else.  "
+                "Disclosed beside the gate: direct_wire_ms (the "
+                "blocking socket's full round-trip), forward_wire_ms "
+                "(the router's readpath_forward_seconds over its pooled "
+                "asyncio connection, which also carries event-loop "
+                "scheduling latency), and proxy_rtt_ms (the full "
+                "un-overlapped client->router->follower round-trip on "
+                "this single-core box; a deployed router overlaps that "
+                "CPU with follower serving on its own core)."
+            ),
+        },
+    )

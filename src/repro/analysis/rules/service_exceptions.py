@@ -34,7 +34,12 @@ from ..engine import FileContext
 from ..registry import rule
 
 #: Package prefixes the discipline applies to.
-SERVICE_PACKAGES = ("repro.service", "repro.faults", "repro.replica")
+SERVICE_PACKAGES = (
+    "repro.service",
+    "repro.faults",
+    "repro.replica",
+    "repro.readpath",
+)
 
 #: Terminal identifiers that mark a handler as "maps to a typed error".
 TYPED_ERROR_NAMES = frozenset(

@@ -29,6 +29,9 @@ Installed as the ``repro-anc`` console script (also runnable as
   to primary under a fresh epoch (``docs/replication.md``);
 * ``replicas`` — one node's view of the replication topology (role,
   epoch, committed entries, per-follower lag);
+* ``read-serve`` — run the read-path router: writes pass through to the
+  primary, session-tokened reads fan across the follower fleet under
+  bounded staleness (``docs/replication.md``);
 * ``shard-serve`` — run N partitioned engine workers behind a
   scatter-gather router speaking the single-server protocol
   (``docs/sharding.md``);
@@ -61,6 +64,7 @@ __all__ = [
     "cmd_datasets",
     "cmd_lint",
     "cmd_promote",
+    "cmd_read_serve",
     "cmd_replicas",
     "cmd_shard_serve",
     "cmd_shardmap",
@@ -459,6 +463,40 @@ def cmd_shard_serve(args: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def cmd_read_serve(args: argparse.Namespace, out: IO[str]) -> int:
+    import asyncio
+    import logging
+
+    from .readpath import ReadRouter, ReadRouterConfig
+
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    config = ReadRouterConfig(
+        host=args.host,
+        port=args.port,
+        heartbeat_interval=args.heartbeat_interval,
+        forward_timeout=args.forward_timeout,
+        max_staleness=args.max_staleness,
+        primary_read_rate=args.primary_read_rate,
+        primary_read_burst=args.primary_read_burst,
+    )
+    router = ReadRouter(
+        _parse_endpoint(args.primary),
+        followers=[_parse_endpoint(spec) for spec in args.follower],
+        config=config,
+    )
+    try:
+        asyncio.run(
+            router.run(announce=lambda line: print(line, file=out, flush=True))
+        )
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
 def cmd_shardmap(args: argparse.Namespace, out: IO[str]) -> int:
     import json
 
@@ -691,7 +729,8 @@ def cmd_replicas(args: argparse.Namespace, out: IO[str]) -> int:
         for follower, info in sorted(replicas.items()):
             print(
                 f"  follower {follower}: applied={info.get('applied')} "
-                f"lag={info.get('lag')} age={info.get('age')}s",
+                f"lag={info.get('lag')} age={info.get('age')}s "
+                f"apply_age={info.get('apply_age')}s",
                 file=out,
             )
     else:
@@ -838,6 +877,41 @@ def build_parser() -> argparse.ArgumentParser:
                               "(seconds; 0 = off)")
     _add_anc_params(p_shard)
     p_shard.set_defaults(func=cmd_shard_serve)
+
+    p_read = sub.add_parser(
+        "read-serve",
+        help="run the read-path router: writes to the primary, "
+             "session-tokened reads fanned across its followers "
+             "(docs/replication.md)",
+    )
+    p_read.add_argument("primary", metavar="HOST:PORT",
+                        help="the fleet's current primary")
+    p_read.add_argument("--follower", action="append", default=[],
+                        metavar="HOST:PORT",
+                        help="a follower to route reads to (repeatable; "
+                             "followers acking under host:port ids also "
+                             "auto-register from the primary's replicas view)")
+    p_read.add_argument("--host", default="127.0.0.1")
+    p_read.add_argument("--port", type=int, default=7800,
+                        help="router TCP port (0 picks a free port; "
+                             "announced on stdout)")
+    p_read.add_argument("--heartbeat-interval", type=float, default=0.25,
+                        help="fleet heartbeat cadence (seconds; role/epoch/"
+                             "lag refresh and follower auto-registration)")
+    p_read.add_argument("--forward-timeout", type=float, default=30.0,
+                        help="per-attempt deadline of one forwarded request "
+                             "(seconds; 0 = wait forever)")
+    p_read.add_argument("--max-staleness", type=int, default=None,
+                        help="router-imposed bound on how many records a "
+                             "serving follower may trail the primary "
+                             "(default: only what each request asks for)")
+    p_read.add_argument("--primary-read-rate", type=float, default=200.0,
+                        help="sustained reads/second budget for shedding "
+                             "reads to the primary when no follower can "
+                             "serve (0 = unlimited)")
+    p_read.add_argument("--primary-read-burst", type=float, default=64.0,
+                        help="burst capacity of the primary read budget")
+    p_read.set_defaults(func=cmd_read_serve)
 
     p_map = sub.add_parser(
         "shardmap",

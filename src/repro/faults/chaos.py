@@ -30,7 +30,17 @@ lets it fire, then drives the recovery protocol a real deployment would:
   its place, and a split brain where the deposed primary keeps running
   behind an epoch fence (docs/replication.md).  The promoted follower
   must reach the byte-identical oracle signature and a full session
-  replay must stay exactly-once across the failover.
+  replay must stay exactly-once across the failover;
+* **readpath** scenarios run a primary, *two* followers and a
+  :class:`~repro.readpath.router.ReadRouter` on its own background loop
+  (:class:`ReadRouterThread`) and attack the read-routing tier under a
+  live read-your-writes session: followers pinned behind the session
+  token by stalled fetches, a follower hard-crashing under read load,
+  a promotion while tokened reads keep flowing, and a session token
+  outliving a failover.  The binding contract is *no silent staleness*:
+  an ``ok`` read whose ``applied`` watermark is behind the session token
+  is classified ``diverged`` no matter what else went right
+  (docs/replication.md § Read routing).
 
 Every run is classified against the scenario's contract:
 
@@ -70,6 +80,7 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # runtime import is deferred: repro.shard imports repro.faults
+    from ..readpath.router import ReadRouter, ReadRouterConfig
     from ..shard.router import RouterConfig, ShardRouter
     from ..shard.worker import ShardDeployment
 
@@ -95,6 +106,7 @@ from .plan import FaultPlan, FaultSpec, InjectedCrash
 
 __all__ = [
     "ChaosResult",
+    "ReadRouterThread",
     "RouterThread",
     "Scenario",
     "SCENARIOS",
@@ -580,6 +592,70 @@ SCENARIOS: Tuple[Scenario, ...] = (
         ],
         server={"fanout_timeout": 0.5, "shed_retry_after": 0.1},
         client_attempts=8,
+    ),
+    # -- readpath scenarios: the read-routing tier under fire ----------
+    Scenario(
+        name="readpath-lagged-follower-read",
+        mode="readpath",
+        flow="lagged-read",
+        expect="recovered",
+        description=(
+            "stalled wal_fetch keeps the followers behind the session "
+            "token; reads bounce STALE and drain to the primary's budget"
+        ),
+        specs=lambda seed, n: [
+            FaultSpec(
+                "replica.fetch", "stall", at_count=1, args={"seconds": 0.15}
+            ),
+            FaultSpec(
+                "replica.fetch", "stall", at_count=3, args={"seconds": 0.15}
+            ),
+        ],
+        client_attempts=8,
+    ),
+    Scenario(
+        name="readpath-follower-crash-mid-read",
+        mode="readpath",
+        flow="follower-crash",
+        expect="recovered",
+        description=(
+            "one follower hard-crashes under read load; the router marks "
+            "it down and the session's reads drain to the survivor"
+        ),
+        specs=lambda seed, n: [
+            FaultSpec("replica.apply", "crash", at_count=_mid(n))
+        ],
+        client_attempts=8,
+    ),
+    Scenario(
+        name="readpath-promote-under-read-load",
+        mode="readpath",
+        flow="promote-under-load",
+        expect="recovered",
+        description=(
+            "primary killed mid-batch with reads in flight; a follower is "
+            "promoted and the router re-resolves roles from envelope epochs"
+        ),
+        specs=lambda seed, n: [
+            FaultSpec("wal.append", "crash", at_count=_mid(n))
+        ],
+        client_attempts=10,
+    ),
+    Scenario(
+        name="readpath-stale-token-after-failover",
+        mode="readpath",
+        flow="stale-token",
+        expect="recovered",
+        description=(
+            "a session token outlives a planned failover; every "
+            "post-promote read reflects the session or refuses typed"
+        ),
+        specs=lambda seed, n: [
+            FaultSpec(
+                "replica.fetch", "stall", at_count=2, args={"seconds": 0.05}
+            )
+        ],
+        client_attempts=10,
     ),
 )
 
@@ -1197,6 +1273,86 @@ class RouterThread:
         self.stop()
 
 
+class ReadRouterThread:
+    """A :class:`~repro.readpath.router.ReadRouter` on a private loop.
+
+    The read-path analogue of :class:`RouterThread`: binds the router
+    over an already-running primary/follower fleet and serves until
+    ``stop()``, so blocking clients can drive tokened reads and
+    passthrough writes through the real routing tier from a test.
+    """
+
+    def __init__(
+        self,
+        primary: Tuple[str, int],
+        *,
+        followers: Sequence[Tuple[str, int]] = (),
+        config: Optional["ReadRouterConfig"] = None,
+    ) -> None:
+        self._primary = primary
+        self._followers = list(followers)
+        self._config = config
+        self.router: Optional["ReadRouter"] = None
+        self.port: Optional[int] = None
+        self.host: str = config.host if config is not None else "127.0.0.1"
+        self.error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="anc-chaos-readrouter", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # anclint: disable=service-exception-discipline — a thread boundary cannot propagate; start()/stop() re-raise from ``self.error`` on the caller's thread
+            self.error = exc
+        finally:
+            self._started.set()
+
+    async def _main(self) -> None:
+        from ..readpath.router import ReadRouter, ReadRouterConfig
+
+        self._loop = asyncio.get_running_loop()
+        self.router = ReadRouter(
+            self._primary,
+            followers=self._followers,
+            config=self._config or ReadRouterConfig(),
+        )
+        await self.router.start()
+        self.port = self.router.port
+        self._started.set()
+        await self.router.serve_forever()
+
+    def start(self) -> "ReadRouterThread":
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise RuntimeError("read-router thread did not start within 30s")
+        if self.error is not None:
+            raise RuntimeError(
+                "read-router thread failed on startup"
+            ) from self.error
+        assert self.port is not None
+        return self
+
+    def stop(self) -> None:
+        """Request a graceful shutdown and join."""
+        if self._loop is not None and self.router is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.router.request_stop)
+            except RuntimeError:  # anclint: disable=service-exception-discipline — the loop already exited (router shut down on its own); joining below is the only remaining work
+                pass
+        self._thread.join(timeout=30.0)
+        if self._thread.is_alive():  # pragma: no cover - hang diagnostics
+            raise RuntimeError("read-router thread did not shut down within 30s")
+
+    def __enter__(self) -> "ReadRouterThread":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
 def _normalized_clusters(clusters: Sequence[Sequence[object]]) -> Tuple[Tuple[int, ...], ...]:
     """Order-free canonical form of a clustering (int labels)."""
     return tuple(
@@ -1377,6 +1533,330 @@ def _run_shard(
 
 
 # ----------------------------------------------------------------------
+# Readpath runner: tokened reads through the routing tier under fire
+# ----------------------------------------------------------------------
+
+#: Client error codes a routed read may legally surface while the fleet
+#: is degraded — every one is typed, none hands back stale data.
+_READPATH_TYPED_DENIALS = frozenset(
+    {"STALE", "RETRY_AFTER", "UNAVAILABLE", "TIMEOUT", "CONNECT"}
+)
+
+
+def _run_readpath(
+    scenario: Scenario, seed: int, workdir: Path
+) -> ChaosResult:
+    from ..readpath.router import ReadRouterConfig
+
+    graph, acts = _build_workload(seed)
+    oracle = make_engine("ANCO", graph, QUICK_PARAMS)
+    apply_activations(oracle, acts)
+    expected = engine_signature(oracle)
+
+    specs = scenario.specs(seed, len(acts))
+    primary_specs = [s for s in specs if s.site not in _REPLICA_FOLLOWER_SITES]
+    follower_specs = [s for s in specs if s.site in _REPLICA_FOLLOWER_SITES]
+    primary_plan = FaultPlan(primary_specs, seed=seed) if primary_specs else None
+    follower_plan = FaultPlan(follower_specs, seed=seed) if follower_specs else None
+    base = workdir / f"{scenario.name}-s{seed}"
+
+    def _config(
+        plan: Optional[FaultPlan], data_dir: Path, **role_kwargs: object
+    ) -> ServerConfig:
+        return ServerConfig(
+            port=0,
+            engine="anco",
+            metrics_interval=0.0,
+            data_dir=data_dir,
+            checkpoint_every=CHECKPOINT_EVERY,
+            faults=plan,
+            **role_kwargs,  # type: ignore[arg-type]
+        )
+
+    def _follower_kwargs(primary_port: int) -> Dict[str, object]:
+        # replica_id is left at its host:port default — the identity the
+        # router's auto-registration path keys on.
+        return {
+            "role": "follower",
+            "primary_host": "127.0.0.1",
+            "primary_port": primary_port,
+            "poll_interval": 0.005,
+            "audit_interval": 0.05,
+        }
+
+    def _caught_up(handle: ServerThread, target: int) -> bool:
+        assert handle.server is not None
+        host = handle.server.host
+        return host.ingested >= target and host.applied >= target
+
+    batches = [
+        [(a.u, a.v, a.t) for a in acts[i : i + CLIENT_BATCH]]
+        for i in range(0, len(acts), CLIENT_BATCH)
+    ]
+    keys = [f"{scenario.name}-{seed}-b{i}" for i in range(len(batches))]
+    retry = RetryPolicy(
+        attempts=scenario.client_attempts,
+        base_delay=0.02,
+        max_delay=0.25,
+        seed=seed,
+    )
+
+    # The no-silent-staleness ledger: every ok read whose applied
+    # watermark trails the session token at request time is a violation.
+    silent_stale: List[Tuple[int, int]] = []
+    reads_ok = 0
+    typed_denials = 0
+
+    threads: List[ServerThread] = []
+    router_handle: Optional[ReadRouterThread] = None
+    router: Optional["ReadRouter"] = None
+    client: Optional[ServiceClient] = None
+    try:
+        primary = ServerThread(
+            graph,
+            config=_config(
+                primary_plan, base / "primary", **dict(scenario.server)
+            ),
+            params=_sut_params(QUICK_PARAMS),
+        ).start()
+        threads.append(primary)
+        assert primary.port is not None
+        f1 = ServerThread(
+            graph,
+            config=_config(
+                follower_plan, base / "f1", **_follower_kwargs(primary.port)
+            ),
+            params=_sut_params(QUICK_PARAMS),
+        ).start()
+        threads.append(f1)
+        f2 = ServerThread(
+            graph,
+            config=_config(
+                None, base / "f2", **_follower_kwargs(primary.port)
+            ),
+            params=_sut_params(QUICK_PARAMS),
+        ).start()
+        threads.append(f2)
+        assert f1.port is not None and f2.port is not None
+
+        router_handle = ReadRouterThread(
+            ("127.0.0.1", primary.port),
+            followers=[("127.0.0.1", f1.port), ("127.0.0.1", f2.port)],
+            config=ReadRouterConfig(
+                heartbeat_interval=0.05, retry_backoff=0.05
+            ),
+        ).start()
+        assert router_handle.port is not None
+
+        client = ServiceClient(
+            router_handle.host,
+            router_handle.port,
+            timeout=5.0,
+            retry=retry,
+            session_reads=True,
+        )
+
+        def tokened_read() -> bool:
+            """One read-your-writes read; ledgers the outcome."""
+            nonlocal reads_ok, typed_denials
+            token = client.session_token  # type: ignore[union-attr]
+            try:
+                doc = client.clusters_info()  # type: ignore[union-attr]
+            except ServiceError as exc:
+                if exc.code not in _READPATH_TYPED_DENIALS:
+                    raise
+                typed_denials += 1
+                return False
+            applied = int(doc.get("applied", -1))  # type: ignore[arg-type]
+            if applied < token:
+                silent_stale.append((token, applied))
+            reads_ok += 1
+            return True
+
+        detail_extra = ""
+        promoted = False
+        new_primary = primary
+        survivors = [primary, f1, f2]
+
+        if scenario.flow in ("lagged-read", "follower-crash"):
+            for items, key in zip(batches, keys):
+                client.ingest_batch(items, key=key)
+                tokened_read()
+            if scenario.flow == "follower-crash":
+                _await(
+                    lambda: f1.server.crashed,  # type: ignore[union-attr]
+                    timeout=30.0,
+                    what="the injected follower crash",
+                )
+                # The session's reads must survive the dead follower.
+                drained = sum(1 for _ in range(4) if tokened_read())
+                detail_extra = f" reads-after-crash={drained}"
+                survivors = [primary, f2]
+            applied = client.sync()
+            for handle in survivors[1:]:
+                _await(
+                    lambda h=handle: _caught_up(h, len(acts)),
+                    timeout=30.0,
+                    what="follower catch-up",
+                )
+        elif scenario.flow == "promote-under-load":
+            i = 0
+            while i < len(batches):
+                try:
+                    client.ingest_batch(batches[i], key=keys[i])
+                    i += 1
+                    if i == 1 and not promoted:
+                        # First batch must replicate before the crash-prone
+                        # tail so the post-failover replay resumes against
+                        # the dedup map rebuilt from *replicated* records.
+                        _await(
+                            lambda: _caught_up(f1, CLIENT_BATCH),
+                            timeout=30.0,
+                            what="follower replication of the first batch",
+                        )
+                    tokened_read()
+                except ServiceError:
+                    if promoted:
+                        raise
+                    _await(
+                        lambda: primary.server.crashed,  # type: ignore[union-attr]
+                        timeout=10.0,
+                        what="the injected primary crash",
+                    )
+                    # Reads during the outage stay typed or fresh — the
+                    # ledger catches anything silently stale.
+                    tokened_read()
+                    promote(
+                        ("127.0.0.1", f1.port),
+                        old_primary=("127.0.0.1", primary.port),
+                        timeout=2.0,
+                    )
+                    promoted = True
+                    i = 0  # replay the session; dedup absorbs duplicates
+            applied = client.sync()
+            new_primary = f1
+            survivors = [f1]
+        elif scenario.flow == "stale-token":
+            half = max(1, len(batches) // 2)
+            for items, key in zip(batches[:half], keys[:half]):
+                client.ingest_batch(items, key=key)
+                tokened_read()
+            pre_token = client.session_token
+            _await(
+                lambda: _caught_up(f1, pre_token),
+                timeout=30.0,
+                what="follower-1 catch-up before the planned failover",
+            )
+            promote(
+                ("127.0.0.1", f1.port),
+                old_primary=("127.0.0.1", primary.port),
+                timeout=2.0,
+            )
+            promoted = True
+            # The session token predates the failover; each of these must
+            # reflect the session's writes or refuse typed.
+            post = sum(1 for _ in range(4) if tokened_read())
+            for items, key in zip(batches[half:], keys[half:]):
+                client.ingest_batch(items, key=key)
+                tokened_read()
+            applied = client.sync()
+            detail_extra = f" post-failover-reads={post}"
+            new_primary = f1
+            survivors = [f1]
+        else:
+            raise ValueError(f"unknown readpath flow {scenario.flow!r}")
+    finally:
+        if client is not None:
+            client.close()
+        # Router first (its heartbeats hold connections into the fleet),
+        # then followers, then the primary — same reasoning as replica.
+        if router_handle is not None:
+            router = router_handle.router
+            router_handle.stop()
+        for handle in reversed(threads):
+            handle.stop()
+
+    assert router is not None
+    rc = {
+        name: counter.value for name, counter in router.metrics.counters().items()
+    }
+    stale_bounces = rc.get("readpath_stale_bounces", 0.0)
+    follower_reads = rc.get("readpath_follower_reads", 0.0)
+    primary_reads = rc.get("readpath_primary_reads", 0.0)
+    reresolves = rc.get("readpath_reresolves", 0.0)
+    upstream_errors = rc.get("readpath_upstream_errors", 0.0)
+
+    # Scenario-specific evidence that the armed fault actually bit the
+    # routing tier (beyond the fleet merely surviving it).
+    if scenario.flow == "lagged-read":
+        contract_ok = stale_bounces + primary_reads >= 1
+    elif scenario.flow == "follower-crash":
+        assert f1.server is not None
+        contract_ok = f1.server.crashed and upstream_errors >= 1
+    elif scenario.flow == "promote-under-load":
+        assert f1.server is not None
+        contract_ok = (
+            promoted
+            and f1.server.role == "primary"
+            and f1.server.epoch > 1
+            and _counters(f1).get("ingest_dedup_hits", 0) > 0
+            and reresolves >= 1
+        )
+    else:  # stale-token
+        assert f1.server is not None
+        contract_ok = (
+            promoted
+            and f1.server.role == "primary"
+            and f1.server.epoch > 1
+            and reads_ok >= 1
+        )
+
+    sig_mismatches = [
+        f"{handle.host}:{handle.port}"
+        for handle in survivors
+        if engine_signature(handle.server.host.engine) != expected  # type: ignore[union-attr]
+    ]
+    assert new_primary.server is not None
+    diverged = new_primary.server.diverged
+
+    status = (
+        "recovered"
+        if (
+            applied == len(acts)
+            and not silent_stale
+            and not sig_mismatches
+            and diverged is None
+            and contract_ok
+        )
+        else "diverged"
+    )
+    detail = (
+        f"applied={applied}/{len(acts)} reads_ok={reads_ok}"
+        f" typed_denials={typed_denials} silent_stale={len(silent_stale)}"
+        f" follower_reads={follower_reads:g} primary_reads={primary_reads:g}"
+        f" stale_bounces={stale_bounces:g} reresolves={reresolves:g}"
+        f"{detail_extra}"
+    )
+    if sig_mismatches:
+        detail += f" sig_mismatch={sig_mismatches}"
+    if diverged is not None:
+        detail += f" diverged={diverged}"
+
+    fired: List[Dict[str, object]] = []
+    for plan in (primary_plan, follower_plan):
+        if plan is not None:
+            fired.extend(plan.fired)
+    return ChaosResult(
+        scenario.name,
+        seed,
+        status,
+        scenario.expect,
+        detail=detail,
+        injected=fired,
+    )
+
+
+# ----------------------------------------------------------------------
 # The matrix
 # ----------------------------------------------------------------------
 
@@ -1385,6 +1865,7 @@ _RUNNERS: Dict[str, Callable[[Scenario, int, Path], ChaosResult]] = {
     "service": _run_service,
     "replica": _run_replica,
     "shard": _run_shard,
+    "readpath": _run_readpath,
 }
 
 

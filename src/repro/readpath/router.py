@@ -1,0 +1,940 @@
+"""The read-path router: lag-aware reads over a primary + follower fleet.
+
+The router speaks the **same TCP/JSON-lines protocol** as a single
+:class:`~repro.service.server.ANCServer` — clients built against
+:mod:`repro.service.client` work unchanged.  Per request it either
+*routes a read* (``clusters`` / ``local`` / ``watch`` go to a follower
+picked by lag-aware weighted round-robin) or *passes through* to the
+primary (ingest, ``sync``, admin — anything that must see the writable
+head).
+
+Consistency contract (docs/replication.md § Read routing):
+
+* the client's session ``token`` (its last write's ``seq + 1``) rides
+  the request; the serving node refuses with a typed ``STALE`` unless
+  its applied watermark has passed it — the router then tries the next
+  follower or the primary, so a read is never *silently* older than the
+  session's own writes;
+* ``max_staleness`` (the router's configured bound, tightened by a
+  per-request field) bounds how many records a serving follower may
+  trail the primary by, enforced by the follower against its own
+  replication lag;
+* the **degradation ladder**: eligible follower → next follower (on
+  ``STALE`` / transport failure / open breaker) → primary under a
+  token-bucket read budget → typed ``RETRY_AFTER``.  The rungs are all
+  typed; none of them is "serve old data and hope".
+
+Fleet awareness: a heartbeat loop pings every upstream (role + epoch +
+applied from the envelope) and reads the primary's ``replicas`` op —
+the same per-follower applied/lag bookkeeping behind the PR 5
+``replica_lag_<id>`` gauges — both to compute follower lag and to
+**auto-register** followers whose replica id is a ``host:port`` (the
+server's default).  Failover needs no router restart: ``promote`` /
+``fence`` are observed through envelope epochs and roles, and the
+router re-resolves the primary as the node claiming ``primary`` at the
+highest epoch that is not fenced.
+
+Envelope conventions: responses are stamped ``role="readpath-router"``,
+``epoch=0`` (a router never participates in fencing — epoch 0 is below
+every real epoch, so client stale-epoch rotation never arms against
+it) and ``followers=N`` (live follower count).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import re
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..obs.propagate import TraceContext, current_context
+from ..obs.trace import Observability, Tracer
+from ..service.client import CircuitBreaker
+from ..service.errors import (
+    BadRequest,
+    Overloaded,
+    ServiceFault,
+    Unavailable,
+    fault_response,
+)
+from ..obs.instruments import MetricsRegistry
+
+__all__ = ["READ_OPS", "ReadRouter", "ReadRouterConfig", "Upstream"]
+
+log = logging.getLogger("repro.readpath")
+
+_LIMIT = 4 * 1024 * 1024
+
+#: Transport-layer failures that fail one upstream attempt.
+_TRANSPORT_ERRORS = (OSError, asyncio.IncompleteReadError, json.JSONDecodeError)
+
+#: Snapshot-read ops fanned across the follower fleet; every other op
+#: passes through to the primary.
+READ_OPS = frozenset({"clusters", "local", "watch"})
+
+#: ``host:port`` replica ids (the server's default) auto-register.
+_ENDPOINT_ID = re.compile(r"^(?P<host>[\w.\-]+):(?P<port>\d{1,5})$")
+
+
+@dataclass
+class ReadRouterConfig:
+    """Operational knobs of the read-routing tier."""
+
+    host: str = "127.0.0.1"
+    #: Port to bind; 0 picks a free port (read :attr:`ReadRouter.port`).
+    port: int = 0
+    #: Cadence of the upstream heartbeat (ping + primary ``replicas``).
+    heartbeat_interval: float = 0.25
+    #: Per-heartbeat deadline; a missed beat marks the upstream down.
+    heartbeat_timeout: float = 2.0
+    #: Per-attempt deadline of one forwarded request; 0 = no deadline.
+    forward_timeout: float = 30.0
+    #: Passthrough (write-path) attempts across primary re-resolution.
+    primary_attempts: int = 6
+    #: Base of the exponential backoff between passthrough attempts.
+    retry_backoff: float = 0.05
+    #: Router-imposed staleness bound (records behind the primary) for
+    #: routed reads; ``None`` = only what the request itself asks for.
+    max_staleness: Optional[int] = None
+    #: Token-bucket budget for reads shed to the primary when no
+    #: follower can serve: sustained reads/second (0 = unlimited).
+    primary_read_rate: float = 200.0
+    #: Burst capacity of the primary-read bucket.
+    primary_read_burst: float = 64.0
+    #: ``retry_after`` hint when the ladder ends in a typed shed.
+    shed_retry_after: float = 0.1
+    #: Consecutive failures that open one upstream's circuit breaker.
+    failure_threshold: int = 3
+    #: Breaker cooldown before a half-open probe.
+    breaker_cooldown: float = 1.0
+    #: Idle pooled connections kept per upstream.
+    pool_capacity: int = 8
+    #: Evict a client whose response write does not drain (0 = never).
+    write_timeout: float = 30.0
+    #: Span ring-buffer capacity of the router tracer.
+    trace_capacity: int = 8192
+
+
+class Upstream:
+    """Router-side state of one fleet node (primary or follower).
+
+    Holds the last envelope facts (role / epoch / applied), the derived
+    replication lag, a per-node :class:`CircuitBreaker`, the smooth
+    weighted-round-robin credit, and a small pool of idle connections
+    (pooling, not one serialized link, so concurrent reads to the same
+    follower overlap instead of queueing).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        role: str = "follower",
+        failure_threshold: int = 3,
+        cooldown: float = 1.0,
+        pool_capacity: int = 8,
+    ) -> None:
+        self.host = str(host)
+        self.port = int(port)
+        self.role = role
+        self.epoch = 0
+        self.fenced_by = 0
+        #: Applied watermark from the last answer/heartbeat.
+        self.applied = 0
+        #: Records behind the primary's committed head (heartbeat-fed).
+        self.lag = 0
+        self.alive = False
+        self.reads_served = 0
+        self.breaker = CircuitBreaker(
+            failure_threshold=failure_threshold, cooldown=cooldown
+        )
+        #: Smooth-WRR credit (error diffusion; no PRNG).
+        self.wrr = 0.0
+        self.last_error: Optional[ServiceFault] = None
+        self._pool_capacity = max(0, int(pool_capacity))
+        self._idle: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        #: Connections currently carrying a request (so shutdown can
+        #: abort them; an idle-only sweep would leave a forward parked
+        #: against a dead upstream holding its handler open).
+        self._inflight: Set[asyncio.StreamWriter] = set()
+
+    @property
+    def key(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def fenced(self) -> bool:
+        return self.fenced_by > self.epoch
+
+    async def acquire(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        """An idle pooled connection, or a fresh one."""
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if not writer.is_closing():
+                self._inflight.add(writer)
+                return reader, writer
+            writer.transport.abort()
+        reader, writer = await asyncio.open_connection(
+            self.host, self.port, limit=_LIMIT
+        )
+        self._inflight.add(writer)
+        return reader, writer
+
+    def release(
+        self, conn: Tuple[asyncio.StreamReader, asyncio.StreamWriter]
+    ) -> None:
+        """Return a healthy connection to the pool (or drop it)."""
+        reader, writer = conn
+        self._inflight.discard(writer)
+        if len(self._idle) < self._pool_capacity and not writer.is_closing():
+            self._idle.append((reader, writer))
+        else:
+            writer.transport.abort()
+
+    def forget(
+        self, conn: Tuple[asyncio.StreamReader, asyncio.StreamWriter]
+    ) -> None:
+        """Abort a connection that failed mid-request."""
+        _reader, writer = conn
+        self._inflight.discard(writer)
+        writer.transport.abort()
+
+    def abort_pool(self) -> None:
+        """Drop every idle connection (the upstream went away)."""
+        for _reader, writer in self._idle:
+            writer.transport.abort()
+        self._idle.clear()
+
+    def abort_connections(self) -> None:
+        """Abort everything, idle *and* in flight (router shutdown).
+
+        Failing the in-flight requests is the point: a forward parked
+        against a dead upstream would otherwise pin its connection
+        handler — and the server's close — for ``forward_timeout``.
+        """
+        self.abort_pool()
+        for writer in list(self._inflight):
+            writer.transport.abort()
+        self._inflight.clear()
+
+    def status(self) -> Dict[str, object]:
+        """This upstream's row in the ``route_status`` admin op."""
+        return {
+            "role": self.role,
+            "epoch": self.epoch,
+            "fenced_by": self.fenced_by,
+            "applied": self.applied,
+            "lag": self.lag,
+            "alive": self.alive,
+            "breaker": self.breaker.state,
+            "reads_served": self.reads_served,
+        }
+
+
+class ReadRouter:
+    """Asyncio front tier fanning reads across one replicated fleet."""
+
+    def __init__(
+        self,
+        primary: Tuple[str, int],
+        *,
+        followers: Sequence[Tuple[str, int]] = (),
+        config: Optional[ReadRouterConfig] = None,
+    ) -> None:
+        self.config = config or ReadRouterConfig()
+
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(enabled=False, capacity=self.config.trace_capacity)
+        self.obs = Observability(registry=self.metrics, tracer=self.tracer)
+
+        self._upstreams: Dict[str, Upstream] = {}
+        self._primary_key = self._register(primary[0], primary[1], role="primary")
+        for host, port in followers:
+            self._register(host, port, role="follower")
+
+        #: The primary's committed WAL head (from its ``replicas`` op);
+        #: follower lag is computed against this watermark.
+        self._primary_entries = 0
+
+        # Primary-read token bucket (the shed-to-primary budget).
+        self._budget_tokens = float(self.config.primary_read_burst)
+        self._budget_stamp = time.monotonic()
+
+        self._refresh_lock = asyncio.Lock()
+
+        self._c_requests = self.metrics.counter("readpath_requests")
+        self._c_follower_reads = self.metrics.counter("readpath_follower_reads")
+        self._c_primary_reads = self.metrics.counter("readpath_primary_reads")
+        self._c_stale_bounces = self.metrics.counter("readpath_stale_bounces")
+        self._c_shed = self.metrics.counter("readpath_shed_total")
+        self._c_reresolves = self.metrics.counter("readpath_reresolves")
+        self._c_passthrough = self.metrics.counter("readpath_passthrough")
+        self._c_heartbeats = self.metrics.counter("readpath_heartbeats")
+        self._c_upstream_errors = self.metrics.counter("readpath_upstream_errors")
+        self._h_forward = self.metrics.histogram("readpath_forward_seconds")
+        self.metrics.gauge(
+            "readpath_followers_alive",
+            lambda: float(len(self._live_followers())),
+        )
+        self.metrics.gauge(
+            "readpath_primary_epoch",
+            lambda: float(max((u.epoch for u in self._upstreams.values()), default=0)),
+        )
+        self.metrics.gauge("readpath_budget_tokens", lambda: self._budget_tokens)
+
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._background: List[asyncio.Task] = []
+        self._stop = asyncio.Event()
+        self._conns: Set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # Fleet bookkeeping
+    # ------------------------------------------------------------------
+    def _register(self, host: str, port: int, *, role: str) -> str:
+        """Add one upstream (idempotent); returns its key."""
+        key = f"{host}:{int(port)}"
+        if key in self._upstreams:
+            return key
+        up = Upstream(
+            host,
+            port,
+            role=role,
+            failure_threshold=self.config.failure_threshold,
+            cooldown=self.config.breaker_cooldown,
+            pool_capacity=self.config.pool_capacity,
+        )
+        self._upstreams[key] = up
+        slug = re.sub(r"\W", "_", key)
+        self.metrics.gauge(
+            f"readpath_lag_{slug}",
+            lambda k=key: float(self._upstreams[k].lag),  # type: ignore[misc]
+        )
+        self.metrics.gauge(
+            f"readpath_reads_{slug}",
+            lambda k=key: float(self._upstreams[k].reads_served),  # type: ignore[misc]
+        )
+        log.info("registered upstream %s as %s", key, role)
+        return key
+
+    def _live_followers(self) -> List[Upstream]:
+        return [
+            up
+            for up in self._upstreams.values()
+            if up.role == "follower" and up.alive
+        ]
+
+    def _has_followers(self) -> bool:
+        return any(up.role == "follower" for up in self._upstreams.values())
+
+    def _current_primary(self) -> Optional[Upstream]:
+        """The node claiming ``primary`` at the highest unfenced epoch.
+
+        Role re-resolution after ``promote``/``fence`` lives here: the
+        heartbeat (and every forwarded answer) refreshes role/epoch from
+        envelopes, and this picks the winner — a deposed-but-answering
+        old primary loses to the promoted follower's strictly higher
+        epoch, and a fenced node is never selected.
+        """
+        best: Optional[Upstream] = None
+        for up in self._upstreams.values():
+            if up.role != "primary" or up.fenced or not up.alive:
+                continue
+            if best is None or up.epoch > best.epoch:
+                best = up
+        if best is not None:
+            return best
+        # Nothing alive claims primary (e.g. before the first heartbeat
+        # lands, or mid-failover): fall back to the configured one so
+        # the forward itself can discover the truth.
+        return self._upstreams.get(self._primary_key)
+
+    def _observe(self, up: Upstream, response: Mapping[str, object]) -> None:
+        """Fold one response envelope into the upstream's state."""
+        role = response.get("role")
+        if isinstance(role, str) and role in ("primary", "follower"):
+            if role != up.role:
+                self._c_reresolves.inc()
+                log.info("upstream %s role %s -> %s", up.key, up.role, role)
+            up.role = role
+        epoch = response.get("epoch")
+        if isinstance(epoch, int):
+            up.epoch = max(up.epoch, epoch)
+        fenced_by = response.get("fenced_by")
+        if isinstance(fenced_by, int):
+            up.fenced_by = max(up.fenced_by, fenced_by)
+        applied = response.get("applied")
+        if isinstance(applied, int):
+            up.applied = max(up.applied, applied)
+        up.alive = True
+        up.last_error = None
+        if up.role == "primary":
+            self._primary_entries = max(self._primary_entries, up.applied)
+        up.lag = (
+            0
+            if up.role == "primary"
+            else max(0, self._primary_entries - up.applied)
+        )
+
+    def _note_down(self, up: Upstream, fault: ServiceFault) -> None:
+        """One failed upstream exchange: breaker, pool, liveness."""
+        self._c_upstream_errors.inc()
+        up.breaker.record_failure()
+        up.abort_pool()
+        up.alive = False
+        up.last_error = fault
+
+    # ------------------------------------------------------------------
+    # Upstream I/O (pooled)
+    # ------------------------------------------------------------------
+    async def _upstream_request(
+        self,
+        up: Upstream,
+        payload: Mapping[str, object],
+        *,
+        timeout: Optional[float] = None,
+        record: bool = True,
+    ) -> Dict[str, object]:
+        """One request over a pooled connection; returns the raw envelope.
+
+        Transport failures raise (the caller decides the next rung); a
+        request cancelled or failed mid-flight aborts its connection so
+        a late response can never be read by the next request.
+        ``record=False`` keeps background probes (heartbeats, fleet
+        polls) out of the forward histogram, which measures only
+        client-driven forwards.
+        """
+        if self._stop.is_set():
+            # Shutdown already aborted the upstream connections; starting
+            # another rung here would only re-park the handler.
+            raise Unavailable("read router is shutting down")
+        data = json.dumps(payload).encode() + b"\n"
+        deadline = timeout if timeout is not None else self.config.forward_timeout
+        reader, writer = await asyncio.wait_for(up.acquire(), deadline or None)
+        # The forward histogram times the upstream wire round-trip —
+        # request bytes out to response bytes in, i.e. what the upstream
+        # and the network cost — not this router's own encode/decode CPU.
+        started = time.monotonic()
+        try:
+            writer.write(data)
+            await asyncio.wait_for(writer.drain(), deadline or None)
+            line = await asyncio.wait_for(reader.readline(), deadline or None)
+        except BaseException:
+            up.forget((reader, writer))
+            raise
+        if record:
+            self._h_forward.observe(time.monotonic() - started)
+        if not line:
+            up.forget((reader, writer))
+            raise ConnectionResetError(
+                f"upstream {up.key} closed the connection mid-request"
+            )
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError:
+            up.forget((reader, writer))
+            raise
+        if not isinstance(response, dict):
+            up.forget((reader, writer))
+            raise ConnectionResetError(
+                f"upstream {up.key} sent a non-object response"
+            )
+        up.release((reader, writer))
+        return response
+
+    async def _forward(
+        self, up: Upstream, payload: Mapping[str, object]
+    ) -> Dict[str, object]:
+        """Forward with trace propagation; folds the envelope in."""
+        op = str(payload.get("op"))
+        with self.tracer.wire_span("readpath.forward", op=op, upstream=up.key):
+            bound = current_context()
+            if bound is not None:
+                payload = {**payload, "trace": bound.to_wire()}
+            response = await self._upstream_request(up, payload)
+        self._observe(up, response)
+        return response
+
+    # ------------------------------------------------------------------
+    # Heartbeats + follower auto-registration
+    # ------------------------------------------------------------------
+    async def _refresh_once(self) -> None:
+        """Ping every upstream; learn the fleet from the primary."""
+        async with self._refresh_lock:
+            self._c_heartbeats.inc()
+            for up in list(self._upstreams.values()):
+                try:
+                    response = await self._upstream_request(
+                        up,
+                        {"op": "ping"},
+                        timeout=self.config.heartbeat_timeout,
+                        record=False,
+                    )
+                except asyncio.TimeoutError:
+                    self._note_down(
+                        up, Unavailable(f"heartbeat to {up.key} timed out")
+                    )
+                    continue
+                except _TRANSPORT_ERRORS as exc:
+                    self._note_down(
+                        up, Unavailable(f"heartbeat to {up.key} failed: {exc}")
+                    )
+                    continue
+                self._observe(up, response)
+                up.breaker.record_success()
+            await self._learn_fleet()
+
+    async def _learn_fleet(self) -> None:
+        """Read the primary's ``replicas`` view: lag facts + new followers.
+
+        The per-follower ``applied`` here is the same bookkeeping behind
+        the primary's ``replica_lag_<id>`` gauges; ids shaped like
+        ``host:port`` (the server's default ``replica_id``) are
+        auto-registered as routable followers.
+        """
+        primary = self._current_primary()
+        if primary is None or not primary.alive:
+            return
+        try:
+            response = await self._upstream_request(
+                primary,
+                {"op": "replicas"},
+                timeout=self.config.heartbeat_timeout,
+                record=False,
+            )
+        except asyncio.TimeoutError:
+            self._note_down(
+                primary, Unavailable(f"replicas poll of {primary.key} timed out")
+            )
+            return
+        except _TRANSPORT_ERRORS as exc:
+            self._note_down(
+                primary, Unavailable(f"replicas poll of {primary.key} failed: {exc}")
+            )
+            return
+        if not response.get("ok", False):
+            return
+        entries = response.get("entries")
+        if isinstance(entries, int):
+            self._primary_entries = max(self._primary_entries, entries)
+        replicas = response.get("replicas")
+        if not isinstance(replicas, Mapping):
+            return
+        for replica_id, info in replicas.items():
+            match = _ENDPOINT_ID.match(str(replica_id))
+            if match is not None and str(replica_id) not in self._upstreams:
+                self._register(
+                    match.group("host"), int(match.group("port")), role="follower"
+                )
+            up = self._upstreams.get(str(replica_id))
+            if up is None or not isinstance(info, Mapping):
+                continue
+            applied = info.get("applied")
+            if isinstance(applied, int):
+                up.applied = max(up.applied, applied)
+            up.lag = max(0, self._primary_entries - up.applied)
+
+    async def _heartbeat_loop(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            await self._refresh_once()
+
+    # ------------------------------------------------------------------
+    # The read path
+    # ------------------------------------------------------------------
+    def _effective_staleness(self, request: Mapping[str, object]) -> Optional[int]:
+        """The tighter of the router's bound and the request's own."""
+        bound = self.config.max_staleness
+        asked = request.get("max_staleness")
+        if isinstance(asked, int):
+            bound = asked if bound is None else min(bound, asked)
+        return bound
+
+    def _follower_order(self, required: int) -> List[Upstream]:
+        """Live followers in lag-aware smooth-WRR order.
+
+        Weight is ``1 / (1 + lag)``; every candidate accrues its weight
+        and the winner pays the round's total — deterministic smooth
+        weighted round-robin (no PRNG).  Followers known to satisfy the
+        session token sort ahead of ones last seen behind it (they may
+        have caught up since, so they stay in the list as fallbacks).
+        """
+        followers = [
+            up for up in self._live_followers() if up.breaker.allow()
+        ]
+        if not followers:
+            return []
+        total = 0.0
+        for up in followers:
+            weight = 1.0 / (1.0 + max(0, up.lag))
+            total += weight
+            up.wrr += weight
+        followers.sort(
+            key=lambda u: (u.applied < required, -u.wrr, u.key)
+        )
+        followers[0].wrr -= total
+        return followers
+
+    def _budget_take(self) -> bool:
+        """One token from the primary-read bucket (True = spend it)."""
+        rate = self.config.primary_read_rate
+        if rate <= 0:
+            return True
+        now = time.monotonic()
+        self._budget_tokens = min(
+            float(self.config.primary_read_burst),
+            self._budget_tokens + (now - self._budget_stamp) * rate,
+        )
+        self._budget_stamp = now
+        if self._budget_tokens >= 1.0:
+            self._budget_tokens -= 1.0
+            return True
+        return False
+
+    async def _route_read(self, request: Dict) -> Dict[str, object]:
+        """The degradation ladder behind every routed snapshot read."""
+        token = request.get("token")
+        required = int(token) if isinstance(token, int) else 0
+        payload = {k: v for k, v in request.items() if k not in ("id", "trace")}
+        bound = self._effective_staleness(request)
+        if bound is not None:
+            payload["max_staleness"] = bound
+        stale_doc: Optional[Dict[str, object]] = None
+
+        for up in self._follower_order(required):
+            try:
+                response = await self._forward(up, payload)
+            except asyncio.TimeoutError:
+                self._note_down(up, Unavailable(f"read on {up.key} timed out"))
+                continue
+            except _TRANSPORT_ERRORS as exc:
+                self._note_down(
+                    up, Unavailable(f"read on {up.key} failed: {exc}")
+                )
+                continue
+            up.breaker.record_success()
+            if response.get("ok", False):
+                up.reads_served += 1
+                self._c_follower_reads.inc()
+                response["served_by"] = up.key
+                return response
+            error_type = str(response.get("error_type", ""))
+            if error_type == "STALE":
+                # Typed bounce, never a silent downgrade: remember the
+                # freshest refusal and try the next rung.
+                self._c_stale_bounces.inc()
+                stale_doc = response
+                continue
+            if error_type in (
+                "FENCED",
+                "READ_ONLY",
+                "DIVERGED",
+                "RETRY_AFTER",
+                "UNAVAILABLE",
+            ):
+                # This follower cannot serve (role confusion, diverged
+                # state, shedding, or mid-shutdown); the envelope already
+                # updated our view of it.  Next rung.
+                continue
+            # Anything else (BAD_REQUEST, ...) is the client's to see.
+            return response
+
+        # All followers exhausted: shed to the primary under the budget.
+        primary = self._current_primary()
+        if primary is not None and (
+            not self._has_followers() or self._budget_take()
+        ):
+            try:
+                response = await self._forward(primary, payload)
+            except asyncio.TimeoutError:
+                self._note_down(
+                    primary, Unavailable(f"read on {primary.key} timed out")
+                )
+            except _TRANSPORT_ERRORS as exc:
+                self._note_down(
+                    primary, Unavailable(f"read on {primary.key} failed: {exc}")
+                )
+            else:
+                primary.breaker.record_success()
+                if response.get("ok", False):
+                    primary.reads_served += 1
+                    self._c_primary_reads.inc()
+                    response["served_by"] = primary.key
+                    return response
+                if str(response.get("error_type", "")) == "STALE":
+                    # A deposed primary behind the session token still
+                    # answers *typed*; surface its watermark.
+                    self._c_stale_bounces.inc()
+                    stale_doc = response
+                else:
+                    return response
+
+        self._c_shed.inc()
+        if stale_doc is not None:
+            # Every rung refused with a typed STALE: hand the freshest
+            # refusal (watermark included) to the client, which retries
+            # with backoff.
+            return stale_doc
+        raise Overloaded(
+            "no follower can serve within the staleness bound and the "
+            "primary read budget is exhausted; retry shortly",
+            retry_after=self.config.shed_retry_after,
+        )
+
+    # ------------------------------------------------------------------
+    # The write/admin passthrough
+    # ------------------------------------------------------------------
+    async def _op_passthrough(self, request: Dict) -> Dict[str, object]:
+        """Forward to the current primary, re-resolving roles on refusal.
+
+        Survives ``promote``/``fence`` mid-stream: a ``FENCED`` /
+        ``READ_ONLY`` refusal or a dead primary triggers a fleet refresh
+        and the retry lands on whichever node now claims the highest
+        epoch — the client never has to know a failover happened.
+        """
+        payload = {k: v for k, v in request.items() if k not in ("id", "trace")}
+        attempts = max(1, self.config.primary_attempts)
+        last_fault: Optional[ServiceFault] = None
+        for attempt in range(attempts):
+            if attempt > 0:
+                await asyncio.sleep(
+                    self.config.retry_backoff * (2 ** (attempt - 1))
+                )
+                await self._refresh_once()
+            primary = self._current_primary()
+            if primary is None:
+                last_fault = Unavailable("no primary known to the read router")
+                continue
+            try:
+                response = await self._forward(primary, payload)
+            except asyncio.TimeoutError:
+                self._note_down(
+                    primary,
+                    Unavailable(f"primary {primary.key} timed out"),
+                )
+                last_fault = primary.last_error
+                continue
+            except _TRANSPORT_ERRORS as exc:
+                self._note_down(
+                    primary,
+                    Unavailable(f"primary {primary.key} unreachable: {exc}"),
+                )
+                last_fault = primary.last_error
+                continue
+            primary.breaker.record_success()
+            if response.get("ok", False):
+                self._c_passthrough.inc()
+                return response
+            error_type = str(response.get("error_type", ""))
+            if error_type in ("FENCED", "READ_ONLY", "UNAVAILABLE"):
+                self._c_reresolves.inc()
+                if error_type == "READ_ONLY":
+                    # The node told us outright it is a follower.
+                    primary.role = "follower"
+                last_fault = Unavailable(
+                    f"{primary.key} refused with {error_type}; "
+                    f"re-resolving the primary"
+                )
+                continue
+            # Typed server error (RETRY_AFTER, BAD_REQUEST, ...): the
+            # client's to handle.
+            return response
+        if last_fault is None:
+            last_fault = Unavailable("primary passthrough failed")
+        raise last_fault
+
+    # ------------------------------------------------------------------
+    # Router-local ops
+    # ------------------------------------------------------------------
+    async def _op_read(self, request: Dict) -> Dict[str, object]:
+        return await self._route_read(request)
+
+    async def _op_metrics(self, request: Dict) -> Dict[str, object]:
+        rate_key = request.get("rate_key")
+        return {
+            "metrics": self.metrics.snapshot(
+                rate_key=str(rate_key) if rate_key is not None else None
+            )
+        }
+
+    async def _op_metrics_text(self, request: Dict) -> Dict[str, object]:
+        from ..obs.export import render_prometheus
+
+        namespace = str(request.get("namespace", "anc"))
+        return {"text": render_prometheus(self.metrics, namespace=namespace)}
+
+    async def _op_route_status(self, request: Dict) -> Dict[str, object]:
+        """The router's live view of the fleet (CLI + CI smoke)."""
+        primary = self._current_primary()
+        return {
+            "primary": primary.key if primary is not None else None,
+            "entries": self._primary_entries,
+            "followers_alive": len(self._live_followers()),
+            "budget_tokens": round(self._budget_tokens, 3),
+            "max_staleness": self.config.max_staleness,
+            "upstreams": {
+                key: up.status() for key, up in sorted(self._upstreams.items())
+            },
+        }
+
+    async def _op_shutdown(self, request: Dict) -> Dict[str, object]:
+        self.request_stop()
+        return {"stopping": True}
+
+    _OPS: Dict[str, Callable] = {
+        "clusters": _op_read,
+        "local": _op_read,
+        "watch": _op_read,
+        "metrics": _op_metrics,
+        "metrics_text": _op_metrics_text,
+        "route_status": _op_route_status,
+        "shutdown": _op_shutdown,
+    }
+
+    # ------------------------------------------------------------------
+    # Lifecycle (mirrors ANCServer so CLI/bench harnesses carry over)
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Probe the fleet once, then bind and start heartbeating."""
+        await self._refresh_once()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=_LIMIT,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.heartbeat_interval > 0:
+            self._background.append(
+                asyncio.create_task(
+                    self._heartbeat_loop(self.config.heartbeat_interval)
+                )
+            )
+        log.info(
+            "read router serving on %s:%d (%d upstreams, %d live followers)",
+            self.config.host,
+            self.port,
+            len(self._upstreams),
+            len(self._live_followers()),
+        )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._stop.wait()
+        await self._shutdown()
+
+    async def run(self, *, announce: Optional[Callable[[str], object]] = None) -> None:
+        """Start, announce ``SERVING <host> <port>``, serve until stopped."""
+        await self.start()
+        emit = announce if announce is not None else lambda line: print(line, flush=True)
+        for key, up in sorted(self._upstreams.items()):
+            emit(f"UPSTREAM {up.role} {key}")
+        emit(f"SERVING {self.config.host} {self.port}")
+        await self.serve_forever()
+
+    def request_stop(self) -> None:
+        self._stop.set()
+
+    async def stop(self) -> None:
+        self.request_stop()
+        if self._server is not None:
+            await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        server.close()
+        # Fail the in-flight work *before* waiting for the server: on
+        # 3.11 ``wait_closed()`` blocks until every connection handler
+        # returns, and a handler can be parked in a forward against a
+        # dead upstream for the whole ``forward_timeout``.  Aborting the
+        # upstream connections snaps those forwards (the stop-check in
+        # ``_upstream_request`` keeps the ladder from re-parking), and
+        # aborting the client transports unblocks handlers mid-read.
+        for up in self._upstreams.values():
+            up.abort_connections()
+        for writer in list(self._conns):
+            writer.transport.abort()
+        try:
+            await asyncio.wait_for(server.wait_closed(), timeout=5.0)
+        except asyncio.TimeoutError:
+            log.warning(
+                "read-router connections did not drain within 5s; "
+                "abandoning them"
+            )
+        for task in self._background:
+            task.cancel()
+        for task in self._background:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._background.clear()
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conns.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                response = await self._handle_request(line)
+                writer.write(json.dumps(response).encode() + b"\n")
+                try:
+                    await asyncio.wait_for(
+                        writer.drain(), self.config.write_timeout or None
+                    )
+                except asyncio.TimeoutError:
+                    log.warning("evicting slow read-router client")
+                    writer.transport.abort()
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):  # anclint: disable=service-exception-discipline — peer went away mid-conversation; closing our side below is the handling
+            pass
+        finally:
+            self._conns.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # anclint: disable=service-exception-discipline — close handshake racing the peer's reset; nothing to map
+                pass
+
+    async def _handle_request(self, raw: bytes) -> Dict[str, object]:
+        request_id: object = None
+        self._c_requests.inc()
+        try:
+            request = json.loads(raw)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op")
+            if not isinstance(op, str):
+                raise BadRequest(f"request needs a string 'op', got {op!r}")
+            handler = self._OPS.get(op, ReadRouter._op_passthrough)
+            ctx = TraceContext.from_wire(request.get("trace"))
+            with self.tracer.wire_span(f"readpath.{op}", ctx, op=op):
+                response = await handler(self, request)
+            response.setdefault("ok", True)
+        except Exception as exc:  # protocol boundary: map to a typed envelope
+            response = fault_response(exc)
+        # Router envelope: epoch 0 never trips client fencing heuristics
+        # (module docstring); ``followers`` advertises live capacity.
+        response["epoch"] = 0
+        response["role"] = "readpath-router"
+        response["followers"] = len(self._live_followers())
+        if request_id is not None:
+            response["id"] = request_id
+        return response

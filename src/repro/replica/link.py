@@ -135,6 +135,17 @@ class ReplicationLink:
     def _lag(self) -> float:
         return float(max(0, self._primary_entries - self.server.host.ingested))
 
+    @property
+    def lag(self) -> int:
+        """Records this follower trails the primary's committed head by.
+
+        Computed against the ``entries`` watermark of the *last
+        successful fetch* — the same number the ``replication_lag``
+        gauge publishes.  The server's ``max_staleness`` read-bound
+        check (docs/replication.md § Read routing) consumes this.
+        """
+        return int(self._lag())
+
     async def run(self) -> None:
         """Reconnect loop: run sessions until stopped/promoted/crashed."""
         while self._active():

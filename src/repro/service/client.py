@@ -27,12 +27,24 @@ Resilience semantics (the full contract is in ``docs/faults.md``):
   Prometheus samples next to the server's own.
 * **Failover.**  Given a ``failover`` endpoint list the client rotates
   to the next endpoint on transport failures and on ``FENCED`` /
-  ``READ_ONLY`` / stale-epoch refusals (a deposed primary, or a
-  follower that has not been promoted yet), so one client object rides
-  out a replica failover (docs/replication.md).  ``RETRY_AFTER`` shed
-  windows are honoured *per endpoint*: an overloaded primary's
-  back-off hint never delays a request that can go to a different
-  node, and rotation skips endpoints still inside their window.
+  ``READ_ONLY`` / ``STALE`` / stale-epoch refusals (a deposed primary,
+  a follower that has not been promoted yet, or a replica behind the
+  session token), so one client object rides out a replica failover
+  (docs/replication.md).  ``RETRY_AFTER`` shed windows are honoured
+  *per endpoint*: an overloaded primary's back-off hint never delays a
+  request that can go to a different node, and rotation skips
+  endpoints still inside their window.  An observed epoch advance (a
+  promotion) clears every shed window — the topology the windows were
+  recorded against is gone, and a fresh primary must not be skipped on
+  the strength of its predecessor's overload.
+* **Read-your-writes sessions.**  With ``session_reads=True`` the
+  client carries a session token — the applied watermark implied by
+  its own acknowledged writes (a write response's ``seq + 1``) — and
+  stamps it on every snapshot read, so a follower (or the read router)
+  either serves a state at least that new or answers the typed
+  ``STALE`` (docs/replication.md § Read routing).  ``max_staleness``
+  additionally bounds how many records a serving replica may trail its
+  primary by.
 """
 
 from __future__ import annotations
@@ -227,6 +239,8 @@ class ServiceClient:
         breaker: Optional[CircuitBreaker] = None,
         failover: Optional[Sequence[Tuple[str, int]]] = None,
         trace_sample: float = 0.0,
+        session_reads: bool = False,
+        max_staleness: Optional[int] = None,
     ) -> None:
         if not 0.0 <= trace_sample <= 1.0:
             raise ValueError(
@@ -256,6 +270,16 @@ class ServiceClient:
         self.failovers = 0
         #: Highest replication epoch seen in any response envelope.
         self.last_epoch = 0
+        #: Thread the session token into snapshot reads (read-your-writes).
+        self.session_reads = bool(session_reads)
+        #: Staleness bound (in records behind the primary) stamped on reads.
+        self.max_staleness = (
+            int(max_staleness) if max_staleness is not None else None
+        )
+        #: The applied watermark this session's reads must reflect —
+        #: advanced by every acknowledged write to ``seq + 1`` (seq is
+        #: 0-based) and by observed ``sync`` barriers.
+        self.session_token = 0
         self._batch_seq = 0
         self._session = f"{os.getpid()}-{next(_CLIENT_IDS)}"
         self._trace_sample = trace_sample
@@ -298,6 +322,13 @@ class ServiceClient:
             value = response.get(field)
             if isinstance(value, int):
                 self.last_epoch = max(self.last_epoch, value)
+        if self.last_epoch > previous and self._shed_until:
+            # A promotion happened: the shed windows were recorded
+            # against the pre-failover topology, and the endpoint that
+            # shed as an overloaded primary may now *be* the fresh
+            # primary — rotation must not skip it on its predecessor's
+            # overload hint.
+            self._shed_until.clear()
         return previous
 
     def _connect(self) -> None:
@@ -535,6 +566,17 @@ class ServiceClient:
                 self._teardown()
                 self._advance_endpoint()
                 continue
+            if error_type == "STALE" and idempotent:
+                # The node is behind this session's token (or the
+                # staleness bound).  A peer may be caught up; with a
+                # single endpoint the backoff gives this one time to
+                # catch up.  Either way the retry budget bounds the wait
+                # and exhaustion surfaces the typed STALE.
+                last_error = ServiceError(message, code=error_type)
+                if len(self._endpoints) > 1:
+                    self._teardown()
+                    self._advance_endpoint()
+                continue
             # The server answered: it is alive.  Surface its error as-is
             # without moving the breaker or burning retries.
             raise ServiceError(message, code=error_type)
@@ -612,23 +654,41 @@ class ServiceClient:
         response = self.request(
             "ingest_batch", items=[[u, v, t] for u, v, t in items], key=key
         )
-        return int(response["seq"])  # type: ignore[arg-type]
+        seq = int(response["seq"])  # type: ignore[arg-type]
+        # seq is the 0-based sequence of the last record, so the state
+        # reflecting this write has applied >= seq + 1 — the session
+        # token subsequent reads must clear (docs/replication.md).
+        self.session_token = max(self.session_token, seq + 1)
+        return seq
+
+    def _read_fields(self) -> Dict[str, object]:
+        """Consistency fields stamped on snapshot reads (None = omitted)."""
+        fields: Dict[str, object] = {}
+        if self.session_reads and self.session_token > 0:
+            fields["token"] = self.session_token
+        if self.max_staleness is not None:
+            fields["max_staleness"] = self.max_staleness
+        return fields
 
     def clusters(
         self, level: Optional[int] = None, *, min_size: int = 1
     ) -> List[List[Label]]:
         """All clusters at ``level`` (default √n granularity)."""
-        return self.request("clusters", level=level, min_size=min_size)["clusters"]  # type: ignore[return-value]
+        return self.clusters_info(level, min_size=min_size)["clusters"]  # type: ignore[return-value]
 
     def clusters_info(
         self, level: Optional[int] = None, *, min_size: int = 1
     ) -> Dict[str, object]:
         """Clusters plus level/time/applied metadata."""
-        return self.request("clusters", level=level, min_size=min_size)
+        return self.request(
+            "clusters", level=level, min_size=min_size, **self._read_fields()
+        )
 
     def local(self, node: Label, level: Optional[int] = None) -> List[Label]:
         """The node's cluster at ``level``."""
-        return self.request("local", node=node, level=level)["cluster"]  # type: ignore[return-value]
+        return self.request(
+            "local", node=node, level=level, **self._read_fields()
+        )["cluster"]  # type: ignore[return-value]
 
     def zoom_in(self, level: int) -> int:
         return int(self.request("zoom_in", level=level)["level"])  # type: ignore[arg-type]
@@ -638,7 +698,9 @@ class ServiceClient:
 
     def watch(self, node: Label, level: Optional[int] = None) -> List[Label]:
         """Watch a node's cluster; returns the current cluster."""
-        return self.request("watch", node=node, level=level)["cluster"]  # type: ignore[return-value]
+        return self.request(
+            "watch", node=node, level=level, **self._read_fields()
+        )["cluster"]  # type: ignore[return-value]
 
     def unwatch(self, node: Label, level: Optional[int] = None) -> None:
         self.request("unwatch", node=node, level=level)
@@ -649,7 +711,9 @@ class ServiceClient:
 
     def sync(self) -> int:
         """Block until everything ingested so far is applied and visible."""
-        return int(self.request("sync")["applied"])  # type: ignore[arg-type]
+        applied = int(self.request("sync")["applied"])  # type: ignore[arg-type]
+        self.session_token = max(self.session_token, applied)
+        return applied
 
     def stats(self) -> Dict[str, object]:
         return self.request("stats")["stats"]  # type: ignore[return-value]

@@ -6,14 +6,18 @@ Every failed request is answered with::
 
 where ``error_type`` is a small closed vocabulary clients can branch on
 (``BAD_REQUEST`` / ``UNKNOWN_OP`` / ``RETRY_AFTER`` / ``UNAVAILABLE`` /
-``FENCED`` / ``READ_ONLY`` / ``DIVERGED`` / ``INTERNAL``) instead of
-parsing prose.  ``RETRY_AFTER`` additionally carries a ``retry_after``
-hint in seconds — the overload-shedding contract: the server rejected
-the work *cheaply* and tells the client when the queue is likely to
-have drained (docs/faults.md).  ``FENCED`` / ``READ_ONLY`` /
-``DIVERGED`` are the replication vocabulary (docs/replication.md): a
+``FENCED`` / ``READ_ONLY`` / ``DIVERGED`` / ``STALE`` / ``INTERNAL``)
+instead of parsing prose.  ``RETRY_AFTER`` additionally carries a
+``retry_after`` hint in seconds — the overload-shedding contract: the
+server rejected the work *cheaply* and tells the client when the queue
+is likely to have drained (docs/faults.md).  ``FENCED`` / ``READ_ONLY``
+/ ``DIVERGED`` are the replication vocabulary (docs/replication.md): a
 deposed primary, a follower asked to write, and a follower whose state
-no longer matches its primary.
+no longer matches its primary.  ``STALE`` is the read-path vocabulary
+(docs/replication.md § Read routing): a node refusing to serve a read
+below the client's session token or outside the requested staleness
+bound, carrying its current ``applied`` watermark so the router can
+retry elsewhere.
 
 :func:`fault_response` is the only place exceptions become protocol
 envelopes; the ``service-exception-discipline`` lint rule counts a
@@ -31,6 +35,7 @@ __all__ = [
     "Overloaded",
     "ReadOnly",
     "ServiceFault",
+    "Stale",
     "Unavailable",
     "UnknownOp",
     "fault_response",
@@ -128,6 +133,32 @@ class Diverged(ServiceFault):
     """
 
     code = "DIVERGED"
+
+
+class Stale(ServiceFault):
+    """This node cannot serve the read within the requested bound.
+
+    Raised on the read path (docs/replication.md § Read routing) when
+    the client's session ``token`` is ahead of this node's applied
+    watermark (read-your-writes would be violated) or the node's
+    replication lag exceeds the request's ``max_staleness``.  Never a
+    silent downgrade: the response carries the node's current
+    ``applied`` watermark and the ``required`` token so a router can
+    pick a caught-up replica or fall back to the primary.
+    """
+
+    code = "STALE"
+
+    def __init__(self, message: str, *, applied: int = 0, required: int = 0) -> None:
+        super().__init__(message)
+        self.applied = applied
+        self.required = required
+
+    def to_response(self) -> Dict[str, object]:
+        doc = super().to_response()
+        doc["applied"] = self.applied
+        doc["required"] = self.required
+        return doc
 
 
 def fault_response(exc: BaseException) -> Dict[str, object]:

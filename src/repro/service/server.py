@@ -66,6 +66,7 @@ from .errors import (
     Fenced,
     Overloaded,
     ReadOnly,
+    Stale,
     UnknownOp,
     fault_response,
 )
@@ -508,6 +509,44 @@ class ANCServer:
                 f"refusing cluster queries on diverged state: {self.diverged}"
             )
 
+    def _replication_lag(self) -> int:
+        """Records this node trails its primary by (0 on a primary)."""
+        link = self.replication
+        if link is None:
+            return 0
+        return int(link.lag)  # type: ignore[attr-defined]
+
+    def _check_read_bound(self, request: Dict) -> None:
+        """Enforce the read-path consistency bounds on a snapshot query.
+
+        ``token`` is the client session's required applied watermark
+        (read-your-writes: a write response's ``seq + 1``);
+        ``max_staleness`` bounds how many records this node may trail
+        its primary by.  Either violation raises the typed
+        :class:`Stale` carrying this node's current watermark — never a
+        silently stale answer (docs/replication.md § Read routing).
+        """
+        applied = self.host.applied
+        token = request.get("token")
+        if token is not None:
+            required = int(token)  # type: ignore[arg-type]
+            if required > applied:
+                raise Stale(
+                    f"applied watermark {applied} is behind session "
+                    f"token {required}",
+                    applied=applied,
+                    required=required,
+                )
+        bound = request.get("max_staleness")
+        if bound is not None:
+            lag = self._replication_lag()
+            if lag > int(bound):  # type: ignore[arg-type]
+                raise Stale(
+                    f"replication lag {lag} exceeds max_staleness {bound}",
+                    applied=applied,
+                    required=applied + lag,
+                )
+
     def mark_diverged(self, detail: str) -> None:
         """Trip the sticky ``diverged`` state (divergence auditor verdict)."""
         if self.diverged is None:
@@ -546,9 +585,14 @@ class ANCServer:
 
     def _note_replica(self, follower: str, applied: int) -> None:
         """Record a follower's progress; lazily register its lag gauge."""
+        now = time.monotonic()
         info = self._replicas.get(follower)
         if info is None:
-            info = self._replicas[follower] = {"applied": 0.0, "last_seen": 0.0}
+            info = self._replicas[follower] = {
+                "applied": 0.0,
+                "last_seen": 0.0,
+                "advanced_at": now,
+            }
             gauge = "replica_lag_" + re.sub(r"\W", "_", follower)
             self.metrics.gauge(
                 gauge,
@@ -556,8 +600,10 @@ class ANCServer:
                     max(0, self._wal_entries() - int(self._replicas[f]["applied"]))
                 ),
             )
-        info["applied"] = max(info["applied"], float(applied))
-        info["last_seen"] = time.monotonic()
+        if float(applied) > info["applied"]:
+            info["applied"] = float(applied)
+            info["advanced_at"] = now
+        info["last_seen"] = now
 
     async def apply_replicated(self, record: WalRecord) -> int:
         """Apply one fetched primary record (called by the follower link).
@@ -859,6 +905,7 @@ class ANCServer:
 
     async def _op_clusters(self, request: Dict) -> Dict[str, object]:
         self._require_queryable()
+        self._check_read_bound(request)
         level, clusters = await self.host.clusters(request.get("level"))
         min_size = int(request.get("min_size", 1))
         state = self.host.state
@@ -874,6 +921,7 @@ class ANCServer:
 
     async def _op_local(self, request: Dict) -> Dict[str, object]:
         self._require_queryable()
+        self._check_read_bound(request)
         node = self._resolve_node(request.get("node"))
         level, cluster = await self.host.cluster_of(node, request.get("level"))
         state = self.host.state
@@ -892,6 +940,7 @@ class ANCServer:
 
     async def _op_watch(self, request: Dict) -> Dict[str, object]:
         self._require_queryable()
+        self._check_read_bound(request)
         node = self._resolve_node(request.get("node"))
         cluster = await self.host.watch(node, request.get("level"))
         return {"cluster": self._labels(cluster)}
@@ -1083,6 +1132,10 @@ class ANCServer:
                     "applied": int(info["applied"]),
                     "lag": max(0, entries - int(info["applied"])),
                     "age": round(now - info["last_seen"], 3),
+                    # Seconds since the applied watermark last advanced —
+                    # the operator-facing staleness clock (a follower can
+                    # heartbeat forever while applying nothing).
+                    "apply_age": round(now - info["advanced_at"], 3),
                 }
                 for follower, info in sorted(self._replicas.items())
             },
